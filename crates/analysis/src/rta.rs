@@ -1,0 +1,235 @@
+//! Exact response-time analysis (RTA) for fixed-priority scheduling on one
+//! processor.
+//!
+//! The classic recurrence (Joseph & Pandya / Audsley et al.):
+//!
+//! ```text
+//! R_i^(k+1) = C_i + B_i + Σ_{j ∈ hp(i)} ⌈ R_i^(k) / T_j ⌉ · C_j
+//! ```
+//!
+//! iterated to a fixed point, starting from `R_i^(0) = C_i + B_i`. The task is
+//! schedulable iff the fixed point exists and does not exceed its relative
+//! deadline. Constrained deadlines (`D ≤ T`) are supported, which is what the
+//! split-task analysis needs: subtasks of a split task receive synthetic
+//! deadlines shorter than their period.
+
+use spms_task::{Priority, Task, Time};
+
+/// Result of analysing one processor's task assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreAnalysis {
+    /// Per-task response times in the same order as the analysed slice, or
+    /// `None` for tasks whose recurrence exceeded the deadline.
+    pub response_times: Vec<Option<Time>>,
+    /// Whether every task met its deadline.
+    pub schedulable: bool,
+}
+
+/// Computes the worst-case response time of `task` under interference from
+/// the higher-priority tasks `hp`, without any blocking term.
+///
+/// Returns `None` if the recurrence exceeds the task's deadline (the task is
+/// unschedulable) or if the processor is overloaded and the recurrence would
+/// diverge.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::rta::response_time;
+/// use spms_task::{Task, Time};
+///
+/// # fn main() -> Result<(), spms_task::TaskError> {
+/// let hp = Task::new(0, Time::from_millis(1), Time::from_millis(4))?;
+/// let low = Task::new(1, Time::from_millis(2), Time::from_millis(10))?;
+/// assert_eq!(response_time(&low, &[hp]), Some(Time::from_millis(3)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn response_time(task: &Task, hp: &[Task]) -> Option<Time> {
+    response_time_with_blocking(task, hp, Time::ZERO)
+}
+
+/// Computes the worst-case response time of `task` under interference from
+/// `hp` plus a constant blocking term `blocking` (used for the migration
+/// synchronisation of split tasks and for non-preemptive sections).
+///
+/// Returns `None` when the response time exceeds the task's deadline.
+pub fn response_time_with_blocking(task: &Task, hp: &[Task], blocking: Time) -> Option<Time> {
+    let deadline = task.deadline();
+    let base = task.wcet() + blocking;
+    if base > deadline {
+        return None;
+    }
+    let mut r = base;
+    // The recurrence is monotonically non-decreasing and bounded by the
+    // deadline check, so it terminates; cap iterations defensively anyway.
+    for _ in 0..10_000 {
+        let interference: Time = hp
+            .iter()
+            .map(|h| h.wcet() * r.div_ceil(h.period()))
+            .sum();
+        let next = base + interference;
+        if next > deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+    None
+}
+
+/// Splits `tasks` into (higher-priority, lower-or-equal-priority) relative to
+/// `priority`, preserving order. Tasks without a priority count as lowest.
+pub fn higher_priority_tasks(tasks: &[Task], priority: Priority) -> Vec<Task> {
+    tasks
+        .iter()
+        .filter(|t| t.priority().is_some_and(|p| p.is_higher_than(priority)))
+        .cloned()
+        .collect()
+}
+
+/// Analyses a full per-core assignment: every task is checked against the
+/// interference of all strictly higher-priority tasks on the same core.
+///
+/// Tasks must carry priorities (see
+/// [`TaskSet::assign_priorities`](spms_task::TaskSet::assign_priorities));
+/// a task without a priority is treated as lowest priority.
+pub fn analyse_core(tasks: &[Task]) -> CoreAnalysis {
+    let mut response_times = Vec::with_capacity(tasks.len());
+    let mut schedulable = true;
+    for task in tasks {
+        let prio = task.priority().unwrap_or(Priority::LOWEST);
+        let hp = higher_priority_tasks(tasks, prio);
+        let r = response_time(task, &hp);
+        if r.is_none() {
+            schedulable = false;
+        }
+        response_times.push(r);
+    }
+    CoreAnalysis {
+        response_times,
+        schedulable,
+    }
+}
+
+/// Convenience predicate: is the per-core assignment schedulable under exact
+/// RTA?
+pub fn is_core_schedulable(tasks: &[Task]) -> bool {
+    analyse_core(tasks).schedulable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::{PriorityAssignment, TaskSet};
+
+    fn task(id: u32, wcet_us: u64, period_us: u64) -> Task {
+        Task::new(id, Time::from_micros(wcet_us), Time::from_micros(period_us)).unwrap()
+    }
+
+    fn prioritised(tasks: Vec<Task>) -> Vec<Task> {
+        let mut ts: TaskSet = tasks.into_iter().collect();
+        ts.assign_priorities(PriorityAssignment::RateMonotonic);
+        ts.sort_by_priority();
+        ts.into_iter().collect()
+    }
+
+    #[test]
+    fn textbook_example_response_times() {
+        // Classic example: C=(1,2,3), T=(4,10,20) — all schedulable under RM.
+        let tasks = prioritised(vec![task(0, 1, 4), task(1, 2, 10), task(2, 3, 20)]);
+        let analysis = analyse_core(&tasks);
+        assert!(analysis.schedulable);
+        assert_eq!(analysis.response_times[0], Some(Time::from_micros(1)));
+        assert_eq!(analysis.response_times[1], Some(Time::from_micros(3)));
+        // τ2: R = 3 + ⌈R/4⌉·1 + ⌈R/10⌉·2 → fixed point at 7.
+        assert_eq!(analysis.response_times[2], Some(Time::from_micros(7)));
+    }
+
+    #[test]
+    fn unschedulable_low_priority_task_detected() {
+        // τ0 uses 50%, τ1 uses 60% → τ1 cannot finish.
+        let tasks = prioritised(vec![task(0, 5, 10), task(1, 12, 20)]);
+        let analysis = analyse_core(&tasks);
+        assert!(!analysis.schedulable);
+        assert_eq!(analysis.response_times[0], Some(Time::from_micros(5)));
+        assert_eq!(analysis.response_times[1], None);
+    }
+
+    #[test]
+    fn full_utilization_harmonic_set_is_schedulable() {
+        // Harmonic periods allow 100% utilization under RM.
+        let tasks = prioritised(vec![task(0, 5, 10), task(1, 10, 20)]);
+        assert!(is_core_schedulable(&tasks));
+    }
+
+    #[test]
+    fn blocking_term_increases_response_time() {
+        let hp = vec![task(0, 1, 4)];
+        let low = task(1, 2, 10);
+        let without = response_time_with_blocking(&low, &hp, Time::ZERO).unwrap();
+        let with = response_time_with_blocking(&low, &hp, Time::from_micros(2)).unwrap();
+        assert!(with > without);
+        // Excessive blocking makes it unschedulable.
+        assert_eq!(
+            response_time_with_blocking(&low, &hp, Time::from_micros(50)),
+            None
+        );
+    }
+
+    #[test]
+    fn constrained_deadline_is_respected() {
+        let hp = vec![task(0, 2, 8)];
+        let constrained = Task::builder(1)
+            .wcet(Time::from_micros(3))
+            .period(Time::from_micros(20))
+            .deadline(Time::from_micros(4))
+            .build()
+            .unwrap();
+        // Response time would be 5 µs, which exceeds the 4 µs deadline.
+        assert_eq!(response_time(&constrained, &hp), None);
+        let relaxed = constrained.with_deadline(Time::from_micros(10)).unwrap();
+        assert_eq!(response_time(&relaxed, &hp), Some(Time::from_micros(5)));
+    }
+
+    #[test]
+    fn task_alone_on_core_has_response_equal_to_wcet() {
+        let t = task(0, 7, 100);
+        assert_eq!(response_time(&t, &[]), Some(Time::from_micros(7)));
+    }
+
+    #[test]
+    fn higher_priority_filter_respects_levels() {
+        let mut a = task(0, 1, 10);
+        let mut b = task(1, 1, 20);
+        let mut c = task(2, 1, 30);
+        a.set_priority(Priority::new(0));
+        b.set_priority(Priority::new(1));
+        c.set_priority(Priority::new(2));
+        let all = vec![a, b, c];
+        let hp = higher_priority_tasks(&all, Priority::new(2));
+        assert_eq!(hp.len(), 2);
+        let hp_top = higher_priority_tasks(&all, Priority::new(0));
+        assert!(hp_top.is_empty());
+    }
+
+    #[test]
+    fn tasks_without_priority_are_treated_as_lowest() {
+        let mut high = task(0, 1, 4);
+        high.set_priority(Priority::new(0));
+        let unprioritised = task(1, 2, 10);
+        let analysis = analyse_core(&[high, unprioritised]);
+        assert!(analysis.schedulable);
+        // R = 2 + ⌈R/4⌉·1 → fixed point at 3.
+        assert_eq!(analysis.response_times[1], Some(Time::from_micros(3)));
+    }
+
+    #[test]
+    fn empty_core_is_schedulable() {
+        let analysis = analyse_core(&[]);
+        assert!(analysis.schedulable);
+        assert!(analysis.response_times.is_empty());
+    }
+}

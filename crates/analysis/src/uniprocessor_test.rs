@@ -1,0 +1,146 @@
+//! The pluggable per-core acceptance test used by the partitioning
+//! algorithms.
+
+use serde::{Deserialize, Serialize};
+use spms_task::Task;
+
+use crate::{bounds, rta};
+
+/// Which sufficient (or exact) schedulability test a partitioning algorithm
+/// uses to decide whether a task fits on a processor.
+///
+/// DESIGN.md calls this out as ablation choice 2: the FP-TS construction of
+/// Guan et al. is driven by the Liu & Layland bound (which is what its
+/// utilization-bound guarantee relies on), while acceptance-ratio experiments
+/// typically get a few extra percentage points from exact response-time
+/// analysis.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::UniprocessorTest;
+/// use spms_task::{Task, Time, Priority};
+///
+/// # fn main() -> Result<(), spms_task::TaskError> {
+/// let mut a = Task::new(0, Time::from_millis(5), Time::from_millis(10))?;
+/// let mut b = Task::new(1, Time::from_millis(10), Time::from_millis(20))?;
+/// a.set_priority(Priority::new(0));
+/// b.set_priority(Priority::new(1));
+/// // A harmonic set at 100% utilization: rejected by the bounds, accepted by RTA.
+/// assert!(!UniprocessorTest::LiuLayland.accepts(&[a.clone(), b.clone()]));
+/// assert!(UniprocessorTest::ResponseTime.accepts(&[a, b]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum UniprocessorTest {
+    /// Liu & Layland utilization bound `ΣU ≤ n(2^{1/n} − 1)`.
+    LiuLayland,
+    /// Hyperbolic bound `Π(U_i + 1) ≤ 2`.
+    Hyperbolic,
+    /// Exact response-time analysis (requires priorities to be assigned).
+    #[default]
+    ResponseTime,
+}
+
+impl UniprocessorTest {
+    /// Whether the given per-core task assignment is accepted by this test.
+    pub fn accepts(&self, tasks: &[Task]) -> bool {
+        match self {
+            UniprocessorTest::LiuLayland => bounds::fits_liu_layland(tasks),
+            UniprocessorTest::Hyperbolic => bounds::fits_hyperbolic(tasks),
+            UniprocessorTest::ResponseTime => rta::is_core_schedulable(tasks),
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UniprocessorTest::LiuLayland => "liu-layland",
+            UniprocessorTest::Hyperbolic => "hyperbolic",
+            UniprocessorTest::ResponseTime => "rta",
+        }
+    }
+}
+
+impl std::fmt::Display for UniprocessorTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::{Priority, Time};
+
+    fn prioritised(specs: &[(u64, u64)]) -> Vec<Task> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t))| {
+                let mut task =
+                    Task::new(i as u32, Time::from_micros(c), Time::from_micros(t)).unwrap();
+                task.set_priority(Priority::new(i as u32));
+                task
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tests_accept_a_light_set() {
+        let tasks = prioritised(&[(1, 10), (2, 20), (3, 50)]);
+        for test in [
+            UniprocessorTest::LiuLayland,
+            UniprocessorTest::Hyperbolic,
+            UniprocessorTest::ResponseTime,
+        ] {
+            assert!(test.accepts(&tasks), "{test}");
+        }
+    }
+
+    #[test]
+    fn all_tests_reject_an_overloaded_set() {
+        let tasks = prioritised(&[(6, 10), (6, 10)]);
+        for test in [
+            UniprocessorTest::LiuLayland,
+            UniprocessorTest::Hyperbolic,
+            UniprocessorTest::ResponseTime,
+        ] {
+            assert!(!test.accepts(&tasks), "{test}");
+        }
+    }
+
+    #[test]
+    fn rta_dominates_hyperbolic_dominates_liu_layland() {
+        // Harmonic set at full utilization: only RTA accepts.
+        let harmonic = prioritised(&[(5, 10), (10, 20)]);
+        assert!(!UniprocessorTest::LiuLayland.accepts(&harmonic));
+        assert!(!UniprocessorTest::Hyperbolic.accepts(&harmonic));
+        assert!(UniprocessorTest::ResponseTime.accepts(&harmonic));
+
+        // 0.5 + 0.33: hyperbolic and RTA accept, Liu & Layland rejects.
+        let medium = prioritised(&[(50, 100), (33, 100)]);
+        assert!(!UniprocessorTest::LiuLayland.accepts(&medium));
+        assert!(UniprocessorTest::Hyperbolic.accepts(&medium));
+        assert!(UniprocessorTest::ResponseTime.accepts(&medium));
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(UniprocessorTest::default(), UniprocessorTest::ResponseTime);
+        assert_eq!(UniprocessorTest::LiuLayland.to_string(), "liu-layland");
+        assert_eq!(UniprocessorTest::Hyperbolic.name(), "hyperbolic");
+    }
+
+    #[test]
+    fn empty_core_is_always_accepted() {
+        for test in [
+            UniprocessorTest::LiuLayland,
+            UniprocessorTest::Hyperbolic,
+            UniprocessorTest::ResponseTime,
+        ] {
+            assert!(test.accepts(&[]));
+        }
+    }
+}

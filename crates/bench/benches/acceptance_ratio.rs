@@ -1,0 +1,65 @@
+//! E5 — the paper's §4 result: acceptance ratio of FP-TS vs FFD vs WFD over
+//! randomly generated task sets, with and without the measured overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_analysis::OverheadModel;
+use spms_bench::benchmark_task_set;
+use spms_core::{PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
+use spms_experiments::AcceptanceRatioExperiment;
+use std::hint::black_box;
+
+fn print_acceptance_tables() {
+    let sweep: Vec<f64> = (12..=20).map(|i| i as f64 * 0.05).collect();
+    let base = AcceptanceRatioExperiment::new()
+        .cores(4)
+        .tasks_per_set(16)
+        .utilization_points(sweep.clone())
+        .sets_per_point(40)
+        .seed(2024);
+    println!("\n=== E5a: acceptance ratio without overhead (4 cores, 16 tasks/set, 40 sets/point) ===");
+    println!("{}", base.clone().run().render_markdown());
+    println!("=== E5b: acceptance ratio with the measured N = 4 overheads ===");
+    println!(
+        "{}",
+        base.overhead(OverheadModel::paper_n4()).run().render_markdown()
+    );
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    print_acceptance_tables();
+    let tasks = benchmark_task_set(16, 3.4, 7);
+    let mut group = c.benchmark_group("partitioning");
+    group.bench_function("fpts", |b| {
+        let algo = SemiPartitionedFpTs::default();
+        b.iter(|| black_box(algo.partition(black_box(&tasks), 4)));
+    });
+    group.bench_function("ffd", |b| {
+        let algo = PartitionedFixedPriority::ffd();
+        b.iter(|| black_box(algo.partition(black_box(&tasks), 4)));
+    });
+    group.bench_function("wfd", |b| {
+        let algo = PartitionedFixedPriority::wfd();
+        b.iter(|| black_box(algo.partition(black_box(&tasks), 4)));
+    });
+    group.finish();
+}
+
+fn bench_sweep_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acceptance_sweep");
+    group.sample_size(10);
+    group.bench_function("one_point_10_sets", |b| {
+        let experiment = AcceptanceRatioExperiment::new()
+            .tasks_per_set(12)
+            .sets_per_point(10)
+            .utilization_points(vec![0.9]);
+        b.iter(|| black_box(experiment.run()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_partitioners, bench_sweep_point
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E4 — cache-related overhead: local context switch vs. cross-core
+//! migration reload cost as a function of working-set size (the paper's §3
+//! "cache" discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spms_cache::{CacheHierarchyConfig, CrpdModel, WorkingSet};
+use spms_experiments::CacheCrossoverExperiment;
+use std::hint::black_box;
+
+fn print_crossover_table() {
+    let results = CacheCrossoverExperiment::new().run();
+    println!("\n=== E4: cache reload cost, local preemption vs migration ===");
+    println!("{}", results.render_markdown());
+    if let Some(bytes) = results.crossover_bytes(2.0) {
+        println!(
+            "(migration costs at least 2x a local switch up to working sets of {} KiB)\n",
+            bytes / 1024
+        );
+    }
+}
+
+fn bench_crpd(c: &mut Criterion) {
+    print_crossover_table();
+    let model = CrpdModel::new(CacheHierarchyConfig::core_i7_4core());
+    let mut group = c.benchmark_group("crpd");
+    for &kib in &[8u64, 256, 2048] {
+        let ws = WorkingSet::from_bytes(kib * 1024);
+        let preemptor = WorkingSet::from_bytes(kib * 1024).with_base(1 << 32);
+        group.bench_with_input(BenchmarkId::new("analytic", kib), &kib, |b, _| {
+            b.iter(|| black_box(model.analytic(black_box(ws), black_box(preemptor))));
+        });
+    }
+    // The full cache simulation is only benchmarked for a small working set;
+    // larger ones are covered by the printed table.
+    let small = WorkingSet::from_bytes(8 * 1024);
+    let small_preemptor = WorkingSet::from_bytes(8 * 1024).with_base(1 << 32);
+    group.bench_function("simulated_8KiB", |b| {
+        b.iter(|| black_box(model.simulated(black_box(small), black_box(small_preemptor))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crpd
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 — acceptance ratio as the number of cores grows at constant normalized
+//! utilization, plus the raw partitioning cost per core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spms_bench::benchmark_task_set;
+use spms_core::{PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
+use spms_experiments::CoreCountSweepExperiment;
+use std::hint::black_box;
+
+fn print_core_sweep_table() {
+    let sweep = CoreCountSweepExperiment::new()
+        .core_counts(vec![2, 4, 8, 16])
+        .tasks_per_core(4)
+        .normalized_utilization(0.85)
+        .sets_per_point(30)
+        .seed(2024);
+    println!("\n=== E9: acceptance ratio vs core count (U/m = 0.85, 4 tasks/core, 30 sets/point) ===");
+    println!("{}", sweep.run().render_markdown());
+}
+
+fn bench_partitioning_by_core_count(c: &mut Criterion) {
+    print_core_sweep_table();
+    let mut group = c.benchmark_group("partitioning_by_cores");
+    for cores in [2usize, 4, 8, 16] {
+        let tasks = benchmark_task_set(4 * cores, 0.85 * cores as f64, 7);
+        group.bench_with_input(BenchmarkId::new("fpts", cores), &cores, |b, &m| {
+            let algo = SemiPartitionedFpTs::default();
+            b.iter(|| black_box(algo.partition(black_box(&tasks), m)));
+        });
+        group.bench_with_input(BenchmarkId::new("ffd", cores), &cores, |b, &m| {
+            let algo = PartitionedFixedPriority::ffd();
+            b.iter(|| black_box(algo.partition(black_box(&tasks), m)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_partitioning_by_core_count
+}
+criterion_main!(benches);

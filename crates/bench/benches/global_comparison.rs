@@ -1,0 +1,52 @@
+//! E10 — partitioned / semi-partitioned scheduling vs. the sufficient global
+//! schedulability tests, plus the raw cost of the global tests and of the
+//! global scheduler simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_bench::benchmark_task_set;
+use spms_experiments::GlobalComparisonExperiment;
+use spms_global::{GlobalPolicy, GlobalSchedulabilityTest, GlobalSimulator};
+use spms_task::{PriorityAssignment, Time};
+use std::hint::black_box;
+
+fn print_global_comparison_table() {
+    let results = GlobalComparisonExperiment::new()
+        .cores(4)
+        .tasks_per_set(16)
+        .sets_per_point(30)
+        .seed(2024)
+        .run();
+    println!("\n=== E10: acceptance ratio, partitioned / semi-partitioned vs global tests (30 sets/point) ===");
+    println!("{}", results.render_markdown());
+}
+
+fn bench_global(c: &mut Criterion) {
+    print_global_comparison_table();
+    let mut tasks = benchmark_task_set(16, 3.0, 13);
+    tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+
+    let mut group = c.benchmark_group("global");
+    group.bench_function("gfb_density_test", |b| {
+        b.iter(|| black_box(GlobalSchedulabilityTest::GfbDensity.accepts(black_box(&tasks), 4)));
+    });
+    group.bench_function("bcl_fixed_priority_test", |b| {
+        b.iter(|| {
+            black_box(GlobalSchedulabilityTest::BclFixedPriority.accepts(black_box(&tasks), 4))
+        });
+    });
+    group.bench_function("global_edf_simulation_500ms", |b| {
+        b.iter(|| {
+            let sim = GlobalSimulator::new(black_box(&tasks), 4, GlobalPolicy::Edf)
+                .duration(Time::from_millis(500));
+            black_box(sim.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_global
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E6 — overhead sensitivity: how the acceptance ratio degrades when the
+//! measured overheads are scaled up (×0, ×1, ×5, ×20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_experiments::OverheadSensitivityExperiment;
+use std::hint::black_box;
+
+fn print_sensitivity_table() {
+    let results = OverheadSensitivityExperiment::new()
+        .tasks_per_set(12)
+        .sets_per_scale(30)
+        .run();
+    println!(
+        "\n=== E6: acceptance ratio at U/m = {:.2} versus overhead magnitude ===",
+        results.normalized_utilization()
+    );
+    println!("{}", results.render_markdown());
+    if let Some(cost) = results.measured_overhead_cost(spms_experiments::AlgorithmKind::FpTs) {
+        println!(
+            "(the measured overhead costs FP-TS {:.1} percentage points of acceptance ratio)\n",
+            cost * 100.0
+        );
+    }
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    print_sensitivity_table();
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.bench_function("three_scales_10_sets", |b| {
+        let experiment = OverheadSensitivityExperiment::new()
+            .scales(vec![0.0, 1.0, 20.0])
+            .tasks_per_set(8)
+            .sets_per_scale(10);
+        b.iter(|| black_box(experiment.run()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sensitivity
+}
+criterion_main!(benches);

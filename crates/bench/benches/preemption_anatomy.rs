@@ -1,0 +1,38 @@
+//! E3 — Figure 1: the overhead anatomy of one preemption (release, scheduling
+//! decision, two context-switch halves, cache reload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_analysis::OverheadModel;
+use spms_experiments::PreemptionAnatomy;
+use std::hint::black_box;
+
+fn print_anatomy() {
+    let report = PreemptionAnatomy::new().run();
+    println!("\n=== E3 / Figure 1: timeline of a preemption with the measured overheads ===");
+    println!("{}", report.timeline);
+    println!(
+        "preemptions observed: {}, overhead per release-preempt-resume episode: {}, total overhead: {}\n",
+        report.preemptions, report.per_preemption_overhead, report.total_overhead
+    );
+}
+
+fn bench_anatomy(c: &mut Criterion) {
+    print_anatomy();
+    let mut group = c.benchmark_group("preemption_anatomy");
+    group.bench_function("figure1_scenario", |b| {
+        let anatomy = PreemptionAnatomy::new();
+        b.iter(|| black_box(anatomy.run()));
+    });
+    group.bench_function("figure1_scenario_no_overhead", |b| {
+        let anatomy = PreemptionAnatomy::new().overhead(OverheadModel::zero());
+        b.iter(|| black_box(anatomy.run()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_anatomy
+}
+criterion_main!(benches);

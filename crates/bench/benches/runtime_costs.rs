@@ -1,0 +1,70 @@
+//! E8 — the simulated run-time cost of accepted partitions: preemptions,
+//! migrations and the fraction of processor time spent inside the scheduler,
+//! plus the raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_analysis::OverheadModel;
+use spms_bench::benchmark_task_set;
+use spms_core::{Partitioner, SemiPartitionedFpTs};
+use spms_experiments::{AlgorithmKind, RuntimeCostExperiment};
+use spms_sim::{SimulationConfig, Simulator};
+use spms_task::Time;
+use std::hint::black_box;
+
+fn print_runtime_cost_table() {
+    let results = RuntimeCostExperiment::new()
+        .cores(4)
+        .tasks_per_set(12)
+        .utilization_points(vec![0.6, 0.75, 0.9])
+        .sets_per_point(15)
+        .algorithms(vec![
+            AlgorithmKind::FpTs,
+            AlgorithmKind::FpTsNextFit,
+            AlgorithmKind::Ffd,
+        ])
+        .overhead(OverheadModel::paper_n4())
+        .simulation_window(Time::from_millis(500))
+        .seed(2024)
+        .run();
+    println!("\n=== E8: simulated run-time cost of accepted partitions (N = 4 overheads) ===");
+    println!("{}", results.render_markdown());
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    print_runtime_cost_table();
+    let tasks = benchmark_task_set(12, 3.4, 11);
+    let partition = SemiPartitionedFpTs::default()
+        .with_overhead(OverheadModel::paper_n4())
+        .partition(&tasks, 4)
+        .expect("valid task set")
+        .into_partition()
+        .expect("schedulable benchmark set");
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("one_second_with_overheads", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(
+                black_box(&partition),
+                SimulationConfig::new(Time::from_secs(1))
+                    .with_overhead(OverheadModel::paper_n4()),
+            );
+            black_box(sim.run())
+        });
+    });
+    group.bench_function("one_second_no_overheads", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(
+                black_box(&partition),
+                SimulationConfig::new(Time::from_secs(1)),
+            );
+            black_box(sim.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_simulator
+}
+criterion_main!(benches);

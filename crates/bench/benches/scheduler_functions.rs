@@ -1,0 +1,73 @@
+//! E2 — scheduler-function costs: the reproduction of the paper's
+//! release() = 3 µs, sch() = 5 µs and cnt_swth() = 1.5 µs measurements, plus
+//! the end-to-end cost of simulating one hyperperiod of a partitioned task
+//! set (which exercises all three paths continuously).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_analysis::OverheadModel;
+use spms_bench::benchmark_task_set;
+use spms_core::{Partitioner, SemiPartitionedFpTs};
+use spms_overhead::{FunctionCosts, MeasurementConfig};
+use spms_sim::{SimulationConfig, Simulator};
+use spms_task::Time;
+use std::hint::black_box;
+
+fn print_function_costs() {
+    let report = FunctionCosts::new(MeasurementConfig {
+        iterations: 5_000,
+        warmup: 500,
+    })
+    .measure(64);
+    println!("\n=== E2: measured scheduler-function costs (N = 64 resident tasks) ===");
+    println!("{}", report.render_markdown());
+}
+
+fn bench_function_paths(c: &mut Criterion) {
+    print_function_costs();
+    let mut group = c.benchmark_group("scheduler_functions");
+    group.bench_function("measure_all_three", |b| {
+        let harness = FunctionCosts::new(MeasurementConfig {
+            iterations: 200,
+            warmup: 20,
+        });
+        b.iter(|| black_box(harness.measure(black_box(16))));
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let tasks = benchmark_task_set(12, 3.0, 42);
+    let partition = SemiPartitionedFpTs::default()
+        .partition(&tasks, 4)
+        .expect("valid input")
+        .into_partition()
+        .expect("schedulable benchmark set");
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("one_second_no_overhead", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(
+                black_box(&partition),
+                SimulationConfig::new(Time::from_secs(1)),
+            );
+            black_box(sim.run())
+        });
+    });
+    group.bench_function("one_second_with_overhead", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(
+                black_box(&partition),
+                SimulationConfig::new(Time::from_secs(1))
+                    .with_overhead(OverheadModel::paper_n4()),
+            );
+            black_box(sim.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_function_paths, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Cache hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+///
+/// Sizes are in bytes; the latency is the *hit* latency of the level in
+/// nanoseconds (the time to deliver a line that is resident at this level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in nanoseconds.
+    pub hit_latency_ns: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of cache lines the level can hold.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.lines() / u64::from(self.associativity)).max(1)
+    }
+}
+
+/// Configuration of a multi-core cache hierarchy: per-core private L1 and L2,
+/// a shared L3, and main memory behind it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheHierarchyConfig {
+    /// Number of cores sharing the L3.
+    pub cores: usize,
+    /// Private, per-core first-level data cache.
+    pub l1: CacheLevelConfig,
+    /// Private, per-core second-level cache.
+    pub l2: CacheLevelConfig,
+    /// Shared last-level cache.
+    pub l3: CacheLevelConfig,
+    /// Main-memory access latency in nanoseconds.
+    pub memory_latency_ns: u64,
+}
+
+impl CacheHierarchyConfig {
+    /// A hierarchy modelled on the paper's measurement platform: an Intel
+    /// Core-i7 quad-core (Nehalem class) with 32 KiB L1D, 256 KiB L2 per core
+    /// and an 8 MiB shared L3.
+    pub fn core_i7_4core() -> Self {
+        CacheHierarchyConfig {
+            cores: 4,
+            l1: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                hit_latency_ns: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 256 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                hit_latency_ns: 4,
+            },
+            l3: CacheLevelConfig {
+                size_bytes: 8 * 1024 * 1024,
+                associativity: 16,
+                line_bytes: 64,
+                hit_latency_ns: 12,
+            },
+            memory_latency_ns: 60,
+        }
+    }
+
+    /// A deliberately tiny hierarchy for fast unit tests.
+    pub fn tiny_for_tests() -> Self {
+        CacheHierarchyConfig {
+            cores: 2,
+            l1: CacheLevelConfig {
+                size_bytes: 1024,
+                associativity: 2,
+                line_bytes: 64,
+                hit_latency_ns: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 4 * 1024,
+                associativity: 4,
+                line_bytes: 64,
+                hit_latency_ns: 4,
+            },
+            l3: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                hit_latency_ns: 12,
+            },
+            memory_latency_ns: 60,
+        }
+    }
+
+    /// Total private capacity (L1 + L2) of one core, in bytes.
+    pub fn private_capacity_bytes(&self) -> u64 {
+        self.l1.size_bytes + self.l2.size_bytes
+    }
+}
+
+impl Default for CacheHierarchyConfig {
+    fn default() -> Self {
+        Self::core_i7_4core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_geometry() {
+        let l1 = CacheHierarchyConfig::core_i7_4core().l1;
+        assert_eq!(l1.lines(), 512);
+        assert_eq!(l1.sets(), 64);
+    }
+
+    #[test]
+    fn default_is_core_i7() {
+        let cfg = CacheHierarchyConfig::default();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.private_capacity_bytes(), (32 + 256) * 1024);
+    }
+
+    #[test]
+    fn latencies_increase_down_the_hierarchy() {
+        let cfg = CacheHierarchyConfig::core_i7_4core();
+        assert!(cfg.l1.hit_latency_ns < cfg.l2.hit_latency_ns);
+        assert!(cfg.l2.hit_latency_ns < cfg.l3.hit_latency_ns);
+        assert!(cfg.l3.hit_latency_ns < cfg.memory_latency_ns);
+    }
+}

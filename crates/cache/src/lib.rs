@@ -1,0 +1,54 @@
+//! # spms-cache
+//!
+//! Multi-level cache hierarchy simulator and cache-related preemption /
+//! migration delay (CRPD) model.
+//!
+//! The paper (§3, "cache" overhead) argues that on a chip with private L1/L2
+//! caches and a *shared* L3 — the Intel Core-i7 used in the measurements —
+//! the cache-related overhead of a task **migration** is of the same order of
+//! magnitude as that of a **local context switch**, because in both cases the
+//! preempted task's working space is evicted from the private caches and
+//! survives in the shared L3; only tasks with working sets much smaller than
+//! the private cache benefit from staying on the same core.
+//!
+//! This crate provides the substrate to reproduce that argument without the
+//! physical machine:
+//!
+//! * [`Cache`] — a single set-associative LRU cache,
+//! * [`CacheHierarchy`] — per-core private L1/L2 plus a shared L3 in front of
+//!   memory, with per-level hit latencies,
+//! * [`WorkingSet`] — a task's memory footprint,
+//! * [`CrpdModel`] — both an *analytic* and a *simulated* estimate of the
+//!   reload cost after a local preemption and after a cross-core migration.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_cache::{CacheHierarchyConfig, CrpdModel, WorkingSet};
+//!
+//! let model = CrpdModel::new(CacheHierarchyConfig::core_i7_4core());
+//! let small = model.analytic(WorkingSet::from_bytes(8 * 1024), WorkingSet::from_bytes(8 * 1024));
+//! // A tiny working set survives in the private cache after a local
+//! // preemption, so migrating is much more expensive than staying local.
+//! assert!(small.migration_ns > 4 * small.local_preemption_ns.max(1));
+//!
+//! let large = model.analytic(WorkingSet::from_bytes(2 * 1024 * 1024), WorkingSet::from_bytes(2 * 1024 * 1024));
+//! // A large working set is evicted from the private levels either way:
+//! // migration and local preemption cost the same order of magnitude.
+//! assert!(large.migration_ns < 3 * large.local_preemption_ns);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod crpd;
+mod hierarchy;
+mod working_set;
+
+pub use cache::{AccessResult, Cache};
+pub use config::{CacheHierarchyConfig, CacheLevelConfig};
+pub use crpd::{CrpdEstimate, CrpdModel};
+pub use hierarchy::{CacheHierarchy, HierarchyStats, HitLevel};
+pub use working_set::WorkingSet;

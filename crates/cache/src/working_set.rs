@@ -1,0 +1,102 @@
+//! Task working sets: the memory footprint a task touches each job.
+
+use serde::{Deserialize, Serialize};
+
+/// A task's working set: a contiguous region of `bytes` starting at `base`.
+///
+/// The cache-related overhead of a preemption or migration is driven by the
+/// size of the working set (paper §3): after being preempted, a task must
+/// re-fetch whatever part of its working set was evicted from the caches it
+/// can still reach.
+///
+/// # Example
+///
+/// ```
+/// use spms_cache::WorkingSet;
+///
+/// let ws = WorkingSet::from_bytes(4 * 1024).with_base(0x10_0000);
+/// assert_eq!(ws.bytes(), 4 * 1024);
+/// assert_eq!(ws.lines(64), 64);
+/// assert_eq!(ws.line_addresses(64).count(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkingSet {
+    base: u64,
+    bytes: u64,
+}
+
+impl WorkingSet {
+    /// A working set of the given size starting at address zero.
+    pub fn from_bytes(bytes: u64) -> Self {
+        WorkingSet { base: 0, bytes }
+    }
+
+    /// Moves the working set to start at `base` (used to give each task a
+    /// disjoint address range).
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Base byte address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of cache lines the working set spans for a given line size.
+    pub fn lines(&self, line_bytes: u64) -> u64 {
+        self.bytes.div_ceil(line_bytes)
+    }
+
+    /// Iterates over the address of the first byte of each cache line in the
+    /// working set.
+    pub fn line_addresses(&self, line_bytes: u64) -> impl Iterator<Item = u64> + '_ {
+        let lines = self.lines(line_bytes);
+        let base = self.base;
+        (0..lines).map(move |i| base + i * line_bytes)
+    }
+
+    /// Whether the working set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+impl Default for WorkingSet {
+    fn default() -> Self {
+        // 64 KiB is a reasonable default footprint for an embedded control task.
+        WorkingSet::from_bytes(64 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_round_up() {
+        assert_eq!(WorkingSet::from_bytes(0).lines(64), 0);
+        assert_eq!(WorkingSet::from_bytes(1).lines(64), 1);
+        assert_eq!(WorkingSet::from_bytes(64).lines(64), 1);
+        assert_eq!(WorkingSet::from_bytes(65).lines(64), 2);
+    }
+
+    #[test]
+    fn line_addresses_are_contiguous_from_base() {
+        let ws = WorkingSet::from_bytes(256).with_base(1024);
+        let addrs: Vec<u64> = ws.line_addresses(64).collect();
+        assert_eq!(addrs, vec![1024, 1088, 1152, 1216]);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(WorkingSet::from_bytes(0).is_empty());
+        assert!(!WorkingSet::default().is_empty());
+        assert_eq!(WorkingSet::default().bytes(), 64 * 1024);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for partitioning runs.
+
+use std::error::Error;
+use std::fmt;
+
+use spms_task::TaskError;
+
+/// Errors raised by the partitioning algorithms for *invalid inputs*.
+///
+/// Note that "the task set does not fit on the given number of cores" is not
+/// an error — it is the [`PartitionOutcome::Unschedulable`](crate::PartitionOutcome::Unschedulable)
+/// outcome, because measuring how often that happens is the whole point of
+/// the acceptance-ratio experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// The number of processors is zero.
+    NoCores,
+    /// The input task set failed validation (duplicate ids, malformed tasks).
+    InvalidTaskSet(TaskError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NoCores => write!(f, "cannot partition onto zero processors"),
+            PartitionError::InvalidTaskSet(e) => write!(f, "invalid task set: {e}"),
+        }
+    }
+}
+
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PartitionError::InvalidTaskSet(e) => Some(e),
+            PartitionError::NoCores => None,
+        }
+    }
+}
+
+impl From<TaskError> for PartitionError {
+    fn from(e: TaskError) -> Self {
+        PartitionError::InvalidTaskSet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::TaskId;
+
+    #[test]
+    fn display_and_source() {
+        let e = PartitionError::NoCores;
+        assert!(e.to_string().contains("zero processors"));
+        assert!(e.source().is_none());
+
+        let inner = TaskError::DuplicateTaskId { task: TaskId(3) };
+        let e = PartitionError::from(inner);
+        assert!(e.to_string().contains("invalid task set"));
+        assert!(e.source().is_some());
+    }
+}

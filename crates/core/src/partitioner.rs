@@ -1,0 +1,85 @@
+//! The common interface of all partitioning algorithms.
+
+use serde::{Deserialize, Serialize};
+use spms_task::TaskSet;
+
+use crate::{Partition, PartitionError};
+
+/// Result of a partitioning attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionOutcome {
+    /// Every task (or subtask) was placed and every core passed the
+    /// acceptance test; the embedded [`Partition`] describes the mapping.
+    Schedulable(Partition),
+    /// The algorithm could not place the task set on the given number of
+    /// cores.
+    Unschedulable {
+        /// Human-readable reason (which task failed, on how many cores).
+        reason: String,
+    },
+}
+
+impl PartitionOutcome {
+    /// Whether the outcome is schedulable.
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, PartitionOutcome::Schedulable(_))
+    }
+
+    /// The partition, if schedulable.
+    pub fn partition(&self) -> Option<&Partition> {
+        match self {
+            PartitionOutcome::Schedulable(p) => Some(p),
+            PartitionOutcome::Unschedulable { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome and returns the partition, if schedulable.
+    pub fn into_partition(self) -> Option<Partition> {
+        match self {
+            PartitionOutcome::Schedulable(p) => Some(p),
+            PartitionOutcome::Unschedulable { .. } => None,
+        }
+    }
+}
+
+/// A multiprocessor partitioning algorithm.
+///
+/// Implementations must be deterministic: the acceptance-ratio experiments
+/// rely on a given `(task set, core count)` pair always producing the same
+/// outcome.
+pub trait Partitioner {
+    /// Attempts to map `tasks` onto `cores` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] only for invalid inputs (zero cores, a task
+    /// set that fails validation). An unschedulable task set is reported
+    /// through [`PartitionOutcome::Unschedulable`], not as an error.
+    fn partition(&self, tasks: &TaskSet, cores: usize)
+        -> Result<PartitionOutcome, PartitionError>;
+
+    /// Short algorithm name used in experiment reports (e.g. `"FP-TS"`,
+    /// `"FFD"`, `"WFD"`).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let p = Partition::new(2);
+        let ok = PartitionOutcome::Schedulable(p.clone());
+        assert!(ok.is_schedulable());
+        assert_eq!(ok.partition(), Some(&p));
+        assert!(ok.into_partition().is_some());
+
+        let bad = PartitionOutcome::Unschedulable {
+            reason: "task τ3 does not fit".to_owned(),
+        };
+        assert!(!bad.is_schedulable());
+        assert!(bad.partition().is_none());
+        assert!(bad.into_partition().is_none());
+    }
+}

@@ -1,0 +1,460 @@
+//! The result of a partitioning run: which (sub)task runs on which core.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::{rta, UniprocessorTest};
+use spms_task::{Task, TaskId, Time};
+
+/// Identifier of a processor core.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(id: usize) -> Self {
+        CoreId(id)
+    }
+}
+
+impl From<CoreId> for usize {
+    fn from(id: CoreId) -> Self {
+        id.0
+    }
+}
+
+/// Which piece of a split task a subtask is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubtaskKind {
+    /// A body subtask: when its budget is exhausted the task migrates to the
+    /// next core in the split chain.
+    Body,
+    /// The tail subtask: the last piece; when it finishes, the task goes back
+    /// to sleep on the core hosting the first subtask.
+    Tail,
+}
+
+/// Split metadata attached to a [`PlacedTask`] that is a piece of a split
+/// task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitInfo {
+    /// Zero-based index of this piece within the split chain.
+    pub part_index: usize,
+    /// Total number of pieces the parent task was split into.
+    pub part_count: usize,
+    /// Body or tail.
+    pub kind: SubtaskKind,
+    /// Release offset relative to the parent task's release: the sum of the
+    /// budgets of all earlier pieces (the paper's "time budget" constraint —
+    /// a piece may only start once the previous piece has exhausted its
+    /// budget on its core).
+    pub release_offset: Time,
+    /// The core hosting the next piece (present exactly for body subtasks).
+    pub next_core: Option<CoreId>,
+    /// The core hosting the first piece; the tail subtask's completion path
+    /// re-inserts the task into this core's sleep queue.
+    pub first_core: CoreId,
+}
+
+/// A task (or subtask) as placed on a specific core by a partitioning
+/// algorithm.
+///
+/// The embedded [`Task`] carries the *analysis* parameters used by the
+/// per-core schedulability test: for a subtask the WCET is the piece's budget
+/// plus the scheduling overhead charged to it by the
+/// [`OverheadModel`](spms_analysis::OverheadModel), the deadline is the
+/// synthetic deadline left after earlier pieces, and the priority may be
+/// promoted (body subtasks run at the highest priority of their core, as in
+/// FP-TS).
+///
+/// The [`execution`](PlacedTask::execution) field carries the *runtime*
+/// execution budget of the piece — the pure execution time without any
+/// analysis inflation. The discrete-event simulator executes this budget and
+/// injects the scheduler overheads itself, so an overhead-aware analysis that
+/// accepts the partition must also survive the simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedTask {
+    /// Analysis task parameters on this core (WCET inflated by the overhead
+    /// model used by the partitioning algorithm, if any).
+    pub task: Task,
+    /// Pure execution budget of this placement at run time, excluding any
+    /// overhead inflation.
+    pub execution: Time,
+    /// The original task this placement derives from.
+    pub parent: TaskId,
+    /// Split metadata; `None` for tasks assigned whole.
+    pub split: Option<SplitInfo>,
+}
+
+impl PlacedTask {
+    /// Creates a placement for a task assigned whole to a core, whose runtime
+    /// execution budget equals its (analysis) WCET.
+    pub fn whole(task: Task) -> Self {
+        let parent = task.id();
+        let execution = task.wcet();
+        PlacedTask {
+            task,
+            execution,
+            parent,
+            split: None,
+        }
+    }
+
+    /// Sets the runtime execution budget of this placement (builder style).
+    /// Used by overhead-aware partitioners whose analysis WCET exceeds the
+    /// pure execution time.
+    pub fn with_execution(mut self, execution: Time) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Whether this placement is a piece of a split task.
+    pub fn is_split(&self) -> bool {
+        self.split.is_some()
+    }
+
+    /// Whether this placement is a body subtask.
+    pub fn is_body(&self) -> bool {
+        matches!(
+            self.split.as_ref().map(|s| s.kind),
+            Some(SubtaskKind::Body)
+        )
+    }
+
+    /// Whether this placement is a tail subtask.
+    pub fn is_tail(&self) -> bool {
+        matches!(
+            self.split.as_ref().map(|s| s.kind),
+            Some(SubtaskKind::Tail)
+        )
+    }
+}
+
+/// A complete mapping of a task set onto `m` cores.
+///
+/// Produced by a [`Partitioner`](crate::Partitioner); consumed by the
+/// schedulability analysis, the statistics in the acceptance-ratio
+/// experiments and the discrete-event simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Partition {
+    cores: Vec<Vec<PlacedTask>>,
+}
+
+impl Partition {
+    /// Creates an empty partition over `cores` processors.
+    pub fn new(cores: usize) -> Self {
+        Partition {
+            cores: vec![Vec::new(); cores],
+        }
+    }
+
+    /// Number of processors.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The placements assigned to one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn core(&self, core: CoreId) -> &[PlacedTask] {
+        &self.cores[core.0]
+    }
+
+    /// Adds a placement to a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn place(&mut self, core: CoreId, placed: PlacedTask) {
+        self.cores[core.0].push(placed);
+    }
+
+    /// Iterates over `(core, placement)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, &PlacedTask)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .flat_map(|(c, ts)| ts.iter().map(move |t| (CoreId(c), t)))
+    }
+
+    /// Total number of placements (tasks assigned whole count once, split
+    /// tasks count once per piece).
+    pub fn placement_count(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+
+    /// Number of *distinct tasks* that were split.
+    pub fn split_count(&self) -> usize {
+        let mut parents: Vec<TaskId> = self
+            .iter()
+            .filter(|(_, p)| p.is_split())
+            .map(|(_, p)| p.parent)
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        parents.len()
+    }
+
+    /// Number of migrations per period of split tasks: each body subtask
+    /// causes one migration of its parent each period.
+    pub fn migrations_per_hyperperiod_hint(&self) -> usize {
+        self.iter().filter(|(_, p)| p.is_body()).count()
+    }
+
+    /// Utilization assigned to each core (using the effective, possibly
+    /// inflated, task parameters).
+    pub fn core_utilizations(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .map(|ts| ts.iter().map(|p| p.task.utilization()).sum())
+            .collect()
+    }
+
+    /// The effective per-core tasks, for feeding a per-core analysis.
+    pub fn core_tasks(&self, core: CoreId) -> Vec<Task> {
+        self.cores[core.0].iter().map(|p| p.task.clone()).collect()
+    }
+
+    /// Runs the given uniprocessor test on every core.
+    pub fn is_schedulable(&self, test: UniprocessorTest) -> bool {
+        (0..self.core_count()).all(|c| test.accepts(&self.core_tasks(CoreId(c))))
+    }
+
+    /// Worst-case response times per core under exact RTA (`None` entries are
+    /// unschedulable placements).
+    pub fn response_times(&self) -> Vec<Vec<Option<Time>>> {
+        (0..self.core_count())
+            .map(|c| rta::analyse_core(&self.core_tasks(CoreId(c))).response_times)
+            .collect()
+    }
+
+    /// Structural sanity checks, used by tests and debug assertions:
+    ///
+    /// * every split chain has exactly one tail and `part_count − 1` bodies,
+    /// * piece indices are contiguous from 0,
+    /// * release offsets are non-decreasing along the chain,
+    /// * body subtasks point to the core that actually hosts the next piece.
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut chains: HashMap<TaskId, Vec<(CoreId, &PlacedTask)>> = HashMap::new();
+        for (core, placed) in self.iter() {
+            if placed.is_split() {
+                chains.entry(placed.parent).or_default().push((core, placed));
+            }
+        }
+        for (parent, mut pieces) in chains {
+            pieces.sort_by_key(|(_, p)| p.split.as_ref().expect("split piece").part_index);
+            let count = pieces.len();
+            if count < 2 {
+                return Err(format!("split task {parent} has only {count} piece(s)"));
+            }
+            let mut offset = Time::ZERO;
+            for (i, (core, placed)) in pieces.iter().enumerate() {
+                let info = placed.split.as_ref().expect("split piece");
+                if info.part_index != i {
+                    return Err(format!(
+                        "split task {parent} has non-contiguous piece indices"
+                    ));
+                }
+                if info.part_count != count {
+                    return Err(format!(
+                        "split task {parent} piece {i} reports {} pieces, found {count}",
+                        info.part_count
+                    ));
+                }
+                if info.release_offset < offset {
+                    return Err(format!(
+                        "split task {parent} piece {i} has decreasing release offset"
+                    ));
+                }
+                offset = info.release_offset;
+                let is_last = i == count - 1;
+                match (is_last, info.kind) {
+                    (true, SubtaskKind::Tail) | (false, SubtaskKind::Body) => {}
+                    _ => {
+                        return Err(format!(
+                            "split task {parent} piece {i} has the wrong kind for its position"
+                        ))
+                    }
+                }
+                if let Some(next_core) = info.next_core {
+                    let next_piece_core = pieces.get(i + 1).map(|(c, _)| *c);
+                    if next_piece_core != Some(next_core) {
+                        return Err(format!(
+                            "split task {parent} piece {i} points to {next_core} but the next piece is on {:?}",
+                            next_piece_core
+                        ));
+                    }
+                } else if !is_last {
+                    return Err(format!(
+                        "split task {parent} body piece {i} is missing its next core"
+                    ));
+                }
+                if info.first_core != pieces[0].0 {
+                    return Err(format!(
+                        "split task {parent} piece {i} disagrees about the first core"
+                    ));
+                }
+                let _ = core;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::Priority;
+
+    fn task(id: u32, wcet_us: u64, period_us: u64, prio: u32) -> Task {
+        let mut t =
+            Task::new(id, Time::from_micros(wcet_us), Time::from_micros(period_us)).unwrap();
+        t.set_priority(Priority::new(prio));
+        t
+    }
+
+    fn split_piece(
+        parent: u32,
+        budget_us: u64,
+        period_us: u64,
+        prio: u32,
+        index: usize,
+        count: usize,
+        kind: SubtaskKind,
+        offset_us: u64,
+        next: Option<usize>,
+        first: usize,
+    ) -> PlacedTask {
+        let t = Task::builder(parent)
+            .wcet(Time::from_micros(budget_us))
+            .period(Time::from_micros(period_us))
+            .deadline(Time::from_micros(period_us - offset_us))
+            .priority(Priority::new(prio))
+            .build()
+            .unwrap();
+        PlacedTask {
+            task: t,
+            execution: Time::from_micros(budget_us),
+            parent: TaskId(parent),
+            split: Some(SplitInfo {
+                part_index: index,
+                part_count: count,
+                kind,
+                release_offset: Time::from_micros(offset_us),
+                next_core: next.map(CoreId),
+                first_core: CoreId(first),
+            }),
+        }
+    }
+
+    fn two_core_partition_with_split() -> Partition {
+        let mut p = Partition::new(2);
+        p.place(CoreId(0), PlacedTask::whole(task(0, 2, 10, 1)));
+        p.place(
+            CoreId(0),
+            split_piece(2, 3, 20, 0, 0, 2, SubtaskKind::Body, 0, Some(1), 0),
+        );
+        p.place(CoreId(1), PlacedTask::whole(task(1, 4, 10, 2)));
+        p.place(
+            CoreId(1),
+            split_piece(2, 2, 20, 3, 1, 2, SubtaskKind::Tail, 3, None, 0),
+        );
+        p
+    }
+
+    #[test]
+    fn placement_queries() {
+        let p = two_core_partition_with_split();
+        assert_eq!(p.core_count(), 2);
+        assert_eq!(p.placement_count(), 4);
+        assert_eq!(p.split_count(), 1);
+        assert_eq!(p.migrations_per_hyperperiod_hint(), 1);
+        assert_eq!(p.core(CoreId(0)).len(), 2);
+        let utils = p.core_utilizations();
+        assert!((utils[0] - (0.2 + 0.15)).abs() < 1e-9);
+        assert!((utils[1] - (0.4 + 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_placement_flags() {
+        let placed = PlacedTask::whole(task(5, 1, 10, 0));
+        assert!(!placed.is_split());
+        assert!(!placed.is_body());
+        assert!(!placed.is_tail());
+        assert_eq!(placed.parent, TaskId(5));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_split() {
+        let p = two_core_partition_with_split();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_single_piece_split() {
+        let mut p = Partition::new(1);
+        p.place(
+            CoreId(0),
+            split_piece(7, 1, 10, 0, 0, 2, SubtaskKind::Body, 0, None, 0),
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_next_core() {
+        let mut p = Partition::new(2);
+        p.place(
+            CoreId(0),
+            split_piece(7, 1, 10, 0, 0, 2, SubtaskKind::Body, 0, Some(0), 0),
+        );
+        p.place(
+            CoreId(1),
+            split_piece(7, 1, 10, 3, 1, 2, SubtaskKind::Tail, 1, None, 0),
+        );
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("points to"));
+    }
+
+    #[test]
+    fn validate_rejects_tail_in_the_middle() {
+        let mut p = Partition::new(2);
+        p.place(
+            CoreId(0),
+            split_piece(7, 1, 10, 0, 0, 2, SubtaskKind::Tail, 0, Some(1), 0),
+        );
+        p.place(
+            CoreId(1),
+            split_piece(7, 1, 10, 3, 1, 2, SubtaskKind::Body, 1, None, 0),
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn schedulability_and_response_times() {
+        let p = two_core_partition_with_split();
+        assert!(p.is_schedulable(UniprocessorTest::ResponseTime));
+        let rts = p.response_times();
+        assert_eq!(rts.len(), 2);
+        assert!(rts.iter().flatten().all(Option::is_some));
+    }
+
+    #[test]
+    fn core_id_display_and_conversions() {
+        assert_eq!(CoreId(3).to_string(), "P3");
+        assert_eq!(usize::from(CoreId(2)), 2);
+        assert_eq!(CoreId::from(4), CoreId(4));
+    }
+}

@@ -1,0 +1,187 @@
+//! Cache-crossover experiment (E4): local context switch vs. migration
+//! reload cost as a function of working-set size.
+//!
+//! Reproduces the paper's §3 "cache" discussion: for realistic working sets
+//! the two costs are of the same order of magnitude (both are L3 refills),
+//! while very small working sets — smaller than the private L1/L2 — benefit
+//! substantially from staying on the same core.
+
+use serde::{Deserialize, Serialize};
+use spms_cache::{CacheHierarchyConfig, CrpdEstimate, CrpdModel, WorkingSet};
+
+/// One working-set size's measured/estimated delays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossoverPoint {
+    /// Working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Analytic estimate.
+    pub analytic: CrpdEstimate,
+    /// Cache-simulation estimate.
+    pub simulated: CrpdEstimate,
+}
+
+/// Results of the crossover sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CacheCrossoverResults {
+    points: Vec<CrossoverPoint>,
+}
+
+impl CacheCrossoverResults {
+    /// All sweep points in increasing working-set order.
+    pub fn points(&self) -> &[CrossoverPoint] {
+        &self.points
+    }
+
+    /// The largest working-set size for which the simulated migration cost is
+    /// at least `factor` times the local cost — i.e. where migrating still
+    /// hurts noticeably. Returns `None` if it never does.
+    pub fn crossover_bytes(&self, factor: f64) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.simulated.migration_penalty_ratio() >= factor)
+            .map(|p| p.working_set_bytes)
+            .max()
+    }
+
+    /// Renders a markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from(
+            "| working set | local (analytic) | migration (analytic) | local (simulated) | migration (simulated) |\n|---|---|---|---|---|\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "| {} KiB | {:.1} us | {:.1} us | {:.1} us | {:.1} us |\n",
+                p.working_set_bytes / 1024,
+                p.analytic.local_preemption_ns as f64 / 1_000.0,
+                p.analytic.migration_ns as f64 / 1_000.0,
+                p.simulated.local_preemption_ns as f64 / 1_000.0,
+                p.simulated.migration_ns as f64 / 1_000.0,
+            ));
+        }
+        out
+    }
+
+    /// Renders a CSV for plotting.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from(
+            "working_set_bytes,analytic_local_ns,analytic_migration_ns,simulated_local_ns,simulated_migration_ns\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.working_set_bytes,
+                p.analytic.local_preemption_ns,
+                p.analytic.migration_ns,
+                p.simulated.local_preemption_ns,
+                p.simulated.migration_ns,
+            ));
+        }
+        out
+    }
+}
+
+/// The cache-crossover experiment driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheCrossoverExperiment {
+    config: CacheHierarchyConfig,
+    working_set_sizes: Vec<u64>,
+}
+
+impl Default for CacheCrossoverExperiment {
+    fn default() -> Self {
+        CacheCrossoverExperiment {
+            config: CacheHierarchyConfig::core_i7_4core(),
+            working_set_sizes: vec![
+                4 * 1024,
+                16 * 1024,
+                64 * 1024,
+                256 * 1024,
+                1024 * 1024,
+                4 * 1024 * 1024,
+            ],
+        }
+    }
+}
+
+impl CacheCrossoverExperiment {
+    /// The default sweep on the paper's Core-i7-like hierarchy
+    /// (4 KiB … 4 MiB working sets).
+    pub fn new() -> Self {
+        CacheCrossoverExperiment::default()
+    }
+
+    /// Uses a different cache hierarchy.
+    pub fn hierarchy(mut self, config: CacheHierarchyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the working-set sizes to sweep.
+    pub fn working_set_sizes(mut self, sizes: Vec<u64>) -> Self {
+        self.working_set_sizes = sizes;
+        self
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self) -> CacheCrossoverResults {
+        let model = CrpdModel::new(self.config.clone());
+        let points = self
+            .working_set_sizes
+            .iter()
+            .map(|&bytes| {
+                let ws = WorkingSet::from_bytes(bytes);
+                let preemptor = WorkingSet::from_bytes(bytes).with_base(1 << 32);
+                CrossoverPoint {
+                    working_set_bytes: bytes,
+                    analytic: model.analytic(ws, preemptor),
+                    simulated: model.simulated(ws, preemptor),
+                }
+            })
+            .collect();
+        CacheCrossoverResults { points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CacheCrossoverExperiment {
+        // The tiny hierarchy keeps the cache simulation fast in tests.
+        CacheCrossoverExperiment::new()
+            .hierarchy(CacheHierarchyConfig::tiny_for_tests())
+            .working_set_sizes(vec![512, 2 * 1024, 16 * 1024])
+    }
+
+    #[test]
+    fn produces_one_point_per_size() {
+        let results = quick().run();
+        assert_eq!(results.points().len(), 3);
+        for p in results.points() {
+            assert!(p.analytic.migration_ns >= p.analytic.local_preemption_ns);
+            assert!(p.simulated.migration_ns >= p.simulated.local_preemption_ns);
+        }
+    }
+
+    #[test]
+    fn small_working_sets_benefit_from_locality() {
+        let results = quick().run();
+        let small = &results.points()[0];
+        let large = results.points().last().unwrap();
+        assert!(
+            small.simulated.migration_penalty_ratio() > large.simulated.migration_penalty_ratio()
+        );
+        // The crossover lies somewhere at or above the smallest size.
+        assert!(results.crossover_bytes(2.0).is_some());
+    }
+
+    #[test]
+    fn rendering_includes_every_size() {
+        let results = quick().run();
+        let md = results.render_markdown();
+        let csv = results.render_csv();
+        assert!(md.contains("16 KiB"));
+        assert!(csv.contains("16384"));
+        assert_eq!(csv.lines().count(), 1 + results.points().len());
+    }
+}

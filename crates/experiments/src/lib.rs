@@ -1,0 +1,62 @@
+//! # spms-experiments
+//!
+//! Experiment drivers that regenerate the paper's evaluation:
+//!
+//! * [`AcceptanceRatioExperiment`] — the §4 comparison: acceptance ratio of
+//!   FP-TS vs. FFD vs. WFD over randomly generated task sets, with and
+//!   without the measured overheads (experiment E5 in DESIGN.md),
+//! * [`OverheadSensitivityExperiment`] — how much acceptance ratio is lost as
+//!   the overhead magnitude is scaled up (E6),
+//! * [`CacheCrossoverExperiment`] — local context switch vs. migration cache
+//!   reload cost as a function of working-set size (E4),
+//! * [`PreemptionAnatomy`] — the Figure 1 timeline of a single preemption
+//!   with every overhead segment annotated (E3),
+//! * [`RuntimeCostExperiment`] — simulated preemptions, migrations and
+//!   scheduler-overhead fraction of accepted partitions (E8),
+//! * [`CoreCountSweepExperiment`] — acceptance ratio as the core count grows
+//!   at constant normalized utilization (E9),
+//! * [`GlobalComparisonExperiment`] — partitioned / semi-partitioned vs. the
+//!   sufficient global scheduling tests (E10).
+//!
+//! Each experiment produces a plain-old-data result type with
+//! `render_markdown()` / `render_csv()` helpers so that examples, benches and
+//! the EXPERIMENTS.md write-up all share the same source of truth.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_experiments::{AcceptanceRatioExperiment, AlgorithmKind};
+//!
+//! let results = AcceptanceRatioExperiment::new()
+//!     .cores(4)
+//!     .tasks_per_set(8)
+//!     .utilization_points(vec![0.6, 0.9])
+//!     .sets_per_point(5)
+//!     .run();
+//! assert_eq!(results.points().len(), 2);
+//! let ratio = results.ratio_at(0.6, AlgorithmKind::FpTs).expect("measured");
+//! assert!(ratio >= 0.0 && ratio <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acceptance;
+mod algorithms;
+mod cache_crossover;
+mod core_sweep;
+mod figure1;
+mod global_comparison;
+mod runtime_costs;
+mod sensitivity;
+
+pub use acceptance::{AcceptancePoint, AcceptanceRatioExperiment, AcceptanceRatioResults};
+pub use algorithms::AlgorithmKind;
+pub use cache_crossover::{CacheCrossoverExperiment, CacheCrossoverResults};
+pub use core_sweep::{CoreCountSweepExperiment, CoreSweepPoint, CoreSweepResults};
+pub use figure1::{PreemptionAnatomy, PreemptionAnatomyReport};
+pub use global_comparison::{
+    ComparisonPoint, ComparisonSeries, GlobalComparisonExperiment, GlobalComparisonResults,
+};
+pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
+pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};

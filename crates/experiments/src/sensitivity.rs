@@ -1,0 +1,220 @@
+//! Overhead-sensitivity experiment (E6): how quickly does the acceptance
+//! ratio of FP-TS degrade as the overhead magnitude grows?
+//!
+//! The paper concludes that the *measured* overheads are small enough that
+//! their effect on schedulability "is very small". This experiment makes
+//! that statement quantitative by scaling the measured overhead model by
+//! ×0, ×1, ×5, ×20 (and anything else the caller asks for) and recording the
+//! acceptance ratio at a fixed, high normalized utilization.
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::OverheadModel;
+
+use crate::{AcceptanceRatioExperiment, AlgorithmKind};
+
+/// One scaling factor's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Factor the baseline overhead model was multiplied by.
+    pub overhead_scale: f64,
+    /// `(algorithm, acceptance ratio)` pairs.
+    pub ratios: Vec<(AlgorithmKind, f64)>,
+}
+
+/// Results of the sensitivity sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SensitivityResults {
+    points: Vec<SensitivityPoint>,
+    normalized_utilization: f64,
+}
+
+impl SensitivityResults {
+    /// All measured points in increasing scale order.
+    pub fn points(&self) -> &[SensitivityPoint] {
+        &self.points
+    }
+
+    /// The normalized utilization the sweep was run at.
+    pub fn normalized_utilization(&self) -> f64 {
+        self.normalized_utilization
+    }
+
+    /// The acceptance ratio of an algorithm at a given scale.
+    pub fn ratio(&self, scale: f64, algorithm: AlgorithmKind) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.overhead_scale - scale).abs() < 1e-9)
+            .and_then(|p| {
+                p.ratios
+                    .iter()
+                    .find(|(a, _)| *a == algorithm)
+                    .map(|(_, r)| *r)
+            })
+    }
+
+    /// The acceptance-ratio loss of an algorithm between ×0 and ×1 overhead —
+    /// the paper's "effect of the measured overhead".
+    pub fn measured_overhead_cost(&self, algorithm: AlgorithmKind) -> Option<f64> {
+        Some(self.ratio(0.0, algorithm)? - self.ratio(1.0, algorithm)?)
+    }
+
+    /// Renders a markdown table (rows = scales, columns = algorithms).
+    pub fn render_markdown(&self) -> String {
+        let algorithms: Vec<AlgorithmKind> = self
+            .points
+            .first()
+            .map(|p| p.ratios.iter().map(|(a, _)| *a).collect())
+            .unwrap_or_default();
+        let mut out = String::from("| overhead scale |");
+        for a in &algorithms {
+            out.push_str(&format!(" {a} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &algorithms {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("| x{:.0} |", p.overhead_scale));
+            for (_, r) in &p.ratios {
+                out.push_str(&format!(" {:.2} |", r));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The overhead-sensitivity experiment driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadSensitivityExperiment {
+    scales: Vec<f64>,
+    normalized_utilization: f64,
+    baseline: OverheadModel,
+    acceptance: AcceptanceRatioExperiment,
+}
+
+impl Default for OverheadSensitivityExperiment {
+    fn default() -> Self {
+        OverheadSensitivityExperiment {
+            scales: vec![0.0, 1.0, 5.0, 20.0],
+            normalized_utilization: 0.9,
+            baseline: OverheadModel::paper_n4(),
+            acceptance: AcceptanceRatioExperiment::new()
+                .tasks_per_set(12)
+                .sets_per_point(50),
+        }
+    }
+}
+
+impl OverheadSensitivityExperiment {
+    /// The default sweep: scales ×0/×1/×5/×20 of the paper's N = 4 overheads
+    /// at a normalized utilization of 0.9.
+    pub fn new() -> Self {
+        OverheadSensitivityExperiment::default()
+    }
+
+    /// Sets the scaling factors to sweep.
+    pub fn scales(mut self, scales: Vec<f64>) -> Self {
+        self.scales = scales;
+        self
+    }
+
+    /// Sets the normalized utilization the sweep runs at.
+    pub fn normalized_utilization(mut self, u: f64) -> Self {
+        self.normalized_utilization = u;
+        self
+    }
+
+    /// Sets the baseline overhead model that gets scaled.
+    pub fn baseline(mut self, baseline: OverheadModel) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Sets how many task sets are generated per scale.
+    pub fn sets_per_scale(mut self, sets: usize) -> Self {
+        self.acceptance = self.acceptance.sets_per_point(sets);
+        self
+    }
+
+    /// Sets how many tasks each generated set contains.
+    pub fn tasks_per_set(mut self, n: usize) -> Self {
+        self.acceptance = self.acceptance.tasks_per_set(n);
+        self
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self) -> SensitivityResults {
+        let mut points = Vec::with_capacity(self.scales.len());
+        for &scale in &self.scales {
+            let results = self
+                .acceptance
+                .clone()
+                .utilization_points(vec![self.normalized_utilization])
+                .overhead(self.baseline.scaled(scale))
+                .run();
+            let ratios = results
+                .algorithms()
+                .iter()
+                .map(|a| {
+                    (
+                        *a,
+                        results
+                            .ratio_at(self.normalized_utilization, *a)
+                            .unwrap_or(0.0),
+                    )
+                })
+                .collect();
+            points.push(SensitivityPoint {
+                overhead_scale: scale,
+                ratios,
+            });
+        }
+        SensitivityResults {
+            points,
+            normalized_utilization: self.normalized_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> OverheadSensitivityExperiment {
+        OverheadSensitivityExperiment::new()
+            .scales(vec![0.0, 1.0, 20.0])
+            .tasks_per_set(8)
+            .sets_per_scale(10)
+    }
+
+    #[test]
+    fn acceptance_degrades_monotonically_with_scale() {
+        let results = quick().run();
+        assert_eq!(results.points().len(), 3);
+        let fpts_0 = results.ratio(0.0, AlgorithmKind::FpTs).unwrap();
+        let fpts_1 = results.ratio(1.0, AlgorithmKind::FpTs).unwrap();
+        let fpts_20 = results.ratio(20.0, AlgorithmKind::FpTs).unwrap();
+        assert!(fpts_0 >= fpts_1);
+        assert!(fpts_1 >= fpts_20);
+    }
+
+    #[test]
+    fn measured_overhead_cost_is_small() {
+        let results = quick().run();
+        let cost = results.measured_overhead_cost(AlgorithmKind::FpTs).unwrap();
+        // The paper's claim: the real overhead costs only a small slice of
+        // acceptance ratio.
+        assert!(cost <= 0.3, "overhead cost {cost}");
+        assert!(cost >= 0.0);
+    }
+
+    #[test]
+    fn markdown_contains_scales() {
+        let md = quick().run().render_markdown();
+        assert!(md.contains("x0"));
+        assert!(md.contains("x20"));
+        assert!(md.contains("FP-TS"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # spms-global
+//!
+//! Global multiprocessor scheduling baselines for the SPMS workspace.
+//!
+//! The paper's introduction positions semi-partitioned scheduling against the
+//! two classic paradigms: *global* scheduling (any task may execute on any
+//! processor at any time) and *partitioned* scheduling (each task is pinned
+//! to one processor). The partitioned and semi-partitioned algorithms live in
+//! `spms-core`; this crate supplies the global side of the comparison:
+//!
+//! * [`GlobalSchedulabilityTest`] — sufficient schedulability tests for
+//!   global fixed-priority (rate-monotonic) and global EDF scheduling:
+//!   the GFB density bound, the RM-US\[m/(3m−2)\] utilization bound and the
+//!   Bertogna–Cirinei–Lipari (BCL) interference-based test,
+//! * [`GlobalSimulator`] — a discrete-event simulator of a global
+//!   fixed-priority / global EDF scheduler with a single system-wide ready
+//!   queue, used to count the preemptions and migrations global scheduling
+//!   incurs compared to the semi-partitioned scheduler in `spms-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_global::{GlobalPolicy, GlobalSchedulabilityTest, GlobalSimulator};
+//! use spms_task::{PriorityAssignment, Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut tasks: TaskSet = (0..3)
+//!     .map(|i| Task::new(i, Time::from_millis(2), Time::from_millis(10)))
+//!     .collect::<Result<_, _>>()?;
+//! tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+//!
+//! // A light set passes every global test on two processors.
+//! assert!(GlobalSchedulabilityTest::GfbDensity.accepts(&tasks, 2));
+//!
+//! // ... and simulates without misses under global EDF.
+//! let report = GlobalSimulator::new(&tasks, 2, GlobalPolicy::Edf)
+//!     .duration(Time::from_millis(100))
+//!     .run();
+//! assert!(report.no_deadline_misses());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schedulability;
+mod simulator;
+
+pub use schedulability::GlobalSchedulabilityTest;
+pub use simulator::{GlobalPolicy, GlobalReport, GlobalSimulator};

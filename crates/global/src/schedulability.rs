@@ -1,0 +1,326 @@
+//! Sufficient schedulability tests for global multiprocessor scheduling.
+//!
+//! Three well-established polynomial tests are provided:
+//!
+//! * **GFB** (Goossens, Funk, Baruah, 2003) for global EDF with implicit
+//!   deadlines: the set is schedulable on `m` processors if
+//!   `U_total ≤ m·(1 − u_max) + u_max`. For constrained deadlines the same
+//!   bound is applied to densities, which remains sufficient.
+//! * **RM-US\[m/(3m−2)\]** (Andersson, Baruah, Jonsson, 2001) for global
+//!   fixed-priority scheduling: tasks with utilization above `m/(3m−2)` are
+//!   given the highest priority, the remaining tasks are ordered
+//!   rate-monotonically, and the whole set is schedulable if
+//!   `U_total ≤ m²/(3m−2)`.
+//! * **BCL** (Bertogna, Cirinei, Lipari, 2005) for global fixed-priority
+//!   scheduling with constrained deadlines: an interference-based test that
+//!   bounds the workload of every interfering task within a task's deadline
+//!   window.
+//!
+//! All three are *sufficient* tests: acceptance guarantees schedulability
+//! under the respective global scheduler, rejection does not prove the
+//! opposite. This mirrors the role the per-core tests of `spms-analysis` play
+//! for the partitioned algorithms.
+
+use serde::{Deserialize, Serialize};
+use spms_task::{Priority, Task, TaskSet, Time};
+
+/// A sufficient schedulability test for global multiprocessor scheduling.
+///
+/// # Example
+///
+/// ```
+/// use spms_global::GlobalSchedulabilityTest;
+/// use spms_task::{PriorityAssignment, Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), spms_task::TaskError> {
+/// let mut heavy: TaskSet = (0..3)
+///     .map(|i| Task::new(i, Time::from_millis(6), Time::from_millis(10)))
+///     .collect::<Result<_, _>>()?;
+/// heavy.assign_priorities(PriorityAssignment::RateMonotonic);
+/// // Three 60% tasks exceed the GFB bound on two processors...
+/// assert!(!GlobalSchedulabilityTest::GfbDensity.accepts(&heavy, 2));
+/// // ...but fit comfortably on four.
+/// assert!(GlobalSchedulabilityTest::GfbDensity.accepts(&heavy, 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum GlobalSchedulabilityTest {
+    /// The GFB density bound for global EDF.
+    #[default]
+    GfbDensity,
+    /// The RM-US\[m/(3m−2)\] utilization bound for global fixed-priority
+    /// scheduling.
+    RmUs,
+    /// The Bertogna–Cirinei–Lipari interference test for global
+    /// fixed-priority scheduling with constrained deadlines.
+    BclFixedPriority,
+}
+
+impl GlobalSchedulabilityTest {
+    /// Whether the task set is accepted on `cores` processors.
+    ///
+    /// Tasks are expected to carry priorities when a fixed-priority test is
+    /// used (see [`TaskSet::assign_priorities`]); tasks without a priority
+    /// are treated as lowest priority.
+    pub fn accepts(&self, tasks: &TaskSet, cores: usize) -> bool {
+        if cores == 0 {
+            return tasks.is_empty();
+        }
+        let all: Vec<Task> = tasks.iter().cloned().collect();
+        if !necessary_conditions(&all, cores) {
+            return false;
+        }
+        match self {
+            GlobalSchedulabilityTest::GfbDensity => gfb_density(&all, cores),
+            GlobalSchedulabilityTest::RmUs => rm_us(&all, cores),
+            GlobalSchedulabilityTest::BclFixedPriority => bcl_fixed_priority(&all, cores),
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GlobalSchedulabilityTest::GfbDensity => "G-EDF(GFB)",
+            GlobalSchedulabilityTest::RmUs => "G-RM-US",
+            GlobalSchedulabilityTest::BclFixedPriority => "G-FP(BCL)",
+        }
+    }
+}
+
+impl std::fmt::Display for GlobalSchedulabilityTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Conditions every global scheduler needs: no task may exceed one processor
+/// by itself and the total demand may not exceed the platform.
+fn necessary_conditions(tasks: &[Task], cores: usize) -> bool {
+    let total: f64 = tasks.iter().map(Task::density).sum();
+    tasks.iter().all(|t| t.density() <= 1.0) && total <= cores as f64 + 1e-12
+}
+
+/// GFB bound applied to densities: `Σδ_i ≤ m·(1 − δ_max) + δ_max`.
+fn gfb_density(tasks: &[Task], cores: usize) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    let total: f64 = tasks.iter().map(Task::density).sum();
+    let max = tasks
+        .iter()
+        .map(Task::density)
+        .fold(0.0_f64, f64::max);
+    total <= cores as f64 * (1.0 - max) + max + 1e-12
+}
+
+/// RM-US\[m/(3m−2)\]: schedulable if the total utilization does not exceed
+/// `m²/(3m−2)` (the priority rule itself — heavy tasks first, the rest
+/// rate-monotonic — is what the bound is proven for; the acceptance decision
+/// only needs the utilization check).
+fn rm_us(tasks: &[Task], cores: usize) -> bool {
+    let m = cores as f64;
+    let total: f64 = tasks.iter().map(Task::utilization).sum();
+    total <= m * m / (3.0 * m - 2.0) + 1e-12
+}
+
+/// Upper bound on the workload task `i` can create inside a window of length
+/// `window` under global fixed-priority scheduling (the "densest packing"
+/// bound of Bertogna & Cirinei: one carry-in job plus the periodic jobs that
+/// fit).
+fn workload_bound(task: &Task, window: Time) -> Time {
+    let period = task.period();
+    let wcet = task.wcet();
+    // Number of complete jobs whose full WCET fits in the window when the
+    // first job finishes exactly at the window start + C.
+    let slack = task.deadline().saturating_sub(wcet);
+    let extended = window + slack;
+    let jobs = extended.div_floor(period);
+    let carry = extended.saturating_sub(Time::from_nanos(
+        jobs.saturating_mul(period.as_nanos()),
+    ));
+    wcet.saturating_mul(jobs) + wcet.min(carry)
+}
+
+/// The BCL sufficient test for global fixed-priority scheduling: task `k`
+/// meets its deadline if the total interference of higher-priority tasks,
+/// with each contribution capped at `D_k − C_k + 1`, is less than
+/// `m · (D_k − C_k + 1)`.
+fn bcl_fixed_priority(tasks: &[Task], cores: usize) -> bool {
+    let m = cores as u64;
+    tasks.iter().all(|k| {
+        let prio_k = k.priority().unwrap_or(Priority::LOWEST);
+        let slack_plus_one = k.deadline().saturating_sub(k.wcet()) + Time::from_nanos(1);
+        let budget = slack_plus_one.saturating_mul(m);
+        let interference: Time = tasks
+            .iter()
+            .filter(|i| {
+                i.id() != k.id()
+                    && i.priority()
+                        .unwrap_or(Priority::LOWEST)
+                        .is_higher_than(prio_k)
+            })
+            .map(|i| workload_bound(i, k.deadline()).min(slack_plus_one))
+            .sum();
+        interference < budget
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::{PriorityAssignment, TaskSetGenerator};
+
+    fn prioritised(specs: &[(u64, u64)]) -> TaskSet {
+        let mut ts: TaskSet = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t))| {
+                Task::new(i as u32, Time::from_millis(c), Time::from_millis(t)).unwrap()
+            })
+            .collect();
+        ts.assign_priorities(PriorityAssignment::RateMonotonic);
+        ts
+    }
+
+    #[test]
+    fn light_sets_pass_every_test() {
+        let ts = prioritised(&[(1, 10), (1, 20), (2, 40)]);
+        for test in [
+            GlobalSchedulabilityTest::GfbDensity,
+            GlobalSchedulabilityTest::RmUs,
+            GlobalSchedulabilityTest::BclFixedPriority,
+        ] {
+            assert!(test.accepts(&ts, 2), "{test}");
+            assert!(test.accepts(&ts, 4), "{test}");
+        }
+    }
+
+    #[test]
+    fn overloaded_sets_fail_every_test() {
+        // Total utilization 2.4 on 2 processors violates the necessary
+        // condition.
+        let ts = prioritised(&[(8, 10), (8, 10), (8, 10)]);
+        for test in [
+            GlobalSchedulabilityTest::GfbDensity,
+            GlobalSchedulabilityTest::RmUs,
+            GlobalSchedulabilityTest::BclFixedPriority,
+        ] {
+            assert!(!test.accepts(&ts, 2), "{test}");
+        }
+    }
+
+    #[test]
+    fn full_utilization_tasks_saturate_the_gfb_bound() {
+        let ts = prioritised(&[(10, 10), (10, 10), (10, 10)]);
+        // Three 100% tasks on 2 processors exceed the platform outright.
+        assert!(!GlobalSchedulabilityTest::GfbDensity.accepts(&ts, 2));
+        // On 3 processors the necessary condition holds and GFB collapses to
+        // `m·0 + 1 = 1 < 3`, so the bound still rejects the set — global EDF
+        // cannot promise anything for tasks this heavy.
+        assert!(!GlobalSchedulabilityTest::GfbDensity.accepts(&ts, 3));
+    }
+
+    #[test]
+    fn gfb_is_sensitive_to_the_heaviest_task() {
+        // Same total utilization (1.2), different max utilization.
+        let balanced = prioritised(&[(3, 10), (3, 10), (3, 10), (3, 10)]);
+        let skewed = prioritised(&[(9, 10), (1, 10), (1, 10), (1, 10)]);
+        assert!(GlobalSchedulabilityTest::GfbDensity.accepts(&balanced, 2));
+        assert!(!GlobalSchedulabilityTest::GfbDensity.accepts(&skewed, 2));
+    }
+
+    #[test]
+    fn rm_us_bound_matches_the_formula() {
+        // m = 2 → bound = 4/4 = 1.0 total utilization.
+        let at_bound = prioritised(&[(5, 10), (5, 10)]);
+        assert!(GlobalSchedulabilityTest::RmUs.accepts(&at_bound, 2));
+        let above = prioritised(&[(5, 10), (5, 10), (2, 10)]);
+        assert!(!GlobalSchedulabilityTest::RmUs.accepts(&above, 2));
+    }
+
+    #[test]
+    fn bcl_handles_constrained_deadlines_better_than_the_density_bound() {
+        // Two short-deadline tasks plus a background task: the density-based
+        // GFB bound rejects the set, the interference-based BCL test accepts
+        // it under deadline-monotonic priorities.
+        let mut ts = TaskSet::new();
+        for id in 0..2u32 {
+            ts.push(
+                Task::builder(id)
+                    .wcet(Time::from_millis(2))
+                    .period(Time::from_millis(10))
+                    .deadline(Time::from_millis(3))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        ts.push(Task::new(2, Time::from_millis(2), Time::from_millis(20)).unwrap());
+        ts.assign_priorities(PriorityAssignment::DeadlineMonotonic);
+        assert!(!GlobalSchedulabilityTest::GfbDensity.accepts(&ts, 2));
+        assert!(GlobalSchedulabilityTest::BclFixedPriority.accepts(&ts, 2));
+    }
+
+    #[test]
+    fn workload_bound_is_at_least_one_job_and_scales_with_the_window() {
+        let t = Task::new(0, Time::from_millis(2), Time::from_millis(10)).unwrap();
+        let one_period = workload_bound(&t, Time::from_millis(10));
+        let three_periods = workload_bound(&t, Time::from_millis(30));
+        assert!(one_period >= Time::from_millis(2));
+        assert!(three_periods >= one_period + Time::from_millis(4));
+        assert!(three_periods <= Time::from_millis(8));
+    }
+
+    #[test]
+    fn zero_cores_accepts_only_the_empty_set() {
+        let empty = TaskSet::new();
+        let ts = prioritised(&[(1, 10)]);
+        for test in [
+            GlobalSchedulabilityTest::GfbDensity,
+            GlobalSchedulabilityTest::RmUs,
+            GlobalSchedulabilityTest::BclFixedPriority,
+        ] {
+            assert!(test.accepts(&empty, 0), "{test}");
+            assert!(!test.accepts(&ts, 0), "{test}");
+        }
+    }
+
+    #[test]
+    fn acceptance_is_monotone_in_the_number_of_processors() {
+        for seed in 0..20 {
+            let mut ts = TaskSetGenerator::new()
+                .task_count(10)
+                .total_utilization(2.5)
+                .seed(seed)
+                .generate()
+                .unwrap();
+            ts.assign_priorities(PriorityAssignment::RateMonotonic);
+            for test in [
+                GlobalSchedulabilityTest::GfbDensity,
+                GlobalSchedulabilityTest::RmUs,
+                GlobalSchedulabilityTest::BclFixedPriority,
+            ] {
+                for m in 2..8 {
+                    if test.accepts(&ts, m) {
+                        assert!(
+                            test.accepts(&ts, m + 1),
+                            "{test} accepted on {m} but not {} cores (seed {seed})",
+                            m + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(GlobalSchedulabilityTest::GfbDensity.to_string(), "G-EDF(GFB)");
+        assert_eq!(GlobalSchedulabilityTest::RmUs.name(), "G-RM-US");
+        assert_eq!(GlobalSchedulabilityTest::BclFixedPriority.name(), "G-FP(BCL)");
+        assert_eq!(
+            GlobalSchedulabilityTest::default(),
+            GlobalSchedulabilityTest::GfbDensity
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Scheduler-function cost measurement: the paper's `release()`, `sch()` and
+//! `cnt_swth()` numbers (3 µs, 5 µs, 1.5 µs on the paper's platform).
+//!
+//! In the Linux implementation these are kernel functions; in this
+//! reproduction their counterparts are the corresponding paths of the
+//! simulator's scheduler, which boil down to well-defined sequences of queue
+//! operations plus bookkeeping:
+//!
+//! * `release()` — pop the task from the sleep queue and insert the job into
+//!   the ready queue,
+//! * `sch()` — inspect the head of the ready queue and compare priorities
+//!   (plus re-inserting the preempted job on a preemption),
+//! * `cnt_swth()` — swap the running-job bookkeeping and remove the
+//!   dispatched job from the ready queue.
+//!
+//! The measured values land in the same order of magnitude (single-digit
+//! microseconds or below) which is all the downstream analysis relies on.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::OverheadModel;
+use spms_queues::{ReadyQueue, SleepQueue};
+use spms_task::Time;
+
+use crate::{DurationStats, MeasurementConfig};
+
+/// Measured costs of the three scheduler functions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionCostReport {
+    /// The `release()` path.
+    pub release: DurationStats,
+    /// The `sch()` path.
+    pub schedule: DurationStats,
+    /// The `cnt_swth()` path.
+    pub context_switch: DurationStats,
+}
+
+impl FunctionCostReport {
+    /// Renders a small markdown table comparing against the paper's values.
+    pub fn render_markdown(&self) -> String {
+        format!(
+            "| Function | measured mean | measured max | paper |\n\
+             |---|---|---|---|\n\
+             | release() | {:.2} us | {:.2} us | 3 us |\n\
+             | sch() | {:.2} us | {:.2} us | 5 us |\n\
+             | cnt_swth() | {:.2} us | {:.2} us | 1.5 us |\n",
+            self.release.mean_us(),
+            self.release.max_us(),
+            self.schedule.mean_us(),
+            self.schedule.max_us(),
+            self.context_switch.mean_us(),
+            self.context_switch.max_us(),
+        )
+    }
+
+    /// Overrides the function costs of an [`OverheadModel`] with the
+    /// measured means.
+    pub fn apply_to(&self, mut model: OverheadModel) -> OverheadModel {
+        model.release = Time::from_nanos(self.release.mean_ns.round() as u64);
+        model.schedule = Time::from_nanos(self.schedule.mean_ns.round() as u64);
+        model.context_switch = Time::from_nanos(self.context_switch.mean_ns.round() as u64);
+        model
+    }
+}
+
+/// Measurement harness for the scheduler-function costs.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionCosts {
+    config: MeasurementConfig,
+}
+
+impl FunctionCosts {
+    /// Creates a harness with the given configuration.
+    pub fn new(config: MeasurementConfig) -> Self {
+        FunctionCosts { config }
+    }
+
+    /// Measures all three functions with `tasks_per_core` resident tasks.
+    pub fn measure(&self, tasks_per_core: usize) -> FunctionCostReport {
+        FunctionCostReport {
+            release: DurationStats::from_samples(&self.measure_release(tasks_per_core)),
+            schedule: DurationStats::from_samples(&self.measure_schedule(tasks_per_core)),
+            context_switch: DurationStats::from_samples(&self.measure_context_switch(tasks_per_core)),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.config.iterations + self.config.warmup
+    }
+
+    fn keep(&self, samples: Vec<Duration>) -> Vec<Duration> {
+        samples.into_iter().skip(self.config.warmup).collect()
+    }
+
+    fn measure_release(&self, n: usize) -> Vec<Duration> {
+        let mut sleep: SleepQueue<(u64, u64), u64> = SleepQueue::new();
+        let mut ready: ReadyQueue<u32, u64> = ReadyQueue::new();
+        for i in 0..n {
+            sleep.add((i as u64, i as u64), i as u64);
+            ready.add((i % 8) as u32, i as u64);
+        }
+        let mut samples = Vec::with_capacity(self.total());
+        for i in 0..self.total() {
+            let start = Instant::now();
+            // release(): take the next task off the sleep queue and make its
+            // job ready.
+            if let Some(((t, id), task)) = sleep.pop_earliest() {
+                ready.add((task % 8) as u32, task);
+                samples.push(start.elapsed());
+                // Restore state outside the measured region.
+                ready.delete_highest();
+                sleep.add((t + 1, id), task);
+            } else {
+                sleep.add((i as u64, i as u64), i as u64);
+            }
+        }
+        self.keep(samples)
+    }
+
+    fn measure_schedule(&self, n: usize) -> Vec<Duration> {
+        let mut ready: ReadyQueue<u32, u64> = ReadyQueue::new();
+        for i in 0..n {
+            ready.add((i % 8) as u32, i as u64);
+        }
+        let running_priority = 5u32;
+        let mut decisions = 0u64;
+        let mut samples = Vec::with_capacity(self.total());
+        for _ in 0..self.total() {
+            let start = Instant::now();
+            // sch(): pick the highest-priority ready job and decide whether
+            // it preempts the running one.
+            if let Some((priority, _job)) = ready.peek() {
+                if *priority < running_priority {
+                    decisions += 1;
+                }
+            }
+            samples.push(start.elapsed());
+        }
+        // Keep the decision count alive so the loop is not optimised away.
+        assert!(decisions <= self.total() as u64);
+        self.keep(samples)
+    }
+
+    fn measure_context_switch(&self, n: usize) -> Vec<Duration> {
+        let mut ready: ReadyQueue<u32, u64> = ReadyQueue::new();
+        for i in 0..n {
+            ready.add((i % 8) as u32, i as u64);
+        }
+        let mut running: Option<(u32, u64)> = None;
+        let mut samples = Vec::with_capacity(self.total());
+        for _ in 0..self.total() {
+            let start = Instant::now();
+            // cnt_swth(): store the outgoing context and load the incoming
+            // one (modelled by swapping the running slot with the ready head).
+            let next = ready.delete_highest();
+            if let Some(prev) = running.take() {
+                ready.add(prev.0, prev.1);
+            }
+            running = next;
+            samples.push(start.elapsed());
+        }
+        self.keep(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FunctionCosts {
+        FunctionCosts::new(MeasurementConfig {
+            iterations: 300,
+            warmup: 50,
+        })
+    }
+
+    #[test]
+    fn all_three_functions_are_measured() {
+        let report = quick().measure(16);
+        assert!(report.release.samples > 0);
+        assert!(report.schedule.samples > 0);
+        assert!(report.context_switch.samples > 0);
+        // All of these are cheap operations: well under a millisecond.
+        assert!(report.release.mean_ns < 1_000_000.0);
+        assert!(report.schedule.mean_ns < 1_000_000.0);
+        assert!(report.context_switch.mean_ns < 1_000_000.0);
+    }
+
+    #[test]
+    fn markdown_mentions_the_paper_values() {
+        let md = quick().measure(8).render_markdown();
+        assert!(md.contains("release()"));
+        assert!(md.contains("cnt_swth()"));
+        assert!(md.contains("1.5 us"));
+    }
+
+    #[test]
+    fn apply_to_overrides_function_costs_only() {
+        let report = quick().measure(8);
+        let model = report.apply_to(OverheadModel::paper_n4());
+        assert_eq!(
+            model.ready_queue_add_local,
+            OverheadModel::paper_n4().ready_queue_add_local
+        );
+        assert_eq!(
+            model.release,
+            Time::from_nanos(report.release.mean_ns.round() as u64)
+        );
+    }
+}

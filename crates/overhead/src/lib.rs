@@ -1,0 +1,37 @@
+//! # spms-overhead
+//!
+//! The overhead measurement harness: regenerates the paper's Table 1 (queue
+//! operation durations for N = 4 and N = 64 tasks, local and remote access)
+//! and the scheduler-function costs of §3 against the *actual Rust
+//! implementations* used by the simulator — the binomial-heap ready queue and
+//! the red-black-tree sleep queue from `spms-queues`.
+//!
+//! The measured values can then be folded into an
+//! [`OverheadModel`](spms_analysis::OverheadModel) so that the acceptance
+//! ratio experiments run against overheads measured on *this* machine rather
+//! than the paper's hard-coded numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_overhead::{MeasurementConfig, QueueOpBenchmark};
+//!
+//! // Keep the iteration count small for the doctest; the defaults are larger.
+//! let config = MeasurementConfig { iterations: 200, warmup: 50 };
+//! let table = QueueOpBenchmark::new(config).measure_table1();
+//! assert_eq!(table.rows().len(), 12); // 6 measured cells × 2 queue sizes
+//! println!("{}", table.render_markdown());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod function_costs;
+mod queue_ops;
+mod stats;
+
+pub use function_costs::{FunctionCostReport, FunctionCosts};
+pub use queue_ops::{
+    Locality, MeasurementConfig, QueueOp, QueueOpBenchmark, QueueOpMeasurement, Table1,
+};
+pub use stats::DurationStats;

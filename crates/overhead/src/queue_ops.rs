@@ -1,0 +1,444 @@
+//! Queue-operation measurements: the paper's Table 1.
+//!
+//! | Operation            | local (N=4) | remote (N=4) | local (N=64) | remote (N=64) |
+//! |----------------------|-------------|--------------|--------------|---------------|
+//! | sleep queue – add    | 2.5 µs      | 2.9 µs       | 4.3 µs       | 4.4 µs        |
+//! | sleep queue – delete | 3.3 µs      | N/A          | 5.8 µs       | N/A           |
+//! | ready queue – add    | 1.5 µs      | 3.3 µs       | 4.4 µs       | 4.6 µs        |
+//! | ready queue – delete | 2.7 µs      | N/A          | 4.6 µs       | N/A           |
+//!
+//! This module measures the same operations against the Rust binomial heap
+//! and red-black tree from `spms-queues`. "Local" operations run on the
+//! calling thread with uncontended queues; "remote" operations acquire a
+//! lock that a second thread is actively contending (the paper's remote
+//! insertions happen from another core and pay cross-core synchronisation).
+//! Deletions are always local, as in the paper (a core only pops its own
+//! queues).
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use spms_analysis::OverheadModel;
+use spms_queues::{ReadyQueue, SleepQueue};
+use spms_task::Time;
+
+use crate::DurationStats;
+
+/// Which queue operation is being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueOp {
+    /// Insert into the sleep queue (red-black tree).
+    SleepQueueAdd,
+    /// Remove the earliest entry from the sleep queue.
+    SleepQueueDelete,
+    /// Insert into the ready queue (binomial heap).
+    ReadyQueueAdd,
+    /// Remove the highest-priority entry from the ready queue.
+    ReadyQueueDelete,
+}
+
+impl QueueOp {
+    /// Label matching the paper's Table 1 row names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueOp::SleepQueueAdd => "sleep queue - add",
+            QueueOp::SleepQueueDelete => "sleep queue - delete",
+            QueueOp::ReadyQueueAdd => "ready queue - add",
+            QueueOp::ReadyQueueDelete => "ready queue - delete",
+        }
+    }
+}
+
+/// Whether the operation was performed locally or against a contended,
+/// remotely shared queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Uncontended access from the owning core's thread.
+    Local,
+    /// Access to a queue that another thread is concurrently using.
+    Remote,
+}
+
+/// One measured cell of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueOpMeasurement {
+    /// The operation measured.
+    pub operation: QueueOp,
+    /// Number of elements resident in the queue during the measurement (the
+    /// paper's `N`).
+    pub queue_size: usize,
+    /// Local or remote access.
+    pub locality: Locality,
+    /// Summary statistics of the measured durations.
+    pub stats: DurationStats,
+}
+
+/// Measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementConfig {
+    /// Number of measured iterations per cell.
+    pub iterations: usize,
+    /// Warm-up iterations discarded before measuring.
+    pub warmup: usize,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            iterations: 5_000,
+            warmup: 500,
+        }
+    }
+}
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Table1 {
+    rows: Vec<QueueOpMeasurement>,
+}
+
+impl Table1 {
+    /// All measured cells.
+    pub fn rows(&self) -> &[QueueOpMeasurement] {
+        &self.rows
+    }
+
+    /// Looks up one cell.
+    pub fn get(
+        &self,
+        operation: QueueOp,
+        queue_size: usize,
+        locality: Locality,
+    ) -> Option<&QueueOpMeasurement> {
+        self.rows.iter().find(|r| {
+            r.operation == operation && r.queue_size == queue_size && r.locality == locality
+        })
+    }
+
+    /// Renders the table in the same shape as the paper's Table 1
+    /// (mean values in microseconds, `N/A` for remote deletions).
+    pub fn render_markdown(&self) -> String {
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = self.rows.iter().map(|r| r.queue_size).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let mut out = String::from("| Operation |");
+        for n in &sizes {
+            out.push_str(&format!(" local (N = {n}) | remote (N = {n}) |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &sizes {
+            out.push_str("---|---|");
+        }
+        out.push('\n');
+        for op in [
+            QueueOp::SleepQueueAdd,
+            QueueOp::SleepQueueDelete,
+            QueueOp::ReadyQueueAdd,
+            QueueOp::ReadyQueueDelete,
+        ] {
+            out.push_str(&format!("| {} |", op.label()));
+            for &n in &sizes {
+                match self.get(op, n, Locality::Local) {
+                    Some(cell) => out.push_str(&format!(" {:.2} us |", cell.stats.mean_us())),
+                    None => out.push_str(" N/A |"),
+                }
+                match self.get(op, n, Locality::Remote) {
+                    Some(cell) => out.push_str(&format!(" {:.2} us |", cell.stats.mean_us())),
+                    None => out.push_str(" N/A |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds an [`OverheadModel`] whose queue-operation entries come from
+    /// these measurements (taking the mean of each cell), keeping the
+    /// paper's function costs and the supplied cache-reload delays.
+    pub fn to_overhead_model(&self, cache_local: Time, cache_migration: Time) -> OverheadModel {
+        let mean = |op, n, locality| -> Time {
+            self.get(op, n, locality)
+                .map(|c| Time::from_nanos(c.stats.mean_ns.round() as u64))
+                .unwrap_or(Time::ZERO)
+        };
+        // Use the larger queue size available as the conservative setting.
+        let n = self.rows.iter().map(|r| r.queue_size).max().unwrap_or(4);
+        OverheadModel {
+            ready_queue_add_local: mean(QueueOp::ReadyQueueAdd, n, Locality::Local),
+            ready_queue_add_remote: mean(QueueOp::ReadyQueueAdd, n, Locality::Remote),
+            ready_queue_delete: mean(QueueOp::ReadyQueueDelete, n, Locality::Local),
+            sleep_queue_add_local: mean(QueueOp::SleepQueueAdd, n, Locality::Local),
+            sleep_queue_add_remote: mean(QueueOp::SleepQueueAdd, n, Locality::Remote),
+            sleep_queue_delete: mean(QueueOp::SleepQueueDelete, n, Locality::Local),
+            cache_reload_local: cache_local,
+            cache_reload_migration: cache_migration,
+            ..OverheadModel::paper_n4()
+        }
+    }
+}
+
+/// The measurement harness for queue operations.
+#[derive(Debug, Clone, Default)]
+pub struct QueueOpBenchmark {
+    config: MeasurementConfig,
+}
+
+impl QueueOpBenchmark {
+    /// Creates a harness with the given configuration.
+    pub fn new(config: MeasurementConfig) -> Self {
+        QueueOpBenchmark { config }
+    }
+
+    /// Measures every cell of Table 1 for the paper's queue sizes
+    /// (N = 4 and N = 64).
+    pub fn measure_table1(&self) -> Table1 {
+        self.measure_for_sizes(&[4, 64])
+    }
+
+    /// Measures every cell for the given queue sizes.
+    pub fn measure_for_sizes(&self, sizes: &[usize]) -> Table1 {
+        let mut rows = Vec::new();
+        for &n in sizes {
+            rows.push(self.measure(QueueOp::SleepQueueAdd, n, Locality::Local));
+            rows.push(self.measure(QueueOp::SleepQueueAdd, n, Locality::Remote));
+            rows.push(self.measure(QueueOp::SleepQueueDelete, n, Locality::Local));
+            rows.push(self.measure(QueueOp::ReadyQueueAdd, n, Locality::Local));
+            rows.push(self.measure(QueueOp::ReadyQueueAdd, n, Locality::Remote));
+            rows.push(self.measure(QueueOp::ReadyQueueDelete, n, Locality::Local));
+        }
+        Table1 { rows }
+    }
+
+    /// Measures one cell.
+    pub fn measure(
+        &self,
+        operation: QueueOp,
+        queue_size: usize,
+        locality: Locality,
+    ) -> QueueOpMeasurement {
+        let samples = match (operation, locality) {
+            (QueueOp::ReadyQueueAdd, Locality::Local) => self.ready_add_local(queue_size),
+            (QueueOp::ReadyQueueAdd, Locality::Remote) => self.ready_add_remote(queue_size),
+            (QueueOp::ReadyQueueDelete, _) => self.ready_delete(queue_size),
+            (QueueOp::SleepQueueAdd, Locality::Local) => self.sleep_add_local(queue_size),
+            (QueueOp::SleepQueueAdd, Locality::Remote) => self.sleep_add_remote(queue_size),
+            (QueueOp::SleepQueueDelete, _) => self.sleep_delete(queue_size),
+        };
+        QueueOpMeasurement {
+            operation,
+            queue_size,
+            locality,
+            stats: DurationStats::from_samples(&samples),
+        }
+    }
+
+    fn total_iterations(&self) -> usize {
+        self.config.iterations + self.config.warmup
+    }
+
+    fn keep_measured(&self, samples: Vec<Duration>) -> Vec<Duration> {
+        samples.into_iter().skip(self.config.warmup).collect()
+    }
+
+    fn ready_add_local(&self, n: usize) -> Vec<Duration> {
+        let mut queue: ReadyQueue<u32, u64> = ReadyQueue::new();
+        for i in 0..n {
+            queue.add((i % 16) as u32, i as u64);
+        }
+        let mut samples = Vec::with_capacity(self.total_iterations());
+        for i in 0..self.total_iterations() {
+            let start = Instant::now();
+            queue.add((i % 16) as u32, i as u64);
+            samples.push(start.elapsed());
+            queue.delete_highest();
+        }
+        self.keep_measured(samples)
+    }
+
+    fn ready_delete(&self, n: usize) -> Vec<Duration> {
+        let mut queue: ReadyQueue<u32, u64> = ReadyQueue::new();
+        for i in 0..n {
+            queue.add((i % 16) as u32, i as u64);
+        }
+        let mut samples = Vec::with_capacity(self.total_iterations());
+        for i in 0..self.total_iterations() {
+            let start = Instant::now();
+            let popped = queue.delete_highest();
+            samples.push(start.elapsed());
+            if let Some((p, t)) = popped {
+                queue.add(p, t);
+            } else {
+                queue.add((i % 16) as u32, i as u64);
+            }
+        }
+        self.keep_measured(samples)
+    }
+
+    fn ready_add_remote(&self, n: usize) -> Vec<Duration> {
+        let queue: Mutex<ReadyQueue<u32, u64>> = Mutex::new(ReadyQueue::new());
+        {
+            let mut q = queue.lock();
+            for i in 0..n {
+                q.add((i % 16) as u32, i as u64);
+            }
+        }
+        self.contended(&queue, |q, i| {
+            q.add((i % 16) as u32, i as u64);
+        })
+    }
+
+    fn sleep_add_local(&self, n: usize) -> Vec<Duration> {
+        let mut queue: SleepQueue<(u64, u64), u64> = SleepQueue::new();
+        for i in 0..n {
+            queue.add((i as u64 * 1_000, i as u64), i as u64);
+        }
+        let mut samples = Vec::with_capacity(self.total_iterations());
+        for i in 0..self.total_iterations() {
+            let key = (((i % 997) * 13) as u64, (n + i) as u64);
+            let start = Instant::now();
+            queue.add(key, i as u64);
+            samples.push(start.elapsed());
+            queue.delete(&key);
+        }
+        self.keep_measured(samples)
+    }
+
+    fn sleep_delete(&self, n: usize) -> Vec<Duration> {
+        let mut queue: SleepQueue<(u64, u64), u64> = SleepQueue::new();
+        for i in 0..n {
+            queue.add((i as u64 * 1_000, i as u64), i as u64);
+        }
+        let mut samples = Vec::with_capacity(self.total_iterations());
+        for _ in 0..self.total_iterations() {
+            let start = Instant::now();
+            let popped = queue.pop_earliest();
+            samples.push(start.elapsed());
+            if let Some((k, v)) = popped {
+                queue.add(k, v);
+            }
+        }
+        self.keep_measured(samples)
+    }
+
+    fn sleep_add_remote(&self, n: usize) -> Vec<Duration> {
+        let queue: Mutex<SleepQueue<(u64, u64), u64>> = Mutex::new(SleepQueue::new());
+        {
+            let mut q = queue.lock();
+            for i in 0..n {
+                q.add((i as u64 * 1_000, i as u64), i as u64);
+            }
+        }
+        self.contended(&queue, |q, i| {
+            let key = (((i % 997) * 13 + 1) as u64, (1_000_000 + i) as u64);
+            q.add(key, i as u64);
+            q.delete(&key);
+        })
+    }
+
+    /// Runs `op` on the measuring thread while a second thread hammers the
+    /// same lock, emulating a remote core touching another core's queue.
+    fn contended<Q: Send, F>(&self, queue: &Mutex<Q>, op: F) -> Vec<Duration>
+    where
+        F: Fn(&mut Q, usize) + Sync,
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = AtomicBool::new(false);
+        let total = self.total_iterations();
+        let mut samples = Vec::with_capacity(total);
+        crossbeam::scope(|scope| {
+            scope.spawn(|_| {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    {
+                        let mut guard = queue.lock();
+                        op(&mut guard, i);
+                    }
+                    i = i.wrapping_add(1);
+                    std::hint::spin_loop();
+                }
+            });
+            for i in 0..total {
+                let start = Instant::now();
+                {
+                    let mut guard = queue.lock();
+                    op(&mut guard, i);
+                }
+                samples.push(start.elapsed());
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("contender thread does not panic");
+        self.keep_measured(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> MeasurementConfig {
+        MeasurementConfig {
+            iterations: 300,
+            warmup: 50,
+        }
+    }
+
+    #[test]
+    fn table_has_all_cells_for_paper_sizes() {
+        let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4]);
+        assert_eq!(table.rows().len(), 6);
+        assert!(table.get(QueueOp::ReadyQueueAdd, 4, Locality::Local).is_some());
+        assert!(table.get(QueueOp::ReadyQueueAdd, 4, Locality::Remote).is_some());
+        assert!(table.get(QueueOp::SleepQueueDelete, 4, Locality::Local).is_some());
+        assert!(table.get(QueueOp::SleepQueueDelete, 4, Locality::Remote).is_none());
+    }
+
+    #[test]
+    fn measurements_are_positive_and_small() {
+        let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4, 64]);
+        for row in table.rows() {
+            assert!(row.stats.samples > 0);
+            assert!(row.stats.max_ns > 0, "{row:?}");
+            // Queue operations are sub-millisecond on any modern machine.
+            assert!(row.stats.mean_ns < 1_000_000.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn markdown_table_mentions_every_operation() {
+        let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4]);
+        let md = table.render_markdown();
+        for op in [
+            QueueOp::SleepQueueAdd,
+            QueueOp::SleepQueueDelete,
+            QueueOp::ReadyQueueAdd,
+            QueueOp::ReadyQueueDelete,
+        ] {
+            assert!(md.contains(op.label()), "{md}");
+        }
+        assert!(md.contains("N/A"), "remote deletions are not measured");
+    }
+
+    #[test]
+    fn overhead_model_from_measurements() {
+        let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4]);
+        let model =
+            table.to_overhead_model(Time::from_micros(20), Time::from_micros(25));
+        assert!(model.ready_queue_add_local > Time::ZERO);
+        assert!(model.sleep_queue_delete > Time::ZERO);
+        assert_eq!(model.cache_reload_local, Time::from_micros(20));
+        // Function costs fall back to the paper's values.
+        assert_eq!(model.release, Time::from_micros(3));
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(QueueOp::ReadyQueueAdd.label(), "ready queue - add");
+        assert_eq!(QueueOp::SleepQueueDelete.label(), "sleep queue - delete");
+    }
+}

@@ -1,0 +1,85 @@
+//! Small helpers for summarising measured durations.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of measured durations, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DurationStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Smallest observed duration.
+    pub min_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// Largest observed duration (the paper reports maxima).
+    pub max_ns: u64,
+}
+
+impl DurationStats {
+    /// Summarises a set of samples.
+    ///
+    /// Returns the zero value for an empty input.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return DurationStats::default();
+        }
+        let mut ns: Vec<u64> = samples.iter().map(|d| d.as_nanos() as u64).collect();
+        ns.sort_unstable();
+        let sum: u128 = ns.iter().map(|&v| u128::from(v)).sum();
+        let p95_idx = ((ns.len() as f64) * 0.95).ceil() as usize - 1;
+        DurationStats {
+            samples: ns.len(),
+            min_ns: ns[0],
+            mean_ns: sum as f64 / ns.len() as f64,
+            p95_ns: ns[p95_idx.min(ns.len() - 1)],
+            max_ns: *ns.last().expect("non-empty"),
+        }
+    }
+
+    /// The mean expressed in microseconds (the unit the paper uses).
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns / 1_000.0
+    }
+
+    /// The maximum expressed in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zero() {
+        let s = DurationStats::from_samples(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn summary_of_known_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
+        let s = DurationStats::from_samples(&samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        assert_eq!(s.p95_ns, 95);
+        assert!((s.mean_us() - 0.0505).abs() < 1e-9);
+        assert!((s.max_us() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = DurationStats::from_samples(&[Duration::from_nanos(42)]);
+        assert_eq!(s.min_ns, 42);
+        assert_eq!(s.max_ns, 42);
+        assert_eq!(s.p95_ns, 42);
+    }
+}

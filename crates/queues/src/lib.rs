@@ -1,0 +1,46 @@
+//! # spms-queues
+//!
+//! Scheduler queue substrates for the semi-partitioned multi-core scheduler.
+//!
+//! The paper's Linux implementation states (§2): *"The ready queue is
+//! implemented by a binomial heap and the sleep queue is implemented by a
+//! red-black tree."* This crate provides from-scratch implementations of both
+//! data structures (plus a pairing heap used as an ablation alternative for
+//! the ready queue), so that the overhead measurements of Table 1 can be
+//! regenerated against the very structures the scheduler uses:
+//!
+//! * [`BinomialHeap`] — mergeable min-heap, the per-core **ready queue**,
+//! * [`RbTree`] — ordered map, the per-core **sleep queue** (keyed by next
+//!   release time),
+//! * [`PairingHeap`] — alternative mergeable heap for the ready-queue ablation
+//!   benchmark,
+//! * [`ReadyQueue`] / [`SleepQueue`] — thin, scheduler-flavoured wrappers that
+//!   expose exactly the operations the paper measures (`add`, `delete`,
+//!   `peek highest priority`, `pop earliest release`).
+//!
+//! All structures are implemented in safe Rust (`#![forbid(unsafe_code)]`).
+//!
+//! # Example
+//!
+//! ```
+//! use spms_queues::BinomialHeap;
+//!
+//! let mut ready: BinomialHeap<(u32, u64)> = BinomialHeap::new();
+//! ready.push((2, 0)); // (priority level, sequence number)
+//! ready.push((0, 1));
+//! ready.push((1, 2));
+//! assert_eq!(ready.pop(), Some((0, 1))); // smallest = highest priority first
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binomial_heap;
+mod pairing_heap;
+mod rb_tree;
+mod scheduler_queues;
+
+pub use binomial_heap::BinomialHeap;
+pub use pairing_heap::PairingHeap;
+pub use rb_tree::RbTree;
+pub use scheduler_queues::{ReadyQueue, ReadyQueueKind, SleepQueue};

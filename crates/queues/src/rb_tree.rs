@@ -1,0 +1,780 @@
+//! A red-black tree map — the paper's per-core sleep queue.
+//!
+//! The sleep queue stores inactive tasks keyed by their next release time;
+//! the scheduler's timer path needs cheap `insert`, `remove` and
+//! `pop_first` (earliest release) operations, which is exactly what a
+//! red-black tree provides (and what Linux itself uses for its `hrtimer` and
+//! CFS run queues). The implementation follows the classic CLRS formulation
+//! with an arena of index-linked slots and an explicit sentinel node, so the
+//! whole structure is safe Rust.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+const NIL: usize = 0;
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: Option<K>,
+    value: Option<V>,
+    left: usize,
+    right: usize,
+    parent: usize,
+    color: Color,
+}
+
+impl<K, V> Slot<K, V> {
+    fn sentinel() -> Self {
+        Slot {
+            key: None,
+            value: None,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            color: Color::Black,
+        }
+    }
+}
+
+/// An ordered map implemented as a red-black tree.
+///
+/// # Example
+///
+/// ```
+/// use spms_queues::RbTree;
+///
+/// let mut sleep_queue: RbTree<u64, &str> = RbTree::new();
+/// sleep_queue.insert(300, "tau2");
+/// sleep_queue.insert(100, "tau0");
+/// sleep_queue.insert(200, "tau1");
+/// assert_eq!(sleep_queue.first(), Some((&100, &"tau0")));
+/// assert_eq!(sleep_queue.pop_first(), Some((100, "tau0")));
+/// assert_eq!(sleep_queue.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct RbTree<K: Ord, V> {
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for RbTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> RbTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RbTree {
+            slots: vec![Slot::sentinel()],
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.slots.truncate(1);
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    /// Inserts a key/value pair, returning the previous value stored under an
+    /// equal key (like `BTreeMap::insert`). `O(log n)`.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut parent = NIL;
+        let mut cursor = self.root;
+        while cursor != NIL {
+            parent = cursor;
+            match key.cmp(self.key(cursor)) {
+                Ordering::Less => cursor = self.slots[cursor].left,
+                Ordering::Greater => cursor = self.slots[cursor].right,
+                Ordering::Equal => {
+                    return self.slots[cursor].value.replace(value);
+                }
+            }
+        }
+        let z = self.alloc(key, value, parent);
+        if parent == NIL {
+            self.root = z;
+        } else if self.key(z) < self.key(parent) {
+            self.slots[parent].left = z;
+        } else {
+            self.slots[parent].right = z;
+        }
+        self.len += 1;
+        self.insert_fixup(z);
+        None
+    }
+
+    /// Looks up the value stored under `key`. `O(log n)`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let idx = self.find(key)?;
+        self.slots[idx].value.as_ref()
+    }
+
+    /// Mutable lookup. `O(log n)`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = self.find(key)?;
+        self.slots[idx].value.as_mut()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if it was present. `O(log n)`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let z = self.find(key)?;
+        Some(self.remove_index(z))
+    }
+
+    /// The entry with the smallest key.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let m = self.minimum(self.root);
+        Some((
+            self.slots[m].key.as_ref().expect("non-sentinel has key"),
+            self.slots[m].value.as_ref().expect("non-sentinel has value"),
+        ))
+    }
+
+    /// The entry with the largest key.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut cursor = self.root;
+        while self.slots[cursor].right != NIL {
+            cursor = self.slots[cursor].right;
+        }
+        Some((
+            self.slots[cursor].key.as_ref().expect("non-sentinel has key"),
+            self.slots[cursor].value.as_ref().expect("non-sentinel has value"),
+        ))
+    }
+
+    /// Removes and returns the entry with the smallest key — the sleep
+    /// queue's "next task to wake" operation. `O(log n)`.
+    pub fn pop_first(&mut self) -> Option<(K, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let m = self.minimum(self.root);
+        Some(self.remove_index_with_key(m))
+    }
+
+    /// Iterates over the entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cursor = self.root;
+        while cursor != NIL {
+            stack.push(cursor);
+            cursor = self.slots[cursor].left;
+        }
+        Iter { tree: self, stack }
+    }
+
+    /// Ascending iterator over keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Ascending iterator over values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn key(&self, idx: usize) -> &K {
+        self.slots[idx].key.as_ref().expect("non-sentinel has key")
+    }
+
+    fn alloc(&mut self, key: K, value: V, parent: usize) -> usize {
+        let slot = Slot {
+            key: Some(key),
+            value: Some(value),
+            left: NIL,
+            right: NIL,
+            parent,
+            color: Color::Red,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn find(&self, key: &K) -> Option<usize> {
+        let mut cursor = self.root;
+        while cursor != NIL {
+            match key.cmp(self.key(cursor)) {
+                Ordering::Less => cursor = self.slots[cursor].left,
+                Ordering::Greater => cursor = self.slots[cursor].right,
+                Ordering::Equal => return Some(cursor),
+            }
+        }
+        None
+    }
+
+    fn minimum(&self, mut idx: usize) -> usize {
+        while self.slots[idx].left != NIL {
+            idx = self.slots[idx].left;
+        }
+        idx
+    }
+
+    fn left_rotate(&mut self, x: usize) {
+        let y = self.slots[x].right;
+        self.slots[x].right = self.slots[y].left;
+        if self.slots[y].left != NIL {
+            let yl = self.slots[y].left;
+            self.slots[yl].parent = x;
+        }
+        self.slots[y].parent = self.slots[x].parent;
+        let xp = self.slots[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if self.slots[xp].left == x {
+            self.slots[xp].left = y;
+        } else {
+            self.slots[xp].right = y;
+        }
+        self.slots[y].left = x;
+        self.slots[x].parent = y;
+    }
+
+    fn right_rotate(&mut self, x: usize) {
+        let y = self.slots[x].left;
+        self.slots[x].left = self.slots[y].right;
+        if self.slots[y].right != NIL {
+            let yr = self.slots[y].right;
+            self.slots[yr].parent = x;
+        }
+        self.slots[y].parent = self.slots[x].parent;
+        let xp = self.slots[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if self.slots[xp].right == x {
+            self.slots[xp].right = y;
+        } else {
+            self.slots[xp].left = y;
+        }
+        self.slots[y].right = x;
+        self.slots[x].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while self.slots[self.slots[z].parent].color == Color::Red {
+            let zp = self.slots[z].parent;
+            let zpp = self.slots[zp].parent;
+            if zp == self.slots[zpp].left {
+                let uncle = self.slots[zpp].right;
+                if self.slots[uncle].color == Color::Red {
+                    self.slots[zp].color = Color::Black;
+                    self.slots[uncle].color = Color::Black;
+                    self.slots[zpp].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.slots[zp].right {
+                        z = zp;
+                        self.left_rotate(z);
+                    }
+                    let zp = self.slots[z].parent;
+                    let zpp = self.slots[zp].parent;
+                    self.slots[zp].color = Color::Black;
+                    self.slots[zpp].color = Color::Red;
+                    self.right_rotate(zpp);
+                }
+            } else {
+                let uncle = self.slots[zpp].left;
+                if self.slots[uncle].color == Color::Red {
+                    self.slots[zp].color = Color::Black;
+                    self.slots[uncle].color = Color::Black;
+                    self.slots[zpp].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.slots[zp].left {
+                        z = zp;
+                        self.right_rotate(z);
+                    }
+                    let zp = self.slots[z].parent;
+                    let zpp = self.slots[zp].parent;
+                    self.slots[zp].color = Color::Black;
+                    self.slots[zpp].color = Color::Red;
+                    self.left_rotate(zpp);
+                }
+            }
+            if z == self.root {
+                break;
+            }
+        }
+        let root = self.root;
+        self.slots[root].color = Color::Black;
+        // The sentinel may have been recoloured through uncle handling when
+        // the uncle is NIL; restore its invariant colour.
+        self.slots[NIL].color = Color::Black;
+    }
+
+    fn transplant(&mut self, u: usize, v: usize) {
+        let up = self.slots[u].parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.slots[up].left {
+            self.slots[up].left = v;
+        } else {
+            self.slots[up].right = v;
+        }
+        self.slots[v].parent = up;
+    }
+
+    fn remove_index(&mut self, z: usize) -> V {
+        self.remove_index_with_key(z).1
+    }
+
+    fn remove_index_with_key(&mut self, z: usize) -> (K, V) {
+        let mut y = z;
+        let mut y_original_color = self.slots[y].color;
+        let x;
+        if self.slots[z].left == NIL {
+            x = self.slots[z].right;
+            self.transplant(z, self.slots[z].right);
+        } else if self.slots[z].right == NIL {
+            x = self.slots[z].left;
+            self.transplant(z, self.slots[z].left);
+        } else {
+            y = self.minimum(self.slots[z].right);
+            y_original_color = self.slots[y].color;
+            x = self.slots[y].right;
+            if self.slots[y].parent == z {
+                self.slots[x].parent = y;
+            } else {
+                self.transplant(y, self.slots[y].right);
+                self.slots[y].right = self.slots[z].right;
+                let yr = self.slots[y].right;
+                self.slots[yr].parent = y;
+            }
+            self.transplant(z, y);
+            self.slots[y].left = self.slots[z].left;
+            let yl = self.slots[y].left;
+            self.slots[yl].parent = y;
+            self.slots[y].color = self.slots[z].color;
+        }
+        if y_original_color == Color::Black {
+            self.delete_fixup(x);
+        }
+        let key = self.slots[z].key.take().expect("removed node has key");
+        let value = self.slots[z].value.take().expect("removed node has value");
+        self.free.push(z);
+        self.len -= 1;
+        // Reset the sentinel's parent, which delete may have dirtied.
+        self.slots[NIL].parent = NIL;
+        self.slots[NIL].color = Color::Black;
+        (key, value)
+    }
+
+    fn delete_fixup(&mut self, mut x: usize) {
+        while x != self.root && self.slots[x].color == Color::Black {
+            let xp = self.slots[x].parent;
+            if x == self.slots[xp].left {
+                let mut w = self.slots[xp].right;
+                if self.slots[w].color == Color::Red {
+                    self.slots[w].color = Color::Black;
+                    self.slots[xp].color = Color::Red;
+                    self.left_rotate(xp);
+                    w = self.slots[self.slots[x].parent].right;
+                }
+                let wl = self.slots[w].left;
+                let wr = self.slots[w].right;
+                if self.slots[wl].color == Color::Black && self.slots[wr].color == Color::Black {
+                    self.slots[w].color = Color::Red;
+                    x = self.slots[x].parent;
+                } else {
+                    if self.slots[wr].color == Color::Black {
+                        self.slots[wl].color = Color::Black;
+                        self.slots[w].color = Color::Red;
+                        self.right_rotate(w);
+                        w = self.slots[self.slots[x].parent].right;
+                    }
+                    let xp = self.slots[x].parent;
+                    self.slots[w].color = self.slots[xp].color;
+                    self.slots[xp].color = Color::Black;
+                    let wr = self.slots[w].right;
+                    self.slots[wr].color = Color::Black;
+                    self.left_rotate(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.slots[xp].left;
+                if self.slots[w].color == Color::Red {
+                    self.slots[w].color = Color::Black;
+                    self.slots[xp].color = Color::Red;
+                    self.right_rotate(xp);
+                    w = self.slots[self.slots[x].parent].left;
+                }
+                let wl = self.slots[w].left;
+                let wr = self.slots[w].right;
+                if self.slots[wr].color == Color::Black && self.slots[wl].color == Color::Black {
+                    self.slots[w].color = Color::Red;
+                    x = self.slots[x].parent;
+                } else {
+                    if self.slots[wl].color == Color::Black {
+                        self.slots[wr].color = Color::Black;
+                        self.slots[w].color = Color::Red;
+                        self.left_rotate(w);
+                        w = self.slots[self.slots[x].parent].left;
+                    }
+                    let xp = self.slots[x].parent;
+                    self.slots[w].color = self.slots[xp].color;
+                    self.slots[xp].color = Color::Black;
+                    let wl = self.slots[w].left;
+                    self.slots[wl].color = Color::Black;
+                    self.right_rotate(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.slots[x].color = Color::Black;
+        self.slots[NIL].color = Color::Black;
+    }
+
+    /// Verifies the red-black and binary-search-tree invariants.
+    /// Intended for tests; panics on violation.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if self.root == NIL {
+            assert_eq!(self.len, 0, "empty tree must have length zero");
+            return;
+        }
+        assert_eq!(
+            self.slots[self.root].color,
+            Color::Black,
+            "root must be black"
+        );
+        let mut count = 0usize;
+        let black_height = self.check_subtree(self.root, &mut count, None, None);
+        assert!(black_height > 0);
+        assert_eq!(count, self.len, "length matches number of reachable nodes");
+    }
+
+    fn check_subtree(
+        &self,
+        idx: usize,
+        count: &mut usize,
+        lower: Option<&K>,
+        upper: Option<&K>,
+    ) -> usize {
+        if idx == NIL {
+            return 1; // sentinel counts one black node
+        }
+        *count += 1;
+        let key = self.key(idx);
+        if let Some(lo) = lower {
+            assert!(key > lo, "BST order violated");
+        }
+        if let Some(hi) = upper {
+            assert!(key < hi, "BST order violated");
+        }
+        let left = self.slots[idx].left;
+        let right = self.slots[idx].right;
+        if self.slots[idx].color == Color::Red {
+            assert_eq!(self.slots[left].color, Color::Black, "red node has red child");
+            assert_eq!(self.slots[right].color, Color::Black, "red node has red child");
+        }
+        if left != NIL {
+            assert_eq!(self.slots[left].parent, idx, "parent pointer consistent");
+        }
+        if right != NIL {
+            assert_eq!(self.slots[right].parent, idx, "parent pointer consistent");
+        }
+        let lh = self.check_subtree(left, count, lower, Some(key));
+        let rh = self.check_subtree(right, count, Some(key), upper);
+        assert_eq!(lh, rh, "black heights must match");
+        lh + usize::from(self.slots[idx].color == Color::Black)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for RbTree<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut tree = RbTree::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for RbTree<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for RbTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// In-order iterator over a [`RbTree`], created by [`RbTree::iter`].
+pub struct Iter<'a, K: Ord, V> {
+    tree: &'a RbTree<K, V>,
+    stack: Vec<usize>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let mut cursor = self.tree.slots[idx].right;
+        while cursor != NIL {
+            self.stack.push(cursor);
+            cursor = self.tree.slots[cursor].left;
+        }
+        Some((
+            self.tree.slots[idx].key.as_ref().expect("non-sentinel"),
+            self.tree.slots[idx].value.as_ref().expect("non-sentinel"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree() {
+        let t: RbTree<u32, u32> = RbTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.first(), None);
+        assert_eq!(t.last(), None);
+        assert_eq!(t.get(&3), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(5, "five"), None);
+        assert_eq!(t.insert(3, "three"), None);
+        assert_eq!(t.insert(8, "eight"), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&3), Some(&"three"));
+        assert_eq!(t.get(&9), None);
+        assert!(t.contains_key(&8));
+        assert_eq!(t.remove(&3), Some("three"));
+        assert_eq!(t.remove(&3), None);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&20));
+    }
+
+    #[test]
+    fn first_last_and_pop_first() {
+        let mut t: RbTree<u64, &str> = [(300u64, "c"), (100, "a"), (200, "b")]
+            .into_iter()
+            .collect();
+        assert_eq!(t.first(), Some((&100, &"a")));
+        assert_eq!(t.last(), Some((&300, &"c")));
+        assert_eq!(t.pop_first(), Some((100, "a")));
+        assert_eq!(t.pop_first(), Some((200, "b")));
+        assert_eq!(t.pop_first(), Some((300, "c")));
+        assert_eq!(t.pop_first(), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t: RbTree<u32, u32> = [(1, 1), (2, 2)].into_iter().collect();
+        *t.get_mut(&2).unwrap() = 99;
+        assert_eq!(t.get(&2), Some(&99));
+        assert_eq!(t.get_mut(&7), None);
+    }
+
+    #[test]
+    fn ascending_insertion_stays_balanced() {
+        let mut t = RbTree::new();
+        for i in 0..1_000u32 {
+            t.insert(i, i * 2);
+            if i % 97 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1_000);
+        let keys: Vec<u32> = t.keys().copied().collect();
+        assert_eq!(keys, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descending_insertion_stays_balanced() {
+        let mut t = RbTree::new();
+        for i in (0..1_000u32).rev() {
+            t.insert(i, ());
+        }
+        t.check_invariants();
+        assert_eq!(t.keys().copied().collect::<Vec<_>>(), (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_insert_remove_matches_btreemap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut tree = RbTree::new();
+        let mut model = BTreeMap::new();
+        let mut keys: Vec<u32> = (0..500).collect();
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            assert_eq!(tree.insert(k, k as u64), model.insert(k, k as u64));
+        }
+        tree.check_invariants();
+        keys.shuffle(&mut rng);
+        for &k in keys.iter().take(250) {
+            assert_eq!(tree.remove(&k), model.remove(&k));
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), model.len());
+        let tree_pairs: Vec<(u32, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let model_pairs: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(tree_pairs, model_pairs);
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut t = RbTree::new();
+        for i in 0..100u32 {
+            t.insert(i, i);
+        }
+        for i in 0..100u32 {
+            t.remove(&i);
+        }
+        assert!(t.is_empty());
+        let slots_before = t.slots.len();
+        for i in 0..100u32 {
+            t.insert(i, i);
+        }
+        // Freed slots are reused rather than growing the arena.
+        assert_eq!(t.slots.len(), slots_before);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t: RbTree<u32, u32> = (0..64).map(|i| (i, i)).collect();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.first(), None);
+        t.insert(1, 1);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let t: RbTree<i32, ()> = [5, -3, 12, 0, 7, -8].into_iter().map(|k| (k, ())).collect();
+        let keys: Vec<i32> = t.keys().copied().collect();
+        assert_eq!(keys, vec![-8, -3, 0, 5, 7, 12]);
+        assert_eq!(t.values().count(), 6);
+    }
+
+    #[test]
+    fn debug_formats_as_map() {
+        let t: RbTree<u32, u32> = [(1, 10), (2, 20)].into_iter().collect();
+        let s = format!("{t:?}");
+        assert!(s.contains('1') && s.contains("10"));
+    }
+
+    #[test]
+    fn duplicate_release_times_via_tuple_keys() {
+        // The sleep queue keys by (release_time, task_id) so equal release
+        // times are allowed; verify tuple keys order correctly.
+        let mut t = RbTree::new();
+        t.insert((100u64, 2u32), "b");
+        t.insert((100, 1), "a");
+        t.insert((50, 9), "c");
+        assert_eq!(t.pop_first(), Some(((50, 9), "c")));
+        assert_eq!(t.pop_first(), Some(((100, 1), "a")));
+        assert_eq!(t.pop_first(), Some(((100, 2), "b")));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreemap(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..400)) {
+            let mut tree = RbTree::new();
+            let mut model = BTreeMap::new();
+            for (key, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(tree.insert(key, u32::from(key)), model.insert(key, u32::from(key)));
+                } else {
+                    prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            tree.check_invariants();
+            let tree_pairs: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+            let model_pairs: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(tree_pairs, model_pairs);
+        }
+
+        #[test]
+        fn prop_pop_first_drains_in_order(keys in proptest::collection::btree_set(any::<i32>(), 0..200)) {
+            let mut tree: RbTree<i32, ()> = keys.iter().map(|&k| (k, ())).collect();
+            let expected: Vec<i32> = keys.into_iter().collect();
+            let mut drained = Vec::new();
+            while let Some((k, ())) = tree.pop_first() {
+                drained.push(k);
+            }
+            prop_assert_eq!(drained, expected);
+            tree.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for task-model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{TaskId, Time};
+
+/// Errors produced while constructing or validating tasks and task sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskError {
+    /// The worst-case execution time is zero.
+    ZeroWcet {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// The period (minimum inter-arrival time) is zero.
+    ZeroPeriod {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// The worst-case execution time exceeds the relative deadline.
+    WcetExceedsDeadline {
+        /// Offending task.
+        task: TaskId,
+        /// Worst-case execution time.
+        wcet: Time,
+        /// Relative deadline.
+        deadline: Time,
+    },
+    /// The relative deadline exceeds the period (arbitrary deadlines are not
+    /// supported by the analyses in this workspace).
+    DeadlineExceedsPeriod {
+        /// Offending task.
+        task: TaskId,
+        /// Relative deadline.
+        deadline: Time,
+        /// Period.
+        period: Time,
+    },
+    /// Two tasks in the same set share an identifier.
+    DuplicateTaskId {
+        /// The duplicated identifier.
+        task: TaskId,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::ZeroWcet { task } => {
+                write!(f, "task {task} has a zero worst-case execution time")
+            }
+            TaskError::ZeroPeriod { task } => write!(f, "task {task} has a zero period"),
+            TaskError::WcetExceedsDeadline {
+                task,
+                wcet,
+                deadline,
+            } => write!(
+                f,
+                "task {task} has wcet {wcet} larger than its relative deadline {deadline}"
+            ),
+            TaskError::DeadlineExceedsPeriod {
+                task,
+                deadline,
+                period,
+            } => write!(
+                f,
+                "task {task} has relative deadline {deadline} larger than its period {period}"
+            ),
+            TaskError::DuplicateTaskId { task } => {
+                write!(f, "task identifier {task} appears more than once in the task set")
+            }
+            TaskError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid task-set generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TaskError::ZeroWcet { task: TaskId(1) },
+            TaskError::ZeroPeriod { task: TaskId(2) },
+            TaskError::WcetExceedsDeadline {
+                task: TaskId(3),
+                wcet: Time::from_micros(10),
+                deadline: Time::from_micros(5),
+            },
+            TaskError::DeadlineExceedsPeriod {
+                task: TaskId(4),
+                deadline: Time::from_micros(10),
+                period: Time::from_micros(5),
+            },
+            TaskError::DuplicateTaskId { task: TaskId(5) },
+            TaskError::InvalidGeneratorConfig {
+                reason: "n must be positive".to_owned(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaskError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! E5 — the paper's §4 evaluation: acceptance ratio of FP-TS vs FFD vs WFD
+//! across a normalized-utilization sweep, without overhead and with the
+//! measured N = 4 and N = 64 overheads.
+//!
+//! Run with `cargo run --release --example acceptance_ratio`. Expect a few
+//! minutes at the default scale; pass `--quick` for a coarse preview.
+
+use spms::analysis::OverheadModel;
+use spms::experiments::AcceptanceRatioExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sets, tasks) = if quick { (20, 12) } else { (200, 16) };
+    let sweep: Vec<f64> = (10..=20).map(|i| i as f64 * 0.05).collect();
+
+    let base = AcceptanceRatioExperiment::new()
+        .cores(4)
+        .tasks_per_set(tasks)
+        .utilization_points(sweep)
+        .sets_per_point(sets)
+        .seed(2011);
+
+    println!("=== acceptance ratio, no overhead ({sets} sets/point, {tasks} tasks/set, 4 cores) ===");
+    let ideal = base.clone().run();
+    println!("{}", ideal.render_markdown());
+
+    println!("=== acceptance ratio, measured overheads (N = 4 per core) ===");
+    let n4 = base.clone().overhead(OverheadModel::paper_n4()).run();
+    println!("{}", n4.render_markdown());
+
+    println!("=== acceptance ratio, measured overheads (N = 64 per core) ===");
+    let n64 = base.overhead(OverheadModel::paper_n64()).run();
+    println!("{}", n64.render_markdown());
+
+    println!("=== CSV (no overhead) ===");
+    println!("{}", ideal.render_csv());
+}

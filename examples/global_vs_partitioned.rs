@@ -1,0 +1,74 @@
+//! E10 — the backdrop of the paper's introduction: global scheduling vs.
+//! partitioned scheduling vs. semi-partitioned scheduling.
+//!
+//! Two views are printed:
+//!
+//! 1. the acceptance-ratio sweep of FP-TS and FFD against the sufficient
+//!    global schedulability tests (G-EDF GFB, G-FP BCL, RM-US), and
+//! 2. a concrete simulation of the motivating three-task example (three 60 %
+//!    tasks on two cores), which global EDF and partitioning both fail while
+//!    FP-TS schedules it by splitting one task.
+//!
+//! Run with `cargo run --release --example global_vs_partitioned`.
+
+use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::experiments::GlobalComparisonExperiment;
+use spms::global::{GlobalPolicy, GlobalSimulator};
+use spms::sim::{SimulationConfig, Simulator};
+use spms::task::{PriorityAssignment, Task, TaskSet, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sets = if quick { 20 } else { 100 };
+
+    println!("=== acceptance ratio: partitioned / semi-partitioned vs sufficient global tests ===");
+    let comparison = GlobalComparisonExperiment::new()
+        .cores(4)
+        .tasks_per_set(16)
+        .sets_per_point(sets)
+        .seed(2011)
+        .run();
+    println!("{}", comparison.render_markdown());
+
+    println!("=== the motivating example: three 60% tasks on two cores ===");
+    let mut tasks: TaskSet = (0..3)
+        .map(|i| Task::new(i, Time::from_millis(6), Time::from_millis(10)))
+        .collect::<Result<_, _>>()?;
+    tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+
+    // Partitioned: no assignment exists.
+    let ffd = PartitionedFixedPriority::ffd().partition(&tasks, 2)?;
+    println!("FFD:   {}", match ffd {
+        PartitionOutcome::Schedulable(_) => "schedulable".to_owned(),
+        PartitionOutcome::Unschedulable { reason } => format!("unschedulable ({reason})"),
+    });
+
+    // Global EDF: simulate and count the misses.
+    let global = GlobalSimulator::new(&tasks, 2, GlobalPolicy::Edf)
+        .duration(Time::from_millis(200))
+        .run();
+    println!(
+        "G-EDF: {} deadline misses in 200 ms ({} jobs released)",
+        global.deadline_misses.len(),
+        global.jobs_released
+    );
+
+    // Semi-partitioned FP-TS: split one task, simulate, count migrations.
+    match SemiPartitionedFpTs::default().partition(&tasks, 2)? {
+        PartitionOutcome::Schedulable(partition) => {
+            let report = Simulator::new(
+                &partition,
+                SimulationConfig::new(Time::from_millis(200)),
+            )
+            .run();
+            println!(
+                "FP-TS: schedulable with {} split task(s); simulation: {} misses, {} migrations",
+                partition.split_count(),
+                report.deadline_misses.len(),
+                report.migrations
+            );
+        }
+        PartitionOutcome::Unschedulable { reason } => println!("FP-TS: unschedulable ({reason})"),
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! E1 + E2 — regenerate the paper's Table 1 (queue operation durations) and
+//! the scheduler-function costs against this machine, then print the
+//! calibrated overhead model that the other experiments can use instead of
+//! the paper's hard-coded numbers.
+//!
+//! Run with `cargo run --release --example overhead_table`.
+
+use spms::overhead::{FunctionCosts, MeasurementConfig, QueueOpBenchmark};
+use spms::task::Time;
+
+fn main() {
+    let config = MeasurementConfig::default();
+
+    println!("=== Table 1: queue operation durations (this machine, user space) ===");
+    let table = QueueOpBenchmark::new(config).measure_table1();
+    println!("{}", table.render_markdown());
+    println!(
+        "paper (kernel space, Core-i7): ready add 1.5/3.3 us (N=4), 4.4/4.6 us (N=64); \
+         sleep add 2.5/2.9 us (N=4), 4.3/4.4 us (N=64)\n"
+    );
+
+    println!("=== scheduler function costs ===");
+    let functions = FunctionCosts::new(config).measure(64);
+    println!("{}", functions.render_markdown());
+
+    println!("=== calibrated overhead model (cache reload taken from the CRPD model) ===");
+    let model = functions.apply_to(
+        table.to_overhead_model(Time::from_micros(20), Time::from_micros(25)),
+    );
+    println!("{model:#?}");
+    let (delta, theta) = model.delta_theta();
+    println!("\nworst-case queue operations: delta = {delta}, theta = {theta}");
+    println!("per-job overhead of a normal task: {}", model.job_overhead_normal());
+    println!("extra overhead per split-task migration: {}", model.migration_overhead());
+}

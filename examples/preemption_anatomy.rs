@@ -1,0 +1,33 @@
+//! E3 — Figure 1: the annotated timeline of one preemption, showing where
+//! the release, scheduling, context-switch and cache overheads land.
+//!
+//! Run with `cargo run --release --example preemption_anatomy`.
+
+use spms::analysis::OverheadModel;
+use spms::experiments::PreemptionAnatomy;
+
+fn main() {
+    let anatomy = PreemptionAnatomy::new();
+    let with = anatomy.clone().run();
+    let without = anatomy.overhead(OverheadModel::zero()).run();
+
+    println!("=== Figure 1 scenario: tau1 (C=1ms, T=5ms) preempts tau2 (C=6ms, T=20ms) ===\n");
+    println!("--- timeline with the paper's measured overheads ---");
+    println!("{}", with.timeline);
+    println!("--- timeline without overheads ---");
+    println!("{}", without.timeline);
+
+    println!("preemptions per 20 ms window : {}", with.preemptions);
+    println!(
+        "overhead per release-preempt-resume episode: {}",
+        with.per_preemption_overhead
+    );
+    println!("total scheduler overhead in the window    : {}", with.total_overhead);
+    match (with.tau2_first_response, without.tau2_first_response) {
+        (Some(w), Some(wo)) => println!(
+            "response time of tau2's first job          : {} with overheads vs {} without",
+            w, wo
+        ),
+        _ => println!("tau2 did not complete inside the window"),
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: generate a random task set, partition it with FP-TS and FFD,
+//! compare the outcomes, and simulate the FP-TS partition for two seconds
+//! with the paper's measured overheads.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use spms::analysis::OverheadModel;
+use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::sim::{SimulationConfig, Simulator};
+use spms::task::{TaskSetGenerator, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A task set that is hard for plain partitioning: 12 tasks at 88% of a
+    // 4-core machine.
+    let tasks = TaskSetGenerator::new()
+        .task_count(12)
+        .total_utilization(3.55)
+        .seed(2011)
+        .generate()?;
+    println!(
+        "generated {} tasks, total utilization {:.3} (max per-task {:.3})",
+        tasks.len(),
+        tasks.total_utilization(),
+        tasks.max_utilization()
+    );
+
+    let overhead = OverheadModel::paper_n4();
+    let cores = 4;
+
+    let algorithms: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(PartitionedFixedPriority::ffd().with_overhead(overhead)),
+        Box::new(PartitionedFixedPriority::wfd().with_overhead(overhead)),
+        Box::new(SemiPartitionedFpTs::default().with_overhead(overhead)),
+    ];
+    for algorithm in &algorithms {
+        match algorithm.partition(&tasks, cores)? {
+            PartitionOutcome::Schedulable(partition) => {
+                println!(
+                    "{:<8} schedulable on {cores} cores | split tasks: {} | per-core utilization: {:?}",
+                    algorithm.name(),
+                    partition.split_count(),
+                    partition
+                        .core_utilizations()
+                        .iter()
+                        .map(|u| format!("{u:.2}"))
+                        .collect::<Vec<_>>()
+                );
+            }
+            PartitionOutcome::Unschedulable { reason } => {
+                println!("{:<8} unschedulable: {reason}", algorithm.name());
+            }
+        }
+    }
+
+    // Simulate the semi-partitioned schedule with overheads injected.
+    if let PartitionOutcome::Schedulable(partition) =
+        SemiPartitionedFpTs::default().partition(&tasks, cores)?
+    {
+        let report = Simulator::new(
+            &partition,
+            SimulationConfig::new(Time::from_secs(2)).with_overhead(overhead),
+        )
+        .run();
+        println!(
+            "\nsimulated 2 s: {} jobs released, {} completed, {} deadline misses, \
+             {} migrations, {} preemptions, overhead fraction {:.2}%",
+            report.jobs_released,
+            report.jobs_completed,
+            report.deadline_misses.len(),
+            report.migrations,
+            report.preemptions,
+            report.overhead_fraction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # spms — Semi-Partitioned Multi-core Scheduling
+//!
+//! Umbrella crate for the reproduction of *"Towards the Implementation and
+//! Evaluation of Semi-Partitioned Multi-Core Scheduling"* (Zhang, Guan, Yi —
+//! PPES 2011). It re-exports every workspace crate under one roof so that
+//! examples and downstream users need a single dependency:
+//!
+//! * [`task`] — sporadic task model and random task-set generation,
+//! * [`queues`] — binomial-heap ready queue and red-black-tree sleep queue,
+//! * [`cache`] — cache hierarchy and cache-related preemption/migration delay,
+//! * [`analysis`] — fixed-priority schedulability analysis and overhead-aware
+//!   WCET inflation,
+//! * [`core`] — the FP-TS semi-partitioned algorithm and the partitioned
+//!   baselines (FFD, WFD, ...),
+//! * [`global`] — global scheduling baselines (global RM / EDF tests and a
+//!   global scheduler simulator),
+//! * [`sim`] — the discrete-event multi-core scheduler simulator,
+//! * [`overhead`] — the overhead measurement harness (Table 1),
+//! * [`experiments`] — acceptance-ratio and sensitivity experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spms::task::{TaskSetGenerator, Time};
+//! use spms::core::{Partitioner, SemiPartitionedFpTs, PartitionOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let task_set = TaskSetGenerator::new()
+//!     .task_count(12)
+//!     .total_utilization(3.0)
+//!     .seed(1)
+//!     .generate()?;
+//! let algorithm = SemiPartitionedFpTs::default();
+//! match algorithm.partition(&task_set, 4)? {
+//!     PartitionOutcome::Schedulable(partition) => {
+//!         println!("schedulable on 4 cores with {} split tasks", partition.split_count());
+//!     }
+//!     PartitionOutcome::Unschedulable { .. } => println!("not schedulable"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use spms_analysis as analysis;
+pub use spms_cache as cache;
+pub use spms_core as core;
+pub use spms_experiments as experiments;
+pub use spms_global as global;
+pub use spms_overhead as overhead;
+pub use spms_queues as queues;
+pub use spms_sim as sim;
+pub use spms_task as task;

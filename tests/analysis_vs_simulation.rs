@@ -1,0 +1,135 @@
+//! E7 — cross-validation of the schedulability analysis against the
+//! discrete-event simulator: any task set accepted by the (overhead-aware)
+//! analysis must run without deadline misses when simulated, both for the
+//! partitioned baselines and for semi-partitioned FP-TS.
+
+use spms::analysis::OverheadModel;
+use spms::core::{
+    PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs,
+};
+use spms::sim::{SimulationConfig, Simulator};
+use spms::task::{TaskSetGenerator, Time};
+
+fn generator(seed: u64, utilization: f64) -> TaskSetGenerator {
+    TaskSetGenerator::new()
+        .task_count(12)
+        .total_utilization(utilization)
+        .seed(seed)
+}
+
+fn simulate_clean(partition: &spms::core::Partition, overhead: OverheadModel) {
+    let report = Simulator::new(
+        partition,
+        SimulationConfig::new(Time::from_secs(2)).with_overhead(overhead),
+    )
+    .run();
+    assert!(
+        report.no_deadline_misses(),
+        "simulation contradicts the analysis: {:?}",
+        report.deadline_misses
+    );
+    assert_eq!(report.jobs_released > 0, true);
+}
+
+#[test]
+fn ffd_accepted_sets_simulate_without_misses() {
+    let mut accepted = 0;
+    for seed in 0..15 {
+        let tasks = generator(seed, 3.0).generate().unwrap();
+        if let PartitionOutcome::Schedulable(partition) = PartitionedFixedPriority::ffd()
+            .with_overhead(OverheadModel::paper_n4())
+            .partition(&tasks, 4)
+            .unwrap()
+        {
+            accepted += 1;
+            simulate_clean(&partition, OverheadModel::zero());
+        }
+    }
+    assert!(accepted > 0, "the experiment never exercised a schedulable set");
+}
+
+#[test]
+fn wfd_accepted_sets_simulate_without_misses() {
+    let mut accepted = 0;
+    for seed in 100..110 {
+        let tasks = generator(seed, 2.8).generate().unwrap();
+        if let PartitionOutcome::Schedulable(partition) = PartitionedFixedPriority::wfd()
+            .with_overhead(OverheadModel::paper_n4())
+            .partition(&tasks, 4)
+            .unwrap()
+        {
+            accepted += 1;
+            simulate_clean(&partition, OverheadModel::zero());
+        }
+    }
+    assert!(accepted > 0);
+}
+
+#[test]
+fn fpts_accepted_sets_simulate_without_misses_including_split_tasks() {
+    // Exercise both split-placement policies: the default first-fit hybrid
+    // (splits only when a task fits nowhere whole) and Guan's next-fit scheme
+    // (splits whenever a processor fills up), which guarantees that split
+    // tasks — the paper's whole concern — are actually simulated.
+    let algorithms = [
+        SemiPartitionedFpTs::default(),
+        SemiPartitionedFpTs::next_fit_splitting(),
+    ];
+    let mut accepted = 0;
+    let mut with_splits = 0;
+    for algorithm in &algorithms {
+        for seed in 200..215 {
+            let tasks = generator(seed, 3.5).generate().unwrap();
+            if let PartitionOutcome::Schedulable(partition) = algorithm
+                .clone()
+                .with_overhead(OverheadModel::paper_n4())
+                .partition(&tasks, 4)
+                .unwrap()
+            {
+                accepted += 1;
+                if partition.split_count() > 0 {
+                    with_splits += 1;
+                }
+                simulate_clean(&partition, OverheadModel::zero());
+            }
+        }
+    }
+    assert!(accepted > 0);
+    assert!(
+        with_splits > 0,
+        "no split task was exercised at 87% normalized utilization"
+    );
+}
+
+#[test]
+fn overhead_aware_analysis_is_conservative_for_runtime_overheads() {
+    // Partitions accepted by the overhead-aware analysis (WCETs inflated by
+    // the measured per-job overhead) keep meeting deadlines even when the
+    // simulator additionally charges the overheads at run time. This is
+    // doubly conservative and therefore must hold.
+    for seed in 300..310 {
+        let tasks = generator(seed, 3.0).generate().unwrap();
+        let outcome = SemiPartitionedFpTs::default()
+            .with_overhead(OverheadModel::paper_n4())
+            .partition(&tasks, 4)
+            .unwrap();
+        if let PartitionOutcome::Schedulable(partition) = outcome {
+            simulate_clean(&partition, OverheadModel::paper_n4());
+        }
+    }
+}
+
+#[test]
+fn analysis_rejections_correspond_to_real_overload_when_demand_exceeds_capacity() {
+    // A set whose total utilization exceeds the platform cannot be saved by
+    // any algorithm, and simulating any forced placement shows misses.
+    let tasks: spms::task::TaskSet = (0..5)
+        .map(|i| {
+            spms::task::Task::new(i, Time::from_millis(9), Time::from_millis(10)).unwrap()
+        })
+        .collect();
+    let outcome = SemiPartitionedFpTs::default().partition(&tasks, 4).unwrap();
+    assert!(!outcome.is_schedulable());
+    let ffd = PartitionedFixedPriority::ffd().partition(&tasks, 4).unwrap();
+    assert!(!ffd.is_schedulable());
+}

@@ -1,0 +1,159 @@
+//! E10 — cross-paradigm integration tests: global vs. partitioned vs.
+//! semi-partitioned scheduling on the same task sets, exercising the public
+//! API of `spms::global`, `spms::core` and `spms::sim` together.
+
+use spms::core::{
+    PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedDmPm,
+    SemiPartitionedFpTs,
+};
+use spms::global::{GlobalPolicy, GlobalSchedulabilityTest, GlobalSimulator};
+use spms::sim::{SimulationConfig, Simulator};
+use spms::task::{PriorityAssignment, Task, TaskSet, TaskSetGenerator, Time};
+
+fn motivating_example() -> TaskSet {
+    let mut tasks: TaskSet = (0..3)
+        .map(|i| Task::new(i, Time::from_millis(6), Time::from_millis(10)).unwrap())
+        .collect();
+    tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+    tasks
+}
+
+#[test]
+fn only_semi_partitioned_scheduling_handles_the_motivating_example() {
+    let tasks = motivating_example();
+
+    // Partitioned: no assignment of three 60% tasks onto two cores exists.
+    assert!(!PartitionedFixedPriority::ffd()
+        .partition(&tasks, 2)
+        .unwrap()
+        .is_schedulable());
+
+    // Global EDF: the third job only receives a processor after 6 ms.
+    let global = GlobalSimulator::new(&tasks, 2, GlobalPolicy::Edf)
+        .duration(Time::from_millis(100))
+        .run();
+    assert!(!global.no_deadline_misses());
+
+    // Semi-partitioned: both FP-TS and DM-PM split one task and meet every
+    // deadline in simulation, with one migration per period of the split
+    // task.
+    for algorithm in [
+        &SemiPartitionedFpTs::default() as &dyn Partitioner,
+        &SemiPartitionedDmPm::new() as &dyn Partitioner,
+    ] {
+        let partition = algorithm
+            .partition(&tasks, 2)
+            .unwrap()
+            .into_partition()
+            .unwrap_or_else(|| panic!("{} must accept the motivating example", algorithm.name()));
+        assert_eq!(partition.split_count(), 1, "{}", algorithm.name());
+        let report = Simulator::new(
+            &partition,
+            SimulationConfig::new(Time::from_millis(100)),
+        )
+        .run();
+        assert!(
+            report.no_deadline_misses(),
+            "{}: {:?}",
+            algorithm.name(),
+            report.deadline_misses
+        );
+        assert_eq!(report.migrations, 10, "{}", algorithm.name());
+    }
+}
+
+#[test]
+fn semi_partitioned_analysis_accepts_more_than_the_global_sufficient_tests() {
+    let mut fpts = 0usize;
+    let mut best_global = 0usize;
+    for seed in 0..25u64 {
+        let mut tasks = TaskSetGenerator::new()
+            .task_count(16)
+            .total_utilization(3.4)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+        if SemiPartitionedFpTs::default()
+            .partition(&tasks, 4)
+            .unwrap()
+            .is_schedulable()
+        {
+            fpts += 1;
+        }
+        if [
+            GlobalSchedulabilityTest::GfbDensity,
+            GlobalSchedulabilityTest::BclFixedPriority,
+            GlobalSchedulabilityTest::RmUs,
+        ]
+        .iter()
+        .any(|t| t.accepts(&tasks, 4))
+        {
+            best_global += 1;
+        }
+    }
+    assert!(
+        fpts > best_global,
+        "FP-TS accepted {fpts}/25, the best global test accepted {best_global}/25"
+    );
+}
+
+#[test]
+fn dmpm_and_fpts_agree_with_ffd_on_easily_partitionable_sets() {
+    for seed in 0..10u64 {
+        let tasks = TaskSetGenerator::new()
+            .task_count(12)
+            .total_utilization(2.4)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        let ffd = PartitionedFixedPriority::ffd()
+            .partition(&tasks, 4)
+            .unwrap()
+            .is_schedulable();
+        let fpts = SemiPartitionedFpTs::default()
+            .partition(&tasks, 4)
+            .unwrap()
+            .is_schedulable();
+        let dmpm = SemiPartitionedDmPm::new()
+            .partition(&tasks, 4)
+            .unwrap()
+            .is_schedulable();
+        assert!(ffd, "seed {seed}: a 60%-loaded platform must be FFD-schedulable");
+        assert!(fpts, "seed {seed}");
+        assert!(dmpm, "seed {seed}");
+    }
+}
+
+#[test]
+fn global_simulation_and_partitioned_simulation_agree_on_light_sets() {
+    // A light set is schedulable under every paradigm; the simulators must
+    // both report zero misses.
+    for seed in 0..5u64 {
+        let mut tasks = TaskSetGenerator::new()
+            .task_count(8)
+            .total_utilization(1.6)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+
+        let global = GlobalSimulator::new(&tasks, 4, GlobalPolicy::FixedPriority)
+            .duration(Time::from_millis(500))
+            .run();
+        assert!(global.no_deadline_misses(), "seed {seed} (global)");
+
+        let PartitionOutcome::Schedulable(partition) = PartitionedFixedPriority::ffd()
+            .partition(&tasks, 4)
+            .unwrap()
+        else {
+            panic!("seed {seed}: light set must partition");
+        };
+        let partitioned = Simulator::new(
+            &partition,
+            SimulationConfig::new(Time::from_millis(500)),
+        )
+        .run();
+        assert!(partitioned.no_deadline_misses(), "seed {seed} (partitioned)");
+    }
+}
