@@ -91,7 +91,10 @@ pub fn is_edf_schedulable(tasks: &[Task]) -> bool {
     deadlines.sort_unstable();
     deadlines.dedup();
     for t in deadlines {
-        let demand: Time = tasks.iter().map(|task| demand_bound_function(task, t)).sum();
+        let demand: Time = tasks
+            .iter()
+            .map(|task| demand_bound_function(task, t))
+            .sum();
         if demand > t {
             return false;
         }
@@ -121,9 +124,18 @@ mod tests {
     fn dbf_steps_at_deadlines() {
         let t = task(0, 3, 10);
         assert_eq!(demand_bound_function(&t, Time::from_micros(0)), Time::ZERO);
-        assert_eq!(demand_bound_function(&t, Time::from_micros(10)), Time::from_micros(3));
-        assert_eq!(demand_bound_function(&t, Time::from_micros(19)), Time::from_micros(3));
-        assert_eq!(demand_bound_function(&t, Time::from_micros(20)), Time::from_micros(6));
+        assert_eq!(
+            demand_bound_function(&t, Time::from_micros(10)),
+            Time::from_micros(3)
+        );
+        assert_eq!(
+            demand_bound_function(&t, Time::from_micros(19)),
+            Time::from_micros(3)
+        );
+        assert_eq!(
+            demand_bound_function(&t, Time::from_micros(20)),
+            Time::from_micros(6)
+        );
     }
 
     #[test]

@@ -369,8 +369,12 @@ mod tests {
     #[test]
     fn split_scenarios_cost_more_than_normal() {
         let m = OverheadModel::paper_n4();
-        assert!(m.job_overhead(OverheadScenario::SplitBody) > m.job_overhead(OverheadScenario::Normal));
-        assert!(m.job_overhead(OverheadScenario::SplitTail) >= m.job_overhead(OverheadScenario::Normal));
+        assert!(
+            m.job_overhead(OverheadScenario::SplitBody) > m.job_overhead(OverheadScenario::Normal)
+        );
+        assert!(
+            m.job_overhead(OverheadScenario::SplitTail) >= m.job_overhead(OverheadScenario::Normal)
+        );
     }
 
     #[test]
@@ -423,8 +427,8 @@ mod tests {
 
     #[test]
     fn with_cache_reload_overrides_defaults() {
-        let m = OverheadModel::paper_n4()
-            .with_cache_reload(Time::from_micros(7), Time::from_micros(9));
+        let m =
+            OverheadModel::paper_n4().with_cache_reload(Time::from_micros(7), Time::from_micros(9));
         assert_eq!(m.cache_reload_local, Time::from_micros(7));
         assert_eq!(m.cache_reload_migration, Time::from_micros(9));
     }

@@ -64,10 +64,7 @@ pub fn response_time_with_blocking(task: &Task, hp: &[Task], blocking: Time) -> 
     // The recurrence is monotonically non-decreasing and bounded by the
     // deadline check, so it terminates; cap iterations defensively anyway.
     for _ in 0..10_000 {
-        let interference: Time = hp
-            .iter()
-            .map(|h| h.wcet() * r.div_ceil(h.period()))
-            .sum();
+        let interference: Time = hp.iter().map(|h| h.wcet() * r.div_ceil(h.period())).sum();
         let next = base + interference;
         if next > deadline {
             return None;

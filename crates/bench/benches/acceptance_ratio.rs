@@ -16,12 +16,16 @@ fn print_acceptance_tables() {
         .utilization_points(sweep.clone())
         .sets_per_point(40)
         .seed(2024);
-    println!("\n=== E5a: acceptance ratio without overhead (4 cores, 16 tasks/set, 40 sets/point) ===");
+    println!(
+        "\n=== E5a: acceptance ratio without overhead (4 cores, 16 tasks/set, 40 sets/point) ==="
+    );
     println!("{}", base.clone().run().render_markdown());
     println!("=== E5b: acceptance ratio with the measured N = 4 overheads ===");
     println!(
         "{}",
-        base.overhead(OverheadModel::paper_n4()).run().render_markdown()
+        base.overhead(OverheadModel::paper_n4())
+            .run()
+            .render_markdown()
     );
 }
 

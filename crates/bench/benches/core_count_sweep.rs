@@ -14,7 +14,9 @@ fn print_core_sweep_table() {
         .normalized_utilization(0.85)
         .sets_per_point(30)
         .seed(2024);
-    println!("\n=== E9: acceptance ratio vs core count (U/m = 0.85, 4 tasks/core, 30 sets/point) ===");
+    println!(
+        "\n=== E9: acceptance ratio vs core count (U/m = 0.85, 4 tasks/core, 30 sets/point) ==="
+    );
     println!("{}", sweep.run().render_markdown());
 }
 

@@ -44,8 +44,7 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| {
             let sim = Simulator::new(
                 black_box(&partition),
-                SimulationConfig::new(Time::from_secs(1))
-                    .with_overhead(OverheadModel::paper_n4()),
+                SimulationConfig::new(Time::from_secs(1)).with_overhead(OverheadModel::paper_n4()),
             );
             black_box(sim.run())
         });

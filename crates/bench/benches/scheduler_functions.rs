@@ -56,8 +56,7 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter(|| {
             let sim = Simulator::new(
                 black_box(&partition),
-                SimulationConfig::new(Time::from_secs(1))
-                    .with_overhead(OverheadModel::paper_n4()),
+                SimulationConfig::new(Time::from_secs(1)).with_overhead(OverheadModel::paper_n4()),
             );
             black_box(sim.run())
         });

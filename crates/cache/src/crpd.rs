@@ -150,7 +150,11 @@ impl CrpdModel {
                 let ws = WorkingSet::from_bytes(bytes);
                 // The preemptor is given an equally sized, disjoint working set.
                 let preemptor = WorkingSet::from_bytes(bytes).with_base(1 << 32);
-                (bytes, self.analytic(ws, preemptor), self.simulated(ws, preemptor))
+                (
+                    bytes,
+                    self.analytic(ws, preemptor),
+                    self.simulated(ws, preemptor),
+                )
             })
             .collect()
     }
@@ -211,7 +215,10 @@ mod tests {
     fn simulated_agrees_with_analytic_on_the_crossover_shape() {
         // Use the tiny hierarchy so the simulation stays fast.
         let m = CrpdModel::new(CacheHierarchyConfig::tiny_for_tests());
-        let small = m.simulated(WorkingSet::from_bytes(512), WorkingSet::from_bytes(512).with_base(1 << 20));
+        let small = m.simulated(
+            WorkingSet::from_bytes(512),
+            WorkingSet::from_bytes(512).with_base(1 << 20),
+        );
         let large = m.simulated(
             WorkingSet::from_bytes(16 * 1024),
             WorkingSet::from_bytes(16 * 1024).with_base(1 << 20),

@@ -203,7 +203,10 @@ mod tests {
         h.reset_stats();
         h.touch_working_set(0, &ws);
         let stats = h.stats();
-        assert!(stats.memory_accesses == 0, "second pass should stay on chip");
+        assert!(
+            stats.memory_accesses == 0,
+            "second pass should stay on chip"
+        );
         assert!(stats.l2_hits > 0, "some lines must have been evicted to L2");
     }
 

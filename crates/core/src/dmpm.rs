@@ -195,11 +195,11 @@ impl SemiPartitionedDmPm {
         let mut offset = Time::ZERO;
         let mut pieces: Vec<(usize, Task, Time)> = Vec::new();
 
-        for core in 0..cores {
+        for (core, bin) in bins.iter().enumerate().take(cores) {
             // Keep the promotion analysable: one body and one tail per core.
-            let hosts_body = bins[core].iter().any(PlacedTask::is_body);
-            let hosts_tail = bins[core].iter().any(PlacedTask::is_tail);
-            let core_tasks: Vec<Task> = bins[core].iter().map(|p| p.task.clone()).collect();
+            let hosts_body = bin.iter().any(PlacedTask::is_body);
+            let hosts_tail = bin.iter().any(PlacedTask::is_tail);
+            let core_tasks: Vec<Task> = bin.iter().map(|p| p.task.clone()).collect();
 
             // Try to finish the task here with a tail piece.
             if !hosts_tail {
@@ -254,11 +254,7 @@ impl SemiPartitionedDmPm {
 }
 
 impl Partitioner for SemiPartitionedDmPm {
-    fn partition(
-        &self,
-        tasks: &TaskSet,
-        cores: usize,
-    ) -> Result<PartitionOutcome, PartitionError> {
+    fn partition(&self, tasks: &TaskSet, cores: usize) -> Result<PartitionOutcome, PartitionError> {
         if cores == 0 {
             return Err(PartitionError::NoCores);
         }
@@ -300,8 +296,7 @@ impl Partitioner for SemiPartitionedDmPm {
                 });
             let whole_slot = analysis.as_ref().and_then(|analysis_task| {
                 (0..cores).find(|&c| {
-                    let mut candidate: Vec<Task> =
-                        bins[c].iter().map(|p| p.task.clone()).collect();
+                    let mut candidate: Vec<Task> = bins[c].iter().map(|p| p.task.clone()).collect();
                     candidate.push(analysis_task.clone());
                     self.test.accepts(&candidate)
                 })
@@ -530,7 +525,10 @@ mod tests {
             }
         }
         assert!(with <= without);
-        assert!(without - with <= 8, "overhead cost too high: {without} -> {with}");
+        assert!(
+            without - with <= 8,
+            "overhead cost too high: {without} -> {with}"
+        );
     }
 
     #[test]

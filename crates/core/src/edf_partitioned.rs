@@ -100,11 +100,7 @@ impl PartitionedEdf {
 }
 
 impl Partitioner for PartitionedEdf {
-    fn partition(
-        &self,
-        tasks: &TaskSet,
-        cores: usize,
-    ) -> Result<PartitionOutcome, PartitionError> {
+    fn partition(&self, tasks: &TaskSet, cores: usize) -> Result<PartitionOutcome, PartitionError> {
         if cores == 0 {
             return Err(PartitionError::NoCores);
         }
@@ -240,9 +236,14 @@ mod tests {
     fn edf_packs_each_core_to_full_utilization() {
         // Four 50% tasks with non-harmonic periods: EDF-FFD needs 2 cores,
         // fixed-priority FFD (RM, non-harmonic) needs 3.
-        let ts: TaskSet = [task(0, 5, 10), task(1, 7, 14), task(2, 5, 10), task(3, 7, 14)]
-            .into_iter()
-            .collect();
+        let ts: TaskSet = [
+            task(0, 5, 10),
+            task(1, 7, 14),
+            task(2, 5, 10),
+            task(3, 7, 14),
+        ]
+        .into_iter()
+        .collect();
         let edf = PartitionedEdf::ffd()
             .partition(&ts, 4)
             .unwrap()
@@ -271,7 +272,10 @@ mod tests {
     #[test]
     fn overhead_inflation_applies() {
         let ts: TaskSet = (0..10).map(|i| task(i, 95, 1_000)).collect();
-        assert!(PartitionedEdf::ffd().partition(&ts, 1).unwrap().is_schedulable());
+        assert!(PartitionedEdf::ffd()
+            .partition(&ts, 1)
+            .unwrap()
+            .is_schedulable());
         assert!(!PartitionedEdf::ffd()
             .with_overhead(OverheadModel::paper_n4())
             .partition(&ts, 1)
@@ -309,7 +313,11 @@ mod tests {
                 .seed(400 + seed)
                 .generate()
                 .unwrap();
-            if PartitionedEdf::ffd().partition(&ts, 4).unwrap().is_schedulable() {
+            if PartitionedEdf::ffd()
+                .partition(&ts, 4)
+                .unwrap()
+                .is_schedulable()
+            {
                 edf_accepted += 1;
             }
             if crate::PartitionedFixedPriority::ffd()
@@ -320,6 +328,9 @@ mod tests {
                 rm_accepted += 1;
             }
         }
-        assert!(edf_accepted >= rm_accepted, "EDF {edf_accepted} vs RM {rm_accepted}");
+        assert!(
+            edf_accepted >= rm_accepted,
+            "EDF {edf_accepted} vs RM {rm_accepted}"
+        );
     }
 }

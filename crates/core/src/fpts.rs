@@ -291,7 +291,7 @@ impl SemiPartitionedFpTs {
     fn spa1_pass(
         &self,
         tasks: &[Task],
-        bins: &mut Vec<Vec<PlacedTask>>,
+        bins: &mut [Vec<PlacedTask>],
         cores: usize,
     ) -> Result<(), String> {
         let mut current = 0usize;
@@ -361,8 +361,7 @@ impl SemiPartitionedFpTs {
                 // Otherwise carve out the largest body budget the processor
                 // currently being filled still accepts, close it, and
                 // continue with the remainder.
-                let core_tasks: Vec<Task> =
-                    bins[current].iter().map(|p| p.task.clone()).collect();
+                let core_tasks: Vec<Task> = bins[current].iter().map(|p| p.task.clone()).collect();
                 let already_hosts_piece = pieces.iter().any(|(c, _, _)| *c == current);
                 let piece_overhead = self.body_piece_overhead(pieces.len());
                 let deadline_room = task
@@ -460,7 +459,8 @@ impl SemiPartitionedFpTs {
                 .then_with(|| a.id().cmp(&b.id()))
         });
         for task in heavy {
-            let Ok(mut analysis_task) = task.with_wcet(task.wcet() + self.overhead.whole_job_inflation())
+            let Ok(mut analysis_task) =
+                task.with_wcet(task.wcet() + self.overhead.whole_job_inflation())
             else {
                 // A heavy task that cannot absorb the overhead is handed to
                 // the splitting pass, which will report it if it fits nowhere.
@@ -469,8 +469,7 @@ impl SemiPartitionedFpTs {
             };
             analysis_task.set_priority(Self::shifted_priority(task));
             let slot = (0..bins.len()).find(|&c| {
-                let mut candidate: Vec<Task> =
-                    bins[c].iter().map(|p| p.task.clone()).collect();
+                let mut candidate: Vec<Task> = bins[c].iter().map(|p| p.task.clone()).collect();
                 candidate.push(analysis_task.clone());
                 self.test.accepts(&candidate)
             });
@@ -491,11 +490,7 @@ impl SemiPartitionedFpTs {
 }
 
 impl Partitioner for SemiPartitionedFpTs {
-    fn partition(
-        &self,
-        tasks: &TaskSet,
-        cores: usize,
-    ) -> Result<PartitionOutcome, PartitionError> {
+    fn partition(&self, tasks: &TaskSet, cores: usize) -> Result<PartitionOutcome, PartitionError> {
         if cores == 0 {
             return Err(PartitionError::NoCores);
         }
@@ -588,7 +583,9 @@ mod tests {
     fn zero_cores_is_an_error() {
         let ts = set(vec![task(0, 1, 10)]);
         assert_eq!(
-            SemiPartitionedFpTs::default().partition(&ts, 0).unwrap_err(),
+            SemiPartitionedFpTs::default()
+                .partition(&ts, 0)
+                .unwrap_err(),
             PartitionError::NoCores
         );
     }
@@ -614,7 +611,9 @@ mod tests {
             task(2, 6_000, 10_000),
         ]);
         // Partitioned scheduling cannot do this.
-        let ffd = crate::PartitionedFixedPriority::ffd().partition(&ts, 2).unwrap();
+        let ffd = crate::PartitionedFixedPriority::ffd()
+            .partition(&ts, 2)
+            .unwrap();
         assert!(!ffd.is_schedulable());
         // FP-TS splits one of the tasks.
         let p = SemiPartitionedFpTs::default()
@@ -646,7 +645,9 @@ mod tests {
         for parent in 0..3u32 {
             let pieces: Vec<_> = p
                 .iter()
-                .filter(|(_, placed)| placed.parent == spms_task::TaskId(parent) && placed.is_split())
+                .filter(|(_, placed)| {
+                    placed.parent == spms_task::TaskId(parent) && placed.is_split()
+                })
                 .collect();
             if pieces.is_empty() {
                 continue;

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_task::{PriorityAssignment, Task, TaskSet};
 
-use crate::{
-    CoreId, Partition, PartitionError, PartitionOutcome, Partitioner, PlacedTask,
-};
+use crate::{CoreId, Partition, PartitionError, PartitionOutcome, Partitioner, PlacedTask};
 
 /// Which bin is chosen for a task among those whose acceptance test passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -172,11 +170,7 @@ impl PartitionedFixedPriority {
 }
 
 impl Partitioner for PartitionedFixedPriority {
-    fn partition(
-        &self,
-        tasks: &TaskSet,
-        cores: usize,
-    ) -> Result<PartitionOutcome, PartitionError> {
+    fn partition(&self, tasks: &TaskSet, cores: usize) -> Result<PartitionOutcome, PartitionError> {
         if cores == 0 {
             return Err(PartitionError::NoCores);
         }
@@ -274,7 +268,11 @@ impl Partitioner for PartitionedFixedPriority {
     }
 
     fn name(&self) -> String {
-        format!("{}{}", self.heuristic.short_name(), self.ordering.short_suffix())
+        format!(
+            "{}{}",
+            self.heuristic.short_name(),
+            self.ordering.short_suffix()
+        )
     }
 }
 
@@ -307,7 +305,9 @@ mod tests {
     fn zero_cores_is_an_error() {
         let ts = set(vec![task(0, 1, 10)]);
         assert_eq!(
-            PartitionedFixedPriority::ffd().partition(&ts, 0).unwrap_err(),
+            PartitionedFixedPriority::ffd()
+                .partition(&ts, 0)
+                .unwrap_err(),
             PartitionError::NoCores
         );
     }
@@ -355,7 +355,10 @@ mod tests {
             .unwrap();
         let ffd_used = ffd.core_utilizations().iter().filter(|&&u| u > 0.0).count();
         let wfd_used = wfd.core_utilizations().iter().filter(|&&u| u > 0.0).count();
-        assert!(ffd_used <= 2, "FFD should concentrate load, used {ffd_used}");
+        assert!(
+            ffd_used <= 2,
+            "FFD should concentrate load, used {ffd_used}"
+        );
         assert_eq!(wfd_used, 4, "WFD should spread load");
     }
 

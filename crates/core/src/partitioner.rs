@@ -55,8 +55,7 @@ pub trait Partitioner {
     /// Returns [`PartitionError`] only for invalid inputs (zero cores, a task
     /// set that fails validation). An unschedulable task set is reported
     /// through [`PartitionOutcome::Unschedulable`], not as an error.
-    fn partition(&self, tasks: &TaskSet, cores: usize)
-        -> Result<PartitionOutcome, PartitionError>;
+    fn partition(&self, tasks: &TaskSet, cores: usize) -> Result<PartitionOutcome, PartitionError>;
 
     /// Short algorithm name used in experiment reports (e.g. `"FP-TS"`,
     /// `"FFD"`, `"WFD"`).

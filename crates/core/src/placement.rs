@@ -123,18 +123,12 @@ impl PlacedTask {
 
     /// Whether this placement is a body subtask.
     pub fn is_body(&self) -> bool {
-        matches!(
-            self.split.as_ref().map(|s| s.kind),
-            Some(SubtaskKind::Body)
-        )
+        matches!(self.split.as_ref().map(|s| s.kind), Some(SubtaskKind::Body))
     }
 
     /// Whether this placement is a tail subtask.
     pub fn is_tail(&self) -> bool {
-        matches!(
-            self.split.as_ref().map(|s| s.kind),
-            Some(SubtaskKind::Tail)
-        )
+        matches!(self.split.as_ref().map(|s| s.kind), Some(SubtaskKind::Tail))
     }
 }
 
@@ -251,7 +245,10 @@ impl Partition {
         let mut chains: HashMap<TaskId, Vec<(CoreId, &PlacedTask)>> = HashMap::new();
         for (core, placed) in self.iter() {
             if placed.is_split() {
-                chains.entry(placed.parent).or_default().push((core, placed));
+                chains
+                    .entry(placed.parent)
+                    .or_default()
+                    .push((core, placed));
             }
         }
         for (parent, mut pieces) in chains {
@@ -326,6 +323,7 @@ mod tests {
         t
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn split_piece(
         parent: u32,
         budget_us: u64,

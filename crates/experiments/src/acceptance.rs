@@ -69,11 +69,7 @@ impl AcceptanceRatioResults {
         if self.points.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .points
-            .iter()
-            .filter_map(|p| p.ratio(algorithm))
-            .sum();
+        let sum: f64 = self.points.iter().filter_map(|p| p.ratio(algorithm)).sum();
         sum / self.points.len() as f64
     }
 

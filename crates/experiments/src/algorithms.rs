@@ -3,8 +3,7 @@
 use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_core::{
-    PartitionedEdf, PartitionedFixedPriority, Partitioner, SemiPartitionedDmPm,
-    SemiPartitionedFpTs,
+    PartitionedEdf, PartitionedFixedPriority, Partitioner, SemiPartitionedDmPm, SemiPartitionedFpTs,
 };
 
 /// Which algorithm a data series belongs to.
@@ -138,7 +137,10 @@ mod tests {
 
     #[test]
     fn lineup_matches_the_paper() {
-        let names: Vec<&str> = AlgorithmKind::paper_lineup().iter().map(|a| a.name()).collect();
+        let names: Vec<&str> = AlgorithmKind::paper_lineup()
+            .iter()
+            .map(|a| a.name())
+            .collect();
         assert_eq!(names, vec!["FP-TS", "FFD", "WFD"]);
     }
 

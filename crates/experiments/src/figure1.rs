@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn zero_overhead_scenario_has_zero_total_overhead() {
-        let report = PreemptionAnatomy::new().overhead(OverheadModel::zero()).run();
+        let report = PreemptionAnatomy::new()
+            .overhead(OverheadModel::zero())
+            .run();
         assert_eq!(report.total_overhead, Time::ZERO);
         assert!(report.preemptions >= 1);
     }

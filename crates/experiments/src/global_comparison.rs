@@ -340,8 +340,7 @@ mod tests {
         // partitioned and semi-partitioned approaches accept far more task
         // sets than the sufficient global tests at high utilization.
         let results = quick().run();
-        let fpts = results
-            .weighted_acceptance(ComparisonSeries::Partitioned(AlgorithmKind::FpTs));
+        let fpts = results.weighted_acceptance(ComparisonSeries::Partitioned(AlgorithmKind::FpTs));
         for global in [
             GlobalSchedulabilityTest::GfbDensity,
             GlobalSchedulabilityTest::BclFixedPriority,

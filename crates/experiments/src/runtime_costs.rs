@@ -52,11 +52,7 @@ impl RuntimeCostResults {
     }
 
     /// The sample of one algorithm at the point closest to `utilization`.
-    pub fn sample(
-        &self,
-        utilization: f64,
-        algorithm: AlgorithmKind,
-    ) -> Option<&RuntimeCostSample> {
+    pub fn sample(&self, utilization: f64, algorithm: AlgorithmKind) -> Option<&RuntimeCostSample> {
         self.samples
             .iter()
             .filter(|s| s.algorithm == algorithm)
@@ -248,8 +244,7 @@ impl RuntimeCostExperiment {
                     split_tasks += partition.split_count();
                     let report = Simulator::new(
                         &partition,
-                        SimulationConfig::new(self.simulation_window)
-                            .with_overhead(self.overhead),
+                        SimulationConfig::new(self.simulation_window).with_overhead(self.overhead),
                     )
                     .run();
                     preemptions += report.preemptions;
@@ -304,7 +299,11 @@ mod tests {
         // overheads injected.
         let results = quick().run();
         for s in results.samples() {
-            assert_eq!(s.miss_fraction, 0.0, "{} at {}", s.algorithm, s.normalized_utilization);
+            assert_eq!(
+                s.miss_fraction, 0.0,
+                "{} at {}",
+                s.algorithm, s.normalized_utilization
+            );
         }
     }
 
@@ -353,7 +352,11 @@ mod tests {
         let results = quick().run();
         let md = results.render_markdown();
         let csv = results.render_csv();
-        for kind in [AlgorithmKind::FpTs, AlgorithmKind::FpTsNextFit, AlgorithmKind::Ffd] {
+        for kind in [
+            AlgorithmKind::FpTs,
+            AlgorithmKind::FpTsNextFit,
+            AlgorithmKind::Ffd,
+        ] {
             assert!(md.contains(kind.name()));
             assert!(csv.contains(kind.name()));
         }

@@ -107,10 +107,7 @@ fn gfb_density(tasks: &[Task], cores: usize) -> bool {
         return true;
     }
     let total: f64 = tasks.iter().map(Task::density).sum();
-    let max = tasks
-        .iter()
-        .map(Task::density)
-        .fold(0.0_f64, f64::max);
+    let max = tasks.iter().map(Task::density).fold(0.0_f64, f64::max);
     total <= cores as f64 * (1.0 - max) + max + 1e-12
 }
 
@@ -136,9 +133,7 @@ fn workload_bound(task: &Task, window: Time) -> Time {
     let slack = task.deadline().saturating_sub(wcet);
     let extended = window + slack;
     let jobs = extended.div_floor(period);
-    let carry = extended.saturating_sub(Time::from_nanos(
-        jobs.saturating_mul(period.as_nanos()),
-    ));
+    let carry = extended.saturating_sub(Time::from_nanos(jobs.saturating_mul(period.as_nanos())));
     wcet.saturating_mul(jobs) + wcet.min(carry)
 }
 
@@ -315,9 +310,15 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(GlobalSchedulabilityTest::GfbDensity.to_string(), "G-EDF(GFB)");
+        assert_eq!(
+            GlobalSchedulabilityTest::GfbDensity.to_string(),
+            "G-EDF(GFB)"
+        );
         assert_eq!(GlobalSchedulabilityTest::RmUs.name(), "G-RM-US");
-        assert_eq!(GlobalSchedulabilityTest::BclFixedPriority.name(), "G-FP(BCL)");
+        assert_eq!(
+            GlobalSchedulabilityTest::BclFixedPriority.name(),
+            "G-FP(BCL)"
+        );
         assert_eq!(
             GlobalSchedulabilityTest::default(),
             GlobalSchedulabilityTest::GfbDensity

@@ -406,10 +406,7 @@ mod tests {
             !report.no_deadline_misses(),
             "Dhall's effect should make the heavy task miss"
         );
-        assert!(report
-            .deadline_misses
-            .iter()
-            .all(|m| m.task == TaskId(2)));
+        assert!(report.deadline_misses.iter().all(|m| m.task == TaskId(2)));
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl FunctionCosts {
         FunctionCostReport {
             release: DurationStats::from_samples(&self.measure_release(tasks_per_core)),
             schedule: DurationStats::from_samples(&self.measure_schedule(tasks_per_core)),
-            context_switch: DurationStats::from_samples(&self.measure_context_switch(tasks_per_core)),
+            context_switch: DurationStats::from_samples(
+                &self.measure_context_switch(tasks_per_core),
+            ),
         }
     }
 

@@ -350,8 +350,8 @@ impl QueueOpBenchmark {
         let stop = AtomicBool::new(false);
         let total = self.total_iterations();
         let mut samples = Vec::with_capacity(total);
-        crossbeam::scope(|scope| {
-            scope.spawn(|_| {
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     {
@@ -371,8 +371,7 @@ impl QueueOpBenchmark {
                 samples.push(start.elapsed());
             }
             stop.store(true, Ordering::Relaxed);
-        })
-        .expect("contender thread does not panic");
+        });
         self.keep_measured(samples)
     }
 }
@@ -392,10 +391,18 @@ mod tests {
     fn table_has_all_cells_for_paper_sizes() {
         let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4]);
         assert_eq!(table.rows().len(), 6);
-        assert!(table.get(QueueOp::ReadyQueueAdd, 4, Locality::Local).is_some());
-        assert!(table.get(QueueOp::ReadyQueueAdd, 4, Locality::Remote).is_some());
-        assert!(table.get(QueueOp::SleepQueueDelete, 4, Locality::Local).is_some());
-        assert!(table.get(QueueOp::SleepQueueDelete, 4, Locality::Remote).is_none());
+        assert!(table
+            .get(QueueOp::ReadyQueueAdd, 4, Locality::Local)
+            .is_some());
+        assert!(table
+            .get(QueueOp::ReadyQueueAdd, 4, Locality::Remote)
+            .is_some());
+        assert!(table
+            .get(QueueOp::SleepQueueDelete, 4, Locality::Local)
+            .is_some());
+        assert!(table
+            .get(QueueOp::SleepQueueDelete, 4, Locality::Remote)
+            .is_none());
     }
 
     #[test]
@@ -427,8 +434,7 @@ mod tests {
     #[test]
     fn overhead_model_from_measurements() {
         let table = QueueOpBenchmark::new(quick_config()).measure_for_sizes(&[4]);
-        let model =
-            table.to_overhead_model(Time::from_micros(20), Time::from_micros(25));
+        let model = table.to_overhead_model(Time::from_micros(20), Time::from_micros(25));
         assert!(model.ready_queue_add_local > Time::ZERO);
         assert!(model.sleep_queue_delete > Time::ZERO);
         assert_eq!(model.cache_reload_local, Time::from_micros(20));

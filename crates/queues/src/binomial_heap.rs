@@ -295,7 +295,10 @@ impl<T: Ord + fmt::Debug> fmt::Debug for BinomialHeap<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BinomialHeap")
             .field("len", &self.len)
-            .field("orders", &self.roots.iter().map(|r| r.order).collect::<Vec<_>>())
+            .field(
+                "orders",
+                &self.roots.iter().map(|r| r.order).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

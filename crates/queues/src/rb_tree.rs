@@ -159,7 +159,10 @@ impl<K: Ord, V> RbTree<K, V> {
         let m = self.minimum(self.root);
         Some((
             self.slots[m].key.as_ref().expect("non-sentinel has key"),
-            self.slots[m].value.as_ref().expect("non-sentinel has value"),
+            self.slots[m]
+                .value
+                .as_ref()
+                .expect("non-sentinel has value"),
         ))
     }
 
@@ -173,8 +176,14 @@ impl<K: Ord, V> RbTree<K, V> {
             cursor = self.slots[cursor].right;
         }
         Some((
-            self.slots[cursor].key.as_ref().expect("non-sentinel has key"),
-            self.slots[cursor].value.as_ref().expect("non-sentinel has value"),
+            self.slots[cursor]
+                .key
+                .as_ref()
+                .expect("non-sentinel has key"),
+            self.slots[cursor]
+                .value
+                .as_ref()
+                .expect("non-sentinel has value"),
         ))
     }
 
@@ -511,8 +520,16 @@ impl<K: Ord, V> RbTree<K, V> {
         let left = self.slots[idx].left;
         let right = self.slots[idx].right;
         if self.slots[idx].color == Color::Red {
-            assert_eq!(self.slots[left].color, Color::Black, "red node has red child");
-            assert_eq!(self.slots[right].color, Color::Black, "red node has red child");
+            assert_eq!(
+                self.slots[left].color,
+                Color::Black,
+                "red node has red child"
+            );
+            assert_eq!(
+                self.slots[right].color,
+                Color::Black,
+                "red node has red child"
+            );
         }
         if left != NIL {
             assert_eq!(self.slots[left].parent, idx, "parent pointer consistent");
@@ -663,7 +680,10 @@ mod tests {
             t.insert(i, ());
         }
         t.check_invariants();
-        assert_eq!(t.keys().copied().collect::<Vec<_>>(), (0..1_000).collect::<Vec<_>>());
+        assert_eq!(
+            t.keys().copied().collect::<Vec<_>>(),
+            (0..1_000).collect::<Vec<_>>()
+        );
     }
 
     #[test]

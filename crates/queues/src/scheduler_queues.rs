@@ -172,7 +172,9 @@ impl<K: Ord, T> Default for SleepQueue<K, T> {
 impl<K: Ord, T> SleepQueue<K, T> {
     /// Creates an empty sleep queue.
     pub fn new() -> Self {
-        SleepQueue { tree: RbTree::new() }
+        SleepQueue {
+            tree: RbTree::new(),
+        }
     }
 
     /// Number of sleeping tasks.
@@ -220,7 +222,9 @@ impl<K: Ord, T> SleepQueue<K, T> {
 
 impl<K: Ord + fmt::Debug, T: fmt::Debug> fmt::Debug for SleepQueue<K, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SleepQueue").field("len", &self.len()).finish()
+        f.debug_struct("SleepQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -131,7 +131,10 @@ mod tests {
             deadline: Time::from_millis(10),
             completion: Some(Time::from_millis(12)),
         };
-        assert_eq!(finished.tardiness(Time::from_millis(100)), Time::from_millis(2));
+        assert_eq!(
+            finished.tardiness(Time::from_millis(100)),
+            Time::from_millis(2)
+        );
         let unfinished = DeadlineMiss {
             completion: None,
             ..finished

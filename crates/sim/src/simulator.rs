@@ -198,7 +198,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn process_slice_ends(&mut self) {
-        while let Some(Reverse(ev)) = self.slice_events.peek().copied().map(Reverse::into) {
+        while let Some(Reverse(ev)) = self.slice_events.peek().copied() {
             if ev.time != self.now {
                 break;
             }
@@ -281,10 +281,10 @@ impl Simulator {
         if let (Some(running), Some((head_key, _))) =
             (self.cores[core].running, self.cores[core].ready.peek())
         {
-            let running_priority =
-                self.chains[self.jobs[running.job].chain].pieces[self.jobs[running.job].piece]
-                    .priority
-                    .level();
+            let running_priority = self.chains[self.jobs[running.job].chain].pieces
+                [self.jobs[running.job].piece]
+                .priority
+                .level();
             if head_key.0 < running_priority {
                 self.preempt(core, running);
             }
@@ -308,7 +308,9 @@ impl Simulator {
         let priority = self.chains[job.chain].pieces[job.piece].priority.level();
         let parent = self.chains[job.chain].parent;
         self.seq += 1;
-        self.cores[core].ready.add((priority, self.seq), running.job);
+        self.cores[core]
+            .ready
+            .add((priority, self.seq), running.job);
         self.cores[core].running = None;
         self.cores[core].token += 1; // invalidate the outstanding slice end
         self.cores[core].stats.preemptions += 1;
@@ -483,7 +485,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spms_core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+    use spms_core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
     use spms_task::{Priority, Task, TaskSet, TaskSetGenerator};
 
     fn simple_chain(
@@ -533,7 +535,11 @@ mod tests {
         )
         .run();
         assert!(report.no_deadline_misses());
-        assert!(report.preemptions >= 2, "preemptions = {}", report.preemptions);
+        assert!(
+            report.preemptions >= 2,
+            "preemptions = {}",
+            report.preemptions
+        );
         assert!(report.trace.of_kind(TraceEventKind::Preempt).count() >= 2);
     }
 
@@ -562,8 +568,15 @@ mod tests {
             .expect("schedulable");
         let report =
             Simulator::new(&partition, SimulationConfig::new(Time::from_millis(100))).run();
-        assert!(report.no_deadline_misses(), "misses: {:?}", report.deadline_misses);
-        assert_eq!(report.migrations, 10, "one migration per period of the split task");
+        assert!(
+            report.no_deadline_misses(),
+            "misses: {:?}",
+            report.deadline_misses
+        );
+        assert_eq!(
+            report.migrations, 10,
+            "one migration per period of the split task"
+        );
         assert_eq!(report.jobs_released, 33);
         assert_eq!(report.jobs_completed, 30);
     }
@@ -639,11 +652,8 @@ mod tests {
             // The partition's WCETs are already inflated by the analysis;
             // injecting the overheads again at run time is doubly
             // conservative, so the absence of misses is a strong check.
-            let report = Simulator::new(
-                &partition,
-                SimulationConfig::new(Time::from_secs(1)),
-            )
-            .run();
+            let report =
+                Simulator::new(&partition, SimulationConfig::new(Time::from_secs(1))).run();
             assert!(
                 report.no_deadline_misses(),
                 "seed {seed}: {:?}",
@@ -670,8 +680,7 @@ mod tests {
     #[test]
     fn duration_zero_releases_nothing_but_time_zero_jobs() {
         let chains = vec![simple_chain(0, 2, 10, 0, 0)];
-        let report =
-            Simulator::from_chains(chains, 1, SimulationConfig::new(Time::ZERO)).run();
+        let report = Simulator::from_chains(chains, 1, SimulationConfig::new(Time::ZERO)).run();
         // Only the synchronous release at t = 0 happens and the job cannot
         // finish within a zero-length window.
         assert_eq!(report.jobs_released, 1);

@@ -74,7 +74,10 @@ impl fmt::Display for TaskError {
                 "task {task} has relative deadline {deadline} larger than its period {period}"
             ),
             TaskError::DuplicateTaskId { task } => {
-                write!(f, "task identifier {task} appears more than once in the task set")
+                write!(
+                    f,
+                    "task identifier {task} appears more than once in the task set"
+                )
             }
             TaskError::InvalidGeneratorConfig { reason } => {
                 write!(f, "invalid task-set generator configuration: {reason}")

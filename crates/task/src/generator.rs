@@ -101,11 +101,7 @@ impl PeriodDistribution {
             PeriodDistribution::LogUniform { min, max } => {
                 let lo = (min.as_nanos() as f64).ln();
                 let hi = (max.as_nanos() as f64).ln();
-                let v = if hi > lo {
-                    rng.gen_range(lo..=hi)
-                } else {
-                    lo
-                };
+                let v = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
                 Time::from_nanos(v.exp().round() as u64)
             }
             PeriodDistribution::Uniform { min, max } => {
@@ -256,7 +252,12 @@ impl TaskSetGenerator {
     pub fn generate_many(&self, count: usize) -> Result<Vec<TaskSet>, TaskError> {
         (0..count)
             .map(|i| {
-                let cfg = self.clone().seed(self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64));
+                let cfg = self.clone().seed(
+                    self.seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                );
                 cfg.generate()
             })
             .collect()
@@ -421,7 +422,10 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic_for_a_seed() {
-        let gen = TaskSetGenerator::new().task_count(12).total_utilization(3.0).seed(7);
+        let gen = TaskSetGenerator::new()
+            .task_count(12)
+            .total_utilization(3.0)
+            .seed(7);
         let a = gen.generate().unwrap();
         let b = gen.generate().unwrap();
         assert_eq!(a, b);
@@ -474,7 +478,11 @@ mod tests {
 
     #[test]
     fn choice_periods_only_use_candidates() {
-        let periods = vec![Time::from_millis(10), Time::from_millis(20), Time::from_millis(40)];
+        let periods = vec![
+            Time::from_millis(10),
+            Time::from_millis(20),
+            Time::from_millis(40),
+        ];
         let gen = TaskSetGenerator::new()
             .task_count(30)
             .total_utilization(2.0)
@@ -518,7 +526,10 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         assert!(TaskSetGenerator::new().task_count(0).generate().is_err());
-        assert!(TaskSetGenerator::new().total_utilization(-1.0).generate().is_err());
+        assert!(TaskSetGenerator::new()
+            .total_utilization(-1.0)
+            .generate()
+            .is_err());
         assert!(TaskSetGenerator::new()
             .task_count(2)
             .total_utilization(3.0)

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Priority::new(3).to_string(), "P3");
-        assert_eq!(PriorityAssignment::RateMonotonic.to_string(), "rate-monotonic");
+        assert_eq!(
+            PriorityAssignment::RateMonotonic.to_string(),
+            "rate-monotonic"
+        );
     }
 
     #[test]

@@ -95,10 +95,7 @@ impl TaskSet {
 
     /// The largest individual task utilization, or 0.0 for an empty set.
     pub fn max_utilization(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(Task::utilization)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(Task::utilization).fold(0.0, f64::max)
     }
 
     /// Sum of per-task densities `Σ C_i / D_i`.
@@ -171,7 +168,8 @@ impl TaskSet {
     ///
     /// Tasks without an assigned priority sort last.
     pub fn sort_by_priority(&mut self) {
-        self.tasks.sort_by_key(|t| (t.priority().unwrap_or(Priority::LOWEST), t.id()));
+        self.tasks
+            .sort_by_key(|t| (t.priority().unwrap_or(Priority::LOWEST), t.id()));
     }
 
     /// Sorts the tasks in place by increasing priority (lowest first), the
@@ -255,7 +253,12 @@ impl<'a> IntoIterator for &'a TaskSet {
 
 impl fmt::Display for TaskSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TaskSet[n={}, U={:.3}]", self.len(), self.total_utilization())
+        write!(
+            f,
+            "TaskSet[n={}, U={:.3}]",
+            self.len(),
+            self.total_utilization()
+        )
     }
 }
 
@@ -298,9 +301,18 @@ mod tests {
     fn rate_monotonic_assignment_orders_by_period() {
         let mut ts: TaskSet = [t(0, 1, 20), t(1, 1, 5), t(2, 1, 10)].into_iter().collect();
         ts.assign_priorities(PriorityAssignment::RateMonotonic);
-        assert_eq!(ts.get(TaskId(1)).unwrap().priority(), Some(Priority::new(0)));
-        assert_eq!(ts.get(TaskId(2)).unwrap().priority(), Some(Priority::new(1)));
-        assert_eq!(ts.get(TaskId(0)).unwrap().priority(), Some(Priority::new(2)));
+        assert_eq!(
+            ts.get(TaskId(1)).unwrap().priority(),
+            Some(Priority::new(0))
+        );
+        assert_eq!(
+            ts.get(TaskId(2)).unwrap().priority(),
+            Some(Priority::new(1))
+        );
+        assert_eq!(
+            ts.get(TaskId(0)).unwrap().priority(),
+            Some(Priority::new(2))
+        );
     }
 
     #[test]
@@ -314,16 +326,28 @@ mod tests {
         let b = t(1, 1, 10);
         let mut ts: TaskSet = [a, b].into_iter().collect();
         ts.assign_priorities(PriorityAssignment::DeadlineMonotonic);
-        assert_eq!(ts.get(TaskId(0)).unwrap().priority(), Some(Priority::new(0)));
-        assert_eq!(ts.get(TaskId(1)).unwrap().priority(), Some(Priority::new(1)));
+        assert_eq!(
+            ts.get(TaskId(0)).unwrap().priority(),
+            Some(Priority::new(0))
+        );
+        assert_eq!(
+            ts.get(TaskId(1)).unwrap().priority(),
+            Some(Priority::new(1))
+        );
     }
 
     #[test]
     fn rm_ties_broken_by_id() {
         let mut ts: TaskSet = [t(5, 1, 10), t(2, 1, 10)].into_iter().collect();
         ts.assign_priorities(PriorityAssignment::RateMonotonic);
-        assert_eq!(ts.get(TaskId(2)).unwrap().priority(), Some(Priority::new(0)));
-        assert_eq!(ts.get(TaskId(5)).unwrap().priority(), Some(Priority::new(1)));
+        assert_eq!(
+            ts.get(TaskId(2)).unwrap().priority(),
+            Some(Priority::new(0))
+        );
+        assert_eq!(
+            ts.get(TaskId(5)).unwrap().priority(),
+            Some(Priority::new(1))
+        );
     }
 
     #[test]
@@ -334,13 +358,21 @@ mod tests {
         b.set_priority(Priority::new(7));
         let mut ts: TaskSet = [a, b].into_iter().collect();
         ts.assign_priorities(PriorityAssignment::Explicit);
-        assert_eq!(ts.get(TaskId(1)).unwrap().priority(), Some(Priority::new(0)));
-        assert_eq!(ts.get(TaskId(0)).unwrap().priority(), Some(Priority::new(1)));
+        assert_eq!(
+            ts.get(TaskId(1)).unwrap().priority(),
+            Some(Priority::new(0))
+        );
+        assert_eq!(
+            ts.get(TaskId(0)).unwrap().priority(),
+            Some(Priority::new(1))
+        );
     }
 
     #[test]
     fn sort_by_utilization_desc_orders_ffd_style() {
-        let mut ts: TaskSet = [t(0, 1, 10), t(1, 5, 10), t(2, 3, 10)].into_iter().collect();
+        let mut ts: TaskSet = [t(0, 1, 10), t(1, 5, 10), t(2, 3, 10)]
+            .into_iter()
+            .collect();
         ts.sort_by_utilization_desc();
         let ids: Vec<u32> = ts.iter().map(|t| t.id().0).collect();
         assert_eq!(ids, vec![1, 2, 0]);
@@ -372,7 +404,10 @@ mod tests {
     fn scale_wcets_clamps_to_deadline() {
         let ts = sample_set();
         let doubled = ts.scale_wcets(2.0);
-        assert!((doubled.total_utilization() - 0.5 - 0.25).abs() < 1e-9 || doubled.total_utilization() > 0.0);
+        assert!(
+            (doubled.total_utilization() - 0.5 - 0.25).abs() < 1e-9
+                || doubled.total_utilization() > 0.0
+        );
         let huge = ts.scale_wcets(100.0);
         for task in &huge {
             assert!(task.wcet() <= task.deadline());

@@ -222,11 +222,11 @@ impl fmt::Display for Time {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{}ns", ns)
@@ -381,9 +381,13 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let total: Time = [Time::from_micros(1), Time::from_micros(2), Time::from_micros(3)]
-            .into_iter()
-            .sum();
+        let total: Time = [
+            Time::from_micros(1),
+            Time::from_micros(2),
+            Time::from_micros(3),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, Time::from_micros(6));
     }
 

@@ -20,7 +20,9 @@ fn main() {
         .sets_per_point(sets)
         .seed(2011);
 
-    println!("=== acceptance ratio, no overhead ({sets} sets/point, {tasks} tasks/set, 4 cores) ===");
+    println!(
+        "=== acceptance ratio, no overhead ({sets} sets/point, {tasks} tasks/set, 4 cores) ==="
+    );
     let ideal = base.clone().run();
     println!("{}", ideal.render_markdown());
 

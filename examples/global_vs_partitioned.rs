@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release --example global_vs_partitioned`.
 
-use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
 use spms::experiments::GlobalComparisonExperiment;
 use spms::global::{GlobalPolicy, GlobalSimulator};
 use spms::sim::{SimulationConfig, Simulator};
@@ -38,10 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Partitioned: no assignment exists.
     let ffd = PartitionedFixedPriority::ffd().partition(&tasks, 2)?;
-    println!("FFD:   {}", match ffd {
-        PartitionOutcome::Schedulable(_) => "schedulable".to_owned(),
-        PartitionOutcome::Unschedulable { reason } => format!("unschedulable ({reason})"),
-    });
+    println!(
+        "FFD:   {}",
+        match ffd {
+            PartitionOutcome::Schedulable(_) => "schedulable".to_owned(),
+            PartitionOutcome::Unschedulable { reason } => format!("unschedulable ({reason})"),
+        }
+    );
 
     // Global EDF: simulate and count the misses.
     let global = GlobalSimulator::new(&tasks, 2, GlobalPolicy::Edf)
@@ -56,11 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Semi-partitioned FP-TS: split one task, simulate, count migrations.
     match SemiPartitionedFpTs::default().partition(&tasks, 2)? {
         PartitionOutcome::Schedulable(partition) => {
-            let report = Simulator::new(
-                &partition,
-                SimulationConfig::new(Time::from_millis(200)),
-            )
-            .run();
+            let report =
+                Simulator::new(&partition, SimulationConfig::new(Time::from_millis(200))).run();
             println!(
                 "FP-TS: schedulable with {} split task(s); simulation: {} misses, {} migrations",
                 partition.split_count(),

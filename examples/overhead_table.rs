@@ -24,12 +24,17 @@ fn main() {
     println!("{}", functions.render_markdown());
 
     println!("=== calibrated overhead model (cache reload taken from the CRPD model) ===");
-    let model = functions.apply_to(
-        table.to_overhead_model(Time::from_micros(20), Time::from_micros(25)),
-    );
+    let model =
+        functions.apply_to(table.to_overhead_model(Time::from_micros(20), Time::from_micros(25)));
     println!("{model:#?}");
     let (delta, theta) = model.delta_theta();
     println!("\nworst-case queue operations: delta = {delta}, theta = {theta}");
-    println!("per-job overhead of a normal task: {}", model.job_overhead_normal());
-    println!("extra overhead per split-task migration: {}", model.migration_overhead());
+    println!(
+        "per-job overhead of a normal task: {}",
+        model.job_overhead_normal()
+    );
+    println!(
+        "extra overhead per split-task migration: {}",
+        model.migration_overhead()
+    );
 }

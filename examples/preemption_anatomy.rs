@@ -22,7 +22,10 @@ fn main() {
         "overhead per release-preempt-resume episode: {}",
         with.per_preemption_overhead
     );
-    println!("total scheduler overhead in the window    : {}", with.total_overhead);
+    println!(
+        "total scheduler overhead in the window    : {}",
+        with.total_overhead
+    );
     match (with.tau2_first_response, without.tau2_first_response) {
         (Some(w), Some(wo)) => println!(
             "response time of tau2's first job          : {} with overheads vs {} without",

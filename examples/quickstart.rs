@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use spms::analysis::OverheadModel;
-use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
 use spms::sim::{SimulationConfig, Simulator};
 use spms::task::{TaskSetGenerator, Time};
 

@@ -14,8 +14,14 @@ fn main() {
     let sets = if quick { 10 } else { 40 };
 
     for (label, overhead) in [
-        ("measured overheads, N = 4 tasks per core", OverheadModel::paper_n4()),
-        ("measured overheads, N = 64 tasks per core", OverheadModel::paper_n64()),
+        (
+            "measured overheads, N = 4 tasks per core",
+            OverheadModel::paper_n4(),
+        ),
+        (
+            "measured overheads, N = 64 tasks per core",
+            OverheadModel::paper_n64(),
+        ),
     ] {
         println!("=== run-time cost with {label} ({sets} sets/point, 4 cores, 1 s windows) ===");
         let results = RuntimeCostExperiment::new()

@@ -4,9 +4,7 @@
 //! partitioned baselines and for semi-partitioned FP-TS.
 
 use spms::analysis::OverheadModel;
-use spms::core::{
-    PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs,
-};
+use spms::core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
 use spms::sim::{SimulationConfig, Simulator};
 use spms::task::{TaskSetGenerator, Time};
 
@@ -28,7 +26,7 @@ fn simulate_clean(partition: &spms::core::Partition, overhead: OverheadModel) {
         "simulation contradicts the analysis: {:?}",
         report.deadline_misses
     );
-    assert_eq!(report.jobs_released > 0, true);
+    assert!(report.jobs_released > 0);
 }
 
 #[test]
@@ -45,7 +43,10 @@ fn ffd_accepted_sets_simulate_without_misses() {
             simulate_clean(&partition, OverheadModel::zero());
         }
     }
-    assert!(accepted > 0, "the experiment never exercised a schedulable set");
+    assert!(
+        accepted > 0,
+        "the experiment never exercised a schedulable set"
+    );
 }
 
 #[test]
@@ -124,12 +125,12 @@ fn analysis_rejections_correspond_to_real_overload_when_demand_exceeds_capacity(
     // A set whose total utilization exceeds the platform cannot be saved by
     // any algorithm, and simulating any forced placement shows misses.
     let tasks: spms::task::TaskSet = (0..5)
-        .map(|i| {
-            spms::task::Task::new(i, Time::from_millis(9), Time::from_millis(10)).unwrap()
-        })
+        .map(|i| spms::task::Task::new(i, Time::from_millis(9), Time::from_millis(10)).unwrap())
         .collect();
     let outcome = SemiPartitionedFpTs::default().partition(&tasks, 4).unwrap();
     assert!(!outcome.is_schedulable());
-    let ffd = PartitionedFixedPriority::ffd().partition(&tasks, 4).unwrap();
+    let ffd = PartitionedFixedPriority::ffd()
+        .partition(&tasks, 4)
+        .unwrap();
     assert!(!ffd.is_schedulable());
 }

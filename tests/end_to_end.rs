@@ -2,7 +2,7 @@
 //! partitioning → analysis → simulation → experiment reporting.
 
 use spms::analysis::{OverheadModel, UniprocessorTest};
-use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
 use spms::experiments::{
     AcceptanceRatioExperiment, AlgorithmKind, CacheCrossoverExperiment, PreemptionAnatomy,
 };
@@ -55,8 +55,9 @@ fn partitioned_algorithms_never_migrate_and_fpts_migrates_only_split_tasks() {
         .generate()
         .unwrap();
 
-    if let PartitionOutcome::Schedulable(p) =
-        PartitionedFixedPriority::ffd().partition(&tasks, 4).unwrap()
+    if let PartitionOutcome::Schedulable(p) = PartitionedFixedPriority::ffd()
+        .partition(&tasks, 4)
+        .unwrap()
     {
         let report = Simulator::new(&p, SimulationConfig::new(Time::from_millis(500))).run();
         assert_eq!(report.migrations, 0, "partitioned tasks never migrate");
@@ -81,7 +82,11 @@ fn acceptance_experiment_orders_algorithms_like_the_paper() {
         .tasks_per_set(12)
         .utilization_points(vec![0.7, 0.95])
         .sets_per_point(15)
-        .algorithms(vec![AlgorithmKind::FpTs, AlgorithmKind::Ffd, AlgorithmKind::Wfd])
+        .algorithms(vec![
+            AlgorithmKind::FpTs,
+            AlgorithmKind::Ffd,
+            AlgorithmKind::Wfd,
+        ])
         .seed(9)
         .run();
     // At moderate utilization everyone is fine.
@@ -104,13 +109,19 @@ fn overhead_aware_and_ideal_analyses_agree_on_easy_sets() {
         .seed(5)
         .generate()
         .unwrap();
-    for overhead in [OverheadModel::zero(), OverheadModel::paper_n4(), OverheadModel::paper_n64()]
-    {
+    for overhead in [
+        OverheadModel::zero(),
+        OverheadModel::paper_n4(),
+        OverheadModel::paper_n64(),
+    ] {
         let outcome = SemiPartitionedFpTs::default()
             .with_overhead(overhead)
             .partition(&tasks, 4)
             .unwrap();
-        assert!(outcome.is_schedulable(), "a 40% loaded platform is always fine");
+        assert!(
+            outcome.is_schedulable(),
+            "a 40% loaded platform is always fine"
+        );
     }
 }
 

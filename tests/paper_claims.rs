@@ -98,8 +98,16 @@ fn measured_queue_operations_are_fast_and_scale_mildly() {
         let n64 = table.get(op, 64, Locality::Local).expect("measured");
         // Everything is sub-10µs in user space on a modern machine — the same
         // order of magnitude as the paper's kernel measurements.
-        assert!(n4.stats.mean_ns < 10_000.0, "{op:?} N=4 mean {}", n4.stats.mean_ns);
-        assert!(n64.stats.mean_ns < 10_000.0, "{op:?} N=64 mean {}", n64.stats.mean_ns);
+        assert!(
+            n4.stats.mean_ns < 10_000.0,
+            "{op:?} N=4 mean {}",
+            n4.stats.mean_ns
+        );
+        assert!(
+            n64.stats.mean_ns < 10_000.0,
+            "{op:?} N=64 mean {}",
+            n64.stats.mean_ns
+        );
         // A 64-entry queue must not be dramatically cheaper than a 4-entry
         // one (log-scale growth, allow generous noise).
         assert!(n64.stats.mean_ns * 4.0 > n4.stats.mean_ns, "{op:?}");

@@ -3,7 +3,7 @@
 //! API of `spms::global`, `spms::core` and `spms::sim` together.
 
 use spms::core::{
-    PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedDmPm,
+    PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedDmPm,
     SemiPartitionedFpTs,
 };
 use spms::global::{GlobalPolicy, GlobalSchedulabilityTest, GlobalSimulator};
@@ -47,11 +47,8 @@ fn only_semi_partitioned_scheduling_handles_the_motivating_example() {
             .into_partition()
             .unwrap_or_else(|| panic!("{} must accept the motivating example", algorithm.name()));
         assert_eq!(partition.split_count(), 1, "{}", algorithm.name());
-        let report = Simulator::new(
-            &partition,
-            SimulationConfig::new(Time::from_millis(100)),
-        )
-        .run();
+        let report =
+            Simulator::new(&partition, SimulationConfig::new(Time::from_millis(100))).run();
         assert!(
             report.no_deadline_misses(),
             "{}: {:?}",
@@ -119,7 +116,10 @@ fn dmpm_and_fpts_agree_with_ffd_on_easily_partitionable_sets() {
             .partition(&tasks, 4)
             .unwrap()
             .is_schedulable();
-        assert!(ffd, "seed {seed}: a 60%-loaded platform must be FFD-schedulable");
+        assert!(
+            ffd,
+            "seed {seed}: a 60%-loaded platform must be FFD-schedulable"
+        );
         assert!(fpts, "seed {seed}");
         assert!(dmpm, "seed {seed}");
     }
@@ -149,11 +149,11 @@ fn global_simulation_and_partitioned_simulation_agree_on_light_sets() {
         else {
             panic!("seed {seed}: light set must partition");
         };
-        let partitioned = Simulator::new(
-            &partition,
-            SimulationConfig::new(Time::from_millis(500)),
-        )
-        .run();
-        assert!(partitioned.no_deadline_misses(), "seed {seed} (partitioned)");
+        let partitioned =
+            Simulator::new(&partition, SimulationConfig::new(Time::from_millis(500))).run();
+        assert!(
+            partitioned.no_deadline_misses(),
+            "seed {seed} (partitioned)"
+        );
     }
 }

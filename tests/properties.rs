@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use spms::analysis::{rta, OverheadModel, UniprocessorTest};
-use spms::core::{PartitionOutcome, Partitioner, PartitionedFixedPriority, SemiPartitionedFpTs};
+use spms::core::{PartitionOutcome, PartitionedFixedPriority, Partitioner, SemiPartitionedFpTs};
 use spms::sim::{Chain, SimulationConfig, Simulator};
 use spms::task::{Task, TaskSetGenerator, Time};
 

@@ -1,0 +1,316 @@
+//! Minimal vendored stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's nine bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple warm-up + sample loop over `std::time::Instant`.
+//! No statistics beyond mean/min/max, no plots, no comparison to saved
+//! baselines; each benchmark prints one line:
+//!
+//! ```text
+//! queue_ops/binomial_heap/add_local/64  time: [1.23 µs 1.30 µs 1.41 µs]
+//! ```
+//!
+//! The three bracketed numbers are min / mean / max over the sample means,
+//! loosely echoing criterion's confidence-interval line.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; collects configuration and runs benches.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.clone(), name.to_string());
+        f(&mut bencher);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            overrides: None,
+        }
+    }
+
+    /// Criterion prints a final summary here; the shim has nothing to add.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    overrides: Option<Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let base = self
+            .overrides
+            .take()
+            .unwrap_or_else(|| self.criterion.clone());
+        self.overrides = Some(base.sample_size(n));
+        self
+    }
+
+    /// Overrides the measurement time within this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        let base = self
+            .overrides
+            .take()
+            .unwrap_or_else(|| self.criterion.clone());
+        self.overrides = Some(base.measurement_time(t));
+        self
+    }
+
+    /// Overrides the warm-up time within this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        let base = self
+            .overrides
+            .take()
+            .unwrap_or_else(|| self.criterion.clone());
+        self.overrides = Some(base.warm_up_time(t));
+        self
+    }
+
+    fn config(&self) -> Criterion {
+        self.overrides
+            .clone()
+            .unwrap_or_else(|| self.criterion.clone())
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+        let mut bencher = Bencher::new(self.config(), format!("{}/{}", self.name, id));
+        f(&mut bencher);
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.config(), format!("{}/{}", self.name, id));
+        f(&mut bencher, input);
+    }
+
+    /// Ends the group (criterion renders summaries here; the shim doesn't).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter display value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    config: Criterion,
+    name: String,
+}
+
+impl Bencher {
+    fn new(config: Criterion, name: String) -> Self {
+        Self { config, name }
+    }
+
+    /// Times `routine`, printing a one-line min/mean/max summary.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Split the measurement budget into `sample_size` samples.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1.0e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut means = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            means.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        means.sort_by(|a, b| a.total_cmp(b));
+        let min = means.first().copied().unwrap_or(0.0);
+        let max = means.last().copied().unwrap_or(0.0);
+        let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+        println!(
+            "{:<60} time: [{} {} {}]",
+            self.name,
+            format_seconds(min),
+            format_seconds(mean),
+            format_seconds(max)
+        );
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1.0e-3 {
+        format!("{:.3} ms", s * 1.0e3)
+    } else if s >= 1.0e-6 {
+        format!("{:.3} µs", s * 1.0e6)
+    } else {
+        format!("{:.1} ns", s * 1.0e9)
+    }
+}
+
+/// Declares a benchmark group function, in either criterion syntax:
+/// `criterion_group!(benches, f, g)` or the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = tiny();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let id = BenchmarkId::new("add_local", 64);
+        assert_eq!(id.to_string(), "add_local/64");
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_spans_units() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(2.5e-3).ends_with(" ms"));
+        assert!(format_seconds(2.5e-6).ends_with(" µs"));
+        assert!(format_seconds(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal vendored stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`arbitrary::Arbitrary`] via `any::<T>()`, `collection::{vec,
+//! btree_set}`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case reports its inputs (via the panic
+//!   message of the underlying `assert!`) but is not minimized;
+//! * deterministic seeding — every test function runs the same ChaCha8
+//!   stream on every run, so CI failures always reproduce locally.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy producing a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.new_value(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+    );
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, reached through [`crate::prelude::any`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $via:ident),* $(,)?) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.$via() as $t
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+        usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only: analysis code never expects NaN inputs.
+            rng.gen_range(-1.0e12..=1.0e12)
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.next_u32() & 1 == 1 {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($name:ident),+)),* $(,)?) => {
+            $(impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_tuple!((A), (A, B), (A, B, C), (A, B, C, D));
+
+    /// Strategy for any value of `T`; returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self {
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections of strategy-generated elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with at most `size.end - 1` elements.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates ordered sets whose size is bounded by `size` (duplicates
+    /// drawn from the element strategy collapse, as in real proptest).
+    pub fn btree_set<S>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut set = BTreeSet::new();
+            // Bounded attempts: duplicate draws may keep the set smaller
+            // than `target`, which real proptest allows as well.
+            for _ in 0..target.saturating_mul(2) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.new_value(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Execution configuration and the deterministic test RNG.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// How many cases to run per property, plus forward-compatible padding
+    /// so `..ProptestConfig::default()` update syntax works at call sites.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property function.
+        pub cases: u32,
+        /// Accepted for API compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies (a seeded ChaCha8 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// A fixed-seed RNG; every test run sees the same stream.
+        pub fn deterministic() -> Self {
+            Self {
+                inner: ChaCha8Rng::seed_from_u64(0x5EED_CAFE_F00D_D00D),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{Any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Defines property test functions: each `fn name(pat in strategy, ..)`
+/// becomes a `#[test]` running `cases` generated inputs through its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::new_value(&$strategy, &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reads like proptest's failure-propagating macro.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` that reads like proptest's failure-propagating macro.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// `assert_ne!` that reads like proptest's failure-propagating macro.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10usize..20, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, b) in (0u8..10, 0u8..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn collections_respect_size(v in crate::collection::vec(any::<i32>(), 0..50)) {
+            prop_assert!(v.len() < 50);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! slice of serde the workspace uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums (including `#[serde(transparent)]` newtypes),
+//! and JSON round-tripping through the sibling `serde_json` shim.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! single JSON-shaped [`Value`] tree: `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one. The derive macros in the
+//! `serde_derive` shim generate impls of these simplified traits. The
+//! encoding mirrors `serde_json`'s defaults (structs as maps, newtypes
+//! transparent, unit enum variants as strings, data-carrying variants as
+//! single-key maps), so the JSON produced looks like what real serde would
+//! emit for the same types.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate representation all
+/// (de)serialization in this shim goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object; insertion-ordered list of key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// Static `null` used when a map key is absent, so lookups can hand out a
+/// reference with the map's lifetime.
+pub const NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrows the entries when `self` is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements when `self` is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map, yielding `null` for missing keys (so
+    /// `Option` fields deserialize to `None` rather than erroring).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v)),
+            other => Err(Error::custom(format!(
+                "expected map while reading field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Numeric view as `i64`, accepting any numeric variant that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, accepting any non-negative numeric variant.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the shim's JSON-shaped value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of the shim's JSON-shaped value model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $as:ident => $variant:ident as $wide:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::$variant(*self as $wide)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(value: &Value) -> Result<Self, Error> {
+                    let wide = value.$as().ok_or_else(|| {
+                        Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            value.kind()
+                        ))
+                    })?;
+                    <$t>::try_from(wide).map_err(|_| {
+                        Error::custom(format!(
+                            concat!("integer {} out of range for ", stringify!($t)),
+                            wide
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_serde_int!(
+    u8 => as_u64 => U64 as u64,
+    u16 => as_u64 => U64 as u64,
+    u32 => as_u64 => U64 as u64,
+    u64 => as_u64 => U64 as u64,
+    usize => as_u64 => U64 as u64,
+    i8 => as_i64 => I64 as i64,
+    i16 => as_i64 => I64 as i64,
+    i32 => as_i64 => I64 as i64,
+    i64 => as_i64 => I64 as i64,
+    isize => as_i64 => I64 as i64,
+);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected array of length {N}, found {}", v.len())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Seq(vec![$(self.$idx.to_value()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_value(value: &Value) -> Result<Self, Error> {
+                    const LEN: usize = [$($idx),+].len();
+                    let items = value.as_seq().ok_or_else(|| {
+                        Error::custom(format!("expected array, found {}", value.kind()))
+                    })?;
+                    if items.len() != LEN {
+                        return Err(Error::custom(format!(
+                            "expected {LEN}-tuple, found array of {}",
+                            items.len()
+                        )));
+                    }
+                    Ok(($($name::from_value(&items[$idx])?,)+))
+                }
+            }
+        )*
+    };
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Non-string keys are legal here, so maps encode as arrays of pairs.
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs = Vec::<(K, V)>::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs = Vec::<(K, V)>::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Some(5u32).to_value(), Value::U64(5));
+    }
+
+    #[test]
+    fn missing_map_field_reads_as_null() {
+        let v = Value::Map(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(v.field("a"), Ok(&Value::Bool(true)));
+        assert_eq!(v.field("b"), Ok(&Value::Null));
+        assert!(Value::Bool(false).field("a").is_err());
+    }
+
+    #[test]
+    fn numeric_cross_width() {
+        assert_eq!(u8::from_value(&Value::I64(200)), Ok(200u8));
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(7)), Ok(7i64));
+        assert_eq!(f64::from_value(&Value::I64(-2)), Ok(-2.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let m: BTreeMap<u32, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
+        let v = m.to_value();
+        assert_eq!(BTreeMap::<u32, String>::from_value(&v), Ok(m));
+
+        let t = (1u8, true, "x".to_string());
+        assert_eq!(<(u8, bool, String)>::from_value(&t.to_value()), Ok(t));
+    }
+}

@@ -1,0 +1,452 @@
+//! Minimal vendored `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the serde shim in `vendor/serde`, written against the built-in
+//! `proc_macro` API only (no `syn`/`quote` available offline).
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (serialized as JSON objects),
+//! * tuple structs (newtypes serialize transparently, as in serde_json;
+//!   wider tuples as arrays),
+//! * unit structs (serialized as `null`),
+//! * enums with unit, tuple, and struct variants (externally tagged, the
+//!   serde_json default: `"Variant"` / `{"Variant": ...}`).
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent`, whose newtype behaviour is the default
+//! here anyway. Generic types are rejected with a clear error, as none of
+//! the workspace's serialized types are generic.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` for plain structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Map(::std::vec![{entries}])"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Value::Seq(::std::vec![{items}])"))
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` for plain structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?,"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!("::std::result::Result::Ok({name} {{ {inits} }})"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            impl_deserialize(name, &deserialize_tuple_body(name, *arity, "__v"))
+        }
+        Shape::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            impl_deserialize(name, &deserialize_enum_body(name, variants))
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+               ::std::string::String::from(\"{vname}\"), \
+               ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                   ::std::string::String::from(\"{vname}\"), \
+                   ::serde::Value::Seq(::std::vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                   ::std::string::String::from(\"{vname}\"), \
+                   ::serde::Value::Map(::std::vec![{entries}]))]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_tuple_body(constructor: &str, arity: usize, source: &str) -> String {
+    let reads: String = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+        .collect();
+    format!(
+        "{{ let __items = {source}.as_seq().ok_or_else(|| \
+             ::serde::Error::custom(\"expected array\"))?; \
+           if __items.len() != {arity} {{ \
+             return ::std::result::Result::Err(::serde::Error::custom(\
+               \"wrong tuple length\")); \
+           }} \
+           ::std::result::Result::Ok({constructor}({reads})) }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let body = match &v.kind {
+                VariantKind::Unit => return None,
+                VariantKind::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__payload)?))"
+                ),
+                VariantKind::Tuple(n) => {
+                    deserialize_tuple_body(&format!("{name}::{vname}"), *n, "__payload")
+                }
+                VariantKind::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __payload.field(\"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!("::std::result::Result::Ok({name}::{vname} {{ {inits} }})")
+                }
+            };
+            Some(format!("\"{vname}\" => {body},"))
+        })
+        .collect();
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {unit_arms} \
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+               ::std::format!(\"unknown variant `{{}}` of {name}\", __other))), \
+           }}, \
+           ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+             let (__tag, __payload) = &__entries[0]; \
+             match __tag.as_str() {{ \
+               {data_arms} \
+               __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))), \
+             }} \
+           }}, \
+           __other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"expected {name} representation, found {{}}\", \
+                            __other.kind()))), \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde shim derive: generic type `{name}` is not supported; \
+             none of the workspace's serialized types are generic"
+        );
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde shim derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` (and `#![...]`) attribute groups starting at `pos`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *pos += 1;
+                }
+                match tokens.get(*pos) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+                    other => panic!("serde shim derive: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` starting at `pos`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field name: {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a comma outside all `<...>` nesting.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while let Some(token) = tokens.get(pos) {
+                if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
