@@ -1,0 +1,37 @@
+//! The parallel experiment engine: the same acceptance-ratio sweep driven
+//! serially and across a widening thread pool. The per-thread timings are
+//! the repo's scaling trajectory — on an idle multi-core host the 4-thread
+//! sweep should finish in well under half the serial time while producing
+//! byte-identical results (pinned by the `parallel_equivalence` tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_experiments::AcceptanceRatioExperiment;
+use std::hint::black_box;
+
+fn sweep(threads: usize) -> AcceptanceRatioExperiment {
+    AcceptanceRatioExperiment::new()
+        .tasks_per_set(12)
+        .sets_per_point(16)
+        .utilization_points(vec![0.7, 0.8, 0.9, 0.95])
+        .seed(2011)
+        .threads(threads)
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("acceptance_{threads}_threads"), |b| {
+            let experiment = sweep(threads);
+            b.iter(|| black_box(experiment.run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_thread_scaling
+}
+criterion_main!(benches);

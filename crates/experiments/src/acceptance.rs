@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_task::{PeriodDistribution, TaskSetGenerator, Time, UtilizationDistribution};
 
-use crate::AlgorithmKind;
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
+use crate::{same_point, AlgorithmKind};
 
 /// One point of the sweep: the acceptance ratio of every algorithm at one
 /// normalized utilization.
@@ -50,16 +52,14 @@ impl AcceptanceRatioResults {
         &self.algorithms
     }
 
-    /// The acceptance ratio of `algorithm` at the sweep point closest to
-    /// `normalized_utilization`.
+    /// The acceptance ratio of `algorithm` at the sweep point matching
+    /// `normalized_utilization` (within a 1e-9 tolerance, so points computed
+    /// as `i as f64 * 0.05` still match the literal `0.7`). Returns `None`
+    /// when no sweep point lies within the tolerance.
     pub fn ratio_at(&self, normalized_utilization: f64, algorithm: AlgorithmKind) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| {
-                let da = (a.normalized_utilization - normalized_utilization).abs();
-                let db = (b.normalized_utilization - normalized_utilization).abs();
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .find(|p| same_point(p.normalized_utilization, normalized_utilization))
             .and_then(|p| p.ratio(algorithm))
     }
 
@@ -130,6 +130,7 @@ pub struct AcceptanceRatioExperiment {
     period_min: Time,
     period_max: Time,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for AcceptanceRatioExperiment {
@@ -145,6 +146,7 @@ impl Default for AcceptanceRatioExperiment {
             period_min: Time::from_millis(10),
             period_max: Time::from_secs(1),
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -206,68 +208,80 @@ impl AcceptanceRatioExperiment {
         self
     }
 
+    /// Sets the number of worker threads the sweep fans out across
+    /// (`0` = one per available core). Results are identical for every
+    /// thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of grid cells one run evaluates (for progress re-basing by
+    /// drivers that chain several sweeps).
+    pub(crate) fn grid_cells(&self) -> usize {
+        self.utilization_points.len() * self.sets_per_point
+    }
+
     /// Runs the sweep.
     ///
     /// Task sets whose generation fails for a point (e.g. the utilization
     /// target is unreachable with the configured task count) are skipped;
     /// every algorithm sees exactly the same sets.
     pub fn run(&self) -> AcceptanceRatioResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> AcceptanceRatioResults {
         let partitioners: Vec<(AlgorithmKind, Box<dyn spms_core::Partitioner + Send + Sync>)> =
             self.algorithms
                 .iter()
                 .map(|a| (*a, a.build(self.test, self.overhead)))
                 .collect();
-        let mut points = Vec::with_capacity(self.utilization_points.len());
-        for (point_idx, &normalized) in self.utilization_points.iter().enumerate() {
-            let total_utilization = normalized * self.cores as f64;
-            let mut accepted = vec![0usize; partitioners.len()];
-            let mut generated = 0usize;
-            for set_idx in 0..self.sets_per_point {
-                let seed = self
-                    .seed
-                    .wrapping_add((point_idx as u64) << 32)
-                    .wrapping_add(set_idx as u64);
-                let generator = TaskSetGenerator::new()
-                    .task_count(self.tasks_per_set)
-                    .total_utilization(total_utilization)
-                    .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
-                        max_task_utilization: 1.0,
-                    })
-                    .period_distribution(PeriodDistribution::LogUniform {
-                        min: self.period_min,
-                        max: self.period_max,
-                    })
-                    .seed(seed);
-                let Ok(tasks) = generator.generate() else {
-                    continue;
-                };
-                generated += 1;
-                for (i, (_, partitioner)) in partitioners.iter().enumerate() {
-                    let outcome = partitioner
-                        .partition(&tasks, self.cores)
-                        .expect("valid generated task set");
-                    if outcome.is_schedulable() {
-                        accepted[i] += 1;
-                    }
-                }
-            }
-            let ratios = partitioners
-                .iter()
-                .enumerate()
-                .map(|(i, (kind, _))| {
-                    let ratio = if generated == 0 {
-                        0.0
-                    } else {
-                        accepted[i] as f64 / generated as f64
-                    };
-                    (*kind, ratio)
-                })
-                .collect();
-            points.push(AcceptancePoint {
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(
+                self.seed,
+                self.utilization_points.len(),
+                self.sets_per_point,
+                progress,
+                |cell| {
+                    let normalized = self.utilization_points[cell.point_idx];
+                    let generator = TaskSetGenerator::new()
+                        .task_count(self.tasks_per_set)
+                        .total_utilization(normalized * self.cores as f64)
+                        .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
+                            max_task_utilization: 1.0,
+                        })
+                        .period_distribution(PeriodDistribution::LogUniform {
+                            min: self.period_min,
+                            max: self.period_max,
+                        })
+                        .seed(cell.seed);
+                    let tasks = generator.generate().ok()?;
+                    Some(
+                        partitioners
+                            .iter()
+                            .map(|(_, partitioner)| {
+                                partitioner
+                                    .partition(&tasks, self.cores)
+                                    .expect("valid generated task set")
+                                    .is_schedulable()
+                            })
+                            .collect::<Vec<bool>>(),
+                    )
+                },
+            );
+        let kinds: Vec<AlgorithmKind> = partitioners.iter().map(|(kind, _)| *kind).collect();
+        let points = self
+            .utilization_points
+            .iter()
+            .zip(grid)
+            .map(|(&normalized, verdicts)| AcceptancePoint {
                 normalized_utilization: normalized,
-                ratios,
-            });
-        }
+                ratios: crate::runner::acceptance_ratios(&kinds, &verdicts),
+            })
+            .collect();
         AcceptanceRatioResults {
             points,
             algorithms: self.algorithms.clone(),
@@ -351,5 +365,40 @@ mod tests {
         let a = quick().run();
         let b = quick().run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let serial = quick().run();
+        let parallel = quick().threads(4).run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn ratio_at_tolerates_float_noise_in_the_query() {
+        // `14 * 0.05` and the literal `0.7` differ in the last bit — an exact
+        // `==` lookup on computed grids silently returns the wrong point (or
+        // nothing). The lookup must match within an epsilon instead.
+        let grid: Vec<f64> = (10..=20).map(|i| i as f64 * 0.05).collect();
+        // The trap this guards against: the computed grid point near 0.7 is
+        // not bit-equal to the literal 0.7.
+        assert!(!grid.contains(&0.7));
+        let results = AcceptanceRatioExperiment::new()
+            .tasks_per_set(8)
+            .sets_per_point(3)
+            .utilization_points(grid)
+            .seed(7)
+            .run();
+        for algo in AlgorithmKind::paper_lineup() {
+            assert!(results.ratio_at(0.7, algo).is_some(), "{algo} at 0.7");
+            assert!(results.ratio_at(0.55, algo).is_some(), "{algo} at 0.55");
+        }
+    }
+
+    #[test]
+    fn ratio_at_rejects_points_outside_the_grid() {
+        let results = quick().run();
+        assert_eq!(results.ratio_at(0.72, AlgorithmKind::FpTs), None);
+        assert_eq!(results.ratio_at(2.0, AlgorithmKind::FpTs), None);
     }
 }

@@ -9,6 +9,9 @@
 use serde::{Deserialize, Serialize};
 use spms_cache::{CacheHierarchyConfig, CrpdEstimate, CrpdModel, WorkingSet};
 
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
+
 /// One working-set size's measured/estimated delays.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CrossoverPoint {
@@ -85,6 +88,7 @@ impl CacheCrossoverResults {
 pub struct CacheCrossoverExperiment {
     config: CacheHierarchyConfig,
     working_set_sizes: Vec<u64>,
+    threads: usize,
 }
 
 impl Default for CacheCrossoverExperiment {
@@ -99,6 +103,7 @@ impl Default for CacheCrossoverExperiment {
                 1024 * 1024,
                 4 * 1024 * 1024,
             ],
+            threads: 1,
         }
     }
 }
@@ -122,23 +127,39 @@ impl CacheCrossoverExperiment {
         self
     }
 
+    /// Sets the number of worker threads (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the sweep.
     pub fn run(&self) -> CacheCrossoverResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    ///
+    /// This sweep is deterministic (no task-set generation), so the grid is
+    /// `working_set_sizes × 1` and the root seed is irrelevant; the cache
+    /// simulations of the individual sizes still fan out across threads.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> CacheCrossoverResults {
         let model = CrpdModel::new(self.config.clone());
-        let points = self
-            .working_set_sizes
-            .iter()
-            .map(|&bytes| {
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(0, self.working_set_sizes.len(), 1, progress, |cell| {
+                let bytes = self.working_set_sizes[cell.point_idx];
                 let ws = WorkingSet::from_bytes(bytes);
                 let preemptor = WorkingSet::from_bytes(bytes).with_base(1 << 32);
-                CrossoverPoint {
+                Some(CrossoverPoint {
                     working_set_bytes: bytes,
                     analytic: model.analytic(ws, preemptor),
                     simulated: model.simulated(ws, preemptor),
-                }
-            })
-            .collect();
-        CacheCrossoverResults { points }
+                })
+            });
+        CacheCrossoverResults {
+            points: grid.into_iter().flatten().collect(),
+        }
     }
 }
 
@@ -173,6 +194,11 @@ mod tests {
         );
         // The crossover lies somewhere at or above the smallest size.
         assert!(results.crossover_bytes(2.0).is_some());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        assert_eq!(quick().run(), quick().threads(3).run());
     }
 
     #[test]

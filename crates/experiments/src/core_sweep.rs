@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_task::{PeriodDistribution, TaskSetGenerator, Time, UtilizationDistribution};
 
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
 use crate::AlgorithmKind;
 
 /// One row of the core-count sweep.
@@ -112,6 +114,7 @@ pub struct CoreCountSweepExperiment {
     test: UniprocessorTest,
     overhead: OverheadModel,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for CoreCountSweepExperiment {
@@ -125,6 +128,7 @@ impl Default for CoreCountSweepExperiment {
             test: UniprocessorTest::ResponseTime,
             overhead: OverheadModel::zero(),
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -185,62 +189,68 @@ impl CoreCountSweepExperiment {
         self
     }
 
+    /// Sets the number of worker threads (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the sweep.
     pub fn run(&self) -> CoreSweepResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> CoreSweepResults {
         let partitioners: Vec<(AlgorithmKind, Box<dyn spms_core::Partitioner + Send + Sync>)> =
             self.algorithms
                 .iter()
                 .map(|a| (*a, a.build(self.test, self.overhead)))
                 .collect();
-        let mut points = Vec::with_capacity(self.core_counts.len());
-        for (point_idx, &cores) in self.core_counts.iter().enumerate() {
-            let total_utilization = self.normalized_utilization * cores as f64;
-            let mut accepted = vec![0usize; partitioners.len()];
-            let mut generated = 0usize;
-            for set_idx in 0..self.sets_per_point {
-                let seed = self
-                    .seed
-                    .wrapping_add((point_idx as u64) << 40)
-                    .wrapping_add(set_idx as u64);
-                let generator = TaskSetGenerator::new()
-                    .task_count(self.tasks_per_core * cores)
-                    .total_utilization(total_utilization)
-                    .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
-                        max_task_utilization: 1.0,
-                    })
-                    .period_distribution(PeriodDistribution::LogUniform {
-                        min: Time::from_millis(10),
-                        max: Time::from_secs(1),
-                    })
-                    .seed(seed);
-                let Ok(tasks) = generator.generate() else {
-                    continue;
-                };
-                generated += 1;
-                for (i, (_, partitioner)) in partitioners.iter().enumerate() {
-                    if partitioner
-                        .partition(&tasks, cores)
-                        .expect("valid generated task set")
-                        .is_schedulable()
-                    {
-                        accepted[i] += 1;
-                    }
-                }
-            }
-            let ratios = partitioners
-                .iter()
-                .enumerate()
-                .map(|(i, (kind, _))| {
-                    let ratio = if generated == 0 {
-                        0.0
-                    } else {
-                        accepted[i] as f64 / generated as f64
-                    };
-                    (*kind, ratio)
-                })
-                .collect();
-            points.push(CoreSweepPoint { cores, ratios });
-        }
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(
+                self.seed,
+                self.core_counts.len(),
+                self.sets_per_point,
+                progress,
+                |cell| {
+                    let cores = self.core_counts[cell.point_idx];
+                    let generator = TaskSetGenerator::new()
+                        .task_count(self.tasks_per_core * cores)
+                        .total_utilization(self.normalized_utilization * cores as f64)
+                        .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
+                            max_task_utilization: 1.0,
+                        })
+                        .period_distribution(PeriodDistribution::LogUniform {
+                            min: Time::from_millis(10),
+                            max: Time::from_secs(1),
+                        })
+                        .seed(cell.seed);
+                    let tasks = generator.generate().ok()?;
+                    Some(
+                        partitioners
+                            .iter()
+                            .map(|(_, partitioner)| {
+                                partitioner
+                                    .partition(&tasks, cores)
+                                    .expect("valid generated task set")
+                                    .is_schedulable()
+                            })
+                            .collect::<Vec<bool>>(),
+                    )
+                },
+            );
+        let kinds: Vec<AlgorithmKind> = partitioners.iter().map(|(kind, _)| *kind).collect();
+        let points = self
+            .core_counts
+            .iter()
+            .zip(grid)
+            .map(|(&cores, verdicts)| CoreSweepPoint {
+                cores,
+                ratios: crate::runner::acceptance_ratios(&kinds, &verdicts),
+            })
+            .collect();
         CoreSweepResults {
             points,
             algorithms: self.algorithms.clone(),
@@ -298,6 +308,11 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         assert_eq!(quick().run(), quick().run());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        assert_eq!(quick().run(), quick().threads(3).run());
     }
 
     #[test]

@@ -17,6 +17,8 @@ use spms_core::CoreId;
 use spms_sim::{Chain, PieceSpec, SimulationConfig, Simulator, TraceEventKind};
 use spms_task::{Priority, TaskId, Time};
 
+use crate::runner::SweepRunner;
+
 /// The reconstructed Figure 1 data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PreemptionAnatomyReport {
@@ -32,6 +34,51 @@ pub struct PreemptionAnatomyReport {
     pub per_preemption_overhead: Time,
     /// The response time of the first job of the preempted task τ2.
     pub tau2_first_response: Option<Time>,
+}
+
+impl PreemptionAnatomyReport {
+    /// Renders the annotated timeline plus a summary table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("```\n");
+        out.push_str(&self.timeline);
+        if !self.timeline.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("```\n\n| metric | value |\n|---|---|\n");
+        out.push_str(&format!("| preemptions | {} |\n", self.preemptions));
+        out.push_str(&format!("| total overhead | {} |\n", self.total_overhead));
+        out.push_str(&format!(
+            "| per-preemption overhead | {} |\n",
+            self.per_preemption_overhead
+        ));
+        if let Some(r) = self.tau2_first_response {
+            out.push_str(&format!("| tau2 first response | {r} |\n"));
+        }
+        out
+    }
+
+    /// Renders the summary metrics as `metric,value` CSV, units spelled out
+    /// per row (the timeline is a multi-line rendering and is omitted; use
+    /// the JSON format for it).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        out.push_str(&format!("preemptions,{}\n", self.preemptions));
+        out.push_str(&format!(
+            "total_overhead_ns,{}\n",
+            self.total_overhead.as_nanos()
+        ));
+        out.push_str(&format!(
+            "per_preemption_overhead_ns,{}\n",
+            self.per_preemption_overhead.as_nanos()
+        ));
+        out.push_str(&format!(
+            "tau2_first_response_ns,{}\n",
+            self.tau2_first_response
+                .map(|t| t.as_nanos().to_string())
+                .unwrap_or_default()
+        ));
+        out
+    }
 }
 
 /// The experiment driver.
@@ -78,7 +125,20 @@ impl PreemptionAnatomy {
     }
 
     /// Runs the scenario and reconstructs the Figure 1 data.
+    ///
+    /// The scenario is a single deterministic simulation, so the sweep grid
+    /// is degenerate (1 × 1 cell); it still goes through [`SweepRunner`] so
+    /// every experiment shares one execution path.
     pub fn run(&self) -> PreemptionAnatomyReport {
+        SweepRunner::new()
+            .run_grid(0, 1, 1, |_| Some(self.evaluate()))
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("the single grid cell always produces a report")
+    }
+
+    fn evaluate(&self) -> PreemptionAnatomyReport {
         let chains = vec![
             Chain {
                 parent: TaskId(1),

@@ -14,7 +14,9 @@ use spms_task::{
     PeriodDistribution, PriorityAssignment, TaskSetGenerator, Time, UtilizationDistribution,
 };
 
-use crate::AlgorithmKind;
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
+use crate::{same_point, AlgorithmKind};
 
 /// One series of the comparison: either a partitioning algorithm or a global
 /// schedulability test.
@@ -79,16 +81,13 @@ impl GlobalComparisonResults {
         &self.series
     }
 
-    /// The acceptance ratio of `series` at the point closest to
-    /// `normalized_utilization`.
+    /// The acceptance ratio of `series` at the point matching
+    /// `normalized_utilization` within a 1e-9 tolerance (`None` when no
+    /// sweep point lies within it).
     pub fn ratio_at(&self, normalized_utilization: f64, series: ComparisonSeries) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| {
-                let da = (a.normalized_utilization - normalized_utilization).abs();
-                let db = (b.normalized_utilization - normalized_utilization).abs();
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .find(|p| same_point(p.normalized_utilization, normalized_utilization))
             .and_then(|p| p.ratio(series))
     }
 
@@ -155,6 +154,7 @@ pub struct GlobalComparisonExperiment {
     test: UniprocessorTest,
     overhead: OverheadModel,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for GlobalComparisonExperiment {
@@ -174,6 +174,7 @@ impl Default for GlobalComparisonExperiment {
             test: UniprocessorTest::ResponseTime,
             overhead: OverheadModel::zero(),
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -230,8 +231,19 @@ impl GlobalComparisonExperiment {
         self
     }
 
+    /// Sets the number of worker threads (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the sweep.
     pub fn run(&self) -> GlobalComparisonResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> GlobalComparisonResults {
         let partitioners: Vec<(
             ComparisonSeries,
             Option<Box<dyn spms_core::Partitioner + Send + Sync>>,
@@ -245,64 +257,54 @@ impl GlobalComparisonExperiment {
                 ComparisonSeries::Global(_) => (*s, None),
             })
             .collect();
-        let mut points = Vec::with_capacity(self.utilization_points.len());
-        for (point_idx, &normalized) in self.utilization_points.iter().enumerate() {
-            let total_utilization = normalized * self.cores as f64;
-            let mut accepted = vec![0usize; self.series.len()];
-            let mut generated = 0usize;
-            for set_idx in 0..self.sets_per_point {
-                let seed = self
-                    .seed
-                    .wrapping_add((point_idx as u64) << 32)
-                    .wrapping_add(set_idx as u64);
-                let generator = TaskSetGenerator::new()
-                    .task_count(self.tasks_per_set)
-                    .total_utilization(total_utilization)
-                    .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
-                        max_task_utilization: 1.0,
-                    })
-                    .period_distribution(PeriodDistribution::LogUniform {
-                        min: Time::from_millis(10),
-                        max: Time::from_secs(1),
-                    })
-                    .seed(seed);
-                let Ok(mut tasks) = generator.generate() else {
-                    continue;
-                };
-                tasks.assign_priorities(PriorityAssignment::RateMonotonic);
-                generated += 1;
-                for (i, (series, partitioner)) in partitioners.iter().enumerate() {
-                    let ok = match (series, partitioner) {
-                        (ComparisonSeries::Partitioned(_), Some(p)) => p
-                            .partition(&tasks, self.cores)
-                            .expect("valid generated task set")
-                            .is_schedulable(),
-                        (ComparisonSeries::Global(test), _) => test.accepts(&tasks, self.cores),
-                        _ => false,
-                    };
-                    if ok {
-                        accepted[i] += 1;
-                    }
-                }
-            }
-            let ratios = self
-                .series
-                .iter()
-                .enumerate()
-                .map(|(i, series)| {
-                    let ratio = if generated == 0 {
-                        0.0
-                    } else {
-                        accepted[i] as f64 / generated as f64
-                    };
-                    (*series, ratio)
-                })
-                .collect();
-            points.push(ComparisonPoint {
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(
+                self.seed,
+                self.utilization_points.len(),
+                self.sets_per_point,
+                progress,
+                |cell| {
+                    let normalized = self.utilization_points[cell.point_idx];
+                    let generator = TaskSetGenerator::new()
+                        .task_count(self.tasks_per_set)
+                        .total_utilization(normalized * self.cores as f64)
+                        .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
+                            max_task_utilization: 1.0,
+                        })
+                        .period_distribution(PeriodDistribution::LogUniform {
+                            min: Time::from_millis(10),
+                            max: Time::from_secs(1),
+                        })
+                        .seed(cell.seed);
+                    let mut tasks = generator.generate().ok()?;
+                    tasks.assign_priorities(PriorityAssignment::RateMonotonic);
+                    Some(
+                        partitioners
+                            .iter()
+                            .map(|(series, partitioner)| match (series, partitioner) {
+                                (ComparisonSeries::Partitioned(_), Some(p)) => p
+                                    .partition(&tasks, self.cores)
+                                    .expect("valid generated task set")
+                                    .is_schedulable(),
+                                (ComparisonSeries::Global(test), _) => {
+                                    test.accepts(&tasks, self.cores)
+                                }
+                                _ => false,
+                            })
+                            .collect::<Vec<bool>>(),
+                    )
+                },
+            );
+        let points = self
+            .utilization_points
+            .iter()
+            .zip(grid)
+            .map(|(&normalized, verdicts)| ComparisonPoint {
                 normalized_utilization: normalized,
-                ratios,
-            });
-        }
+                ratios: crate::runner::acceptance_ratios(&self.series, &verdicts),
+            })
+            .collect();
         GlobalComparisonResults {
             points,
             series: self.series.clone(),
@@ -379,5 +381,10 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         assert_eq!(quick().run(), quick().run());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        assert_eq!(quick().run(), quick().threads(4).run());
     }
 }

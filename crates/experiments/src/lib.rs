@@ -22,6 +22,13 @@
 //! `render_markdown()` / `render_csv()` helpers so that examples, benches and
 //! the EXPERIMENTS.md write-up all share the same source of truth.
 //!
+//! All sweeps execute through the shared [`SweepRunner`]: the independent
+//! `point × task-set` grid cells fan out across a configurable thread pool
+//! (`.threads(n)` on each driver, `0` = one per core) and merge back in a
+//! fixed order, so results are bit-identical for every thread count. The
+//! `spms` CLI binary in the umbrella crate exposes every driver behind one
+//! command-line interface.
+//!
 //! # Example
 //!
 //! ```
@@ -47,16 +54,27 @@ mod cache_crossover;
 mod core_sweep;
 mod figure1;
 mod global_comparison;
+mod progress;
+mod runner;
 mod runtime_costs;
 mod sensitivity;
 
 pub use acceptance::{AcceptancePoint, AcceptanceRatioExperiment, AcceptanceRatioResults};
 pub use algorithms::AlgorithmKind;
-pub use cache_crossover::{CacheCrossoverExperiment, CacheCrossoverResults};
+pub use cache_crossover::{CacheCrossoverExperiment, CacheCrossoverResults, CrossoverPoint};
 pub use core_sweep::{CoreCountSweepExperiment, CoreSweepPoint, CoreSweepResults};
 pub use figure1::{PreemptionAnatomy, PreemptionAnatomyReport};
 pub use global_comparison::{
     ComparisonPoint, ComparisonSeries, GlobalComparisonExperiment, GlobalComparisonResults,
 };
+pub use progress::{NullProgress, ProgressSink, StderrProgress};
+pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
 pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};
+
+/// Whether a sweep-axis value matches a query within the tolerance used by
+/// the `*_at()` result lookups (1e-9 — utilization points and overhead
+/// scales are all O(1), so an absolute epsilon is appropriate).
+pub(crate) fn same_point(axis_value: f64, query: f64) -> bool {
+    (axis_value - query).abs() <= 1e-9
+}

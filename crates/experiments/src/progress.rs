@@ -1,0 +1,167 @@
+//! Progress reporting for long sweeps.
+//!
+//! A [`SweepRunner`](crate::SweepRunner) evaluates a grid of independent
+//! cells; a [`ProgressSink`] observes cell completions so that interactive
+//! frontends (the `spms` CLI, examples) can show how far a sweep has
+//! advanced without the runner knowing anything about terminals.
+//!
+//! Sinks must be `Sync`: with more than one worker thread, completions are
+//! reported concurrently. The completion counter itself is owned by the
+//! runner, so a sink only ever formats and forwards numbers.
+
+use std::sync::Mutex;
+
+/// Observer of sweep-grid progress.
+pub trait ProgressSink: Sync {
+    /// Called after each grid cell finishes. `completed` counts finished
+    /// cells (1-based, monotonic per sweep but reported concurrently across
+    /// workers), `total` is the grid size.
+    fn cell_done(&self, completed: usize, total: usize);
+}
+
+/// A sink that ignores all progress — the default for library callers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {
+    fn cell_done(&self, _completed: usize, _total: usize) {}
+}
+
+/// A sink that rewrites a single stderr status line, throttled to roughly
+/// 5 % increments so parallel sweeps don't serialize on terminal writes.
+#[derive(Debug, Default)]
+pub struct StderrProgress {
+    label: String,
+    last_shown: Mutex<usize>,
+}
+
+impl StderrProgress {
+    /// Creates a sink that prefixes every status line with `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        StderrProgress {
+            label: label.into(),
+            last_shown: Mutex::new(0),
+        }
+    }
+}
+
+impl ProgressSink for StderrProgress {
+    fn cell_done(&self, completed: usize, total: usize) {
+        let stride = (total / 20).max(1);
+        if !completed.is_multiple_of(stride) && completed != total {
+            return;
+        }
+        let mut last = match self.last_shown.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Workers race to report; only ever move the displayed count forward.
+        if completed < *last {
+            return;
+        }
+        *last = completed;
+        eprint!("\r{}: {completed}/{total} cells", self.label);
+        if completed == total {
+            eprintln!();
+        }
+    }
+}
+
+/// Adapter that re-bases one grid's progress inside a larger multi-grid
+/// sweep: reports `completed_before + completed` out of `grand_total`.
+///
+/// Drivers that run several `SweepRunner` grids in sequence (the
+/// sensitivity experiment runs one grid per overhead scale) wrap the
+/// caller's sink in one of these per grid, so the displayed count keeps
+/// rising monotonically across the whole run instead of restarting — or,
+/// with [`StderrProgress`]'s forward-only guard, freezing — at every grid
+/// boundary.
+pub(crate) struct ShiftedProgress<'a> {
+    inner: &'a dyn ProgressSink,
+    completed_before: usize,
+    grand_total: usize,
+}
+
+impl<'a> ShiftedProgress<'a> {
+    pub(crate) fn new(
+        inner: &'a dyn ProgressSink,
+        completed_before: usize,
+        grand_total: usize,
+    ) -> Self {
+        ShiftedProgress {
+            inner,
+            completed_before,
+            grand_total,
+        }
+    }
+}
+
+impl ProgressSink for ShiftedProgress<'_> {
+    fn cell_done(&self, completed: usize, _total: usize) {
+        self.inner
+            .cell_done(self.completed_before + completed, self.grand_total);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::ProgressSink;
+    use std::sync::Mutex;
+
+    /// Records every reported `(completed, total)` pair, for tests.
+    #[derive(Debug, Default)]
+    pub struct RecordingProgress {
+        pub calls: Mutex<Vec<(usize, usize)>>,
+    }
+
+    impl ProgressSink for RecordingProgress {
+        fn cell_done(&self, completed: usize, total: usize) {
+            self.calls
+                .lock()
+                .expect("progress mutex")
+                .push((completed, total));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::RecordingProgress;
+    use super::*;
+
+    #[test]
+    fn null_progress_is_a_no_op() {
+        NullProgress.cell_done(1, 10);
+    }
+
+    #[test]
+    fn recording_progress_captures_calls() {
+        let sink = RecordingProgress::default();
+        sink.cell_done(1, 2);
+        sink.cell_done(2, 2);
+        assert_eq!(*sink.calls.lock().unwrap(), vec![(1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn stderr_progress_never_moves_backwards() {
+        let sink = StderrProgress::new("test");
+        sink.cell_done(20, 20);
+        sink.cell_done(1, 20);
+        assert_eq!(*sink.last_shown.lock().unwrap(), 20);
+    }
+
+    #[test]
+    fn shifted_progress_rebases_into_the_grand_total() {
+        // A second grid wrapped at offset 5 of 10 keeps the overall count
+        // rising, so StderrProgress's forward-only guard never freezes at a
+        // grid boundary.
+        let sink = RecordingProgress::default();
+        ShiftedProgress::new(&sink, 0, 10).cell_done(5, 5);
+        ShiftedProgress::new(&sink, 5, 10).cell_done(1, 5);
+        ShiftedProgress::new(&sink, 5, 10).cell_done(5, 5);
+        assert_eq!(
+            *sink.calls.lock().unwrap(),
+            vec![(5, 10), (6, 10), (10, 10)]
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! The shared parallel sweep engine behind every experiment driver.
+//!
+//! Every experiment in this crate walks the same shape of computation: a
+//! grid of *points* (utilization levels, core counts, overhead scales,
+//! working-set sizes) times a number of independently generated *task sets*
+//! per point. The cells of that grid are embarrassingly parallel — each one
+//! generates its own task set from a seed derived purely from the cell's
+//! coordinates — so [`SweepRunner`] fans them out across a configurable
+//! number of worker threads and re-assembles the per-point results in a
+//! fixed order.
+//!
+//! # Determinism
+//!
+//! The output is **bit-identical regardless of thread count**:
+//!
+//! * the RNG seed of each cell is [`derive_seed`]`(root, point, set)` — a
+//!   pure function of the grid coordinates, never of scheduling order;
+//! * workers pull cells from a shared atomic counter but deposit each result
+//!   into the slot owned by its cell index, so the merge step walks the grid
+//!   in row-major order no matter which worker produced which cell;
+//! * per-point aggregation (including floating-point accumulation) always
+//!   happens on the merged, ordered results, never inside the workers.
+//!
+//! The `serial_parallel_equivalence` suites in `crates/experiments/tests`
+//! and `tests/` pin this property for every experiment and for the `spms`
+//! CLI respectively.
+
+use crate::progress::{NullProgress, ProgressSink};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives the RNG seed of one `(point, set)` grid cell from the sweep's
+/// root seed.
+///
+/// The high half of the offset encodes the point index and the low half the
+/// set index, so that every cell of a realistic grid (≤ 2³² sets per point)
+/// sees a distinct, stable seed and inserting new points never reshuffles
+/// the seeds of existing ones.
+pub fn derive_seed(root: u64, point_idx: usize, set_idx: usize) -> u64 {
+    root.wrapping_add((point_idx as u64) << 32)
+        .wrapping_add(set_idx as u64)
+}
+
+/// One cell of a sweep grid: the coordinates plus the derived RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Index into the sweep's point axis.
+    pub point_idx: usize,
+    /// Index of the task-set replication within the point.
+    pub set_idx: usize,
+    /// RNG seed for this cell, from [`derive_seed`].
+    pub seed: u64,
+}
+
+/// Fans the independent cells of a `points × sets_per_point` grid across a
+/// thread pool and merges the results back in grid order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner { threads: 1 }
+    }
+}
+
+impl SweepRunner {
+    /// A serial runner (one thread). Use [`threads`](Self::threads) to widen.
+    pub fn new() -> Self {
+        SweepRunner::default()
+    }
+
+    /// Sets the number of worker threads. `0` means "one per available
+    /// core" (`std::thread::available_parallelism`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread count with `0` resolved to the host parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Evaluates `eval` on every cell of the grid and groups the successful
+    /// results by point, preserving set order within each point.
+    ///
+    /// `eval` returning `None` models a skipped cell (e.g. task-set
+    /// generation failed for an unreachable utilization target); skipped
+    /// cells are simply absent from the point's result vector, exactly as a
+    /// serial `continue` would leave them.
+    pub fn run_grid<T, F>(
+        &self,
+        root_seed: u64,
+        points: usize,
+        sets_per_point: usize,
+        eval: F,
+    ) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(GridCell) -> Option<T> + Sync,
+    {
+        self.run_grid_with_progress(root_seed, points, sets_per_point, &NullProgress, eval)
+    }
+
+    /// [`run_grid`](Self::run_grid) with per-cell completion reported to
+    /// `progress`.
+    pub fn run_grid_with_progress<T, F>(
+        &self,
+        root_seed: u64,
+        points: usize,
+        sets_per_point: usize,
+        progress: &dyn ProgressSink,
+        eval: F,
+    ) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(GridCell) -> Option<T> + Sync,
+    {
+        let total = points * sets_per_point;
+        let workers = self.effective_threads().min(total.max(1));
+        let cell = |index: usize| {
+            let point_idx = index / sets_per_point;
+            let set_idx = index % sets_per_point;
+            GridCell {
+                point_idx,
+                set_idx,
+                seed: derive_seed(root_seed, point_idx, set_idx),
+            }
+        };
+
+        let slots: Vec<Option<T>> = if workers <= 1 {
+            (0..total)
+                .map(|i| {
+                    let result = eval(cell(i));
+                    progress.cell_done(i + 1, total);
+                    result
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let done = &done;
+                        let eval = &eval;
+                        scope.spawn(move || {
+                            let mut produced = Vec::new();
+                            loop {
+                                let index = next.fetch_add(1, Ordering::Relaxed);
+                                if index >= total {
+                                    break;
+                                }
+                                produced.push((index, eval(cell(index))));
+                                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                progress.cell_done(completed, total);
+                            }
+                            produced
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (index, result) in handle.join().expect("sweep worker panicked") {
+                        slots[index] = result;
+                    }
+                }
+            });
+            slots
+        };
+
+        let mut grouped: Vec<Vec<T>> = (0..points).map(|_| Vec::new()).collect();
+        for (index, slot) in slots.into_iter().enumerate() {
+            if let Some(result) = slot {
+                grouped[index / sets_per_point].push(result);
+            }
+        }
+        grouped
+    }
+}
+
+/// Folds one sweep point's per-set accept/reject verdicts (one `Vec<bool>`
+/// per successfully generated task set, indexed like `keys`) into
+/// `(key, acceptance ratio)` pairs. A point where every generation attempt
+/// failed reports 0.0 for every key.
+pub(crate) fn acceptance_ratios<K: Copy>(keys: &[K], verdicts: &[Vec<bool>]) -> Vec<(K, f64)> {
+    let generated = verdicts.len();
+    keys.iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let accepted = verdicts.iter().filter(|v| v[i]).count();
+            let ratio = if generated == 0 {
+                0.0
+            } else {
+                accepted as f64 / generated as f64
+            };
+            (*key, ratio)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::test_support::RecordingProgress;
+
+    #[test]
+    fn seeds_depend_only_on_coordinates() {
+        assert_eq!(derive_seed(7, 0, 0), 7);
+        assert_eq!(derive_seed(7, 0, 3), 10);
+        assert_eq!(derive_seed(7, 2, 3), 7 + (2u64 << 32) + 3);
+        assert_ne!(derive_seed(7, 1, 0), derive_seed(7, 0, 1));
+    }
+
+    #[test]
+    fn serial_and_parallel_grids_are_identical() {
+        let eval = |c: GridCell| Some((c.point_idx, c.set_idx, c.seed));
+        let serial = SweepRunner::new().run_grid(42, 5, 7, eval);
+        let parallel = SweepRunner::new().threads(4).run_grid(42, 5, 7, eval);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 5);
+        assert!(serial.iter().all(|point| point.len() == 7));
+    }
+
+    #[test]
+    fn skipped_cells_are_dropped_in_place() {
+        let eval = |c: GridCell| c.set_idx.is_multiple_of(2).then_some(c.set_idx);
+        for threads in [1, 3] {
+            let grid = SweepRunner::new().threads(threads).run_grid(0, 2, 5, eval);
+            assert_eq!(grid, vec![vec![0, 2, 4], vec![0, 2, 4]]);
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        let runner = SweepRunner::new().threads(0);
+        assert!(runner.effective_threads() >= 1);
+        let grid = runner.run_grid(1, 3, 2, |c| Some(c.seed));
+        assert_eq!(grid, SweepRunner::new().run_grid(1, 3, 2, |c| Some(c.seed)));
+    }
+
+    #[test]
+    fn empty_grids_are_fine() {
+        let grid = SweepRunner::new()
+            .threads(8)
+            .run_grid(0, 0, 10, |_| Some(1));
+        assert!(grid.is_empty());
+        let grid = SweepRunner::new().threads(8).run_grid(0, 3, 0, |_| Some(1));
+        assert_eq!(grid, vec![Vec::<i32>::new(); 3]);
+    }
+
+    #[test]
+    fn progress_sees_every_cell_exactly_once() {
+        for threads in [1, 4] {
+            let sink = RecordingProgress::default();
+            SweepRunner::new()
+                .threads(threads)
+                .run_grid_with_progress(0, 3, 4, &sink, |c| Some(c.seed));
+            let mut calls = sink.calls.lock().unwrap().clone();
+            calls.sort_unstable();
+            assert_eq!(calls, (1..=12).map(|i| (i, 12)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn workers_never_exceed_the_grid() {
+        // 64 threads on a 4-cell grid must still produce every cell once.
+        let grid = SweepRunner::new()
+            .threads(64)
+            .run_grid(9, 2, 2, |c| Some(c.seed));
+        assert_eq!(
+            grid,
+            vec![
+                vec![derive_seed(9, 0, 0), derive_seed(9, 0, 1)],
+                vec![derive_seed(9, 1, 0), derive_seed(9, 1, 1)],
+            ]
+        );
+    }
+}

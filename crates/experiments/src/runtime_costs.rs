@@ -14,7 +14,9 @@ use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_sim::{SimulationConfig, Simulator};
 use spms_task::{PeriodDistribution, TaskSetGenerator, Time, UtilizationDistribution};
 
-use crate::AlgorithmKind;
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
+use crate::{same_point, AlgorithmKind};
 
 /// Aggregated run-time costs of one algorithm at one utilization point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,16 +53,12 @@ impl RuntimeCostResults {
         &self.samples
     }
 
-    /// The sample of one algorithm at the point closest to `utilization`.
+    /// The sample of one algorithm at the point matching `utilization`
+    /// within a 1e-9 tolerance (`None` when no point lies within it).
     pub fn sample(&self, utilization: f64, algorithm: AlgorithmKind) -> Option<&RuntimeCostSample> {
         self.samples
             .iter()
-            .filter(|s| s.algorithm == algorithm)
-            .min_by(|a, b| {
-                let da = (a.normalized_utilization - utilization).abs();
-                let db = (b.normalized_utilization - utilization).abs();
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .find(|s| s.algorithm == algorithm && same_point(s.normalized_utilization, utilization))
     }
 
     /// Renders a markdown table with one row per (utilization, algorithm).
@@ -118,6 +116,17 @@ pub struct RuntimeCostExperiment {
     overhead: OverheadModel,
     simulation_window: Time,
     seed: u64,
+    threads: usize,
+}
+
+/// What one accepted task set contributed to an algorithm's aggregates.
+struct CellSample {
+    split_tasks: usize,
+    preemptions: u64,
+    migrations: u64,
+    jobs: u64,
+    overhead_fraction: f64,
+    missed: bool,
 }
 
 impl Default for RuntimeCostExperiment {
@@ -136,6 +145,7 @@ impl Default for RuntimeCostExperiment {
             overhead: OverheadModel::paper_n4(),
             simulation_window: Time::from_secs(1),
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -196,32 +206,42 @@ impl RuntimeCostExperiment {
         self
     }
 
+    /// Sets the number of worker threads (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the experiment.
     pub fn run(&self) -> RuntimeCostResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    ///
+    /// Each grid cell generates its task set once and pushes it through
+    /// every algorithm (partition + simulate), so all algorithms see the
+    /// same sets; the per-algorithm aggregates are folded afterwards in set
+    /// order, keeping the floating-point accumulation identical to a serial
+    /// run.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> RuntimeCostResults {
         let partitioners: Vec<(AlgorithmKind, Box<dyn spms_core::Partitioner + Send + Sync>)> =
             self.algorithms
                 .iter()
                 .map(|a| (*a, a.build(self.test, self.overhead)))
                 .collect();
-        let mut samples = Vec::new();
-        for (point_idx, &normalized) in self.utilization_points.iter().enumerate() {
-            let total_utilization = normalized * self.cores as f64;
-            for (kind, partitioner) in &partitioners {
-                let mut accepted_sets = 0usize;
-                let mut split_tasks = 0usize;
-                let mut preemptions = 0u64;
-                let mut migrations = 0u64;
-                let mut jobs = 0u64;
-                let mut overhead_fraction = 0.0f64;
-                let mut missed_sets = 0usize;
-                for set_idx in 0..self.sets_per_point {
-                    let seed = self
-                        .seed
-                        .wrapping_add((point_idx as u64) << 32)
-                        .wrapping_add(set_idx as u64);
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(
+                self.seed,
+                self.utilization_points.len(),
+                self.sets_per_point,
+                progress,
+                |cell| {
+                    let normalized = self.utilization_points[cell.point_idx];
                     let generator = TaskSetGenerator::new()
                         .task_count(self.tasks_per_set)
-                        .total_utilization(total_utilization)
+                        .total_utilization(normalized * self.cores as f64)
                         .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
                             max_task_utilization: 1.0,
                         })
@@ -229,29 +249,53 @@ impl RuntimeCostExperiment {
                             min: Time::from_millis(10),
                             max: Time::from_secs(1),
                         })
-                        .seed(seed);
-                    let Ok(tasks) = generator.generate() else {
-                        continue;
-                    };
-                    let Some(partition) = partitioner
-                        .partition(&tasks, self.cores)
-                        .expect("valid generated task set")
-                        .into_partition()
-                    else {
-                        continue;
-                    };
-                    accepted_sets += 1;
-                    split_tasks += partition.split_count();
-                    let report = Simulator::new(
-                        &partition,
-                        SimulationConfig::new(self.simulation_window).with_overhead(self.overhead),
+                        .seed(cell.seed);
+                    let tasks = generator.generate().ok()?;
+                    Some(
+                        partitioners
+                            .iter()
+                            .map(|(_, partitioner)| {
+                                let partition = partitioner
+                                    .partition(&tasks, self.cores)
+                                    .expect("valid generated task set")
+                                    .into_partition()?;
+                                let report = Simulator::new(
+                                    &partition,
+                                    SimulationConfig::new(self.simulation_window)
+                                        .with_overhead(self.overhead),
+                                )
+                                .run();
+                                Some(CellSample {
+                                    split_tasks: partition.split_count(),
+                                    preemptions: report.preemptions,
+                                    migrations: report.migrations,
+                                    jobs: report.jobs_released,
+                                    overhead_fraction: report.overhead_fraction(),
+                                    missed: !report.no_deadline_misses(),
+                                })
+                            })
+                            .collect::<Vec<Option<CellSample>>>(),
                     )
-                    .run();
-                    preemptions += report.preemptions;
-                    migrations += report.migrations;
-                    jobs += report.jobs_released;
-                    overhead_fraction += report.overhead_fraction();
-                    if !report.no_deadline_misses() {
+                },
+            );
+        let mut samples = Vec::new();
+        for (cells, &normalized) in grid.iter().zip(&self.utilization_points) {
+            for (i, (kind, _)) in partitioners.iter().enumerate() {
+                let mut accepted_sets = 0usize;
+                let mut split_tasks = 0usize;
+                let mut preemptions = 0u64;
+                let mut migrations = 0u64;
+                let mut jobs = 0u64;
+                let mut overhead_fraction = 0.0f64;
+                let mut missed_sets = 0usize;
+                for sample in cells.iter().filter_map(|cell| cell[i].as_ref()) {
+                    accepted_sets += 1;
+                    split_tasks += sample.split_tasks;
+                    preemptions += sample.preemptions;
+                    migrations += sample.migrations;
+                    jobs += sample.jobs;
+                    overhead_fraction += sample.overhead_fraction;
+                    if sample.missed {
                         missed_sets += 1;
                     }
                 }
@@ -365,5 +409,10 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         assert_eq!(quick().run(), quick().run());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        assert_eq!(quick().run(), quick().threads(4).run());
     }
 }

@@ -10,7 +10,8 @@
 use serde::{Deserialize, Serialize};
 use spms_analysis::OverheadModel;
 
-use crate::{AcceptanceRatioExperiment, AlgorithmKind};
+use crate::progress::{NullProgress, ProgressSink, ShiftedProgress};
+use crate::{same_point, AcceptanceRatioExperiment, AlgorithmKind};
 
 /// One scaling factor's result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,11 +40,12 @@ impl SensitivityResults {
         self.normalized_utilization
     }
 
-    /// The acceptance ratio of an algorithm at a given scale.
+    /// The acceptance ratio of an algorithm at a given scale (matched within
+    /// a 1e-9 tolerance).
     pub fn ratio(&self, scale: f64, algorithm: AlgorithmKind) -> Option<f64> {
         self.points
             .iter()
-            .find(|p| (p.overhead_scale - scale).abs() < 1e-9)
+            .find(|p| same_point(p.overhead_scale, scale))
             .and_then(|p| {
                 p.ratios
                     .iter()
@@ -78,6 +80,35 @@ impl SensitivityResults {
             out.push_str(&format!("| x{:.0} |", p.overhead_scale));
             for (_, r) in &p.ratios {
                 out.push_str(&format!(" {:.2} |", r));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a CSV with a header row, suitable for plotting.
+    pub fn render_csv(&self) -> String {
+        let algorithms: Vec<AlgorithmKind> = self
+            .points
+            .first()
+            .map(|p| p.ratios.iter().map(|(a, _)| *a).collect())
+            .unwrap_or_default();
+        let mut out = String::from("overhead_scale");
+        for a in &algorithms {
+            out.push(',');
+            out.push_str(a.name());
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{:.4}", p.overhead_scale));
+            for a in &algorithms {
+                let ratio = p
+                    .ratios
+                    .iter()
+                    .find(|(b, _)| b == a)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(f64::NAN);
+                out.push_str(&format!(",{ratio:.4}"));
             }
             out.push('\n');
         }
@@ -144,16 +175,47 @@ impl OverheadSensitivityExperiment {
         self
     }
 
+    /// Sets the RNG seed used for task-set generation (every scale sees the
+    /// same task sets regardless of the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.acceptance = self.acceptance.seed(seed);
+        self
+    }
+
+    /// Sets the number of worker threads each scale's acceptance sweep fans
+    /// out across (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.acceptance = self.acceptance.threads(threads);
+        self
+    }
+
     /// Runs the sweep.
     pub fn run(&self) -> SensitivityResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    ///
+    /// The scale axis reconfigures the overhead model, so each scale runs as
+    /// its own [`SweepRunner`](crate::SweepRunner) grid (through the inner
+    /// acceptance experiment); the task sets within a scale fan out across
+    /// the configured threads, and every scale sees identical task sets.
+    /// Progress is reported against the whole run (`scales × sets`), not
+    /// per grid, so the count rises monotonically across scale boundaries.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> SensitivityResults {
         let mut points = Vec::with_capacity(self.scales.len());
-        for &scale in &self.scales {
-            let results = self
+        for (scale_idx, &scale) in self.scales.iter().enumerate() {
+            let acceptance = self
                 .acceptance
                 .clone()
                 .utilization_points(vec![self.normalized_utilization])
-                .overhead(self.baseline.scaled(scale))
-                .run();
+                .overhead(self.baseline.scaled(scale));
+            let shifted = ShiftedProgress::new(
+                progress,
+                scale_idx * acceptance.grid_cells(),
+                self.scales.len() * acceptance.grid_cells(),
+            );
+            let results = acceptance.run_with_progress(&shifted);
             let ratios = results
                 .algorithms()
                 .iter()
@@ -216,5 +278,19 @@ mod tests {
         assert!(md.contains("x0"));
         assert!(md.contains("x20"));
         assert!(md.contains("FP-TS"));
+    }
+
+    #[test]
+    fn csv_contains_header_and_every_scale() {
+        let results = quick().run();
+        let csv = results.render_csv();
+        assert!(csv.starts_with("overhead_scale"));
+        assert!(csv.contains("FP-TS"));
+        assert_eq!(csv.lines().count(), 1 + results.points().len());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        assert_eq!(quick().run(), quick().threads(4).run());
     }
 }

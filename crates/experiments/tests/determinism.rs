@@ -1,0 +1,39 @@
+//! Golden-snapshot guard for experiment output.
+//!
+//! The task-generation golden in `crates/task/tests/determinism.rs` pins the
+//! RNG stream; this one pins everything layered on top of it — seed
+//! derivation in the sweep runner, partitioning, acceptance analysis and
+//! result assembly. If any of those intentionally changes, regenerate the
+//! snapshot as described in the failure message; if the change was not
+//! intentional, the experiment results of every downstream consumer just
+//! silently shifted.
+
+use spms_experiments::AcceptanceRatioExperiment;
+
+fn pinned_experiment() -> AcceptanceRatioExperiment {
+    AcceptanceRatioExperiment::new()
+        .tasks_per_set(6)
+        .sets_per_point(5)
+        .utilization_points(vec![0.5, 0.9])
+        .seed(0xDEAD_BEEF)
+}
+
+/// The exact bytes a fixed acceptance sweep produces, across runs, processes
+/// and thread counts. To regenerate after an intentional change to the
+/// generator, the seed derivation or the analysis:
+/// `cargo run --release --bin spms -- acceptance --seed 3735928559 \
+///  --sets-per-point 5 --tasks-per-set 6 --points 0.5,0.9 --format json`
+/// and paste the `results` object into `determinism_golden.json`.
+#[test]
+fn acceptance_sweep_matches_the_golden_snapshot() {
+    let golden = include_str!("determinism_golden.json").trim();
+    for threads in [1, 4] {
+        let actual = serde_json::to_string(&pinned_experiment().threads(threads).run()).unwrap();
+        assert_eq!(
+            actual, golden,
+            "acceptance sweep (threads={threads}) drifted from the pinned golden output;\n\
+             if this change is intentional, regenerate crates/experiments/tests/determinism_golden.json\n\
+             (see the doc comment on this test)"
+        );
+    }
+}

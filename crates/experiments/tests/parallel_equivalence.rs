@@ -1,0 +1,101 @@
+//! The `SweepRunner` contract, pinned for every experiment driver: under a
+//! fixed seed, the serialized results of a parallel run are byte-identical
+//! to a serial run — not merely approximately equal, but the same JSON.
+//!
+//! Seeds are derived purely from grid coordinates and per-point aggregation
+//! happens on merged, ordered results, so nothing about worker scheduling
+//! may leak into the output. A failure here means a refactor made results
+//! depend on thread count.
+
+use spms_experiments::{
+    AcceptanceRatioExperiment, CacheCrossoverExperiment, CoreCountSweepExperiment,
+    GlobalComparisonExperiment, OverheadSensitivityExperiment, RuntimeCostExperiment,
+};
+use spms_task::Time;
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("results serialize")
+}
+
+#[test]
+fn acceptance_is_thread_count_invariant() {
+    let base = AcceptanceRatioExperiment::new()
+        .tasks_per_set(8)
+        .sets_per_point(10)
+        .utilization_points(vec![0.5, 0.8, 0.95])
+        .seed(42);
+    let serial = json(&base.clone().threads(1).run());
+    for threads in [2, 4, 0] {
+        assert_eq!(
+            serial,
+            json(&base.clone().threads(threads).run()),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn core_sweep_is_thread_count_invariant() {
+    let base = CoreCountSweepExperiment::new()
+        .core_counts(vec![2, 4])
+        .sets_per_point(8)
+        .seed(42);
+    assert_eq!(
+        json(&base.clone().threads(1).run()),
+        json(&base.clone().threads(4).run())
+    );
+}
+
+#[test]
+fn global_comparison_is_thread_count_invariant() {
+    let base = GlobalComparisonExperiment::new()
+        .tasks_per_set(8)
+        .sets_per_point(8)
+        .utilization_points(vec![0.4, 0.9])
+        .seed(42);
+    assert_eq!(
+        json(&base.clone().threads(1).run()),
+        json(&base.clone().threads(4).run())
+    );
+}
+
+#[test]
+fn runtime_costs_are_thread_count_invariant() {
+    // The runtime experiment accumulates floats (overhead fractions), so this
+    // additionally pins that the accumulation order is the merged set order,
+    // not worker completion order.
+    let base = RuntimeCostExperiment::new()
+        .tasks_per_set(8)
+        .sets_per_point(4)
+        .utilization_points(vec![0.6, 0.85])
+        .simulation_window(Time::from_millis(300))
+        .seed(42);
+    assert_eq!(
+        json(&base.clone().threads(1).run()),
+        json(&base.clone().threads(4).run())
+    );
+}
+
+#[test]
+fn sensitivity_is_thread_count_invariant() {
+    let base = OverheadSensitivityExperiment::new()
+        .scales(vec![0.0, 1.0, 20.0])
+        .tasks_per_set(8)
+        .sets_per_scale(8)
+        .seed(42);
+    assert_eq!(
+        json(&base.clone().threads(1).run()),
+        json(&base.clone().threads(4).run())
+    );
+}
+
+#[test]
+fn cache_crossover_is_thread_count_invariant() {
+    let base = CacheCrossoverExperiment::new()
+        .hierarchy(spms_cache::CacheHierarchyConfig::tiny_for_tests())
+        .working_set_sizes(vec![512, 2 * 1024, 16 * 1024]);
+    assert_eq!(
+        json(&base.clone().threads(1).run()),
+        json(&base.clone().threads(3).run())
+    );
+}

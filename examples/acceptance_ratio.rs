@@ -2,8 +2,10 @@
 //! across a normalized-utilization sweep, without overhead and with the
 //! measured N = 4 and N = 64 overheads.
 //!
-//! Run with `cargo run --release --example acceptance_ratio`. Expect a few
-//! minutes at the default scale; pass `--quick` for a coarse preview.
+//! Run with `cargo run --release --example acceptance_ratio`. Pass `--quick`
+//! for a coarse preview. The sweep fans out across all host cores through
+//! the shared `SweepRunner`; the `spms acceptance` CLI subcommand exposes
+//! the same experiment with configurable flags.
 
 use spms::analysis::OverheadModel;
 use spms::experiments::AcceptanceRatioExperiment;
@@ -18,7 +20,8 @@ fn main() {
         .tasks_per_set(tasks)
         .utilization_points(sweep)
         .sets_per_point(sets)
-        .seed(2011);
+        .seed(2011)
+        .threads(0); // one worker per host core; results are thread-count invariant
 
     println!(
         "=== acceptance ratio, no overhead ({sets} sets/point, {tasks} tasks/set, 4 cores) ==="

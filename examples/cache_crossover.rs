@@ -7,7 +7,7 @@
 use spms::experiments::CacheCrossoverExperiment;
 
 fn main() {
-    let results = CacheCrossoverExperiment::new().run();
+    let results = CacheCrossoverExperiment::new().threads(0).run();
     println!("=== cache reload cost: local preemption vs migration (Core-i7-like hierarchy) ===\n");
     println!("{}", results.render_markdown());
     match results.crossover_bytes(2.0) {

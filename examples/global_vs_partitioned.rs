@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .tasks_per_set(16)
         .sets_per_point(sets)
         .seed(2011)
+        .threads(0)
         .run();
     println!("{}", comparison.render_markdown());
 

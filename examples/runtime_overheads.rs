@@ -37,6 +37,7 @@ fn main() {
             .overhead(overhead)
             .simulation_window(Time::from_secs(1))
             .seed(42)
+            .threads(0)
             .run();
         println!("{}", results.render_markdown());
     }

@@ -30,6 +30,7 @@ fn main() {
         .algorithms(lineup.clone())
         .overhead(OverheadModel::paper_n4())
         .seed(2011)
+        .threads(0)
         .run();
     println!("{}", acceptance.render_markdown());
 
@@ -43,6 +44,7 @@ fn main() {
         .overhead(OverheadModel::paper_n4())
         .simulation_window(Time::from_secs(1))
         .seed(2011)
+        .threads(0)
         .run();
     println!("{}", runtime.render_markdown());
 

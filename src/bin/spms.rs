@@ -1,0 +1,491 @@
+//! `spms` — the unified experiment CLI.
+//!
+//! One binary with a subcommand per experiment driver, replacing the need to
+//! pick among the one-off examples. Every sweep runs through the shared
+//! [`SweepRunner`](spms::experiments::SweepRunner), so `--threads N` scales
+//! it across host cores while producing output byte-identical to
+//! `--threads 1` under the same `--seed`.
+//!
+//! ```text
+//! spms acceptance --sets-per-point 2 --threads 2 --format json
+//! spms cores --core-counts 2,4,8 --threads 0 --format csv
+//! spms anatomy --format markdown
+//! ```
+//!
+//! Exit codes: `0` on success, `2` on a usage error.
+
+use spms::analysis::OverheadModel;
+use spms::experiments::{
+    AcceptanceRatioExperiment, CacheCrossoverExperiment, CoreCountSweepExperiment,
+    GlobalComparisonExperiment, NullProgress, OverheadSensitivityExperiment, PreemptionAnatomy,
+    ProgressSink, RuntimeCostExperiment, StderrProgress,
+};
+use std::io::IsTerminal;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+spms — semi-partitioned multi-core scheduling experiments (Zhang, Guan, Yi — DATE 2011)
+
+USAGE:
+    spms <COMMAND> [OPTIONS]
+
+COMMANDS:
+    acceptance   Acceptance ratio of FP-TS vs FFD vs WFD over a utilization sweep (E5)
+    sensitivity  Acceptance-ratio loss as the overhead magnitude is scaled up (E6)
+    cache        Local context-switch vs migration reload cost by working-set size (E4)
+    anatomy      Figure 1: the annotated timeline of a single preemption (E3)
+    runtime      Simulated preemption/migration/overhead costs of accepted partitions (E8)
+    cores        Acceptance ratio as the core count grows (E9)
+    global       Partitioned & semi-partitioned vs sufficient global tests (E10)
+
+COMMON OPTIONS:
+    --threads <N>         Worker threads for the sweep grid; 0 = one per core [default: 1]
+    --seed <N>            Root RNG seed for task-set generation [default: 0]
+    --sets-per-point <N>  Task sets generated per sweep point
+    --format <F>          Output format: markdown, csv or json [default: markdown]
+    --quiet               Suppress the stderr progress line
+    --help                Show this help
+
+PER-COMMAND OPTIONS:
+    acceptance | runtime | global:
+        --cores <N>             Number of processors [default: 4]
+        --tasks-per-set <N>     Tasks per generated set
+        --points <a,b,..>       Normalized-utilization sweep points
+        --overhead <zero|n4|n64>  Overhead model folded into the analysis
+    cores:
+        --core-counts <a,b,..>  Core counts to sweep [default: 2,4,8,16]
+        --tasks-per-core <N>    Tasks generated per core [default: 4]
+        --utilization <U>       Normalized utilization [default: 0.85]
+        --overhead <zero|n4|n64>
+    sensitivity:
+        --scales <a,b,..>       Overhead scaling factors [default: 0,1,5,20]
+        --utilization <U>       Normalized utilization [default: 0.9]
+        --tasks-per-set <N>
+    cache:
+        --sizes <a,b,..>        Working-set sizes in bytes
+                                (deterministic: --seed / --sets-per-point do not apply)
+    anatomy:
+        (a single deterministic simulation: only --format and --quiet apply)
+
+Every run is deterministic: with a fixed --seed, any --threads value
+produces byte-identical output.
+";
+
+/// A usage error: printed to stderr together with a pointer to `--help`.
+struct UsageError(String);
+
+type CliResult<T> = Result<T, UsageError>;
+
+fn usage_error<T>(message: impl Into<String>) -> CliResult<T> {
+    Err(UsageError(message.into()))
+}
+
+/// Parsed command line: `--key value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    quiet: bool,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> CliResult<Flags> {
+        let mut pairs = Vec::new();
+        let mut quiet = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quiet" => quiet = true,
+                key if key.starts_with("--") => {
+                    let Some(value) = iter.next() else {
+                        return usage_error(format!("{key} requires a value"));
+                    };
+                    if pairs.iter().any(|(existing, _)| existing == key) {
+                        return usage_error(format!("{key} given more than once"));
+                    }
+                    pairs.push((key.to_string(), value.clone()));
+                }
+                other => return usage_error(format!("unexpected argument `{other}`")),
+            }
+        }
+        Ok(Flags { pairs, quiet })
+    }
+
+    /// Removes and returns the value of `key`, if present.
+    fn take(&mut self, key: &str) -> Option<String> {
+        let index = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(index).1)
+    }
+
+    fn take_usize(&mut self, key: &str) -> CliResult<Option<usize>> {
+        self.take_parsed(key, "a non-negative integer")
+    }
+
+    fn take_u64(&mut self, key: &str) -> CliResult<Option<u64>> {
+        self.take_parsed(key, "a non-negative integer")
+    }
+
+    fn take_f64(&mut self, key: &str) -> CliResult<Option<f64>> {
+        self.take_parsed(key, "a number")
+    }
+
+    fn take_parsed<T: std::str::FromStr>(
+        &mut self,
+        key: &str,
+        expected: &str,
+    ) -> CliResult<Option<T>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(raw) => match raw.parse() {
+                Ok(value) => Ok(Some(value)),
+                Err(_) => usage_error(format!("{key} expects {expected}, got `{raw}`")),
+            },
+        }
+    }
+
+    /// Removes and parses a comma-separated list, e.g. `--points 0.5,0.9`.
+    fn take_list<T: std::str::FromStr>(&mut self, key: &str) -> CliResult<Option<Vec<T>>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|item| item.trim().parse())
+                .collect::<Result<Vec<T>, _>>()
+                .map(Some)
+                .map_err(|_| {
+                    UsageError(format!("{key} expects a comma-separated list, got `{raw}`"))
+                }),
+        }
+    }
+
+    /// Errors if any flag was not consumed by the subcommand.
+    fn expect_empty(&self, command: &str) -> CliResult<()> {
+        match self.pairs.first() {
+            None => Ok(()),
+            Some((key, _)) => usage_error(format!("`spms {command}` does not support {key}")),
+        }
+    }
+}
+
+/// The flags shared by every subcommand.
+struct CommonFlags {
+    threads: usize,
+    seed: u64,
+    sets_per_point: Option<usize>,
+    format: OutputFormat,
+    quiet: bool,
+}
+
+impl CommonFlags {
+    fn take(flags: &mut Flags) -> CliResult<CommonFlags> {
+        let format = match flags.take("--format").as_deref() {
+            None | Some("markdown") => OutputFormat::Markdown,
+            Some("csv") => OutputFormat::Csv,
+            Some("json") => OutputFormat::Json,
+            Some(other) => {
+                return usage_error(format!(
+                    "--format expects markdown, csv or json, got `{other}`"
+                ))
+            }
+        };
+        Ok(CommonFlags {
+            threads: flags.take_usize("--threads")?.unwrap_or(1),
+            seed: flags.take_u64("--seed")?.unwrap_or(0),
+            sets_per_point: flags.take_usize("--sets-per-point")?,
+            format,
+            quiet: flags.quiet,
+        })
+    }
+
+    /// The progress sink: a stderr status line when attached to a terminal,
+    /// silent otherwise (so piping JSON to a file stays clean).
+    fn progress(&self, label: &str) -> Box<dyn ProgressSink> {
+        if self.quiet || !std::io::stderr().is_terminal() {
+            Box::new(NullProgress)
+        } else {
+            Box::new(StderrProgress::new(label))
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Markdown,
+    Csv,
+    Json,
+}
+
+/// Wraps a serialized `results` payload in the envelope the CI benchmark
+/// artifacts expect: which experiment ran and under which reproducibility
+/// knobs.
+fn json_envelope(experiment: &str, common: &CommonFlags, results_json: &str) -> String {
+    format!(
+        "{{\"experiment\":\"{experiment}\",\"seed\":{},\"threads\":{},\"results\":{results_json}}}",
+        common.seed, common.threads
+    )
+}
+
+fn take_overhead(flags: &mut Flags, default: OverheadModel) -> CliResult<OverheadModel> {
+    match flags.take("--overhead").as_deref() {
+        None => Ok(default),
+        Some("zero") => Ok(OverheadModel::zero()),
+        Some("n4") => Ok(OverheadModel::paper_n4()),
+        Some("n64") => Ok(OverheadModel::paper_n64()),
+        Some(other) => usage_error(format!("--overhead expects zero, n4 or n64, got `{other}`")),
+    }
+}
+
+fn render<T: serde::Serialize>(
+    experiment: &str,
+    common: &CommonFlags,
+    results: &T,
+    markdown: impl FnOnce() -> String,
+    csv: impl FnOnce() -> String,
+) -> CliResult<String> {
+    Ok(match common.format {
+        OutputFormat::Markdown => markdown(),
+        OutputFormat::Csv => csv(),
+        OutputFormat::Json => {
+            let payload = serde_json::to_string(results)
+                .map_err(|e| UsageError(format!("serializing results failed: {e}")))?;
+            json_envelope(experiment, common, &payload)
+        }
+    })
+}
+
+fn run_acceptance(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = AcceptanceRatioExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(sets) = common.sets_per_point {
+        experiment = experiment.sets_per_point(sets);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        experiment = experiment.cores(cores);
+    }
+    if let Some(tasks) = flags.take_usize("--tasks-per-set")? {
+        experiment = experiment.tasks_per_set(tasks);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
+    flags.expect_empty("acceptance")?;
+    let results = experiment.run_with_progress(common.progress("acceptance").as_ref());
+    render(
+        "acceptance",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn run_sensitivity(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = OverheadSensitivityExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(sets) = common.sets_per_point {
+        experiment = experiment.sets_per_scale(sets);
+    }
+    if let Some(tasks) = flags.take_usize("--tasks-per-set")? {
+        experiment = experiment.tasks_per_set(tasks);
+    }
+    if let Some(scales) = flags.take_list("--scales")? {
+        experiment = experiment.scales(scales);
+    }
+    if let Some(u) = flags.take_f64("--utilization")? {
+        experiment = experiment.normalized_utilization(u);
+    }
+    flags.expect_empty("sensitivity")?;
+    let results = experiment.run_with_progress(common.progress("sensitivity").as_ref());
+    render(
+        "sensitivity",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+/// Rejects common flags that a subcommand would otherwise silently ignore
+/// (e.g. `--seed` on the deterministic `cache` sweep). Must run before
+/// [`CommonFlags::take`], which consumes every common flag it knows.
+fn reject_inapplicable(flags: &mut Flags, command: &str, keys: &[&str]) -> CliResult<()> {
+    for key in keys {
+        if flags.take(key).is_some() {
+            return usage_error(format!("`spms {command}` does not support {key}"));
+        }
+    }
+    Ok(())
+}
+
+fn run_cache(mut flags: Flags) -> CliResult<String> {
+    // The cache sweep generates no task sets: no RNG, no replications.
+    reject_inapplicable(&mut flags, "cache", &["--seed", "--sets-per-point"])?;
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = CacheCrossoverExperiment::new().threads(common.threads);
+    if let Some(sizes) = flags.take_list("--sizes")? {
+        experiment = experiment.working_set_sizes(sizes);
+    }
+    flags.expect_empty("cache")?;
+    let results = experiment.run_with_progress(common.progress("cache").as_ref());
+    render(
+        "cache",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn run_anatomy(mut flags: Flags) -> CliResult<String> {
+    // One deterministic simulation: nothing to seed, replicate or fan out.
+    reject_inapplicable(
+        &mut flags,
+        "anatomy",
+        &["--seed", "--sets-per-point", "--threads"],
+    )?;
+    let common = CommonFlags::take(&mut flags)?;
+    flags.expect_empty("anatomy")?;
+    let report = PreemptionAnatomy::new().run();
+    render(
+        "anatomy",
+        &common,
+        &report,
+        || report.render_markdown(),
+        || report.render_csv(),
+    )
+}
+
+fn run_runtime(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = RuntimeCostExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(sets) = common.sets_per_point {
+        experiment = experiment.sets_per_point(sets);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        experiment = experiment.cores(cores);
+    }
+    if let Some(tasks) = flags.take_usize("--tasks-per-set")? {
+        experiment = experiment.tasks_per_set(tasks);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::paper_n4())?);
+    flags.expect_empty("runtime")?;
+    let results = experiment.run_with_progress(common.progress("runtime").as_ref());
+    render(
+        "runtime",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn run_cores(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = CoreCountSweepExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(sets) = common.sets_per_point {
+        experiment = experiment.sets_per_point(sets);
+    }
+    if let Some(counts) = flags.take_list("--core-counts")? {
+        experiment = experiment.core_counts(counts);
+    }
+    if let Some(tasks) = flags.take_usize("--tasks-per-core")? {
+        experiment = experiment.tasks_per_core(tasks);
+    }
+    if let Some(u) = flags.take_f64("--utilization")? {
+        experiment = experiment.normalized_utilization(u);
+    }
+    experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
+    flags.expect_empty("cores")?;
+    let results = experiment.run_with_progress(common.progress("cores").as_ref());
+    render(
+        "cores",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn run_global(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = GlobalComparisonExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(sets) = common.sets_per_point {
+        experiment = experiment.sets_per_point(sets);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        experiment = experiment.cores(cores);
+    }
+    if let Some(tasks) = flags.take_usize("--tasks-per-set")? {
+        experiment = experiment.tasks_per_set(tasks);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
+    flags.expect_empty("global")?;
+    let results = experiment.run_with_progress(common.progress("global").as_ref());
+    render(
+        "global",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
+    match command {
+        "acceptance" => run_acceptance(flags),
+        "sensitivity" => run_sensitivity(flags),
+        "cache" => run_cache(flags),
+        "anatomy" => run_anatomy(flags),
+        "runtime" => run_runtime(flags),
+        "cores" => run_cores(flags),
+        "global" => run_global(flags),
+        other => usage_error(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        // A missing command is an error: keep stdout clean for data so
+        // `spms > out.json` pipelines fail without polluting the file.
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = args[0].clone();
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(flags) => flags,
+        Err(UsageError(message)) => {
+            eprintln!("error: {message}\nrun `spms --help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&command, flags) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(UsageError(message)) => {
+            eprintln!("error: {message}\nrun `spms --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

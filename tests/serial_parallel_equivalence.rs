@@ -1,0 +1,122 @@
+//! End-to-end guard for the `spms` CLI: under a fixed `--seed`, the JSON a
+//! sweep emits with `--threads 1` is byte-identical to `--threads 4`.
+//!
+//! The library-level invariance tests in `crates/experiments` pin the
+//! `SweepRunner` contract per driver; this suite drives the real binary so
+//! the flag plumbing, the JSON envelope and stdout itself are covered too —
+//! it is the same invariant CI's `bench-smoke` job relies on when it diffs
+//! benchmark artifacts across runs.
+
+use std::process::Command;
+
+fn spms(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_spms"))
+        .args(args)
+        .output()
+        .expect("spms binary runs");
+    assert!(
+        output.status.success(),
+        "spms {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("spms emits UTF-8")
+}
+
+fn assert_threads_invariant(subcommand: &str, extra: &[&str]) {
+    let run = |threads: &str| {
+        let mut args = vec![
+            subcommand,
+            "--seed",
+            "2011",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ];
+        args.extend_from_slice(extra);
+        spms(&args)
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    // The thread count is part of the envelope (it documents how the run was
+    // produced), so compare the results payloads.
+    let strip = |s: &str| s.replace("\"threads\":1", "").replace("\"threads\":4", "");
+    assert_eq!(
+        strip(&serial),
+        strip(&parallel),
+        "`spms {subcommand}` output depends on --threads"
+    );
+    assert!(serial.contains("\"experiment\""));
+    assert!(serial.contains("\"results\""));
+}
+
+#[test]
+fn acceptance_json_is_identical_across_thread_counts() {
+    assert_threads_invariant(
+        "acceptance",
+        &[
+            "--sets-per-point",
+            "4",
+            "--tasks-per-set",
+            "8",
+            "--points",
+            "0.5,0.9",
+        ],
+    );
+}
+
+#[test]
+fn core_sweep_json_is_identical_across_thread_counts() {
+    assert_threads_invariant("cores", &["--sets-per-point", "4", "--core-counts", "2,4"]);
+}
+
+#[test]
+fn inapplicable_common_flags_are_rejected_not_ignored() {
+    // `cache` is deterministic and `anatomy` is a single simulation: a seed
+    // sweep against them must fail loudly, not return identical output.
+    for args in [
+        ["cache", "--seed", "7"],
+        ["cache", "--sets-per-point", "5"],
+        ["anatomy", "--threads", "4"],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_spms"))
+            .args(args)
+            .output()
+            .expect("spms binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "spms {args:?} should be rejected"
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("does not support"),
+            "spms {args:?} stderr should name the unsupported flag"
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_spms"))
+        .args(["acceptance", "--no-such-flag", "1"])
+        .output()
+        .expect("spms binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--no-such-flag"));
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let help = spms(&["--help"]);
+    for subcommand in [
+        "acceptance",
+        "sensitivity",
+        "cache",
+        "anatomy",
+        "runtime",
+        "cores",
+        "global",
+    ] {
+        assert!(help.contains(subcommand), "--help misses {subcommand}");
+    }
+}
