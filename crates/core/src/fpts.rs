@@ -172,19 +172,20 @@ impl SemiPartitionedFpTs {
     }
 
     /// Priority level reserved for promoted body subtasks.
-    const BODY_PRIORITY: Priority = Priority::new(0);
+    const BODY_PRIORITY: Priority = crate::BODY_PRIORITY;
     /// Priority level reserved for promoted tail subtasks (below bodies,
     /// above every non-split task).
-    const TAIL_PRIORITY: Priority = Priority::new(1);
+    const TAIL_PRIORITY: Priority = crate::TAIL_PRIORITY;
 
     /// Effective per-core priority of a task assigned whole: the task's
-    /// rate-monotonic level shifted down by two so that levels 0 and 1 stay
-    /// reserved for promoted body and tail subtasks.
+    /// rate-monotonic level shifted down so that the levels below
+    /// [`WHOLE_PRIORITY_BASE`](crate::WHOLE_PRIORITY_BASE) stay reserved for
+    /// promoted body and tail subtasks.
     fn shifted_priority(task: &Task) -> Priority {
         Priority::new(
             task.priority()
                 .map_or(u32::MAX, |p| p.level())
-                .saturating_add(2),
+                .saturating_add(crate::WHOLE_PRIORITY_BASE),
         )
     }
 
@@ -202,7 +203,9 @@ impl SemiPartitionedFpTs {
     /// The largest body budget (pure execution, excluding any overhead) that
     /// the acceptance test still admits on `core_tasks`, bounded by
     /// `max_budget`. Returns `Time::ZERO` when not even the smallest budget
-    /// fits.
+    /// fits. The `C = D` piece construction and the binary search over the
+    /// acceptance frontier are shared with the online incremental placer
+    /// (`split_budget` module).
     fn max_body_budget(
         &self,
         core_tasks: &[Task],
@@ -211,44 +214,14 @@ impl SemiPartitionedFpTs {
         piece_index: usize,
     ) -> Time {
         let overhead = self.body_piece_overhead(piece_index);
-        let fits = |budget: Time| -> bool {
-            if budget.is_zero() {
-                return true;
-            }
-            let wcet = budget + overhead;
-            // A body subtask runs at the highest priority with a deadline
-            // equal to its own demand ("C = D" splitting).
-            let Ok(piece) = Task::builder(template.id())
-                .wcet(wcet)
-                .period(template.period())
-                .deadline(wcet.min(template.period()))
-                .priority(Self::BODY_PRIORITY)
-                .build()
-            else {
+        crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
+            let Some(piece) = crate::split_budget::body_piece(template, budget, overhead) else {
                 return false;
             };
             let mut candidate = core_tasks.to_vec();
             candidate.push(piece);
             self.test.accepts(&candidate)
-        };
-        if !fits(self.min_split_budget.max(Time::from_nanos(1))) {
-            return Time::ZERO;
-        }
-        if fits(max_budget) {
-            return max_budget;
-        }
-        // Binary search the acceptance frontier (monotone in the budget).
-        let mut lo = self.min_split_budget.max(Time::from_nanos(1));
-        let mut hi = max_budget;
-        while hi.saturating_sub(lo) > Time::from_nanos(100) {
-            let mid = Time::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2);
-            if fits(mid) {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        })
     }
 
     /// Builds the analysis task for the final (tail or whole) placement of

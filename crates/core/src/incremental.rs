@@ -1,0 +1,542 @@
+//! Incremental placement: admitting one task into an existing partition.
+//!
+//! The offline algorithms in this crate ([`SemiPartitionedFpTs`],
+//! [`PartitionedFixedPriority`]) assume the whole task set is known up
+//! front. Online admission control (the `spms-online` crate) instead grows
+//! and shrinks a live [`Partition`] one task at a time, and needs two
+//! primitives this module provides:
+//!
+//! * [`IncrementalPlacer::plan_whole`] — first-fit placement of a single
+//!   task, validated by the same per-core acceptance test the offline
+//!   algorithms use;
+//! * [`IncrementalPlacer::plan_split`] — FP-TS-style splitting of a single
+//!   task across the residual capacity of several cores (bodies are carved
+//!   with the same promoted-priority, `C = D` scheme as
+//!   [`SemiPartitionedFpTs`], so the resulting pieces are analysable with
+//!   the standard constrained-deadline RTA).
+//!
+//! Planning is separated from committing so that callers can evaluate
+//! tentative placements (the bounded-repair search of the online controller
+//! moves tasks speculatively and rolls back). All plans are deterministic:
+//! cores are scanned in index order for whole placements, and bodies are
+//! carved on the core with the most residual utilization (ties broken by
+//! index).
+//!
+//! Priority discipline: within each core, promoted body subtasks sit at
+//! [`BODY_PRIORITY`](crate::BODY_PRIORITY), promoted tails at
+//! [`TAIL_PRIORITY`](crate::TAIL_PRIORITY), and tasks assigned whole receive
+//! dense deadline-monotonic levels from
+//! [`WHOLE_PRIORITY_BASE`](crate::WHOLE_PRIORITY_BASE) upward, recomputed by
+//! [`Partition::renormalize_core_priorities`] after every mutation. At most
+//! one body and one tail may live on a core: the per-core RTA treats equal
+//! priority levels as non-interfering, so duplicated promoted levels would
+//! be unsound.
+//!
+//! [`SemiPartitionedFpTs`]: crate::SemiPartitionedFpTs
+//! [`PartitionedFixedPriority`]: crate::PartitionedFixedPriority
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::{OverheadModel, UniprocessorTest};
+use spms_task::{Task, Time};
+
+use crate::{CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind};
+
+/// How an incrementally admitted task ended up in the partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementPlan {
+    /// The task fits whole on one core.
+    Whole {
+        /// The accepting core.
+        core: CoreId,
+        /// The analysis task (WCET inflated by the overhead model; priority
+        /// assigned on commit by the per-core renormalization).
+        analysis_task: Task,
+    },
+    /// The task was split across two or more cores, FP-TS style.
+    Split {
+        /// The placements in chain order (bodies first, tail last), ready to
+        /// insert into the partition.
+        pieces: Vec<(CoreId, PlacedTask)>,
+    },
+}
+
+impl PlacementPlan {
+    /// The cores this plan touches, in chain order.
+    pub fn cores(&self) -> Vec<CoreId> {
+        match self {
+            PlacementPlan::Whole { core, .. } => vec![*core],
+            PlacementPlan::Split { pieces } => pieces.iter().map(|(c, _)| *c).collect(),
+        }
+    }
+
+    /// Whether the plan splits the task.
+    pub fn is_split(&self) -> bool {
+        matches!(self, PlacementPlan::Split { .. })
+    }
+}
+
+/// Places single tasks into an existing partition, whole-first-fit with an
+/// FP-TS-style splitting fallback. See the [module docs](self) for the
+/// placement and priority discipline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalPlacer {
+    /// Per-core acceptance test, applied to every candidate core with the
+    /// new (sub)task included.
+    pub test: UniprocessorTest,
+    /// Run-time overheads folded into each placement's analysis WCET, using
+    /// the same charging points as [`SemiPartitionedFpTs`](crate::SemiPartitionedFpTs).
+    pub overhead: OverheadModel,
+    /// Smallest body-subtask budget worth carving.
+    pub min_split_budget: Time,
+}
+
+impl Default for IncrementalPlacer {
+    fn default() -> Self {
+        IncrementalPlacer {
+            test: UniprocessorTest::ResponseTime,
+            overhead: OverheadModel::zero(),
+            min_split_budget: Time::from_micros(100),
+        }
+    }
+}
+
+impl IncrementalPlacer {
+    /// A placer with exact RTA, no overhead, and the default 100 µs minimum
+    /// split budget.
+    pub fn new() -> Self {
+        IncrementalPlacer::default()
+    }
+
+    /// Replaces the per-core acceptance test (builder style).
+    pub fn with_test(mut self, test: UniprocessorTest) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// Replaces the overhead model (builder style).
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Sets the smallest admissible body-subtask budget (builder style).
+    pub fn with_min_split_budget(mut self, budget: Time) -> Self {
+        self.min_split_budget = budget;
+        self
+    }
+
+    /// The analysis task of a whole placement: WCET inflated by the
+    /// whole-job overhead. `None` when the task cannot absorb the overhead
+    /// within its deadline (such a task is unschedulable under this model on
+    /// any core).
+    pub fn whole_analysis_task(&self, task: &Task) -> Option<Task> {
+        task.with_wcet(task.wcet() + self.overhead.whole_job_inflation())
+            .ok()
+    }
+
+    /// Plans a whole-task placement: the first core (in index order, skipping
+    /// `exclude`) whose assignment still passes the acceptance test with the
+    /// task added. Does not modify the partition.
+    pub fn plan_whole(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+    ) -> Option<PlacementPlan> {
+        let analysis_task = self.whole_analysis_task(task)?;
+        let core = (0..partition.core_count()).map(CoreId).find(|c| {
+            !exclude.contains(c) && self.core_accepts(partition, *c, analysis_task.clone(), false)
+        })?;
+        Some(PlacementPlan::Whole {
+            core,
+            analysis_task,
+        })
+    }
+
+    /// Plans an FP-TS-style split of a single task across the residual
+    /// capacity of the partition: body pieces are carved on the cores with
+    /// the most residual utilization (largest budget the acceptance test
+    /// still admits, found by binary search), and the tail lands on the
+    /// first core that accepts what remains. Does not modify the partition.
+    ///
+    /// Returns `None` when no split placement exists under the constraints
+    /// (one body and one tail per core at most, every piece on a distinct
+    /// core, bodies no smaller than
+    /// [`min_split_budget`](Self::min_split_budget)).
+    pub fn plan_split(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+    ) -> Option<PlacementPlan> {
+        let cores = partition.core_count();
+        let mut remaining = task.wcet();
+        let mut offset = Time::ZERO;
+        // (core, analysis piece, pure execution budget), in chain order.
+        let mut pieces: Vec<(CoreId, Task, Time)> = Vec::new();
+
+        loop {
+            // With at least one body carved, try to finish with a tail.
+            if !pieces.is_empty() {
+                if let Some(tail) = self.make_tail_piece(task, remaining, offset) {
+                    let found = (0..cores).map(CoreId).find(|c| {
+                        !exclude.contains(c)
+                            && !pieces.iter().any(|(pc, _, _)| pc == c)
+                            && !partition.core_has_tail(*c)
+                            && self.core_accepts(partition, *c, tail.clone(), true)
+                    });
+                    if let Some(core) = found {
+                        pieces.push((core, tail, remaining));
+                        break;
+                    }
+                }
+            }
+
+            // Carve the largest admissible body budget on the unused core
+            // with the most residual utilization.
+            if pieces.len() + 1 >= cores {
+                return None; // no room left for a tail on a distinct core
+            }
+            let mut candidates: Vec<CoreId> = (0..cores)
+                .map(CoreId)
+                .filter(|c| {
+                    !exclude.contains(c)
+                        && !pieces.iter().any(|(pc, _, _)| pc == c)
+                        && !partition.core_has_body(*c)
+                })
+                .collect();
+            candidates.sort_by(|a, b| {
+                partition
+                    .residual_utilization(*b)
+                    .partial_cmp(&partition.residual_utilization(*a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let piece_overhead = self.body_piece_overhead(pieces.len());
+            let deadline_room = task
+                .deadline()
+                .saturating_sub(offset)
+                .saturating_sub(piece_overhead);
+            let max_budget = remaining
+                .saturating_sub(Time::from_nanos(1))
+                .min(deadline_room);
+            if max_budget < self.min_split_budget {
+                return None;
+            }
+            let mut carved = false;
+            for core in candidates {
+                let budget = self.max_body_budget(partition, core, task, max_budget, pieces.len());
+                if budget >= self.min_split_budget && !budget.is_zero() {
+                    let piece = crate::split_budget::body_piece(task, budget, piece_overhead)?;
+                    offset += piece.wcet();
+                    remaining -= budget;
+                    pieces.push((core, piece, budget));
+                    carved = true;
+                    break;
+                }
+            }
+            if !carved {
+                return None;
+            }
+        }
+
+        // Materialise the chain with split metadata.
+        let count = pieces.len();
+        debug_assert!(count >= 2);
+        let first_core = pieces[0].0;
+        let core_sequence: Vec<CoreId> = pieces.iter().map(|(c, _, _)| *c).collect();
+        let mut running_offset = Time::ZERO;
+        let mut placed = Vec::with_capacity(count);
+        for (i, (core, piece, budget)) in pieces.into_iter().enumerate() {
+            let is_tail = i == count - 1;
+            let piece_wcet = piece.wcet();
+            placed.push((
+                core,
+                PlacedTask {
+                    task: piece,
+                    execution: budget,
+                    parent: task.id(),
+                    split: Some(SplitInfo {
+                        part_index: i,
+                        part_count: count,
+                        kind: if is_tail {
+                            SubtaskKind::Tail
+                        } else {
+                            SubtaskKind::Body
+                        },
+                        release_offset: running_offset,
+                        next_core: core_sequence.get(i + 1).copied(),
+                        first_core,
+                    }),
+                },
+            ));
+            running_offset += piece_wcet;
+        }
+        Some(PlacementPlan::Split { pieces: placed })
+    }
+
+    /// Plans whole-first, split-second: the admission fast path.
+    pub fn plan(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+    ) -> Option<PlacementPlan> {
+        self.plan_whole(partition, task, exclude)
+            .or_else(|| self.plan_split(partition, task, exclude))
+    }
+
+    /// Commits a plan produced by [`plan_whole`](Self::plan_whole) /
+    /// [`plan_split`](Self::plan_split) against the same partition state,
+    /// renormalizing the priorities of every touched core.
+    pub fn commit(&self, partition: &mut Partition, task: &Task, plan: PlacementPlan) {
+        match plan {
+            PlacementPlan::Whole {
+                core,
+                analysis_task,
+            } => {
+                partition.place(
+                    core,
+                    PlacedTask {
+                        task: analysis_task,
+                        execution: task.wcet(),
+                        parent: task.id(),
+                        split: None,
+                    },
+                );
+                partition.renormalize_core_priorities(core);
+            }
+            PlacementPlan::Split { pieces } => {
+                let cores: Vec<CoreId> = pieces.iter().map(|(c, _)| *c).collect();
+                for (core, placed) in pieces {
+                    partition.place(core, placed);
+                }
+                for core in cores {
+                    partition.renormalize_core_priorities(core);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Whether `core` still passes the acceptance test with `candidate`
+    /// added. `candidate_is_split` marks promoted pieces, which keep their
+    /// reserved priority; whole candidates are ranked deadline-monotonically
+    /// among the core's existing whole tasks, exactly as
+    /// [`Partition::renormalize_core_priorities`] will rank them on commit.
+    fn core_accepts(
+        &self,
+        partition: &Partition,
+        core: CoreId,
+        candidate: Task,
+        candidate_is_split: bool,
+    ) -> bool {
+        let tasks = normalized_candidate_tasks(partition.core(core), candidate, candidate_is_split);
+        self.test.accepts(&tasks)
+    }
+
+    /// The analysis overhead charged to a body piece at `piece_index` in its
+    /// chain (mirrors `SemiPartitionedFpTs`).
+    fn body_piece_overhead(&self, piece_index: usize) -> Time {
+        if piece_index == 0 {
+            self.overhead.first_piece_inflation()
+        } else {
+            self.overhead.body_piece_inflation()
+        }
+    }
+
+    /// The largest body budget (pure execution) the acceptance test still
+    /// admits on `core`, bounded by `max_budget`; `Time::ZERO` when not even
+    /// the minimum budget fits. The piece construction and the binary search
+    /// over the acceptance frontier are shared with the offline FP-TS pass
+    /// (`split_budget` module); only the acceptance predicate differs.
+    fn max_body_budget(
+        &self,
+        partition: &Partition,
+        core: CoreId,
+        template: &Task,
+        max_budget: Time,
+        piece_index: usize,
+    ) -> Time {
+        let overhead = self.body_piece_overhead(piece_index);
+        crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
+            match crate::split_budget::body_piece(template, budget, overhead) {
+                Some(piece) => self.core_accepts(partition, core, piece, true),
+                None => false,
+            }
+        })
+    }
+
+    /// The tail piece of a split chain with `budget` pure execution left,
+    /// released `offset` after the parent. `None` when the piece cannot meet
+    /// what is left of the deadline.
+    fn make_tail_piece(&self, task: &Task, budget: Time, offset: Time) -> Option<Task> {
+        let wcet = budget + self.overhead.tail_piece_inflation();
+        let deadline = task.deadline().checked_sub(offset)?;
+        if deadline > task.period() || wcet > deadline {
+            return None;
+        }
+        Task::builder(task.id())
+            .wcet(wcet)
+            .period(task.period())
+            .deadline(deadline)
+            .priority(crate::TAIL_PRIORITY)
+            .build()
+            .ok()
+    }
+}
+
+/// The per-core analysis task list with `candidate` included and whole-task
+/// priorities renormalized (split pieces keep their reserved levels) — the
+/// exact ranking [`Partition::renormalize_core_priorities`] will commit,
+/// via the shared `assign_whole_priorities` helper.
+fn normalized_candidate_tasks(
+    bin: &[PlacedTask],
+    candidate: Task,
+    candidate_is_split: bool,
+) -> Vec<Task> {
+    let mut tasks: Vec<(Task, bool)> = bin.iter().map(|p| (p.task.clone(), p.is_split())).collect();
+    tasks.push((candidate, candidate_is_split));
+    crate::placement::assign_whole_priorities(
+        tasks
+            .iter_mut()
+            .filter(|(_, is_split)| !is_split)
+            .map(|(t, _)| t)
+            .collect(),
+    );
+    tasks.into_iter().map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::TaskId;
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> Task {
+        Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(period_ms)).unwrap()
+    }
+
+    fn placer() -> IncrementalPlacer {
+        IncrementalPlacer::new()
+    }
+
+    #[test]
+    fn whole_placement_is_first_fit_in_core_order() {
+        let mut partition = Partition::new(2);
+        let t0 = task(0, 3, 10);
+        let plan = placer().plan_whole(&partition, &t0, &[]).unwrap();
+        assert_eq!(plan.cores(), vec![CoreId(0)]);
+        placer().commit(&mut partition, &t0, plan);
+
+        let t1 = task(1, 3, 10);
+        let plan = placer().plan_whole(&partition, &t1, &[]).unwrap();
+        assert_eq!(plan.cores(), vec![CoreId(0)], "first fit, not worst fit");
+        placer().commit(&mut partition, &t1, plan);
+        assert_eq!(partition.validate(), Ok(()));
+        assert!(partition.is_schedulable(UniprocessorTest::ResponseTime));
+    }
+
+    #[test]
+    fn exclusion_skips_cores() {
+        let partition = Partition::new(2);
+        let t = task(0, 3, 10);
+        let plan = placer().plan_whole(&partition, &t, &[CoreId(0)]).unwrap();
+        assert_eq!(plan.cores(), vec![CoreId(1)]);
+    }
+
+    #[test]
+    fn oversubscribed_core_rejects_whole_placement() {
+        let mut partition = Partition::new(1);
+        let t0 = task(0, 7, 10);
+        let plan = placer().plan(&partition, &t0, &[]).unwrap();
+        placer().commit(&mut partition, &t0, plan);
+        assert!(placer()
+            .plan_whole(&partition, &task(1, 7, 10), &[])
+            .is_none());
+        assert!(placer().plan(&partition, &task(1, 7, 10), &[]).is_none());
+    }
+
+    #[test]
+    fn split_covers_the_full_wcet_and_validates() {
+        // Two cores at 60% each cannot take a 60% task whole, but can split it.
+        let mut partition = Partition::new(2);
+        for (id, core) in [(0u32, 0usize), (1, 1)] {
+            let t = task(id, 6, 10);
+            let plan = PlacementPlan::Whole {
+                core: CoreId(core),
+                analysis_task: t.clone(),
+            };
+            placer().commit(&mut partition, &t, plan);
+        }
+        let t2 = task(2, 6, 10);
+        assert!(placer().plan_whole(&partition, &t2, &[]).is_none());
+        let plan = placer().plan_split(&partition, &t2, &[]).unwrap();
+        assert!(plan.is_split());
+        let PlacementPlan::Split { pieces } = &plan else {
+            unreachable!()
+        };
+        assert_eq!(pieces.len(), 2);
+        let total: Time = pieces.iter().map(|(_, p)| p.execution).sum();
+        assert_eq!(total, Time::from_millis(6));
+        placer().commit(&mut partition, &t2, plan);
+        assert_eq!(partition.validate(), Ok(()));
+        assert!(partition.is_schedulable(UniprocessorTest::ResponseTime));
+        assert_eq!(partition.split_count(), 1);
+    }
+
+    #[test]
+    fn split_respects_one_tail_per_core() {
+        let mut partition = Partition::new(2);
+        for (id, core) in [(0u32, 0usize), (1, 1)] {
+            let t = task(id, 6, 10);
+            let plan = PlacementPlan::Whole {
+                core: CoreId(core),
+                analysis_task: t.clone(),
+            };
+            placer().commit(&mut partition, &t, plan);
+        }
+        let t2 = task(2, 6, 10);
+        let plan = placer().plan_split(&partition, &t2, &[]).unwrap();
+        placer().commit(&mut partition, &t2, plan);
+        // Both cores now carry a split piece; a second split task would need
+        // a tail on a core that already has a body or tail, and each core
+        // may host at most one of each.
+        let t3 = task(3, 4, 10);
+        if let Some(plan) = placer().plan_split(&partition, &t3, &[]) {
+            let PlacementPlan::Split { pieces } = &plan else {
+                unreachable!()
+            };
+            for (core, placed) in pieces {
+                if placed.is_tail() {
+                    assert!(!partition.core_has_tail(*core));
+                } else {
+                    assert!(!partition.core_has_body(*core));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plans_do_not_mutate_the_partition() {
+        let partition = Partition::new(2);
+        let t = task(0, 2, 10);
+        let before = partition.clone();
+        let _ = placer().plan(&partition, &t, &[]);
+        assert_eq!(partition, before);
+    }
+
+    #[test]
+    fn committed_whole_plan_matches_parent() {
+        let mut partition = Partition::new(1);
+        let t = task(4, 2, 10);
+        let plan = placer().plan(&partition, &t, &[]).unwrap();
+        placer().commit(&mut partition, &t, plan);
+        let placements = partition.placements_of(TaskId(4));
+        assert_eq!(placements.len(), 1);
+        assert_eq!(placements[0].1.execution, Time::from_millis(2));
+        assert!(!placements[0].1.is_split());
+    }
+}

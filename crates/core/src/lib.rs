@@ -54,14 +54,20 @@ mod dmpm;
 mod edf_partitioned;
 mod error;
 mod fpts;
+mod incremental;
 mod partitioned;
 mod partitioner;
 mod placement;
+mod split_budget;
 
 pub use dmpm::SemiPartitionedDmPm;
 pub use edf_partitioned::PartitionedEdf;
 pub use error::PartitionError;
 pub use fpts::{SemiPartitionedFpTs, SplitPlacement, SplitStrategy};
+pub use incremental::{IncrementalPlacer, PlacementPlan};
 pub use partitioned::{BinPackingHeuristic, PartitionedFixedPriority, TaskOrdering};
 pub use partitioner::{PartitionOutcome, Partitioner};
-pub use placement::{CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind};
+pub use placement::{
+    CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY, TAIL_PRIORITY,
+    WHOLE_PRIORITY_BASE,
+};

@@ -4,7 +4,37 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, UniprocessorTest};
-use spms_task::{Task, TaskId, Time};
+use spms_task::{Priority, Task, TaskId, Time};
+
+/// Priority level reserved for promoted body subtasks: a body piece runs
+/// above everything else on its core so it completes within its budget.
+pub const BODY_PRIORITY: Priority = Priority::new(0);
+
+/// Priority level reserved for promoted tail subtasks: below bodies, above
+/// every task assigned whole. At most one tail may live on a core for the
+/// per-core RTA to stay sound (equal priority levels do not interfere in
+/// [`rta::analyse_core`]).
+pub const TAIL_PRIORITY: Priority = Priority::new(1);
+
+/// The first priority level available to tasks assigned whole; levels 0 and
+/// 1 stay reserved for promoted body and tail subtasks.
+pub const WHOLE_PRIORITY_BASE: u32 = 2;
+
+/// Assigns dense deadline-monotonic priority levels starting at
+/// [`WHOLE_PRIORITY_BASE`] to the given whole-task placements (ties broken
+/// by period, then id, so the assignment is deterministic).
+///
+/// This ranking is the contract between plan-time acceptance checks and
+/// commit-time renormalization: [`Partition::renormalize_core_priorities`]
+/// and the incremental placer's candidate construction both call it, so a
+/// placement validated against a candidate priority assignment is committed
+/// with exactly that assignment.
+pub(crate) fn assign_whole_priorities(mut whole: Vec<&mut Task>) {
+    whole.sort_by_key(|t| (t.deadline(), t.period(), t.id()));
+    for (level, task) in whole.into_iter().enumerate() {
+        task.set_priority(Priority::new(WHOLE_PRIORITY_BASE + level as u32));
+    }
+}
 
 /// Identifier of a processor core.
 #[derive(
@@ -232,6 +262,103 @@ impl Partition {
             .collect()
     }
 
+    /// Utilization still unassigned on one core: `1.0` minus the sum of the
+    /// effective utilizations placed there. Can be negative when an
+    /// overhead-inflated assignment overcommits a core; callers treating this
+    /// as spare capacity should clamp at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn residual_utilization(&self, core: CoreId) -> f64 {
+        1.0 - self.cores[core.0]
+            .iter()
+            .map(|p| p.task.utilization())
+            .sum::<f64>()
+    }
+
+    /// The distinct parent tasks placed anywhere in the partition, sorted by
+    /// id.
+    pub fn parent_ids(&self) -> Vec<TaskId> {
+        let mut parents: Vec<TaskId> = self.iter().map(|(_, p)| p.parent).collect();
+        parents.sort_unstable();
+        parents.dedup();
+        parents
+    }
+
+    /// All placements of one parent task, in `(core, placement)` pairs
+    /// ordered core-first.
+    pub fn placements_of(&self, parent: TaskId) -> Vec<(CoreId, &PlacedTask)> {
+        self.iter().filter(|(_, p)| p.parent == parent).collect()
+    }
+
+    /// Whether a core already hosts a promoted tail subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn core_has_tail(&self, core: CoreId) -> bool {
+        self.cores[core.0].iter().any(PlacedTask::is_tail)
+    }
+
+    /// Whether a core already hosts a promoted body subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn core_has_body(&self, core: CoreId) -> bool {
+        self.cores[core.0].iter().any(PlacedTask::is_body)
+    }
+
+    /// Removes every placement (whole task or split piece) of `parent` and
+    /// renormalizes the priorities of each core it was removed from. Returns
+    /// the number of placements removed (0 when the task was not placed).
+    ///
+    /// This is the departure path of online admission control: removing
+    /// tasks only ever shrinks per-core demand, so a schedulable partition
+    /// stays schedulable.
+    pub fn remove_parent(&mut self, parent: TaskId) -> usize {
+        let mut removed = 0;
+        let mut touched = Vec::new();
+        for (idx, bin) in self.cores.iter_mut().enumerate() {
+            let before = bin.len();
+            bin.retain(|p| p.parent != parent);
+            if bin.len() != before {
+                removed += before - bin.len();
+                touched.push(CoreId(idx));
+            }
+        }
+        for core in touched {
+            self.renormalize_core_priorities(core);
+        }
+        removed
+    }
+
+    /// Recomputes the per-core priority levels after an online mutation:
+    /// promoted body and tail subtasks keep [`BODY_PRIORITY`] and
+    /// [`TAIL_PRIORITY`], and tasks assigned whole receive dense
+    /// deadline-monotonic levels starting at [`WHOLE_PRIORITY_BASE`] (ties
+    /// broken by period, then id, so the assignment is deterministic).
+    ///
+    /// Deadline-monotonic ordering is optimal among fixed-priority
+    /// assignments for constrained deadlines, so renormalizing a schedulable
+    /// core never makes it unschedulable; for the implicit-deadline task
+    /// sets the generators produce it coincides with the rate-monotonic
+    /// order the offline partitioners assign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn renormalize_core_priorities(&mut self, core: CoreId) {
+        assign_whole_priorities(
+            self.cores[core.0]
+                .iter_mut()
+                .filter(|p| !p.is_split())
+                .map(|p| &mut p.task)
+                .collect(),
+        );
+    }
+
     /// Structural sanity checks, used by tests and debug assertions:
     ///
     /// * every split chain has exactly one tail and `part_count − 1` bodies,
@@ -447,6 +574,70 @@ mod tests {
         let rts = p.response_times();
         assert_eq!(rts.len(), 2);
         assert!(rts.iter().flatten().all(Option::is_some));
+    }
+
+    #[test]
+    fn residual_utilization_tracks_placements() {
+        let p = two_core_partition_with_split();
+        assert!((p.residual_utilization(CoreId(0)) - (1.0 - 0.35)).abs() < 1e-9);
+        assert!((p.residual_utilization(CoreId(1)) - (1.0 - 0.5)).abs() < 1e-9);
+        let empty = Partition::new(1);
+        assert!((empty.residual_utilization(CoreId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parent_queries_cover_split_and_whole() {
+        let p = two_core_partition_with_split();
+        assert_eq!(
+            p.parent_ids(),
+            vec![TaskId(0), TaskId(1), TaskId(2)],
+            "every parent appears exactly once"
+        );
+        assert_eq!(p.placements_of(TaskId(2)).len(), 2);
+        assert_eq!(p.placements_of(TaskId(0)).len(), 1);
+        assert!(p.placements_of(TaskId(9)).is_empty());
+        assert!(p.core_has_body(CoreId(0)));
+        assert!(!p.core_has_tail(CoreId(0)));
+        assert!(p.core_has_tail(CoreId(1)));
+        assert!(!p.core_has_body(CoreId(1)));
+    }
+
+    #[test]
+    fn remove_parent_drops_every_piece_and_renormalizes() {
+        let mut p = two_core_partition_with_split();
+        assert_eq!(p.remove_parent(TaskId(2)), 2);
+        assert_eq!(p.placement_count(), 2);
+        assert_eq!(p.split_count(), 0);
+        assert_eq!(p.remove_parent(TaskId(2)), 0);
+        // The surviving whole tasks hold dense levels from the base.
+        for (_, placed) in p.iter() {
+            assert_eq!(
+                placed.task.priority(),
+                Some(Priority::new(WHOLE_PRIORITY_BASE))
+            );
+        }
+    }
+
+    #[test]
+    fn renormalize_orders_whole_tasks_deadline_monotonically() {
+        let mut p = Partition::new(1);
+        p.place(CoreId(0), PlacedTask::whole(task(0, 1, 40, 9)));
+        p.place(CoreId(0), PlacedTask::whole(task(1, 1, 10, 9)));
+        p.place(
+            CoreId(0),
+            split_piece(7, 1, 50, 1, 1, 2, SubtaskKind::Tail, 1, None, 0),
+        );
+        p.renormalize_core_priorities(CoreId(0));
+        let lookup = |id: u32| {
+            p.iter()
+                .find(|(_, pl)| pl.parent == TaskId(id))
+                .map(|(_, pl)| pl.task.priority().unwrap())
+                .unwrap()
+        };
+        assert_eq!(lookup(1), Priority::new(WHOLE_PRIORITY_BASE));
+        assert_eq!(lookup(0), Priority::new(WHOLE_PRIORITY_BASE + 1));
+        // The promoted tail keeps its reserved level.
+        assert_eq!(lookup(7), TAIL_PRIORITY);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`CoreCountSweepExperiment`] — acceptance ratio as the core count grows
 //!   at constant normalized utilization (E9),
 //! * [`GlobalComparisonExperiment`] — partitioned / semi-partitioned vs. the
-//!   sufficient global scheduling tests (E10).
+//!   sufficient global scheduling tests (E10),
+//! * [`ChurnExperiment`] — online admission control under task churn:
+//!   acceptance ratio, decision-path mix and migrations of the
+//!   `spms-online` controller over a target-load sweep, with every admitted
+//!   epoch optionally replayed through the simulator (E11).
 //!
 //! Each experiment produces a plain-old-data result type with
 //! `render_markdown()` / `render_csv()` helpers so that examples, benches and
@@ -54,6 +58,7 @@ mod cache_crossover;
 mod core_sweep;
 mod figure1;
 mod global_comparison;
+mod online_churn;
 mod progress;
 mod runner;
 mod runtime_costs;
@@ -67,6 +72,7 @@ pub use figure1::{PreemptionAnatomy, PreemptionAnatomyReport};
 pub use global_comparison::{
     ComparisonPoint, ComparisonSeries, GlobalComparisonExperiment, GlobalComparisonResults,
 };
+pub use online_churn::{ChurnExperiment, ChurnPoint, ChurnResults};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};

@@ -1,0 +1,388 @@
+//! The online-churn experiment: acceptance ratio under task churn as the
+//! offered load grows.
+//!
+//! For every point of a target-utilization sweep, generate many independent
+//! churn traces (Poisson arrivals, log-uniform lifetimes) and drive the
+//! online [`AdmissionController`] over each, recording how many arrivals it
+//! admits, which decision paths it takes, how many already-placed tasks its
+//! decisions migrate, and — when replay is enabled — whether every admitted
+//! epoch simulates without deadline misses.
+//!
+//! The sweep runs on the shared [`SweepRunner`] grid, so results are
+//! bit-identical for every `--threads` value under a fixed seed.
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::OverheadModel;
+use spms_online::{
+    run_trace, AdmissionController, ChurnGenerator, OnlineConfig, ReplayConfig, ReplayOutcome,
+};
+use spms_task::Time;
+
+use crate::progress::{NullProgress, ProgressSink};
+use crate::runner::SweepRunner;
+use crate::same_point;
+
+/// Aggregated controller behaviour at one target-utilization point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// Target normalized utilization of the churn process.
+    pub normalized_utilization: f64,
+    /// Arrival events across all traces of this point.
+    pub arrivals: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Fraction of arrivals admitted.
+    pub acceptance_ratio: f64,
+    /// Fraction of admissions decided on a fast path (whole or split).
+    pub fast_path_ratio: f64,
+    /// Fraction of admissions that needed bounded repair.
+    pub repair_ratio: f64,
+    /// Fraction of admissions that needed a full repartition.
+    pub fallback_ratio: f64,
+    /// Already-placed tasks relocated per admission, on average.
+    pub migrations_per_admission: f64,
+    /// Epochs replayed through the simulator (0 when replay is disabled).
+    pub replayed_epochs: u64,
+    /// Deadline misses across all replayed epochs (must stay 0).
+    pub replay_misses: u64,
+}
+
+/// Results of an online-churn sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChurnResults {
+    points: Vec<ChurnPoint>,
+}
+
+impl ChurnResults {
+    /// All sweep points, in increasing target-utilization order.
+    pub fn points(&self) -> &[ChurnPoint] {
+        &self.points
+    }
+
+    /// The point matching `normalized_utilization` within the shared sweep
+    /// tolerance.
+    pub fn point_at(&self, normalized_utilization: f64) -> Option<&ChurnPoint> {
+        self.points
+            .iter()
+            .find(|p| same_point(p.normalized_utilization, normalized_utilization))
+    }
+
+    /// Total deadline misses across every replayed epoch of the sweep.
+    pub fn total_replay_misses(&self) -> u64 {
+        self.points.iter().map(|p| p.replay_misses).sum()
+    }
+
+    /// Renders a markdown table, one row per target-utilization point.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from(
+            "| U / m | accepted | fast path | repair | repartition | moves/admit | replay misses |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "| {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |\n",
+                p.normalized_utilization,
+                p.acceptance_ratio,
+                p.fast_path_ratio,
+                p.repair_ratio,
+                p.fallback_ratio,
+                p.migrations_per_admission,
+                p.replay_misses,
+            ));
+        }
+        out
+    }
+
+    /// Renders a CSV with a header row, suitable for plotting.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from(
+            "normalized_utilization,arrivals,admitted,acceptance_ratio,fast_path_ratio,\
+             repair_ratio,fallback_ratio,migrations_per_admission,replayed_epochs,replay_misses\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}\n",
+                p.normalized_utilization,
+                p.arrivals,
+                p.admitted,
+                p.acceptance_ratio,
+                p.fast_path_ratio,
+                p.repair_ratio,
+                p.fallback_ratio,
+                p.migrations_per_admission,
+                p.replayed_epochs,
+                p.replay_misses,
+            ));
+        }
+        out
+    }
+}
+
+/// The online-churn experiment driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnExperiment {
+    cores: usize,
+    events_per_trace: usize,
+    traces_per_point: usize,
+    utilization_points: Vec<f64>,
+    max_repair_moves: usize,
+    overhead: OverheadModel,
+    replay_duration: Option<Time>,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for ChurnExperiment {
+    fn default() -> Self {
+        ChurnExperiment {
+            cores: 4,
+            events_per_trace: 120,
+            traces_per_point: 20,
+            utilization_points: vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            max_repair_moves: 2,
+            overhead: OverheadModel::zero(),
+            replay_duration: Some(Time::from_millis(50)),
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+impl ChurnExperiment {
+    /// A driver with the default churn grid: 4 cores, 120 events per trace,
+    /// 20 traces per point, targets 0.5 … 0.9, repair bound 2, 50 ms epoch
+    /// replay.
+    pub fn new() -> Self {
+        ChurnExperiment::default()
+    }
+
+    /// Sets the number of cores.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets how many events each churn trace contains.
+    pub fn events_per_trace(mut self, events: usize) -> Self {
+        self.events_per_trace = events;
+        self
+    }
+
+    /// Sets how many traces are generated per sweep point.
+    pub fn traces_per_point(mut self, traces: usize) -> Self {
+        self.traces_per_point = traces;
+        self
+    }
+
+    /// Sets the target normalized-utilization sweep points.
+    pub fn utilization_points(mut self, points: Vec<f64>) -> Self {
+        self.utilization_points = points;
+        self
+    }
+
+    /// Sets the repair bound `k` of the controller.
+    pub fn max_repair_moves(mut self, k: usize) -> Self {
+        self.max_repair_moves = k;
+        self
+    }
+
+    /// Sets the overhead model folded into the admission analysis.
+    pub fn overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Sets the per-epoch replay duration; `None` disables replay.
+    pub fn replay_duration(mut self, duration: Option<Time>) -> Self {
+        self.replay_duration = duration;
+        self
+    }
+
+    /// Sets the RNG seed for trace generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads the sweep fans out across
+    /// (`0` = one per available core). Results are identical for every
+    /// thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self) -> ChurnResults {
+        self.run_with_progress(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with per-cell completion reported to `progress`.
+    pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> ChurnResults {
+        // Replay injects the same overheads the admission analysis charges,
+        // so a miss flags an analysis that under-charges them.
+        let replay = self
+            .replay_duration
+            .map(|duration| ReplayConfig::new(duration).with_overhead(self.overhead));
+        let grid = SweepRunner::new()
+            .threads(self.threads)
+            .run_grid_with_progress(
+                self.seed,
+                self.utilization_points.len(),
+                self.traces_per_point,
+                progress,
+                |cell| {
+                    let target = self.utilization_points[cell.point_idx];
+                    let events = ChurnGenerator::new()
+                        .cores(self.cores)
+                        .target_normalized_utilization(target)
+                        .events(self.events_per_trace)
+                        .seed(cell.seed)
+                        .generate()
+                        .ok()?;
+                    let config = OnlineConfig::new(self.cores)
+                        .with_overhead(self.overhead)
+                        .with_max_repair_moves(self.max_repair_moves);
+                    let mut controller = AdmissionController::new(config).ok()?;
+                    let (_, replay_outcome) = run_trace(&mut controller, &events, replay.as_ref());
+                    Some((*controller.stats(), replay_outcome))
+                },
+            );
+        let points = self
+            .utilization_points
+            .iter()
+            .zip(grid)
+            .map(|(&target, traces)| aggregate_point(target, &traces))
+            .collect();
+        ChurnResults { points }
+    }
+}
+
+/// Folds one point's per-trace `(stats, replay)` pairs into a [`ChurnPoint`]
+/// (always on the merged, ordered results — never inside workers).
+fn aggregate_point(
+    target: f64,
+    traces: &[(spms_online::ControllerStats, ReplayOutcome)],
+) -> ChurnPoint {
+    let mut arrivals = 0u64;
+    let mut admitted = 0u64;
+    let mut fast = 0u64;
+    let mut repairs = 0u64;
+    let mut fallbacks = 0u64;
+    let mut migrations = 0u64;
+    let mut replay = ReplayOutcome::default();
+    for (stats, outcome) in traces {
+        arrivals += stats.arrivals;
+        admitted += stats.admitted;
+        fast += stats.fast_whole + stats.fast_split;
+        repairs += stats.repairs;
+        fallbacks += stats.full_repartitions;
+        migrations += stats.migrations_caused;
+        replay.absorb(*outcome);
+    }
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    ChurnPoint {
+        normalized_utilization: target,
+        arrivals,
+        admitted,
+        acceptance_ratio: ratio(admitted, arrivals),
+        fast_path_ratio: ratio(fast, admitted),
+        repair_ratio: ratio(repairs, admitted),
+        fallback_ratio: ratio(fallbacks, admitted),
+        migrations_per_admission: ratio(migrations, admitted),
+        replayed_epochs: replay.epochs,
+        replay_misses: replay.deadline_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChurnExperiment {
+        ChurnExperiment::new()
+            .cores(2)
+            .events_per_trace(30)
+            .traces_per_point(4)
+            .utilization_points(vec![0.5, 0.8])
+            .replay_duration(Some(Time::from_millis(20)))
+            .seed(3)
+    }
+
+    #[test]
+    fn ratios_are_probabilities_and_replay_is_clean() {
+        let results = quick().run();
+        assert_eq!(results.points().len(), 2);
+        for p in results.points() {
+            assert!(p.arrivals > 0);
+            assert!((0.0..=1.0).contains(&p.acceptance_ratio));
+            assert!((0.0..=1.0).contains(&p.fast_path_ratio));
+            assert!((0.0..=1.0).contains(&p.repair_ratio));
+            assert!((0.0..=1.0).contains(&p.fallback_ratio));
+            assert!(p.replayed_epochs > 0);
+        }
+        assert_eq!(results.total_replay_misses(), 0);
+    }
+
+    #[test]
+    fn acceptance_degrades_gracefully_with_load() {
+        let results = quick().run();
+        let low = results.point_at(0.5).unwrap().acceptance_ratio;
+        let high = results.point_at(0.8).unwrap().acceptance_ratio;
+        assert!(low >= high, "low-load acceptance {low} < high-load {high}");
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let serial = quick().run();
+        let parallel = quick().threads(4).run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_seed_sensitive() {
+        assert_eq!(quick().run(), quick().run());
+        assert_ne!(quick().run(), quick().seed(99).run());
+    }
+
+    #[test]
+    fn overhead_model_reaches_both_analysis_and_replay() {
+        // With a real overhead model the admission analysis inflates WCETs
+        // and the replay injects the same costs at run time; epochs must
+        // still simulate cleanly (the analysis is the more conservative
+        // side), and acceptance can only drop.
+        let base = quick().run();
+        let with_overhead = quick().overhead(OverheadModel::paper_n4()).run();
+        assert_eq!(with_overhead.total_replay_misses(), 0);
+        for (a, b) in base.points().iter().zip(with_overhead.points()) {
+            assert!(b.acceptance_ratio <= a.acceptance_ratio + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disabling_replay_zeroes_epochs() {
+        let results = quick().replay_duration(None).run();
+        for p in results.points() {
+            assert_eq!(p.replayed_epochs, 0);
+            assert_eq!(p.replay_misses, 0);
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_point() {
+        let results = quick().run();
+        let md = results.render_markdown();
+        let csv = results.render_csv();
+        assert!(md.contains("0.50"));
+        assert!(md.contains("0.80"));
+        assert!(md.contains("replay misses"));
+        assert_eq!(csv.lines().count(), 1 + results.points().len());
+        assert!(csv.starts_with("normalized_utilization"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Seeded task-churn generation: a Poisson stream of arrivals with
+//! log-uniform lifetimes, sized so the offered load hovers around a target
+//! utilization.
+//!
+//! The offline experiments draw one task set per grid cell; the online
+//! experiments instead need a *timeline* of [`WorkloadEvent`]s. The
+//! generator models the standard open-system churn process:
+//!
+//! * arrivals form a Poisson process (exponential inter-arrival times with
+//!   a configurable mean),
+//! * each task lives for a log-uniformly distributed lifetime, then
+//!   departs,
+//! * per-task utilizations are drawn around `target / E[population]`, where
+//!   the expected population follows Little's law
+//!   (`E[lifetime] / E[inter-arrival]`), so the *offered* load oscillates
+//!   around the target while individual arrivals stay diverse,
+//! * periods are log-uniform (10 ms – 1 s by default), WCETs derived as
+//!   `C = u · T`, exactly like the offline [`TaskSetGenerator`].
+//!
+//! Everything is driven by one seeded ChaCha8 stream: equal configurations
+//! and seeds produce identical traces.
+//!
+//! [`TaskSetGenerator`]: spms_task::TaskSetGenerator
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use spms_task::{Task, TaskError, TaskId, Time};
+
+use crate::WorkloadEvent;
+
+/// Seedable generator of churn traces. See the [module docs](self) for the
+/// stochastic model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnGenerator {
+    cores: usize,
+    target_normalized_utilization: f64,
+    events: usize,
+    mean_interarrival: Time,
+    lifetime_min: Time,
+    lifetime_max: Time,
+    period_min: Time,
+    period_max: Time,
+    utilization_spread: f64,
+    max_task_utilization: f64,
+    seed: u64,
+}
+
+impl Default for ChurnGenerator {
+    fn default() -> Self {
+        ChurnGenerator {
+            cores: 4,
+            target_normalized_utilization: 0.7,
+            events: 100,
+            mean_interarrival: Time::from_millis(40),
+            lifetime_min: Time::from_millis(100),
+            lifetime_max: Time::from_secs(4),
+            period_min: Time::from_millis(10),
+            period_max: Time::from_secs(1),
+            utilization_spread: 0.5,
+            max_task_utilization: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ChurnGenerator {
+    /// A generator with the default churn model: 4 cores, target normalized
+    /// utilization 0.7, 100 events, 40 ms mean inter-arrival, lifetimes
+    /// log-uniform in 100 ms – 4 s.
+    pub fn new() -> Self {
+        ChurnGenerator::default()
+    }
+
+    /// Sets the platform size the target utilization is normalized against.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the target *normalized* utilization (offered load divided by
+    /// core count) the population hovers around.
+    pub fn target_normalized_utilization(mut self, u: f64) -> Self {
+        self.target_normalized_utilization = u;
+        self
+    }
+
+    /// Sets how many events (arrivals plus departures) the trace contains.
+    pub fn events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Sets the mean inter-arrival time of the Poisson arrival process.
+    pub fn mean_interarrival(mut self, mean: Time) -> Self {
+        self.mean_interarrival = mean;
+        self
+    }
+
+    /// Sets the log-uniform lifetime range.
+    pub fn lifetime_range(mut self, min: Time, max: Time) -> Self {
+        self.lifetime_min = min;
+        self.lifetime_max = max;
+        self
+    }
+
+    /// Sets the log-uniform period range of generated tasks.
+    pub fn period_range(mut self, min: Time, max: Time) -> Self {
+        self.period_min = min;
+        self.period_max = max;
+        self
+    }
+
+    /// Sets the relative spread of per-task utilizations around the base
+    /// drawn from Little's law (0.0 = every task identical, 0.5 = ±50%).
+    pub fn utilization_spread(mut self, spread: f64) -> Self {
+        self.utilization_spread = spread;
+        self
+    }
+
+    /// Caps every drawn per-task utilization (default 1.0). Lower caps
+    /// generate heavy-task-free traces.
+    pub fn max_task_utilization(mut self, cap: f64) -> Self {
+        self.max_task_utilization = cap;
+        self
+    }
+
+    /// Sets the RNG seed; equal configurations and seeds generate identical
+    /// traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expected steady-state population by Little's law.
+    fn expected_population(&self) -> f64 {
+        let mean_lifetime = log_uniform_mean(self.lifetime_min, self.lifetime_max);
+        (mean_lifetime / self.mean_interarrival.as_secs_f64().max(1e-9)).max(1.0)
+    }
+
+    /// Generates the event trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidGeneratorConfig`] when the configuration
+    /// is inconsistent (zero events, non-positive target, empty ranges, ...).
+    pub fn generate(&self) -> Result<Vec<WorkloadEvent>, TaskError> {
+        self.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let base_utilization = (self.target_normalized_utilization * self.cores as f64
+            / self.expected_population())
+        .min(self.max_task_utilization);
+
+        let mut events = Vec::with_capacity(self.events);
+        // Departures pending, as (absolute time in seconds, task id), kept
+        // sorted so the earliest departure is popped first.
+        let mut departures: Vec<(f64, TaskId)> = Vec::new();
+        let mut clock = 0.0f64;
+        let mut next_id: u32 = 0;
+
+        while events.len() < self.events {
+            let interarrival = exponential(&mut rng, self.mean_interarrival.as_secs_f64());
+            let arrival_time = clock + interarrival;
+            // Emit every departure due before the next arrival.
+            while events.len() < self.events {
+                match departures.first() {
+                    Some(&(when, id)) if when <= arrival_time => {
+                        departures.remove(0);
+                        events.push(WorkloadEvent::Depart(id));
+                    }
+                    _ => break,
+                }
+            }
+            if events.len() >= self.events {
+                break;
+            }
+            clock = arrival_time;
+            let task = self.draw_task(&mut rng, next_id, base_utilization)?;
+            let lifetime = log_uniform(&mut rng, self.lifetime_min, self.lifetime_max);
+            let idx = departures
+                .binary_search_by(|(when, _)| {
+                    when.partial_cmp(&(clock + lifetime))
+                        .unwrap_or(std::cmp::Ordering::Less)
+                })
+                .unwrap_or_else(|i| i);
+            departures.insert(idx, (clock + lifetime, TaskId(next_id)));
+            events.push(WorkloadEvent::Arrive(task));
+            next_id += 1;
+        }
+        Ok(events)
+    }
+
+    fn draw_task(
+        &self,
+        rng: &mut ChaCha8Rng,
+        id: u32,
+        base_utilization: f64,
+    ) -> Result<Task, TaskError> {
+        let spread = self.utilization_spread.clamp(0.0, 0.95);
+        let factor = if spread > 0.0 {
+            rng.gen_range((1.0 - spread)..=(1.0 + spread))
+        } else {
+            1.0
+        };
+        let utilization = (base_utilization * factor).clamp(1e-4, self.max_task_utilization);
+        let period = Time::from_secs_f64(log_uniform(rng, self.period_min, self.period_max));
+        // Round to the same 100 µs granularity the offline generator uses so
+        // hyperperiods stay manageable for simulation replay.
+        let granularity = Time::from_micros(100);
+        let period = Time::from_nanos(
+            (period.as_nanos() / granularity.as_nanos()).max(1) * granularity.as_nanos(),
+        );
+        let wcet = period
+            .scale(utilization)
+            .max(Time::from_nanos(1))
+            .min(period);
+        Task::new(id, wcet, period)
+    }
+
+    fn validate(&self) -> Result<(), TaskError> {
+        let invalid = |reason: String| TaskError::InvalidGeneratorConfig { reason };
+        if self.events == 0 {
+            return Err(invalid("churn trace needs at least one event".to_owned()));
+        }
+        if self.cores == 0 {
+            return Err(invalid(
+                "churn generation needs at least one core".to_owned(),
+            ));
+        }
+        if self.target_normalized_utilization <= 0.0
+            || !self.target_normalized_utilization.is_finite()
+        {
+            return Err(invalid(format!(
+                "target normalized utilization must be positive and finite, got {}",
+                self.target_normalized_utilization
+            )));
+        }
+        if self.mean_interarrival.is_zero() {
+            return Err(invalid(
+                "mean inter-arrival time must be positive".to_owned(),
+            ));
+        }
+        if !self.max_task_utilization.is_finite()
+            || self.max_task_utilization <= 0.0
+            || self.max_task_utilization > 1.0
+        {
+            return Err(invalid(format!(
+                "per-task utilization cap must be in (0, 1], got {}",
+                self.max_task_utilization
+            )));
+        }
+        for (name, min, max) in [
+            ("lifetime", self.lifetime_min, self.lifetime_max),
+            ("period", self.period_min, self.period_max),
+        ] {
+            if min.is_zero() || max < min {
+                return Err(invalid(format!("invalid {name} range [{min}, {max}]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An exponential sample with the given mean (inverse-CDF method).
+fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().clamp(0.0, 1.0 - 1e-12);
+    -mean * (1.0 - u).ln()
+}
+
+/// A log-uniform sample in `[min, max]`, in seconds.
+fn log_uniform(rng: &mut ChaCha8Rng, min: Time, max: Time) -> f64 {
+    let lo = min.as_secs_f64().max(1e-9).ln();
+    let hi = max.as_secs_f64().max(1e-9).ln();
+    let v = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+    v.exp()
+}
+
+/// The mean of a log-uniform distribution over `[min, max]`, in seconds:
+/// `(max − min) / ln(max / min)`.
+fn log_uniform_mean(min: Time, max: Time) -> f64 {
+    let a = min.as_secs_f64().max(1e-9);
+    let b = max.as_secs_f64().max(a);
+    if (b - a).abs() < 1e-12 {
+        a
+    } else {
+        (b - a) / (b / a).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let gen = ChurnGenerator::new().events(50).seed(7);
+        assert_eq!(gen.generate().unwrap(), gen.generate().unwrap());
+        let other = ChurnGenerator::new().events(50).seed(8).generate().unwrap();
+        assert_ne!(gen.generate().unwrap(), other);
+    }
+
+    #[test]
+    fn traces_have_the_requested_length_and_consistent_ids() {
+        let events = ChurnGenerator::new().events(80).seed(3).generate().unwrap();
+        assert_eq!(events.len(), 80);
+        let mut alive = std::collections::BTreeSet::new();
+        for event in &events {
+            match event {
+                WorkloadEvent::Arrive(task) => {
+                    assert!(alive.insert(task.id()), "duplicate arrival {}", task.id());
+                    assert!(task.wcet() <= task.period());
+                    assert!(task.utilization() <= 1.0 + 1e-9);
+                }
+                WorkloadEvent::Depart(id) => {
+                    assert!(alive.remove(id), "departure of unknown task {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn departures_follow_their_arrivals() {
+        let events = ChurnGenerator::new()
+            .events(120)
+            .lifetime_range(Time::from_millis(20), Time::from_millis(200))
+            .seed(11)
+            .generate()
+            .unwrap();
+        assert!(
+            events.iter().any(|e| !e.is_arrival()),
+            "short lifetimes must produce departures"
+        );
+    }
+
+    #[test]
+    fn offered_load_tracks_the_target() {
+        let gen = ChurnGenerator::new()
+            .cores(4)
+            .target_normalized_utilization(0.6)
+            .events(400)
+            .seed(5);
+        let events = gen.generate().unwrap();
+        // Track the running offered load and average it over events.
+        let mut alive: std::collections::BTreeMap<TaskId, f64> = std::collections::BTreeMap::new();
+        let mut samples = Vec::new();
+        for event in &events {
+            match event {
+                WorkloadEvent::Arrive(task) => {
+                    alive.insert(task.id(), task.utilization());
+                }
+                WorkloadEvent::Depart(id) => {
+                    alive.remove(id);
+                }
+            }
+            samples.push(alive.values().sum::<f64>());
+        }
+        // Skip the ramp-up; the steady-state average should be within ±50%
+        // of the 2.4 target (the process is stochastic by design).
+        let steady = &samples[samples.len() / 2..];
+        let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+        assert!(
+            (1.2..=3.6).contains(&mean),
+            "steady-state offered load {mean} far from target 2.4"
+        );
+    }
+
+    #[test]
+    fn utilization_cap_bounds_every_arrival() {
+        let events = ChurnGenerator::new()
+            .target_normalized_utilization(0.9)
+            .utilization_spread(0.9)
+            .max_task_utilization(0.25)
+            .events(200)
+            .seed(9)
+            .generate()
+            .unwrap();
+        for event in &events {
+            if let WorkloadEvent::Arrive(task) = event {
+                assert!(task.utilization() <= 0.25 + 1e-9);
+            }
+        }
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(ChurnGenerator::new()
+                .max_task_utilization(bad)
+                .generate()
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(ChurnGenerator::new().events(0).generate().is_err());
+        assert!(ChurnGenerator::new().cores(0).generate().is_err());
+        assert!(ChurnGenerator::new()
+            .target_normalized_utilization(0.0)
+            .generate()
+            .is_err());
+        assert!(ChurnGenerator::new()
+            .target_normalized_utilization(f64::NAN)
+            .generate()
+            .is_err());
+        assert!(ChurnGenerator::new()
+            .mean_interarrival(Time::ZERO)
+            .generate()
+            .is_err());
+        assert!(ChurnGenerator::new()
+            .lifetime_range(Time::from_millis(10), Time::from_millis(1))
+            .generate()
+            .is_err());
+        assert!(ChurnGenerator::new()
+            .period_range(Time::ZERO, Time::from_millis(1))
+            .generate()
+            .is_err());
+    }
+}

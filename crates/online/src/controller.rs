@@ -1,0 +1,842 @@
+//! The online admission controller.
+//!
+//! [`AdmissionController`] consumes a stream of [`WorkloadEvent`]s and
+//! maintains a live, always-schedulable [`Partition`]. Each arrival is
+//! decided by a cascade of increasingly expensive strategies:
+//!
+//! 1. **fast path** — incremental first-fit placement of the whole task
+//!    ([`IncrementalPlacer::plan_whole`]), validated by the same per-core
+//!    acceptance test the offline algorithms use;
+//! 2. **fast split** — FP-TS-style splitting of the arriving task across
+//!    the residual capacity of several cores
+//!    ([`IncrementalPlacer::plan_split`]);
+//! 3. **bounded repair** — relocate (and re-split if necessary) at most
+//!    [`max_repair_moves`](OnlineConfig::max_repair_moves) already-placed
+//!    tasks to open a hole for the arrival, rolling back if no hole opens;
+//! 4. **full repartition** — the last resort: run the offline
+//!    [`SemiPartitionedFpTs`] over the admitted set plus the arrival and
+//!    adopt its partition wholesale.
+//!
+//! A task is rejected only when every strategy fails; rejection leaves the
+//! partition untouched. Departures free capacity immediately and can never
+//! invalidate the partition (per-core demand only shrinks).
+//!
+//! Every decision is recorded with its path, the number of already-placed
+//! tasks it migrated, and (for rejections) a typed reason. Wall-clock
+//! decision latencies are measured but kept out of every serializable
+//! result, so reports stay byte-identical across runs; benches read them
+//! through [`AdmissionController::decision_latencies`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::{OverheadModel, UniprocessorTest};
+use spms_core::{
+    CoreId, IncrementalPlacer, Partition, PartitionOutcome, Partitioner, SemiPartitionedFpTs,
+};
+use spms_task::{Task, TaskId, TaskSet, Time};
+
+use crate::WorkloadEvent;
+
+/// Errors constructing an [`AdmissionController`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OnlineError {
+    /// The platform must have at least one core.
+    NoCores,
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::NoCores => write!(f, "online admission needs at least one core"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Configuration of the online admission controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Number of processor cores.
+    pub cores: usize,
+    /// Per-core acceptance test validating every placement.
+    pub test: UniprocessorTest,
+    /// Run-time overheads folded into each placement's analysis WCET.
+    pub overhead: OverheadModel,
+    /// Smallest body-subtask budget worth carving when splitting.
+    pub min_split_budget: Time,
+    /// Bound `k` on the number of already-placed tasks the repair pass may
+    /// relocate for one arrival. `0` disables repair.
+    pub max_repair_moves: usize,
+    /// Whether a failed repair may fall back to a full offline repartition.
+    pub allow_fallback: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            cores: 4,
+            test: UniprocessorTest::ResponseTime,
+            overhead: OverheadModel::zero(),
+            min_split_budget: Time::from_micros(100),
+            max_repair_moves: 2,
+            allow_fallback: true,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// A configuration for `cores` processors with exact RTA, no overhead,
+    /// repair bound 2 and the full-repartition fallback enabled.
+    pub fn new(cores: usize) -> Self {
+        OnlineConfig {
+            cores,
+            ..OnlineConfig::default()
+        }
+    }
+
+    /// Replaces the acceptance test (builder style).
+    pub fn with_test(mut self, test: UniprocessorTest) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// Replaces the overhead model (builder style).
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Sets the repair bound `k` (builder style).
+    pub fn with_max_repair_moves(mut self, k: usize) -> Self {
+        self.max_repair_moves = k;
+        self
+    }
+
+    /// Enables or disables the full-repartition fallback (builder style).
+    pub fn with_fallback(mut self, allow: bool) -> Self {
+        self.allow_fallback = allow;
+        self
+    }
+
+    /// Sets the smallest admissible body-subtask budget (builder style).
+    pub fn with_min_split_budget(mut self, budget: Time) -> Self {
+        self.min_split_budget = budget;
+        self
+    }
+}
+
+/// Which strategy admitted a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecisionPath {
+    /// Incremental first-fit placed the task whole.
+    FastWhole,
+    /// The arriving task was split across the residual capacity.
+    FastSplit,
+    /// Up to `k` already-placed tasks were relocated to open a hole.
+    Repair,
+    /// The offline algorithm repartitioned the whole admitted set.
+    FullRepartition,
+}
+
+impl fmt::Display for DecisionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DecisionPath::FastWhole => "fast-whole",
+            DecisionPath::FastSplit => "fast-split",
+            DecisionPath::Repair => "repair",
+            DecisionPath::FullRepartition => "full-repartition",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Why an arrival was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RejectionReason {
+    /// A task with the same id is already admitted.
+    DuplicateTask,
+    /// Total utilization would exceed the platform capacity `m`.
+    PlatformOverloaded,
+    /// The task cannot absorb the scheduling overhead within its deadline on
+    /// any core.
+    OverheadUnabsorbable,
+    /// Every strategy — placement, splitting, repair and (if enabled) full
+    /// repartitioning — failed to find a schedulable configuration.
+    NoFeasiblePlacement,
+}
+
+impl fmt::Display for RejectionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RejectionReason::DuplicateTask => "duplicate task id",
+            RejectionReason::PlatformOverloaded => "platform utilization exceeded",
+            RejectionReason::OverheadUnabsorbable => "overhead unabsorbable within deadline",
+            RejectionReason::NoFeasiblePlacement => "no feasible placement",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The outcome of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionKind {
+    /// The arrival was admitted.
+    Admitted {
+        /// The strategy that placed it.
+        path: DecisionPath,
+        /// How many *already-placed* tasks this decision relocated (0 on the
+        /// fast paths).
+        migrations: usize,
+    },
+    /// The arrival was rejected; the partition is unchanged.
+    Rejected {
+        /// Why.
+        reason: RejectionReason,
+    },
+    /// An admitted task departed and its capacity was released.
+    Departed,
+    /// A departure for a task that was never admitted (no-op).
+    DepartUnknown,
+}
+
+/// One entry of the controller's decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Index of the event in the stream, starting at 0.
+    pub event_index: usize,
+    /// The task the event concerned.
+    pub task: TaskId,
+    /// What the controller decided.
+    pub kind: DecisionKind,
+}
+
+impl Decision {
+    /// Whether this decision admitted a task.
+    pub fn is_admission(&self) -> bool {
+        matches!(self.kind, DecisionKind::Admitted { .. })
+    }
+
+    /// Whether this decision changed the partition.
+    pub fn changed_partition(&self) -> bool {
+        matches!(
+            self.kind,
+            DecisionKind::Admitted { .. } | DecisionKind::Departed
+        )
+    }
+}
+
+/// Aggregate counters over a controller's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Arrival events seen.
+    pub arrivals: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+    /// Departures of admitted tasks.
+    pub departures: u64,
+    /// Departures of unknown tasks (no-ops).
+    pub unknown_departures: u64,
+    /// Admissions via incremental whole placement.
+    pub fast_whole: u64,
+    /// Admissions via splitting the arriving task.
+    pub fast_split: u64,
+    /// Admissions via bounded repair.
+    pub repairs: u64,
+    /// Admissions via full offline repartitioning.
+    pub full_repartitions: u64,
+    /// Already-placed tasks relocated across all decisions.
+    pub migrations_caused: u64,
+}
+
+impl ControllerStats {
+    /// Fraction of arrivals admitted (1.0 when there were none).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.arrivals == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Fraction of admissions that took a fast path (1.0 when there were
+    /// none).
+    pub fn fast_path_ratio(&self) -> f64 {
+        if self.admitted == 0 {
+            1.0
+        } else {
+            (self.fast_whole + self.fast_split) as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// The online admission controller. See the [module docs](self) for the
+/// decision cascade.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: OnlineConfig,
+    placer: IncrementalPlacer,
+    partition: Partition,
+    admitted: BTreeMap<TaskId, Task>,
+    decisions: Vec<Decision>,
+    latencies: Vec<Duration>,
+    stats: ControllerStats,
+    next_event: usize,
+}
+
+impl AdmissionController {
+    /// Creates a controller over an empty partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::NoCores`] when the configuration has zero
+    /// cores.
+    pub fn new(config: OnlineConfig) -> Result<Self, OnlineError> {
+        if config.cores == 0 {
+            return Err(OnlineError::NoCores);
+        }
+        let placer = IncrementalPlacer::new()
+            .with_test(config.test)
+            .with_overhead(config.overhead)
+            .with_min_split_budget(config.min_split_budget);
+        Ok(AdmissionController {
+            partition: Partition::new(config.cores),
+            placer,
+            config,
+            admitted: BTreeMap::new(),
+            decisions: Vec::new(),
+            latencies: Vec::new(),
+            stats: ControllerStats::default(),
+            next_event: 0,
+        })
+    }
+
+    /// The live partition of all admitted tasks.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The currently admitted tasks with their original parameters.
+    pub fn admitted_tasks(&self) -> TaskSet {
+        self.admitted.values().cloned().collect()
+    }
+
+    /// Number of currently admitted tasks.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Total utilization of the admitted tasks (original parameters, not
+    /// overhead-inflated).
+    pub fn admitted_utilization(&self) -> f64 {
+        self.admitted.values().map(Task::utilization).sum()
+    }
+
+    /// The decision log, one entry per handled event.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Wall-clock latency of each decision, parallel to
+    /// [`decisions`](Self::decisions). Never serialized: latencies vary
+    /// run-to-run, and every serializable report must stay deterministic.
+    pub fn decision_latencies(&self) -> &[Duration] {
+        &self.latencies
+    }
+
+    /// Handles one workload event and returns the decision made.
+    pub fn handle(&mut self, event: WorkloadEvent) -> Decision {
+        let started = Instant::now();
+        let task_id = event.task_id();
+        let kind = match event {
+            WorkloadEvent::Arrive(task) => self.arrive(task),
+            WorkloadEvent::Depart(id) => self.depart(id),
+        };
+        let decision = Decision {
+            event_index: self.next_event,
+            task: task_id,
+            kind,
+        };
+        self.next_event += 1;
+        self.decisions.push(decision);
+        self.latencies.push(started.elapsed());
+        debug_assert_eq!(self.partition.validate(), Ok(()));
+        decision
+    }
+
+    /// Handles a whole event stream, returning the per-event decisions.
+    pub fn handle_all(&mut self, events: &[WorkloadEvent]) -> Vec<Decision> {
+        events.iter().map(|e| self.handle(e.clone())).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // arrivals
+    // ------------------------------------------------------------------
+
+    fn arrive(&mut self, task: Task) -> DecisionKind {
+        self.stats.arrivals += 1;
+        if self.admitted.contains_key(&task.id()) {
+            return self.reject(RejectionReason::DuplicateTask);
+        }
+        // Cheap necessary condition before any RTA runs: total utilization
+        // can never exceed the platform.
+        if self.admitted_utilization() + task.utilization() > self.config.cores as f64 + 1e-9 {
+            return self.reject(RejectionReason::PlatformOverloaded);
+        }
+        if self.placer.whole_analysis_task(&task).is_none() {
+            return self.reject(RejectionReason::OverheadUnabsorbable);
+        }
+
+        if let Some(plan) = self.placer.plan_whole(&self.partition, &task, &[]) {
+            self.placer.commit(&mut self.partition, &task, plan);
+            self.stats.fast_whole += 1;
+            return self.admit(task, DecisionPath::FastWhole, 0);
+        }
+        if let Some(plan) = self.placer.plan_split(&self.partition, &task, &[]) {
+            self.placer.commit(&mut self.partition, &task, plan);
+            self.stats.fast_split += 1;
+            return self.admit(task, DecisionPath::FastSplit, 0);
+        }
+        if let Some(moves) = self.try_repair(&task) {
+            self.stats.repairs += 1;
+            return self.admit(task, DecisionPath::Repair, moves);
+        }
+        if let Some(moves) = self.try_fallback(&task) {
+            self.stats.full_repartitions += 1;
+            return self.admit(task, DecisionPath::FullRepartition, moves);
+        }
+        self.reject(RejectionReason::NoFeasiblePlacement)
+    }
+
+    fn admit(&mut self, task: Task, path: DecisionPath, migrations: usize) -> DecisionKind {
+        self.stats.admitted += 1;
+        self.stats.migrations_caused += migrations as u64;
+        self.admitted.insert(task.id(), task);
+        DecisionKind::Admitted { path, migrations }
+    }
+
+    fn reject(&mut self, reason: RejectionReason) -> DecisionKind {
+        self.stats.rejected += 1;
+        DecisionKind::Rejected { reason }
+    }
+
+    // ------------------------------------------------------------------
+    // bounded repair
+    // ------------------------------------------------------------------
+
+    /// Tries to open a hole for `task` on some core by relocating at most
+    /// `k` already-placed whole tasks (first whole, then re-split). Restores
+    /// the partition whenever a target core cannot be freed. Returns the
+    /// number of tasks moved on success.
+    fn try_repair(&mut self, task: &Task) -> Option<usize> {
+        let k = self.config.max_repair_moves;
+        if k == 0 {
+            return None;
+        }
+        for target in (0..self.config.cores).map(CoreId) {
+            let snapshot = self.partition.clone();
+            let mut moves = 0usize;
+            let mut immovable: Vec<TaskId> = Vec::new();
+            loop {
+                let others: Vec<CoreId> = (0..self.config.cores)
+                    .map(CoreId)
+                    .filter(|c| *c != target)
+                    .collect();
+                if let Some(plan) = self.placer.plan_whole(&self.partition, task, &others) {
+                    self.placer.commit(&mut self.partition, task, plan);
+                    return Some(moves);
+                }
+                if moves == k {
+                    break;
+                }
+                let Some(victim) = self.pick_victim(target, &immovable) else {
+                    break;
+                };
+                if self.relocate(victim, target) {
+                    moves += 1;
+                } else {
+                    immovable.push(victim);
+                }
+            }
+            self.partition = snapshot;
+        }
+        None
+    }
+
+    /// The next whole task worth evicting from `target`: the largest
+    /// utilization first (freeing the most capacity per move), ties broken
+    /// by id for determinism. Split parents are never victims — relocating
+    /// a multi-core chain is a full repartition in disguise.
+    fn pick_victim(&self, target: CoreId, immovable: &[TaskId]) -> Option<TaskId> {
+        let mut candidates: Vec<(f64, TaskId)> = self
+            .partition
+            .core(target)
+            .iter()
+            .filter(|p| !p.is_split() && !immovable.contains(&p.parent))
+            .map(|p| (p.task.utilization(), p.parent))
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        candidates.first().map(|(_, id)| *id)
+    }
+
+    /// Moves `victim` off `target`, whole-first-fit over the other cores and
+    /// re-splitting it across them if it fits nowhere whole. Returns whether
+    /// the relocation succeeded (on failure the partition is unchanged).
+    fn relocate(&mut self, victim: TaskId, target: CoreId) -> bool {
+        let Some(original) = self.admitted.get(&victim).cloned() else {
+            return false;
+        };
+        let before = self.partition.clone();
+        self.partition.remove_parent(victim);
+        if let Some(plan) = self.placer.plan(&self.partition, &original, &[target]) {
+            self.placer.commit(&mut self.partition, &original, plan);
+            true
+        } else {
+            self.partition = before;
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // full repartition fallback
+    // ------------------------------------------------------------------
+
+    /// Runs the offline FP-TS algorithm over the admitted set plus `task`
+    /// and adopts its partition if schedulable. Returns the number of
+    /// already-admitted tasks whose placement changed.
+    fn try_fallback(&mut self, task: &Task) -> Option<usize> {
+        if !self.config.allow_fallback {
+            return None;
+        }
+        let mut all = self.admitted_tasks();
+        all.push(task.clone());
+        let outcome = self
+            .offline_partitioner()
+            .partition(&all, self.config.cores);
+        match outcome {
+            Ok(PartitionOutcome::Schedulable(new)) => {
+                let migrations = moved_parents(&self.partition, &new, task.id());
+                self.partition = new;
+                Some(migrations)
+            }
+            _ => None,
+        }
+    }
+
+    /// The offline algorithm the fallback (and the no-over-admission
+    /// property tests) use: FP-TS configured identically to the incremental
+    /// placer.
+    pub fn offline_partitioner(&self) -> SemiPartitionedFpTs {
+        SemiPartitionedFpTs::default()
+            .with_test(self.config.test)
+            .with_overhead(self.config.overhead)
+            .with_min_split_budget(self.config.min_split_budget)
+    }
+
+    // ------------------------------------------------------------------
+    // departures
+    // ------------------------------------------------------------------
+
+    fn depart(&mut self, id: TaskId) -> DecisionKind {
+        if self.admitted.remove(&id).is_none() {
+            self.stats.unknown_departures += 1;
+            return DecisionKind::DepartUnknown;
+        }
+        let removed = self.partition.remove_parent(id);
+        debug_assert!(removed > 0, "admitted task {id} had no placements");
+        self.stats.departures += 1;
+        DecisionKind::Departed
+    }
+}
+
+/// Counts the parents (other than `arriving`) whose placement — the set of
+/// `(core, piece index)` pairs — differs between `old` and `new`.
+fn moved_parents(old: &Partition, new: &Partition, arriving: TaskId) -> usize {
+    let signature = |p: &Partition, parent: TaskId| -> Vec<(usize, usize)> {
+        let mut sig: Vec<(usize, usize)> = p
+            .placements_of(parent)
+            .into_iter()
+            .map(|(core, placed)| (core.0, placed.split.as_ref().map_or(0, |s| s.part_index)))
+            .collect();
+        sig.sort_unstable();
+        sig
+    };
+    old.parent_ids()
+        .into_iter()
+        .filter(|parent| *parent != arriving)
+        .filter(|parent| signature(old, *parent) != signature(new, *parent))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> Task {
+        Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(period_ms)).unwrap()
+    }
+
+    fn arrive(c: &mut AdmissionController, t: Task) -> DecisionKind {
+        c.handle(WorkloadEvent::Arrive(t)).kind
+    }
+
+    /// A config where all tasks share a 10 ms period, so per-core RTA
+    /// accepts exactly up to 100% utilization — convenient for constructing
+    /// repair and fallback scenarios.
+    fn two_cores_no_split() -> OnlineConfig {
+        OnlineConfig::new(2).with_min_split_budget(Time::from_secs(10))
+    }
+
+    #[test]
+    fn zero_cores_is_an_error() {
+        assert_eq!(
+            AdmissionController::new(OnlineConfig::new(0)).unwrap_err(),
+            OnlineError::NoCores
+        );
+    }
+
+    #[test]
+    fn light_arrivals_take_the_fast_whole_path() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        for id in 0..4 {
+            let kind = arrive(&mut c, task(id, 1, 10));
+            assert_eq!(
+                kind,
+                DecisionKind::Admitted {
+                    path: DecisionPath::FastWhole,
+                    migrations: 0
+                }
+            );
+        }
+        assert_eq!(c.admitted_count(), 4);
+        assert_eq!(c.stats().fast_whole, 4);
+        assert!(c.partition().is_schedulable(c.config().test));
+    }
+
+    #[test]
+    fn splitting_admits_what_whole_placement_cannot() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        for id in 0..2 {
+            arrive(&mut c, task(id, 6, 10));
+        }
+        let kind = arrive(&mut c, task(2, 6, 10));
+        assert_eq!(
+            kind,
+            DecisionKind::Admitted {
+                path: DecisionPath::FastSplit,
+                migrations: 0
+            }
+        );
+        assert_eq!(c.partition().split_count(), 1);
+        assert!(c.partition().is_schedulable(c.config().test));
+    }
+
+    #[test]
+    fn repair_relocates_a_blocking_task() {
+        // P0 fills with A (0.30) and B (0.55); C (0.60) lands on P1. D
+        // (0.45) fits nowhere whole and splitting is disabled; moving A to
+        // P1 frees exactly enough room on P0.
+        let mut c = AdmissionController::new(two_cores_no_split()).unwrap();
+        arrive(&mut c, task(0, 3, 10));
+        arrive(&mut c, task(1, 55, 100));
+        arrive(&mut c, task(2, 6, 10));
+        let kind = arrive(&mut c, task(3, 45, 100));
+        assert_eq!(
+            kind,
+            DecisionKind::Admitted {
+                path: DecisionPath::Repair,
+                migrations: 1
+            }
+        );
+        assert_eq!(c.stats().repairs, 1);
+        assert_eq!(c.stats().migrations_caused, 1);
+        assert!(c.partition().is_schedulable(c.config().test));
+    }
+
+    #[test]
+    fn full_repartition_is_the_last_resort() {
+        // A (0.35) and B (0.35) pack onto P0, C (0.65) onto P1. D (0.65)
+        // fits nowhere whole, splitting and repair are disabled, but the
+        // offline algorithm places {0.65, 0.35} on each core from scratch.
+        let config = two_cores_no_split().with_max_repair_moves(0);
+        let mut c = AdmissionController::new(config).unwrap();
+        arrive(&mut c, task(0, 35, 100));
+        arrive(&mut c, task(1, 35, 100));
+        arrive(&mut c, task(2, 65, 100));
+        let kind = arrive(&mut c, task(3, 65, 100));
+        assert_eq!(
+            kind,
+            DecisionKind::Admitted {
+                path: DecisionPath::FullRepartition,
+                migrations: 2
+            }
+        );
+        assert!(c.partition().is_schedulable(c.config().test));
+        // Everything the controller admitted is still placed.
+        assert_eq!(c.partition().parent_ids().len(), 4);
+    }
+
+    #[test]
+    fn rejection_leaves_the_partition_untouched() {
+        let config = two_cores_no_split()
+            .with_max_repair_moves(0)
+            .with_fallback(false);
+        let mut c = AdmissionController::new(config).unwrap();
+        arrive(&mut c, task(0, 9, 10));
+        arrive(&mut c, task(1, 9, 10));
+        let before = c.partition().clone();
+        // Total utilization (1.95) still fits the platform, but neither core
+        // can absorb another 15% on top of its 90%.
+        let kind = arrive(&mut c, task(2, 15, 100));
+        assert_eq!(
+            kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::NoFeasiblePlacement
+            }
+        );
+        assert_eq!(c.partition(), &before);
+        assert_eq!(c.admitted_count(), 2);
+    }
+
+    #[test]
+    fn overload_is_rejected_before_any_analysis() {
+        let mut c = AdmissionController::new(OnlineConfig::new(1)).unwrap();
+        arrive(&mut c, task(0, 9, 10));
+        let kind = arrive(&mut c, task(1, 2, 10));
+        assert_eq!(
+            kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::PlatformOverloaded
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        arrive(&mut c, task(0, 1, 10));
+        let kind = arrive(&mut c, task(0, 1, 10));
+        assert_eq!(
+            kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::DuplicateTask
+            }
+        );
+    }
+
+    #[test]
+    fn departures_release_capacity() {
+        let mut c = AdmissionController::new(OnlineConfig::new(1)).unwrap();
+        arrive(&mut c, task(0, 6, 10));
+        assert_eq!(
+            arrive(&mut c, task(1, 6, 10)),
+            DecisionKind::Rejected {
+                reason: RejectionReason::PlatformOverloaded
+            }
+        );
+        assert_eq!(
+            c.handle(WorkloadEvent::Depart(TaskId(0))).kind,
+            DecisionKind::Departed
+        );
+        assert_eq!(c.admitted_count(), 0);
+        assert_eq!(c.partition().placement_count(), 0);
+        assert!(matches!(
+            arrive(&mut c, task(1, 6, 10)),
+            DecisionKind::Admitted { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_departures_are_noops() {
+        let mut c = AdmissionController::new(OnlineConfig::new(1)).unwrap();
+        assert_eq!(
+            c.handle(WorkloadEvent::Depart(TaskId(9))).kind,
+            DecisionKind::DepartUnknown
+        );
+        assert_eq!(c.stats().unknown_departures, 1);
+    }
+
+    #[test]
+    fn split_task_departure_removes_every_piece() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        for id in 0..2 {
+            arrive(&mut c, task(id, 6, 10));
+        }
+        arrive(&mut c, task(2, 6, 10));
+        assert_eq!(c.partition().split_count(), 1);
+        c.handle(WorkloadEvent::Depart(TaskId(2)));
+        assert_eq!(c.partition().split_count(), 0);
+        assert_eq!(c.partition().placement_count(), 2);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let events: Vec<WorkloadEvent> = (0..8)
+            .map(|i| WorkloadEvent::Arrive(task(i, 4, 10)))
+            .chain([WorkloadEvent::Depart(TaskId(3))])
+            .collect();
+        let run = || {
+            let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+            c.handle_all(&events);
+            (c.decisions().to_vec(), c.partition().clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latencies_parallel_the_decision_log() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        arrive(&mut c, task(0, 1, 10));
+        c.handle(WorkloadEvent::Depart(TaskId(0)));
+        assert_eq!(c.decision_latencies().len(), c.decisions().len());
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let stats = ControllerStats {
+            arrivals: 10,
+            admitted: 8,
+            fast_whole: 5,
+            fast_split: 1,
+            ..ControllerStats::default()
+        };
+        assert!((stats.acceptance_ratio() - 0.8).abs() < 1e-12);
+        assert!((stats.fast_path_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(ControllerStats::default().acceptance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_impls_are_stable() {
+        assert_eq!(DecisionPath::FastWhole.to_string(), "fast-whole");
+        assert_eq!(
+            DecisionPath::FullRepartition.to_string(),
+            "full-repartition"
+        );
+        assert_eq!(
+            RejectionReason::NoFeasiblePlacement.to_string(),
+            "no feasible placement"
+        );
+        assert!(!OnlineError::NoCores.to_string().is_empty());
+    }
+}

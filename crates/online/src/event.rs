@@ -1,0 +1,46 @@
+//! The workload-event stream the admission controller consumes.
+
+use serde::{Deserialize, Serialize};
+use spms_task::{Task, TaskId};
+
+/// One event of an online workload: a task asking to join the system, or an
+/// admitted task leaving it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// A new task arrives and requests admission.
+    Arrive(Task),
+    /// A previously admitted task departs and releases its capacity.
+    Depart(TaskId),
+}
+
+impl WorkloadEvent {
+    /// The task id the event concerns.
+    pub fn task_id(&self) -> TaskId {
+        match self {
+            WorkloadEvent::Arrive(task) => task.id(),
+            WorkloadEvent::Depart(id) => *id,
+        }
+    }
+
+    /// Whether this is an arrival.
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, WorkloadEvent::Arrive(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::Time;
+
+    #[test]
+    fn event_accessors() {
+        let t = Task::new(3, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let arrive = WorkloadEvent::Arrive(t);
+        assert!(arrive.is_arrival());
+        assert_eq!(arrive.task_id(), TaskId(3));
+        let depart = WorkloadEvent::Depart(TaskId(7));
+        assert!(!depart.is_arrival());
+        assert_eq!(depart.task_id(), TaskId(7));
+    }
+}

@@ -1,0 +1,58 @@
+//! # spms-online
+//!
+//! Online admission control and incremental semi-partitioned repartitioning
+//! under task churn.
+//!
+//! The paper — like most of the semi-partitioned literature — treats
+//! partitioning as an offline problem: a fixed task set is partitioned once
+//! and then analysed. Real deployments face a *stream* of task arrivals and
+//! departures and must answer admit/reject quickly while keeping the
+//! admitted set schedulable. This crate layers that capability on the
+//! offline machinery:
+//!
+//! * [`WorkloadEvent`] — the arrive/depart event stream,
+//! * [`AdmissionController`] — maintains a live, always-schedulable
+//!   [`Partition`](spms_core::Partition) via a cascade of incremental
+//!   first-fit placement, FP-TS-style splitting of the arrival, bounded
+//!   repair (relocating at most `k` placed tasks), and a full offline
+//!   repartition as the last resort,
+//! * [`ChurnGenerator`] — seeded Poisson arrivals with log-uniform
+//!   lifetimes targeting a configurable offered load,
+//! * [`replay`](mod@replay) — feeds each admitted epoch through the
+//!   `spms-sim` discrete-event simulator to confirm zero deadline misses.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_online::{AdmissionController, ChurnGenerator, OnlineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let events = ChurnGenerator::new()
+//!     .cores(4)
+//!     .target_normalized_utilization(0.6)
+//!     .events(40)
+//!     .seed(1)
+//!     .generate()?;
+//! let mut controller = AdmissionController::new(OnlineConfig::new(4))?;
+//! controller.handle_all(&events);
+//! assert!(controller.partition().is_schedulable(controller.config().test));
+//! assert!(controller.stats().acceptance_ratio() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod controller;
+mod event;
+pub mod replay;
+
+pub use churn::ChurnGenerator;
+pub use controller::{
+    AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
+    OnlineError, RejectionReason,
+};
+pub use event::WorkloadEvent;
+pub use replay::{run_trace, ReplayConfig, ReplayOutcome};

@@ -1,0 +1,177 @@
+//! Simulation replay of admitted epochs.
+//!
+//! The admission controller's guarantee is analytical: every admitted
+//! configuration passes the per-core acceptance test. The replay hook turns
+//! that into an executable check by feeding each *epoch* — the partition as
+//! it stands after a partition-changing decision — through the
+//! discrete-event simulator in `spms-sim` and counting deadline misses.
+//! An analysis accepted by exact RTA must simulate cleanly, so any miss is
+//! a bug in either the controller or the analysis; the churn experiment and
+//! the `spms online` CLI surface the counter so CI can assert it stays
+//! zero.
+
+use serde::{Deserialize, Serialize};
+use spms_analysis::OverheadModel;
+use spms_core::Partition;
+use spms_sim::{SimulationConfig, Simulator};
+use spms_task::Time;
+
+use crate::{AdmissionController, Decision, WorkloadEvent};
+
+/// Configuration of the epoch replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// How much scheduling time to simulate per epoch.
+    pub duration: Time,
+    /// Overheads injected by the simulator at run time (independent of the
+    /// analysis-side inflation the controller applies).
+    pub overhead: OverheadModel,
+}
+
+impl ReplayConfig {
+    /// Replays each epoch for `duration` with no injected overhead.
+    pub fn new(duration: Time) -> Self {
+        ReplayConfig {
+            duration,
+            overhead: OverheadModel::zero(),
+        }
+    }
+
+    /// Sets the injected overhead model (builder style).
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+}
+
+/// Accumulated replay results over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Deadline misses observed across all epochs (must stay 0 for
+    /// controllers using the exact RTA acceptance test).
+    pub deadline_misses: u64,
+    /// Jobs completed across all epochs.
+    pub jobs_completed: u64,
+    /// Cross-core migrations of split tasks observed across all epochs.
+    pub migrations: u64,
+}
+
+/// Simulates one partition for `config.duration` and folds the result into
+/// an outcome.
+pub fn replay_epoch(partition: &Partition, config: &ReplayConfig) -> ReplayOutcome {
+    if partition.placement_count() == 0 {
+        return ReplayOutcome {
+            epochs: 1,
+            ..ReplayOutcome::default()
+        };
+    }
+    let sim_config = SimulationConfig::new(config.duration).with_overhead(config.overhead);
+    let report = Simulator::new(partition, sim_config).run();
+    ReplayOutcome {
+        epochs: 1,
+        deadline_misses: report.deadline_misses.len() as u64,
+        jobs_completed: report.jobs_completed,
+        migrations: report.migrations,
+    }
+}
+
+impl ReplayOutcome {
+    /// Folds another outcome into this one.
+    pub fn absorb(&mut self, other: ReplayOutcome) {
+        self.epochs += other.epochs;
+        self.deadline_misses += other.deadline_misses;
+        self.jobs_completed += other.jobs_completed;
+        self.migrations += other.migrations;
+    }
+}
+
+/// Drives a controller through an event stream, optionally replaying every
+/// epoch whose admission changed the partition. Returns the per-event
+/// decisions and the accumulated replay outcome (zero-valued when `replay`
+/// is `None`).
+pub fn run_trace(
+    controller: &mut AdmissionController,
+    events: &[WorkloadEvent],
+    replay: Option<&ReplayConfig>,
+) -> (Vec<Decision>, ReplayOutcome) {
+    let mut outcome = ReplayOutcome::default();
+    let mut decisions = Vec::with_capacity(events.len());
+    for event in events {
+        let decision = controller.handle(event.clone());
+        if decision.is_admission() {
+            if let Some(config) = replay {
+                outcome.absorb(replay_epoch(controller.partition(), config));
+            }
+        }
+        decisions.push(decision);
+    }
+    (decisions, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChurnGenerator, OnlineConfig};
+
+    #[test]
+    fn empty_partition_replays_cleanly() {
+        let outcome = replay_epoch(
+            &Partition::new(2),
+            &ReplayConfig::new(Time::from_millis(10)),
+        );
+        assert_eq!(outcome.epochs, 1);
+        assert_eq!(outcome.deadline_misses, 0);
+    }
+
+    #[test]
+    fn admitted_epochs_simulate_without_misses() {
+        let events = ChurnGenerator::new()
+            .cores(2)
+            .target_normalized_utilization(0.6)
+            .events(40)
+            .seed(17)
+            .generate()
+            .unwrap();
+        let mut controller = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        let replay = ReplayConfig::new(Time::from_millis(50));
+        let (decisions, outcome) = run_trace(&mut controller, &events, Some(&replay));
+        assert_eq!(decisions.len(), events.len());
+        let admissions = decisions.iter().filter(|d| d.is_admission()).count() as u64;
+        assert_eq!(outcome.epochs, admissions);
+        assert!(admissions > 0, "trace admitted nothing");
+        assert_eq!(
+            outcome.deadline_misses, 0,
+            "analysis-accepted epochs must simulate cleanly"
+        );
+    }
+
+    #[test]
+    fn replay_disabled_reports_zero_epochs() {
+        let events = ChurnGenerator::new().events(10).seed(1).generate().unwrap();
+        let mut controller = AdmissionController::new(OnlineConfig::new(4)).unwrap();
+        let (_, outcome) = run_trace(&mut controller, &events, None);
+        assert_eq!(outcome, ReplayOutcome::default());
+    }
+
+    #[test]
+    fn outcomes_accumulate() {
+        let mut a = ReplayOutcome {
+            epochs: 1,
+            deadline_misses: 0,
+            jobs_completed: 10,
+            migrations: 2,
+        };
+        a.absorb(ReplayOutcome {
+            epochs: 2,
+            deadline_misses: 1,
+            jobs_completed: 5,
+            migrations: 0,
+        });
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.deadline_misses, 1);
+        assert_eq!(a.jobs_completed, 15);
+        assert_eq!(a.migrations, 2);
+    }
+}

@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use spms_analysis::OverheadModel;
 use spms_core::{CoreId, Partition};
 use spms_queues::{ReadyQueue, SleepQueue};
@@ -22,15 +24,28 @@ pub struct SimulationConfig {
     /// Whether to record a full event trace (Figure 1 material). Traces of
     /// long runs can be large; leave off for acceptance-ratio experiments.
     pub record_trace: bool,
+    /// Maximum sporadic release jitter. [`Time::ZERO`] (the default) keeps
+    /// the classic synchronous-periodic release pattern; a positive value
+    /// delays every release after the first by a seeded random amount in
+    /// `[0, release_jitter]`, so consecutive releases of a task are
+    /// separated by at least its period (a legal sporadic arrival
+    /// sequence). Deadlines are measured from the actual release.
+    pub release_jitter: Time,
+    /// Seed of the jitter stream; two runs with equal configurations and
+    /// seeds release jobs at identical times.
+    pub jitter_seed: u64,
 }
 
 impl SimulationConfig {
-    /// A configuration with no overhead and no tracing.
+    /// A configuration with no overhead, no tracing and synchronous
+    /// periodic releases (no jitter).
     pub fn new(duration: Time) -> Self {
         SimulationConfig {
             duration,
             overhead: OverheadModel::zero(),
             record_trace: false,
+            release_jitter: Time::ZERO,
+            jitter_seed: 0,
         }
     }
 
@@ -43,6 +58,15 @@ impl SimulationConfig {
     /// Enables event tracing (builder style).
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Enables seeded sporadic release jitter (builder style): each release
+    /// after the synchronous one at time zero is delayed by a random amount
+    /// in `[0, jitter]` drawn from a ChaCha8 stream seeded with `seed`.
+    pub fn with_release_jitter(mut self, jitter: Time, seed: u64) -> Self {
+        self.release_jitter = jitter;
+        self.jitter_seed = seed;
         self
     }
 }
@@ -117,6 +141,7 @@ pub struct Simulator {
     cores: Vec<CoreState>,
     jobs: Vec<Job>,
     slice_events: BinaryHeap<Reverse<SliceEnd>>,
+    jitter_rng: Option<ChaCha8Rng>,
     seq: u64,
     now: Time,
     jobs_released: u64,
@@ -143,12 +168,15 @@ impl Simulator {
     /// Builds a simulator directly from execution chains (used by tests and
     /// by the Figure 1 example, which constructs a two-task scenario by hand).
     pub fn from_chains(chains: Vec<Chain>, cores: usize, config: SimulationConfig) -> Self {
+        let jitter_rng = (!config.release_jitter.is_zero())
+            .then(|| ChaCha8Rng::seed_from_u64(config.jitter_seed));
         let mut sim = Simulator {
             chains,
             config,
             cores: (0..cores).map(|_| CoreState::new()).collect(),
             jobs: Vec::new(),
             slice_events: BinaryHeap::new(),
+            jitter_rng,
             seq: 0,
             now: Time::ZERO,
             jobs_released: 0,
@@ -258,8 +286,15 @@ impl Simulator {
         self.jobs_released += 1;
         self.seq += 1;
         self.cores[core].ready.add((priority, self.seq), job_idx);
-        // Queue the next periodic release on the same (first) core.
-        let next = self.now + chain.period;
+        // Queue the next release on the same (first) core: one period later,
+        // plus a seeded sporadic jitter when configured (inter-arrival times
+        // never drop below the period, so the sequence stays legal for a
+        // sporadic task and the analysis remains sound).
+        let jitter = match self.jitter_rng.as_mut() {
+            Some(rng) => Time::from_nanos(rng.gen_range(0..=self.config.release_jitter.as_nanos())),
+            None => Time::ZERO,
+        };
+        let next = self.now + chain.period + jitter;
         self.cores[core].sleep.add((next, chain_idx), ());
         if self.config.record_trace {
             let parent = chain.parent;
@@ -675,6 +710,105 @@ mod tests {
         assert_eq!(report.trace.of_kind(TraceEventKind::Dispatch).count(), 4);
         assert_eq!(report.trace.of_kind(TraceEventKind::Complete).count(), 3);
         assert!(!report.trace.render_timeline().is_empty());
+    }
+
+    #[test]
+    fn release_jitter_is_deterministic_per_seed() {
+        let chains = vec![simple_chain(0, 2, 10, 0, 0), simple_chain(1, 3, 20, 1, 0)];
+        let run = |seed: u64| {
+            Simulator::from_chains(
+                chains.clone(),
+                1,
+                SimulationConfig::new(Time::from_millis(200))
+                    .with_release_jitter(Time::from_millis(5), seed),
+            )
+            .run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.jobs_released, b.jobs_released);
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.preemptions, b.preemptions);
+        // A different seed shifts releases and is overwhelmingly likely to
+        // change at least the release count over 20 periods.
+        let c = run(43);
+        assert!(
+            a.jobs_released != c.jobs_released || a.preemptions != c.preemptions,
+            "seeds 42 and 43 produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn release_jitter_only_stretches_interarrival_times() {
+        // Sporadic releases are never earlier than periodic ones, so a
+        // jittered run releases at most as many jobs.
+        let chains = vec![simple_chain(0, 2, 10, 0, 0)];
+        let periodic = Simulator::from_chains(
+            chains.clone(),
+            1,
+            SimulationConfig::new(Time::from_millis(100)),
+        )
+        .run();
+        let jittered = Simulator::from_chains(
+            chains,
+            1,
+            SimulationConfig::new(Time::from_millis(100))
+                .with_release_jitter(Time::from_millis(4), 7),
+        )
+        .run();
+        assert!(jittered.jobs_released <= periodic.jobs_released);
+        assert!(jittered.jobs_released >= 7, "jitter cannot halve the rate");
+        assert!(jittered.no_deadline_misses());
+    }
+
+    #[test]
+    fn schedulable_partitions_stay_clean_under_jitter() {
+        // A partition accepted by the (sporadic) RTA must not miss deadlines
+        // when releases are sporadic rather than synchronous-periodic.
+        for seed in 0..3 {
+            let tasks = TaskSetGenerator::new()
+                .task_count(8)
+                .total_utilization(2.4)
+                .seed(400 + seed)
+                .generate()
+                .unwrap();
+            let partition = SemiPartitionedFpTs::default()
+                .partition(&tasks, 4)
+                .unwrap()
+                .into_partition()
+                .expect("schedulable");
+            let report = Simulator::new(
+                &partition,
+                SimulationConfig::new(Time::from_secs(1))
+                    .with_release_jitter(Time::from_millis(3), seed),
+            )
+            .run();
+            assert!(
+                report.no_deadline_misses(),
+                "seed {seed}: {:?}",
+                report.deadline_misses
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_matches_the_periodic_baseline() {
+        let chains = vec![simple_chain(0, 2, 10, 0, 0)];
+        let baseline = Simulator::from_chains(
+            chains.clone(),
+            1,
+            SimulationConfig::new(Time::from_millis(50)),
+        )
+        .run();
+        let zero_jitter = Simulator::from_chains(
+            chains,
+            1,
+            SimulationConfig::new(Time::from_millis(50)).with_release_jitter(Time::ZERO, 12345),
+        )
+        .run();
+        assert_eq!(baseline.jobs_released, zero_jitter.jobs_released);
+        assert_eq!(baseline.jobs_completed, zero_jitter.jobs_completed);
     }
 
     #[test]

@@ -48,6 +48,36 @@ pub enum TaskError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A numeric parameter that must be finite was NaN or infinite. Raised
+    /// instead of letting the value poison downstream arithmetic (a NaN
+    /// utilization target slips past ordinary range checks because every
+    /// comparison with NaN is false).
+    NonFiniteParameter {
+        /// Which parameter was non-finite (e.g. `"total utilization"`).
+        parameter: &'static str,
+        /// The offending value, formatted (`"NaN"`, `"inf"`, ...); kept as a
+        /// string so the error type stays `Eq`.
+        value: String,
+    },
+    /// The working-set byte range is empty (`min > max`). Raised instead of
+    /// silently sampling from the lower bound only.
+    InvalidWorkingSetRange {
+        /// Configured lower bound in bytes.
+        min_bytes: u64,
+        /// Configured upper bound in bytes.
+        max_bytes: u64,
+    },
+}
+
+impl TaskError {
+    /// Builds a [`TaskError::NonFiniteParameter`] for `value`, formatting it
+    /// for display.
+    pub fn non_finite(parameter: &'static str, value: f64) -> Self {
+        TaskError::NonFiniteParameter {
+            parameter,
+            value: format!("{value}"),
+        }
+    }
 }
 
 impl fmt::Display for TaskError {
@@ -82,6 +112,16 @@ impl fmt::Display for TaskError {
             TaskError::InvalidGeneratorConfig { reason } => {
                 write!(f, "invalid task-set generator configuration: {reason}")
             }
+            TaskError::NonFiniteParameter { parameter, value } => {
+                write!(f, "{parameter} must be finite, got {value}")
+            }
+            TaskError::InvalidWorkingSetRange {
+                min_bytes,
+                max_bytes,
+            } => write!(
+                f,
+                "working-set range is empty: min {min_bytes} B exceeds max {max_bytes} B"
+            ),
         }
     }
 }
@@ -110,6 +150,11 @@ mod tests {
             TaskError::DuplicateTaskId { task: TaskId(5) },
             TaskError::InvalidGeneratorConfig {
                 reason: "n must be positive".to_owned(),
+            },
+            TaskError::non_finite("total utilization", f64::NAN),
+            TaskError::InvalidWorkingSetRange {
+                min_bytes: 4096,
+                max_bytes: 1024,
             },
         ];
         for e in errors {

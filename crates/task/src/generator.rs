@@ -313,8 +313,22 @@ impl TaskSetGenerator {
             });
         }
         self.period_distribution.validate()?;
+        if let Some((min_bytes, max_bytes)) = self.working_set_range {
+            if min_bytes > max_bytes {
+                return Err(TaskError::InvalidWorkingSetRange {
+                    min_bytes,
+                    max_bytes,
+                });
+            }
+        }
         match self.utilization_distribution {
             UtilizationDistribution::UUniFast => {
+                if !self.total_utilization.is_finite() {
+                    return Err(TaskError::non_finite(
+                        "total utilization",
+                        self.total_utilization,
+                    ));
+                }
                 if self.total_utilization <= 0.0 {
                     return Err(TaskError::InvalidGeneratorConfig {
                         reason: "total utilization must be positive".to_owned(),
@@ -324,6 +338,18 @@ impl TaskSetGenerator {
             UtilizationDistribution::UUniFastDiscard {
                 max_task_utilization,
             } => {
+                if !self.total_utilization.is_finite() {
+                    return Err(TaskError::non_finite(
+                        "total utilization",
+                        self.total_utilization,
+                    ));
+                }
+                if !max_task_utilization.is_finite() {
+                    return Err(TaskError::non_finite(
+                        "per-task utilization cap",
+                        max_task_utilization,
+                    ));
+                }
                 if self.total_utilization <= 0.0 {
                     return Err(TaskError::InvalidGeneratorConfig {
                         reason: "total utilization must be positive".to_owned(),
@@ -344,6 +370,12 @@ impl TaskSetGenerator {
                 }
             }
             UtilizationDistribution::Uniform { min, max } => {
+                if !min.is_finite() || !max.is_finite() {
+                    return Err(TaskError::non_finite(
+                        "per-task utilization range bound",
+                        if min.is_finite() { max } else { min },
+                    ));
+                }
                 if !(0.0..=1.0).contains(&min) || !(0.0..=1.0).contains(&max) || max < min {
                     return Err(TaskError::InvalidGeneratorConfig {
                         reason: format!("invalid per-task utilization range [{min}, {max}]"),
@@ -552,6 +584,54 @@ mod tests {
             })
             .generate()
             .is_err());
+    }
+
+    #[test]
+    fn non_finite_parameters_get_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                TaskSetGenerator::new().total_utilization(bad).generate(),
+                Err(TaskError::NonFiniteParameter { .. })
+            ));
+            assert!(matches!(
+                TaskSetGenerator::new()
+                    .utilization_distribution(UtilizationDistribution::UUniFast)
+                    .total_utilization(bad)
+                    .generate(),
+                Err(TaskError::NonFiniteParameter { .. })
+            ));
+            assert!(matches!(
+                TaskSetGenerator::new()
+                    .utilization_distribution(UtilizationDistribution::UUniFastDiscard {
+                        max_task_utilization: bad,
+                    })
+                    .generate(),
+                Err(TaskError::NonFiniteParameter { .. })
+            ));
+            assert!(matches!(
+                TaskSetGenerator::new()
+                    .utilization_distribution(UtilizationDistribution::Uniform {
+                        min: 0.1,
+                        max: bad,
+                    })
+                    .generate(),
+                Err(TaskError::NonFiniteParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_working_set_range_is_a_typed_error() {
+        assert_eq!(
+            TaskSetGenerator::new()
+                .working_set_range(4096, 1024)
+                .generate()
+                .unwrap_err(),
+            TaskError::InvalidWorkingSetRange {
+                min_bytes: 4096,
+                max_bytes: 1024,
+            }
+        );
     }
 
     #[test]

@@ -197,17 +197,26 @@ impl TaskSet {
 
     /// Returns a new task set with every WCET scaled by `factor`, clamped so a
     /// task never exceeds its deadline. Used by overhead-sensitivity sweeps.
-    pub fn scale_wcets(&self, factor: f64) -> TaskSet {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::NonFiniteParameter`] for a NaN or infinite
+    /// factor (a NaN would otherwise silently collapse every WCET to the
+    /// 1 ns floor).
+    pub fn scale_wcets(&self, factor: f64) -> Result<TaskSet, TaskError> {
+        if !factor.is_finite() {
+            return Err(TaskError::non_finite("wcet scale factor", factor));
+        }
         let tasks = self
             .tasks
             .iter()
             .map(|t| {
                 let scaled = t.wcet().scale(factor);
                 let clamped = scaled.min(t.deadline()).max(Time::from_nanos(1));
-                t.with_wcet(clamped).expect("clamped wcet is always valid")
+                t.with_wcet(clamped)
             })
-            .collect();
-        TaskSet { tasks }
+            .collect::<Result<_, _>>()?;
+        Ok(TaskSet { tasks })
     }
 }
 
@@ -403,14 +412,25 @@ mod tests {
     #[test]
     fn scale_wcets_clamps_to_deadline() {
         let ts = sample_set();
-        let doubled = ts.scale_wcets(2.0);
+        let doubled = ts.scale_wcets(2.0).unwrap();
         assert!(
             (doubled.total_utilization() - 0.5 - 0.25).abs() < 1e-9
                 || doubled.total_utilization() > 0.0
         );
-        let huge = ts.scale_wcets(100.0);
+        let huge = ts.scale_wcets(100.0).unwrap();
         for task in &huge {
             assert!(task.wcet() <= task.deadline());
+        }
+    }
+
+    #[test]
+    fn scale_wcets_rejects_non_finite_factors() {
+        let ts = sample_set();
+        for factor in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                ts.scale_wcets(factor),
+                Err(TaskError::NonFiniteParameter { .. })
+            ));
         }
     }
 

@@ -16,28 +16,95 @@
 
 use spms::analysis::OverheadModel;
 use spms::experiments::{
-    AcceptanceRatioExperiment, CacheCrossoverExperiment, CoreCountSweepExperiment,
+    AcceptanceRatioExperiment, CacheCrossoverExperiment, ChurnExperiment, CoreCountSweepExperiment,
     GlobalComparisonExperiment, NullProgress, OverheadSensitivityExperiment, PreemptionAnatomy,
     ProgressSink, RuntimeCostExperiment, StderrProgress,
 };
+use spms::task::Time;
 use std::io::IsTerminal;
 use std::process::ExitCode;
 
-const USAGE: &str = "\
-spms — semi-partitioned multi-core scheduling experiments (Zhang, Guan, Yi — DATE 2011)
+/// `(name, one-line summary, per-command OPTIONS body)` for every
+/// subcommand; the single source of truth behind the global usage text and
+/// the `spms <command> --help` pages.
+const COMMANDS: &[(&str, &str, &str)] = &[
+    (
+        "acceptance",
+        "Acceptance ratio of FP-TS vs FFD vs WFD over a utilization sweep (E5)",
+        "    --cores <N>             Number of processors [default: 4]
+    --tasks-per-set <N>     Tasks per generated set
+    --points <a,b,..>       Normalized-utilization sweep points
+    --overhead <zero|n4|n64>  Overhead model folded into the analysis [default: zero]
+",
+    ),
+    (
+        "sensitivity",
+        "Acceptance-ratio loss as the overhead magnitude is scaled up (E6)",
+        "    --scales <a,b,..>       Overhead scaling factors [default: 0,1,5,20]
+    --utilization <U>       Normalized utilization [default: 0.9]
+    --tasks-per-set <N>     Tasks per generated set
+",
+    ),
+    (
+        "cache",
+        "Local context-switch vs migration reload cost by working-set size (E4)",
+        "    --sizes <a,b,..>        Working-set sizes in bytes
+                            (the sweep is deterministic: seeding and
+                            replication flags do not apply)
+",
+    ),
+    (
+        "anatomy",
+        "Figure 1: the annotated timeline of a single preemption (E3)",
+        "    (a single deterministic simulation: only --format and --quiet apply)
+",
+    ),
+    (
+        "runtime",
+        "Simulated preemption/migration/overhead costs of accepted partitions (E8)",
+        "    --cores <N>             Number of processors [default: 4]
+    --tasks-per-set <N>     Tasks per generated set
+    --points <a,b,..>       Normalized-utilization sweep points
+    --overhead <zero|n4|n64>  Overhead model folded into the analysis [default: n4]
+",
+    ),
+    (
+        "cores",
+        "Acceptance ratio as the core count grows (E9)",
+        "    --core-counts <a,b,..>  Core counts to sweep [default: 2,4,8,16]
+    --tasks-per-core <N>    Tasks generated per core [default: 4]
+    --utilization <U>       Normalized utilization [default: 0.85]
+    --overhead <zero|n4|n64>  Overhead model folded into the analysis [default: zero]
+",
+    ),
+    (
+        "global",
+        "Partitioned & semi-partitioned vs sufficient global tests (E10)",
+        "    --cores <N>             Number of processors [default: 4]
+    --tasks-per-set <N>     Tasks per generated set
+    --points <a,b,..>       Normalized-utilization sweep points
+    --overhead <zero|n4|n64>  Overhead model folded into the analysis [default: zero]
+",
+    ),
+    (
+        "online",
+        "Online admission control under task churn: acceptance, paths, replay (E11)",
+        "    --cores <N>             Number of processors [default: 4]
+    --events <N>            Arrive/depart events per churn trace [default: 120]
+    --points <a,b,..>       Target normalized-utilization sweep points
+                            [default: 0.5,0.6,0.7,0.8,0.9]
+    --repair-moves <K>      Max already-placed tasks relocated per admission
+                            (0 disables bounded repair) [default: 2]
+    --replay-ms <N>         Simulated milliseconds per admitted-epoch replay;
+                            0 disables replay [default: 50]
+    --overhead <zero|n4|n64>  Overhead model folded into the admission analysis
+                            [default: zero]
+    (--sets-per-point sets the churn traces generated per sweep point)
+",
+    ),
+];
 
-USAGE:
-    spms <COMMAND> [OPTIONS]
-
-COMMANDS:
-    acceptance   Acceptance ratio of FP-TS vs FFD vs WFD over a utilization sweep (E5)
-    sensitivity  Acceptance-ratio loss as the overhead magnitude is scaled up (E6)
-    cache        Local context-switch vs migration reload cost by working-set size (E4)
-    anatomy      Figure 1: the annotated timeline of a single preemption (E3)
-    runtime      Simulated preemption/migration/overhead costs of accepted partitions (E8)
-    cores        Acceptance ratio as the core count grows (E9)
-    global       Partitioned & semi-partitioned vs sufficient global tests (E10)
-
+const COMMON_OPTIONS: &str = "\
 COMMON OPTIONS:
     --threads <N>         Worker threads for the sweep grid; 0 = one per core [default: 1]
     --seed <N>            Root RNG seed for task-set generation [default: 0]
@@ -45,31 +112,57 @@ COMMON OPTIONS:
     --format <F>          Output format: markdown, csv or json [default: markdown]
     --quiet               Suppress the stderr progress line
     --help                Show this help
-
-PER-COMMAND OPTIONS:
-    acceptance | runtime | global:
-        --cores <N>             Number of processors [default: 4]
-        --tasks-per-set <N>     Tasks per generated set
-        --points <a,b,..>       Normalized-utilization sweep points
-        --overhead <zero|n4|n64>  Overhead model folded into the analysis
-    cores:
-        --core-counts <a,b,..>  Core counts to sweep [default: 2,4,8,16]
-        --tasks-per-core <N>    Tasks generated per core [default: 4]
-        --utilization <U>       Normalized utilization [default: 0.85]
-        --overhead <zero|n4|n64>
-    sensitivity:
-        --scales <a,b,..>       Overhead scaling factors [default: 0,1,5,20]
-        --utilization <U>       Normalized utilization [default: 0.9]
-        --tasks-per-set <N>
-    cache:
-        --sizes <a,b,..>        Working-set sizes in bytes
-                                (deterministic: --seed / --sets-per-point do not apply)
-    anatomy:
-        (a single deterministic simulation: only --format and --quiet apply)
-
-Every run is deterministic: with a fixed --seed, any --threads value
-produces byte-identical output.
 ";
+
+/// The global `spms --help` page.
+fn global_usage() -> String {
+    let mut out = String::from(
+        "spms — semi-partitioned multi-core scheduling experiments (Zhang, Guan, Yi — DATE 2011)\n\n\
+         USAGE:\n    spms <COMMAND> [OPTIONS]\n\nCOMMANDS:\n",
+    );
+    for (name, summary, _) in COMMANDS {
+        out.push_str(&format!("    {name:<12} {summary}\n"));
+    }
+    out.push('\n');
+    out.push_str(COMMON_OPTIONS);
+    out.push_str(
+        "\nRun `spms <COMMAND> --help` for the command-specific options.\n\n\
+         Every run is deterministic: with a fixed --seed, any --threads value\n\
+         produces byte-identical output.\n",
+    );
+    out
+}
+
+/// Common flags a subcommand rejects rather than ignores (see
+/// [`reject_inapplicable`]); the single source of truth shared by the flag
+/// parser and the help pages, so `spms <command> --help` never advertises a
+/// flag the command refuses.
+fn inapplicable_common_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        // The cache sweep generates no task sets: no RNG, no replications.
+        "cache" => &["--seed", "--sets-per-point"],
+        // One deterministic simulation: nothing to seed, replicate or fan out.
+        "anatomy" => &["--seed", "--sets-per-point", "--threads"],
+        _ => &[],
+    }
+}
+
+/// The `spms <command> --help` page, or `None` for an unknown command.
+fn command_usage(command: &str) -> Option<String> {
+    let (name, summary, options) = COMMANDS.iter().find(|(name, _, _)| *name == command)?;
+    let mut out = format!(
+        "spms {name} — {summary}\n\nUSAGE:\n    spms {name} [OPTIONS]\n\nOPTIONS:\n{options}\n"
+    );
+    let rejected = inapplicable_common_flags(name);
+    for line in COMMON_OPTIONS.lines() {
+        let flag = line.split_whitespace().next().unwrap_or("");
+        if !rejected.contains(&flag) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Some(out)
+}
 
 /// A usage error: printed to stderr together with a pointer to `--help`.
 struct UsageError(String);
@@ -321,8 +414,7 @@ fn reject_inapplicable(flags: &mut Flags, command: &str, keys: &[&str]) -> CliRe
 }
 
 fn run_cache(mut flags: Flags) -> CliResult<String> {
-    // The cache sweep generates no task sets: no RNG, no replications.
-    reject_inapplicable(&mut flags, "cache", &["--seed", "--sets-per-point"])?;
+    reject_inapplicable(&mut flags, "cache", inapplicable_common_flags("cache"))?;
     let common = CommonFlags::take(&mut flags)?;
     let mut experiment = CacheCrossoverExperiment::new().threads(common.threads);
     if let Some(sizes) = flags.take_list("--sizes")? {
@@ -340,12 +432,7 @@ fn run_cache(mut flags: Flags) -> CliResult<String> {
 }
 
 fn run_anatomy(mut flags: Flags) -> CliResult<String> {
-    // One deterministic simulation: nothing to seed, replicate or fan out.
-    reject_inapplicable(
-        &mut flags,
-        "anatomy",
-        &["--seed", "--sets-per-point", "--threads"],
-    )?;
+    reject_inapplicable(&mut flags, "anatomy", inapplicable_common_flags("anatomy"))?;
     let common = CommonFlags::take(&mut flags)?;
     flags.expect_empty("anatomy")?;
     let report = PreemptionAnatomy::new().run();
@@ -445,6 +532,50 @@ fn run_global(mut flags: Flags) -> CliResult<String> {
     )
 }
 
+fn run_online(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = ChurnExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(traces) = common.sets_per_point {
+        experiment = experiment.traces_per_point(traces);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        // An invalid churn configuration would otherwise be swallowed per
+        // grid cell (the sweep skips failed cells), reporting an all-zero
+        // table instead of an error.
+        if cores == 0 {
+            return usage_error("--cores must be at least 1");
+        }
+        experiment = experiment.cores(cores);
+    }
+    if let Some(events) = flags.take_usize("--events")? {
+        if events == 0 {
+            return usage_error("--events must be at least 1");
+        }
+        experiment = experiment.events_per_trace(events);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    if let Some(moves) = flags.take_usize("--repair-moves")? {
+        experiment = experiment.max_repair_moves(moves);
+    }
+    if let Some(ms) = flags.take_u64("--replay-ms")? {
+        experiment = experiment.replay_duration((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
+    flags.expect_empty("online")?;
+    let results = experiment.run_with_progress(common.progress("online").as_ref());
+    render(
+        "online",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
 fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
     match command {
         "acceptance" => run_acceptance(flags),
@@ -454,6 +585,7 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
         "runtime" => run_runtime(flags),
         "cores" => run_cores(flags),
         "global" => run_global(flags),
+        "online" => run_online(flags),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
@@ -461,13 +593,18 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        print!("{USAGE}");
+        // `spms <command> --help` prints the command-specific page; a bare
+        // `--help` (or an unknown command) prints the global one.
+        match args.first().and_then(|c| command_usage(c)) {
+            Some(page) => print!("{page}"),
+            None => print!("{}", global_usage()),
+        }
         return ExitCode::SUCCESS;
     }
     if args.is_empty() {
         // A missing command is an error: keep stdout clean for data so
         // `spms > out.json` pipelines fail without polluting the file.
-        eprint!("{USAGE}");
+        eprint!("{}", global_usage());
         return ExitCode::from(2);
     }
     let command = args[0].clone();

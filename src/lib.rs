@@ -15,6 +15,8 @@
 //! * [`global`] — global scheduling baselines (global RM / EDF tests and a
 //!   global scheduler simulator),
 //! * [`sim`] — the discrete-event multi-core scheduler simulator,
+//! * [`online`] — online admission control and incremental repartitioning
+//!   under task churn,
 //! * [`overhead`] — the overhead measurement harness (Table 1),
 //! * [`experiments`] — acceptance-ratio and sensitivity experiment drivers.
 //!
@@ -48,6 +50,7 @@ pub use spms_cache as cache;
 pub use spms_core as core;
 pub use spms_experiments as experiments;
 pub use spms_global as global;
+pub use spms_online as online;
 pub use spms_overhead as overhead;
 pub use spms_queues as queues;
 pub use spms_sim as sim;

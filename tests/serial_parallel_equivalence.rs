@@ -71,6 +71,40 @@ fn core_sweep_json_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn online_churn_json_is_identical_across_thread_counts() {
+    assert_threads_invariant(
+        "online",
+        &[
+            "--sets-per-point",
+            "2",
+            "--events",
+            "30",
+            "--points",
+            "0.6,0.85",
+        ],
+    );
+}
+
+#[test]
+fn online_replay_reports_zero_misses() {
+    // The acceptance-criterion check: every admitted epoch of a churn run
+    // simulates without deadline misses.
+    let out = spms(&[
+        "online",
+        "--sets-per-point",
+        "2",
+        "--events",
+        "40",
+        "--points",
+        "0.7",
+        "--format",
+        "json",
+    ]);
+    assert!(out.contains("\"replay_misses\":0"), "misses in: {out}");
+    assert!(!out.contains("\"replayed_epochs\":0"), "replay was skipped");
+}
+
+#[test]
 fn inapplicable_common_flags_are_rejected_not_ignored() {
     // `cache` is deterministic and `anatomy` is a single simulation: a seed
     // sweep against them must fail loudly, not return identical output.
@@ -96,6 +130,23 @@ fn inapplicable_common_flags_are_rejected_not_ignored() {
 }
 
 #[test]
+fn online_rejects_degenerate_configurations() {
+    // An invalid churn config must be a loud usage error, not an all-zero
+    // success table (the sweep grid silently skips failed cells).
+    for args in [["online", "--events", "0"], ["online", "--cores", "0"]] {
+        let output = Command::new(env!("CARGO_BIN_EXE_spms"))
+            .args(args)
+            .output()
+            .expect("spms binary runs");
+        assert_eq!(output.status.code(), Some(2), "spms {args:?} should fail");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("at least 1"),
+            "spms {args:?} stderr should explain the bound"
+        );
+    }
+}
+
+#[test]
 fn usage_errors_exit_with_code_2() {
     let output = Command::new(env!("CARGO_BIN_EXE_spms"))
         .args(["acceptance", "--no-such-flag", "1"])
@@ -116,7 +167,50 @@ fn help_lists_every_subcommand() {
         "runtime",
         "cores",
         "global",
+        "online",
     ] {
         assert!(help.contains(subcommand), "--help misses {subcommand}");
     }
+}
+
+#[test]
+fn subcommand_help_is_command_specific() {
+    let online = spms(&["online", "--help"]);
+    assert!(online.contains("--events"));
+    assert!(online.contains("--repair-moves"));
+    assert!(online.contains("--replay-ms"));
+    assert!(online.contains("--threads"), "common options included");
+    assert!(
+        !online.contains("--core-counts"),
+        "online help leaked another command's flags"
+    );
+
+    let cores = spms(&["cores", "--help"]);
+    assert!(cores.contains("--core-counts"));
+    assert!(!cores.contains("--events"));
+
+    // `--help` after the flags still prints the page instead of running.
+    let late = spms(&["acceptance", "--points", "0.5", "--help"]);
+    assert!(late.contains("spms acceptance —"));
+
+    // Unknown commands fall back to the global page.
+    let unknown = spms(&["no-such-command", "--help"]);
+    assert!(unknown.contains("USAGE:\n    spms <COMMAND>"));
+}
+
+#[test]
+fn subcommand_help_never_advertises_rejected_flags() {
+    // `cache` rejects --seed/--sets-per-point and `anatomy` additionally
+    // --threads; their help pages must not advertise what the parser
+    // refuses.
+    let cache = spms(&["cache", "--help"]);
+    assert!(!cache.contains("--seed"));
+    assert!(!cache.contains("--sets-per-point"));
+    assert!(cache.contains("--threads"), "cache still fans out");
+
+    let anatomy = spms(&["anatomy", "--help"]);
+    for flag in ["--seed", "--sets-per-point", "--threads"] {
+        assert!(!anatomy.contains(flag), "anatomy help advertises {flag}");
+    }
+    assert!(anatomy.contains("--format"));
 }
