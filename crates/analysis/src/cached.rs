@@ -1,0 +1,623 @@
+//! Incremental per-core response-time analysis.
+//!
+//! [`CachedCoreAnalysis`] memoizes the converged response time of every task
+//! on one core and keeps the memo coherent under mutation, exploiting two
+//! structural facts of the fixed-priority recurrence:
+//!
+//! * a task's response time depends only on its own `(C, D)` and on the
+//!   `(C, T)` multiset of the tasks at higher-or-equal priority — so a
+//!   mutation at priority level `p` invalidates **only the levels at or
+//!   below `p`**; everything above keeps its converged fixed point;
+//! * the fixed point is the *least* fixed point, so a response time
+//!   converged under a subset of the current interference is a valid **warm
+//!   start**: after an insertion, each invalidated level re-converges from
+//!   its previous value in a handful of iterations instead of from `C_i`.
+//!
+//! The cache is *always converged*: [`insert`](CachedCoreAnalysis::insert),
+//! [`remove`](CachedCoreAnalysis::remove) and
+//! [`refresh`](CachedCoreAnalysis::refresh) re-establish every response time
+//! eagerly, so the read-side — [`is_schedulable`], [`analysis`] and the
+//! non-mutating what-if probes ([`accepts_candidate`],
+//! [`accepts_prioritised`]) — works on `&self` and allocates nothing.
+//! Results are bit-identical to a from-scratch [`rta::analyse_core`] over
+//! the same tasks (property-tested in `tests/cache_equivalence.rs`).
+//!
+//! Task ids must be unique within one core — every partitioner in the
+//! workspace guarantees this (a split chain places at most one piece of a
+//! parent per core).
+//!
+//! [`is_schedulable`]: CachedCoreAnalysis::is_schedulable
+//! [`analysis`]: CachedCoreAnalysis::analysis
+//! [`accepts_candidate`]: CachedCoreAnalysis::accepts_candidate
+//! [`accepts_prioritised`]: CachedCoreAnalysis::accepts_prioritised
+
+use spms_task::{Task, TaskId, Time};
+
+use crate::rta::{self, CoreAnalysis};
+
+/// One memoized task on the core: the analysis task plus its converged
+/// worst-case response time (`None` = proven to miss its deadline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    task: Task,
+    response: Option<Time>,
+}
+
+/// Canonical cache order: highest priority first, ties broken by task id so
+/// the order is total (ids are unique within a core).
+fn sort_key(task: &Task) -> (u32, TaskId) {
+    (rta::effective_priority(task).level(), task.id())
+}
+
+/// The interference each entry contributes to a lower-or-equal level:
+/// `(C, T)` — all that the recurrence reads from an interferer.
+fn interference_term(task: &Task, r: Time) -> Time {
+    task.wcet() * r.div_ceil(task.period())
+}
+
+/// Memoized exact RTA for one core. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CachedCoreAnalysis {
+    /// Sorted by [`sort_key`]; every `response` is converged (the cache has
+    /// no stale state between method calls).
+    entries: Vec<Entry>,
+}
+
+impl CachedCoreAnalysis {
+    /// An empty core.
+    pub fn new() -> Self {
+        CachedCoreAnalysis::default()
+    }
+
+    /// Builds a converged cache for an existing assignment (cold start).
+    pub fn from_tasks(tasks: &[Task]) -> Self {
+        let mut cache = CachedCoreAnalysis::new();
+        cache.refresh(tasks);
+        cache
+    }
+
+    /// Number of tasks on the core.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the core is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached tasks in canonical (priority, id) order.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.entries.iter().map(|e| &e.task)
+    }
+
+    /// The cached response time of the task with `id`: `None` when the task
+    /// is not on this core, `Some(None)` when it provably misses its
+    /// deadline.
+    pub fn response_of(&self, id: TaskId) -> Option<Option<Time>> {
+        self.entries
+            .iter()
+            .find(|e| e.task.id() == id)
+            .map(|e| e.response)
+    }
+
+    /// The full analysis in canonical order — bit-identical to
+    /// [`rta::analyse_core`] over [`tasks`](Self::tasks).
+    pub fn analysis(&self) -> CoreAnalysis {
+        CoreAnalysis {
+            response_times: self.entries.iter().map(|e| e.response).collect(),
+            schedulable: self.is_schedulable(),
+        }
+    }
+
+    /// Whether every task on the core meets its deadline.
+    pub fn is_schedulable(&self) -> bool {
+        self.entries.iter().all(|e| e.response.is_some())
+    }
+
+    /// Adds `task` to the core and re-converges exactly the priority levels
+    /// at or below the insertion point. Levels above keep their fixed
+    /// points; invalidated levels warm-start from their previous (now
+    /// lower-bound) response times.
+    pub fn insert(&mut self, task: Task) {
+        debug_assert!(
+            self.entries.iter().all(|e| e.task.id() != task.id()),
+            "duplicate task id {} on one core",
+            task.id()
+        );
+        let key = sort_key(&task);
+        let pos = self.entries.partition_point(|e| sort_key(&e.task) < key);
+        self.entries.insert(
+            pos,
+            Entry {
+                task,
+                response: None,
+            },
+        );
+        // Invalidate from the first entry *at* the inserted level: same-level
+        // peers gain the newcomer's interference too, and some sort before
+        // `pos` (smaller id).
+        let first_affected = self
+            .entries
+            .partition_point(|e| sort_key(&e.task).0 < key.0);
+        self.recompute_from(first_affected, true);
+    }
+
+    /// Removes the task with `id`, re-converging the levels at or below it
+    /// (cold: removal shrinks interference, so previous responses are upper
+    /// bounds and unusable as warm starts). Returns the removed task, or
+    /// `None` when no task with `id` is on the core.
+    pub fn remove(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.entries.iter().position(|e| e.task.id() == id)?;
+        let removed = self.entries.remove(pos);
+        let level = sort_key(&removed.task).0;
+        let first_affected = self
+            .entries
+            .partition_point(|e| sort_key(&e.task).0 < level);
+        self.recompute_from(first_affected, false);
+        Some(removed.task)
+    }
+
+    /// Resynchronizes the cache to an arbitrary new assignment (the
+    /// [`Partition`](../spms_core) calls this after a priority
+    /// renormalization). A per-task diff decides how much survives:
+    ///
+    /// * same `(C, D)` and identical interferer multiset → the old fixed
+    ///   point is **reused** outright (renormalization shifts numeric
+    ///   levels but preserves relative order, so this is the common case
+    ///   for every level above a mutation);
+    /// * same `(C, D)` and the old interferer multiset is a subset of the
+    ///   new one → the old response is a valid **warm start**;
+    /// * anything else → cold recompute.
+    pub fn refresh(&mut self, tasks: &[Task]) {
+        self.refresh_general(tasks);
+        self.debug_assert_converged();
+    }
+
+    /// [`refresh`](Self::refresh) specialised for a **pure insertion**: the
+    /// previous assignment plus one or more new tasks, with the surviving
+    /// tasks' parameters unchanged and their relative priority order
+    /// preserved (numeric levels may shift, as a whole-task renormalization
+    /// does). Every surviving task warm-starts from its previous response —
+    /// an unchanged level re-converges in a single interference sum — and
+    /// only the new tasks run cold. No interferer profiles are built.
+    pub fn refresh_after_insert(&mut self, tasks: &[Task]) {
+        let old = std::mem::take(&mut self.entries);
+        self.entries = tasks
+            .iter()
+            .map(|task| Entry {
+                task: task.clone(),
+                response: None,
+            })
+            .collect();
+        self.entries.sort_by_key(|e| sort_key(&e.task));
+        for i in 0..self.entries.len() {
+            let warm = old
+                .iter()
+                .find(|e| e.task.id() == self.entries[i].task.id())
+                .and_then(|prev| {
+                    debug_assert_eq!(prev.task.wcet(), self.entries[i].task.wcet());
+                    debug_assert_eq!(prev.task.deadline(), self.entries[i].task.deadline());
+                    prev.response
+                });
+            let response = self.compute(i, warm);
+            self.entries[i].response = response;
+        }
+        self.debug_assert_converged();
+    }
+
+    /// [`refresh`](Self::refresh) specialised for a **pure removal**: the
+    /// previous assignment minus one or more tasks, surviving parameters
+    /// unchanged and relative order preserved. Survivors ranked strictly
+    /// above every removed task keep their fixed points outright; the rest
+    /// lost interference and re-converge cold.
+    pub fn refresh_after_remove(&mut self, tasks: &[Task]) {
+        let old = std::mem::take(&mut self.entries);
+        self.entries = tasks
+            .iter()
+            .map(|task| Entry {
+                task: task.clone(),
+                response: None,
+            })
+            .collect();
+        self.entries.sort_by_key(|e| sort_key(&e.task));
+        let removed_min_level = old
+            .iter()
+            .filter(|e| !self.entries.iter().any(|n| n.task.id() == e.task.id()))
+            .map(|e| sort_key(&e.task).0)
+            .min();
+        for i in 0..self.entries.len() {
+            let prev = old
+                .iter()
+                .find(|e| e.task.id() == self.entries[i].task.id());
+            let response = match (prev, removed_min_level) {
+                // Ranked strictly above everything removed: untouched.
+                (Some(prev), Some(min_level)) if sort_key(&prev.task).0 < min_level => {
+                    prev.response
+                }
+                (Some(prev), None) => prev.response,
+                _ => self.compute(i, None),
+            };
+            self.entries[i].response = response;
+        }
+        self.debug_assert_converged();
+    }
+
+    /// Debug-build guard: after any refresh the cache must be bit-identical
+    /// to a from-scratch analysis (the property tests run in debug mode, so
+    /// an unsound reuse or warm start fails loudly there).
+    fn debug_assert_converged(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let tasks: Vec<Task> = self.tasks().cloned().collect();
+            debug_assert_eq!(
+                self.analysis(),
+                rta::analyse_core(&tasks),
+                "cached analysis diverged from scratch"
+            );
+        }
+    }
+
+    /// The general diff-based resynchronization behind
+    /// [`refresh`](Self::refresh).
+    fn refresh_general(&mut self, tasks: &[Task]) {
+        let old = std::mem::take(&mut self.entries);
+        self.entries = tasks
+            .iter()
+            .map(|task| Entry {
+                task: task.clone(),
+                response: None,
+            })
+            .collect();
+        self.entries.sort_by_key(|e| sort_key(&e.task));
+
+        let old_tasks: Vec<&Task> = old.iter().map(|e| &e.task).collect();
+        let new_tasks: Vec<&Task> = self.entries.iter().map(|e| &e.task).collect();
+        let plans: Vec<Option<ReusePlan>> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let prev = old.iter().find(|e| e.task.id() == entry.task.id())?;
+                diff_entry(prev, &entry.task, &old_tasks, &new_tasks)
+            })
+            .collect();
+        for (i, plan) in plans.into_iter().enumerate() {
+            let response = match plan {
+                Some(ReusePlan::Reuse(response)) => response,
+                Some(ReusePlan::WarmStart(warm)) => self.compute(i, Some(warm)),
+                None => self.compute(i, None),
+            };
+            self.entries[i].response = response;
+        }
+    }
+
+    /// Non-mutating what-if probe: would the core stay schedulable with
+    /// `candidate` added?
+    ///
+    /// The caller describes where the candidate would rank: `outranked(t)`
+    /// must hold exactly for the entries the candidate would sit strictly
+    /// above, and `peer(t)` exactly for entries that would share its level
+    /// (mutual interference); the two must be disjoint, and must be
+    /// consistent with the priorities the commit path will actually assign
+    /// — with that, the probe's verdict is bit-identical to re-running
+    /// [`rta::analyse_core`] over the committed core.
+    ///
+    /// Entries the candidate outranks re-converge from their cached
+    /// responses (warm starts); entries above it are not re-analysed at
+    /// all. Nothing is cloned or allocated.
+    pub fn accepts_candidate(
+        &self,
+        candidate: &Task,
+        outranked: impl Fn(&Task) -> bool,
+        peer: impl Fn(&Task) -> bool,
+    ) -> bool {
+        // Extra interference never repairs an already-doomed task.
+        if !self.is_schedulable() {
+            return false;
+        }
+        // The candidate sees everything it does not outrank (peers included).
+        let candidate_response = rta::converge(candidate.wcet(), candidate.deadline(), None, |r| {
+            self.entries
+                .iter()
+                .filter(|e| !outranked(&e.task))
+                .map(|e| interference_term(&e.task, r))
+                .sum()
+        });
+        if candidate_response.is_none() {
+            return false;
+        }
+        // Entries at or below the candidate gain its interference; their
+        // interference among existing entries is unchanged, so their cached
+        // responses are valid warm starts.
+        for (i, entry) in self.entries.iter().enumerate() {
+            if !outranked(&entry.task) && !peer(&entry.task) {
+                continue;
+            }
+            let survived = rta::converge(
+                entry.task.wcet(),
+                entry.task.deadline(),
+                entry.response,
+                |r| self.own_interference(i, r) + interference_term(candidate, r),
+            );
+            if survived.is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`accepts_candidate`](Self::accepts_candidate) for a candidate whose
+    /// priority is already assigned (split pieces, explicitly-prioritised
+    /// whole tasks): it outranks strictly lower levels and peers with its
+    /// own level.
+    pub fn accepts_prioritised(&self, candidate: &Task) -> bool {
+        let level = rta::effective_priority(candidate).level();
+        self.accepts_candidate(
+            candidate,
+            |t| rta::effective_priority(t).level() > level,
+            |t| rta::effective_priority(t).level() == level,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Re-converges entries `from..`, in order. With `warm`, each entry
+    /// starts from its previous response (valid only when interference has
+    /// grown, i.e. after an insertion).
+    fn recompute_from(&mut self, from: usize, warm: bool) {
+        for i in from..self.entries.len() {
+            let warm_start = if warm { self.entries[i].response } else { None };
+            let response = self.compute(i, warm_start);
+            self.entries[i].response = response;
+        }
+    }
+
+    /// The converged response time of entry `i` under the current
+    /// assignment, optionally warm-started.
+    fn compute(&self, i: usize, warm_start: Option<Time>) -> Option<Time> {
+        let task = &self.entries[i].task;
+        rta::converge(task.wcet(), task.deadline(), warm_start, |r| {
+            self.own_interference(i, r)
+        })
+    }
+
+    /// Interference entry `i` suffers from the other entries at
+    /// higher-or-equal priority, at recurrence value `r`. The entries are
+    /// sorted, so the interferers form the prefix up to the end of `i`'s
+    /// equal-level group.
+    fn own_interference(&self, i: usize, r: Time) -> Time {
+        let level = sort_key(&self.entries[i].task).0;
+        self.entries
+            .iter()
+            .take_while(|e| sort_key(&e.task).0 <= level)
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, e)| interference_term(&e.task, r))
+            .sum()
+    }
+}
+
+/// How a previously converged response carries over through
+/// [`CachedCoreAnalysis::refresh`].
+enum ReusePlan {
+    /// Identical interference: the old response (including a proven miss)
+    /// is the new response.
+    Reuse(Option<Time>),
+    /// Interference grew: the old response is a lower bound.
+    WarmStart(Time),
+}
+
+/// Classifies how much of `prev`'s converged response survives for the same
+/// task placed among `new_tasks`.
+fn diff_entry(
+    prev: &Entry,
+    task: &Task,
+    old_tasks: &[&Task],
+    new_tasks: &[&Task],
+) -> Option<ReusePlan> {
+    if prev.task.wcet() != task.wcet() || prev.task.deadline() != task.deadline() {
+        return None;
+    }
+    let old_profile = interferer_profile(old_tasks, &prev.task);
+    let new_profile = interferer_profile(new_tasks, task);
+    if old_profile == new_profile {
+        Some(ReusePlan::Reuse(prev.response))
+    } else if is_sub_multiset(&old_profile, &new_profile) {
+        prev.response.map(ReusePlan::WarmStart)
+    } else {
+        None
+    }
+}
+
+/// The `(C, T)` multiset of `task`'s interferers within `tasks` (every other
+/// task at higher-or-equal effective priority), sorted for comparison.
+fn interferer_profile(tasks: &[&Task], task: &Task) -> Vec<(Time, Time)> {
+    let level = rta::effective_priority(task).level();
+    let mut profile: Vec<(Time, Time)> = tasks
+        .iter()
+        .filter(|t| t.id() != task.id() && rta::effective_priority(t).level() <= level)
+        .map(|t| (t.wcet(), t.period()))
+        .collect();
+    profile.sort_unstable();
+    profile
+}
+
+/// Whether sorted multiset `a` is contained in sorted multiset `b`.
+fn is_sub_multiset(a: &[(Time, Time)], b: &[(Time, Time)]) -> bool {
+    let mut bi = 0;
+    for item in a {
+        loop {
+            if bi >= b.len() {
+                return false;
+            }
+            if &b[bi] == item {
+                bi += 1;
+                break;
+            }
+            if b[bi] > *item {
+                return false;
+            }
+            bi += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::Priority;
+
+    fn task(id: u32, wcet_us: u64, period_us: u64, prio: u32) -> Task {
+        let mut t =
+            Task::new(id, Time::from_micros(wcet_us), Time::from_micros(period_us)).unwrap();
+        t.set_priority(Priority::new(prio));
+        t
+    }
+
+    fn assert_matches_scratch(cache: &CachedCoreAnalysis) {
+        let tasks: Vec<Task> = cache.tasks().cloned().collect();
+        assert_eq!(cache.analysis(), rta::analyse_core(&tasks));
+    }
+
+    #[test]
+    fn empty_cache_is_schedulable() {
+        let cache = CachedCoreAnalysis::new();
+        assert!(cache.is_schedulable());
+        assert!(cache.is_empty());
+        assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn insert_orders_by_priority_then_id() {
+        let mut cache = CachedCoreAnalysis::new();
+        cache.insert(task(2, 1, 10, 4));
+        cache.insert(task(0, 1, 10, 2));
+        cache.insert(task(1, 1, 10, 4));
+        let ids: Vec<u32> = cache.tasks().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn insert_only_recomputes_at_or_below_and_matches_scratch() {
+        let mut cache = CachedCoreAnalysis::new();
+        cache.insert(task(0, 1, 4, 2));
+        cache.insert(task(1, 2, 10, 3));
+        let high_before = cache.response_of(TaskId(0)).unwrap();
+        cache.insert(task(2, 3, 20, 4));
+        // The top level is untouched; the new bottom level converged.
+        assert_eq!(cache.response_of(TaskId(0)).unwrap(), high_before);
+        assert_eq!(
+            cache.response_of(TaskId(2)).unwrap(),
+            Some(Time::from_micros(7))
+        );
+        assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn remove_restores_pre_insertion_state() {
+        let mut cache = CachedCoreAnalysis::new();
+        cache.insert(task(0, 1, 4, 2));
+        cache.insert(task(1, 2, 10, 3));
+        let before = cache.clone();
+        cache.insert(task(2, 5, 20, 1));
+        assert_ne!(cache, before);
+        assert_eq!(cache.remove(TaskId(2)).map(|t| t.id()), Some(TaskId(2)));
+        assert_eq!(cache, before);
+        assert!(cache.remove(TaskId(9)).is_none());
+    }
+
+    #[test]
+    fn unschedulable_insertions_are_detected_and_recover_on_removal() {
+        let mut cache = CachedCoreAnalysis::new();
+        cache.insert(task(0, 6, 10, 2));
+        assert!(cache.is_schedulable());
+        cache.insert(task(1, 6, 10, 3));
+        assert!(!cache.is_schedulable());
+        assert_eq!(cache.response_of(TaskId(1)).unwrap(), None);
+        assert_matches_scratch(&cache);
+        cache.remove(TaskId(0));
+        assert!(cache.is_schedulable());
+        assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn refresh_reuses_fixed_points_across_level_shifts() {
+        // Renormalization shifts numeric levels without reordering: every
+        // response must carry over bit-identically.
+        let initial = [task(0, 1, 4, 2), task(1, 2, 10, 3), task(2, 3, 20, 4)];
+        let mut cache = CachedCoreAnalysis::from_tasks(&initial);
+        let before: Vec<_> = (0..3)
+            .map(|i| cache.response_of(TaskId(i)).unwrap())
+            .collect();
+        let shifted = [task(0, 1, 4, 5), task(1, 2, 10, 6), task(2, 3, 20, 7)];
+        cache.refresh(&shifted);
+        let after: Vec<_> = (0..3)
+            .map(|i| cache.response_of(TaskId(i)).unwrap())
+            .collect();
+        assert_eq!(before, after);
+        assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn refresh_handles_parameter_changes_cold() {
+        let mut cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        cache.refresh(&[task(0, 2, 4, 2), task(1, 2, 10, 3)]);
+        assert_matches_scratch(&cache);
+        // R = 2 + ⌈R/4⌉·2 → fixed point at 4.
+        assert_eq!(
+            cache.response_of(TaskId(1)).unwrap(),
+            Some(Time::from_micros(4))
+        );
+    }
+
+    #[test]
+    fn prioritised_probe_matches_scratch() {
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        let fits = task(2, 3, 20, 4);
+        let too_big = task(3, 12, 20, 4);
+        for candidate in [&fits, &too_big] {
+            let mut combined: Vec<Task> = cache.tasks().cloned().collect();
+            combined.push(candidate.clone());
+            assert_eq!(
+                cache.accepts_prioritised(candidate),
+                rta::is_core_schedulable(&combined),
+                "probe diverged from scratch for task {}",
+                candidate.id()
+            );
+        }
+        // Probes never mutate.
+        let snapshot = cache.clone();
+        let _ = cache.accepts_prioritised(&fits);
+        assert_eq!(cache, snapshot);
+    }
+
+    #[test]
+    fn probe_counts_peer_interference() {
+        // Regression tied to the priority-tie fix: a 60% peer at the same
+        // level must reject a second 60% candidate.
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 6, 10, 5)]);
+        assert!(!cache.accepts_prioritised(&task(1, 6, 10, 5)));
+        assert!(cache.accepts_prioritised(&task(1, 3, 10, 5)));
+    }
+
+    #[test]
+    fn probe_on_unschedulable_core_rejects() {
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 6, 10, 2), task(1, 6, 10, 3)]);
+        assert!(!cache.is_schedulable());
+        assert!(!cache.accepts_prioritised(&task(2, 1, 1000, 9)));
+    }
+
+    #[test]
+    fn sub_multiset_logic() {
+        let a = Time::from_micros(1);
+        let b = Time::from_micros(2);
+        assert!(is_sub_multiset(&[], &[(a, b)]));
+        assert!(is_sub_multiset(&[(a, b)], &[(a, b), (b, b)]));
+        assert!(!is_sub_multiset(&[(a, b), (a, b)], &[(a, b)]));
+        assert!(!is_sub_multiset(&[(b, b)], &[(a, b)]));
+    }
+}

@@ -5,6 +5,10 @@
 //! * [`bounds`] — Liu & Layland and hyperbolic utilization bounds,
 //! * [`rta`] — exact response-time analysis for constrained-deadline
 //!   fixed-priority tasks on one processor,
+//! * [`CachedCoreAnalysis`] — incremental per-core RTA: memoized response
+//!   times with insert/remove invalidating only the priority levels at or
+//!   below the mutation point, and allocation-free what-if probes for the
+//!   online admission fast path,
 //! * [`OverheadModel`] — the paper's measured run-time overheads (§3,
 //!   Table 1) and their integration into the analysis via WCET inflation,
 //! * [`UniprocessorTest`] — the pluggable per-core acceptance test used by
@@ -40,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+mod cached;
 pub mod edf;
 mod overhead;
 pub mod rta;
 mod uniprocessor_test;
 
+pub use cached::CachedCoreAnalysis;
 pub use overhead::{OverheadModel, OverheadScenario};
 pub use uniprocessor_test::UniprocessorTest;

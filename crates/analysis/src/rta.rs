@@ -12,17 +12,101 @@
 //! deadline. Constrained deadlines (`D ≤ T`) are supported, which is what the
 //! split-task analysis needs: subtasks of a split task receive synthetic
 //! deadlines shorter than their period.
+//!
+//! # Priority ties
+//!
+//! Two tasks that share a priority level can be dispatched in either order at
+//! run time, so [`analyse_core`] counts each as interference on the other —
+//! the standard conservative treatment. (An earlier revision counted only
+//! *strictly* higher levels, which silently declared two same-level tasks
+//! non-interfering and could accept overloaded cores; two tasks without any
+//! priority both fall back to [`Priority::LOWEST`] and hit the same case.)
+//!
+//! # Warm starts
+//!
+//! The recurrence's fixed point is the *least* fixed point at or above the
+//! start value, so iteration may begin from any value known to be a lower
+//! bound on the result — e.g. a response time previously converged under a
+//! subset of the current interference. [`CachedCoreAnalysis`]
+//! (crate::CachedCoreAnalysis) exploits this to re-converge invalidated
+//! priority levels in a handful of iterations after an insertion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use spms_task::{Priority, Task, Time};
 
-/// Result of analysing one processor's task assignment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CoreAnalysis {
-    /// Per-task response times in the same order as the analysed slice, or
-    /// `None` for tasks whose recurrence exceeded the deadline.
-    pub response_times: Vec<Option<Time>>,
-    /// Whether every task met its deadline.
-    pub schedulable: bool,
+/// Defensive bound on fixed-point iterations; see [`cap_exhaustions`].
+const MAX_ITERATIONS: usize = 10_000;
+
+/// How often the defensive iteration cap was exhausted (process-wide).
+static CAP_EXHAUSTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times the defensive iteration cap was exhausted since process
+/// start (or the last [`reset_cap_exhaustions`]).
+///
+/// The recurrence is monotone and bounded by the deadline check, so under a
+/// correct configuration it always converges or provably misses the
+/// deadline; exhausting the cap instead means the analysis gave up on a
+/// still-undecided recurrence and conservatively reported "unschedulable".
+/// A non-zero counter therefore flags configurations (extreme period ratios,
+/// enormous deadlines) whose rejections are *time-outs*, not proofs — which
+/// would otherwise be indistinguishable from genuine deadline misses.
+pub fn cap_exhaustions() -> u64 {
+    CAP_EXHAUSTIONS.load(Ordering::Relaxed)
+}
+
+/// Resets the [`cap_exhaustions`] counter (test support).
+pub fn reset_cap_exhaustions() {
+    CAP_EXHAUSTIONS.store(0, Ordering::Relaxed);
+}
+
+/// The effective priority used by the per-core analysis: the task's assigned
+/// priority, or [`Priority::LOWEST`] when none was assigned.
+#[inline]
+pub fn effective_priority(task: &Task) -> Priority {
+    task.priority().unwrap_or(Priority::LOWEST)
+}
+
+/// Iterates `r ← base + interference(r)` to its least fixed point at or
+/// above `start`, returning `None` once the iterate exceeds `deadline`.
+///
+/// `warm_start` must be a lower bound on the fixed point (e.g. the fixed
+/// point of the same recurrence under a subset of the interference); the
+/// monotonicity debug-assertion below catches an invalid warm start, which
+/// would otherwise silently converge to a non-least fixed point.
+pub(crate) fn converge(
+    base: Time,
+    deadline: Time,
+    warm_start: Option<Time>,
+    mut interference: impl FnMut(Time) -> Time,
+) -> Option<Time> {
+    if base > deadline {
+        return None;
+    }
+    let mut r = warm_start.map_or(base, |w| w.max(base));
+    for _ in 0..MAX_ITERATIONS {
+        let next = base + interference(r);
+        if next > deadline {
+            return None;
+        }
+        debug_assert!(
+            next >= r,
+            "RTA recurrence decreased ({next:?} < {r:?}): warm start above the fixed point"
+        );
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+    // The cap is a time-out, not a proof: make it visible instead of
+    // blending into ordinary deadline misses.
+    if CAP_EXHAUSTIONS.fetch_add(1, Ordering::Relaxed) == 0 {
+        eprintln!(
+            "spms-analysis: RTA iteration cap ({MAX_ITERATIONS}) exhausted without convergence; \
+             reporting unschedulable (further exhaustions counted in rta::cap_exhaustions())"
+        );
+    }
+    None
 }
 
 /// Computes the worst-case response time of `task` under interference from
@@ -55,30 +139,17 @@ pub fn response_time(task: &Task, hp: &[Task]) -> Option<Time> {
 ///
 /// Returns `None` when the response time exceeds the task's deadline.
 pub fn response_time_with_blocking(task: &Task, hp: &[Task], blocking: Time) -> Option<Time> {
-    let deadline = task.deadline();
-    let base = task.wcet() + blocking;
-    if base > deadline {
-        return None;
-    }
-    let mut r = base;
-    // The recurrence is monotonically non-decreasing and bounded by the
-    // deadline check, so it terminates; cap iterations defensively anyway.
-    for _ in 0..10_000 {
-        let interference: Time = hp.iter().map(|h| h.wcet() * r.div_ceil(h.period())).sum();
-        let next = base + interference;
-        if next > deadline {
-            return None;
-        }
-        if next == r {
-            return Some(r);
-        }
-        r = next;
-    }
-    None
+    converge(task.wcet() + blocking, task.deadline(), None, |r| {
+        hp.iter().map(|h| h.wcet() * r.div_ceil(h.period())).sum()
+    })
 }
 
 /// Splits `tasks` into (higher-priority, lower-or-equal-priority) relative to
 /// `priority`, preserving order. Tasks without a priority count as lowest.
+///
+/// Note that [`analyse_core`] does *not* use this filter for its interference
+/// sets: tasks *at* a given level also interfere with each other there (see
+/// the [module docs](self) on priority ties).
 pub fn higher_priority_tasks(tasks: &[Task], priority: Priority) -> Vec<Task> {
     tasks
         .iter()
@@ -88,7 +159,10 @@ pub fn higher_priority_tasks(tasks: &[Task], priority: Priority) -> Vec<Task> {
 }
 
 /// Analyses a full per-core assignment: every task is checked against the
-/// interference of all strictly higher-priority tasks on the same core.
+/// interference of all higher-priority tasks *and all other tasks at its own
+/// priority level* on the same core (same-level tasks can be dispatched in
+/// either order, so each must tolerate the other; see the
+/// [module docs](self)).
 ///
 /// Tasks must carry priorities (see
 /// [`TaskSet::assign_priorities`](spms_task::TaskSet::assign_priorities));
@@ -96,10 +170,16 @@ pub fn higher_priority_tasks(tasks: &[Task], priority: Priority) -> Vec<Task> {
 pub fn analyse_core(tasks: &[Task]) -> CoreAnalysis {
     let mut response_times = Vec::with_capacity(tasks.len());
     let mut schedulable = true;
-    for task in tasks {
-        let prio = task.priority().unwrap_or(Priority::LOWEST);
-        let hp = higher_priority_tasks(tasks, prio);
-        let r = response_time(task, &hp);
+    for (i, task) in tasks.iter().enumerate() {
+        let prio = effective_priority(task);
+        let r = converge(task.wcet(), task.deadline(), None, |r| {
+            tasks
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && !effective_priority(other).is_lower_than(prio))
+                .map(|(_, other)| other.wcet() * r.div_ceil(other.period()))
+                .sum()
+        });
         if r.is_none() {
             schedulable = false;
         }
@@ -109,6 +189,16 @@ pub fn analyse_core(tasks: &[Task]) -> CoreAnalysis {
         response_times,
         schedulable,
     }
+}
+
+/// Result of analysing one processor's task assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreAnalysis {
+    /// Per-task response times in the same order as the analysed slice, or
+    /// `None` for tasks whose recurrence exceeded the deadline.
+    pub response_times: Vec<Option<Time>>,
+    /// Whether every task met its deadline.
+    pub schedulable: bool,
 }
 
 /// Convenience predicate: is the per-core assignment schedulable under exact
@@ -221,6 +311,75 @@ mod tests {
         assert!(analysis.schedulable);
         // R = 2 + ⌈R/4⌉·1 → fixed point at 3.
         assert_eq!(analysis.response_times[1], Some(Time::from_micros(3)));
+    }
+
+    #[test]
+    fn two_unprioritised_overloading_tasks_are_rejected() {
+        // Regression for the priority-tie optimism bug: both tasks default
+        // to `Priority::LOWEST`, so the old strictly-higher filter counted
+        // zero interference for each and accepted a 120%-utilized core.
+        let a = task(0, 6, 10);
+        let b = task(1, 6, 10);
+        let analysis = analyse_core(&[a, b]);
+        assert!(!analysis.schedulable);
+        assert_eq!(analysis.response_times, vec![None, None]);
+    }
+
+    #[test]
+    fn same_level_tasks_count_each_other_as_interference() {
+        let mut a = task(0, 2, 10);
+        let mut b = task(1, 3, 10);
+        a.set_priority(Priority::new(5));
+        b.set_priority(Priority::new(5));
+        let analysis = analyse_core(&[a.clone(), b.clone()]);
+        assert!(analysis.schedulable);
+        // Each tolerates one job of the other: R_a = 2 + 3, R_b = 3 + 2.
+        assert_eq!(analysis.response_times[0], Some(Time::from_micros(5)));
+        assert_eq!(analysis.response_times[1], Some(Time::from_micros(5)));
+        // An overloaded pair at one level is rejected.
+        let heavy_a = task(0, 6, 10);
+        let heavy_b = task(1, 6, 10);
+        let mut ha = heavy_a;
+        let mut hb = heavy_b;
+        ha.set_priority(Priority::new(5));
+        hb.set_priority(Priority::new(5));
+        assert!(!is_core_schedulable(&[ha, hb]));
+    }
+
+    #[test]
+    fn iteration_cap_exhaustion_is_counted_not_silent() {
+        // Two 50%-utilization 2 ns interferers make the recurrence crawl
+        // upward ~2 ns per iteration; with a 1 ms deadline it can neither
+        // converge nor exceed the deadline within the cap.
+        reset_cap_exhaustions();
+        assert_eq!(cap_exhaustions(), 0);
+        let hp = vec![
+            Task::new(0, Time::from_nanos(1), Time::from_nanos(2)).unwrap(),
+            Task::new(1, Time::from_nanos(1), Time::from_nanos(2)).unwrap(),
+        ];
+        let victim = Task::new(2, Time::from_nanos(1), Time::from_millis(1)).unwrap();
+        assert_eq!(response_time(&victim, &hp), None);
+        assert_eq!(cap_exhaustions(), 1);
+        reset_cap_exhaustions();
+        assert_eq!(cap_exhaustions(), 0);
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_same_fixed_point() {
+        // The fixed point from a valid lower-bound warm start must equal the
+        // cold-start fixed point bit-for-bit.
+        let hp = [task(0, 1, 4), task(1, 2, 10)];
+        let low = task(2, 3, 20);
+        let cold = response_time(&low, &hp).unwrap();
+        for warm_ns in [0, 1, cold.as_nanos() / 2, cold.as_nanos()] {
+            let warmed = converge(
+                low.wcet(),
+                low.deadline(),
+                Some(Time::from_nanos(warm_ns)),
+                |r| hp.iter().map(|h| h.wcet() * r.div_ceil(h.period())).sum(),
+            );
+            assert_eq!(warmed, Some(cold));
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property-based equivalence of [`CachedCoreAnalysis`] and from-scratch
+//! [`rta::analyse_core`].
+//!
+//! The cache's contract is *bit-identical results*: after any sequence of
+//! `insert` / `remove` / renormalization-style `refresh` operations, every
+//! memoized response time (and the schedulability verdict) must equal what a
+//! cold `analyse_core` computes over the same tasks — warm starts and
+//! level-scoped invalidation are pure optimizations. These tests drive
+//! random operation sequences (with deliberately colliding priority levels,
+//! the case the priority-tie fix makes interfere) and check the equivalence
+//! after every step; a companion property pins the non-mutating placement
+//! probes against scratch analysis of the combined assignment.
+//!
+//! The vendored proptest runner is deterministically seeded, so failures
+//! reproduce identically.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spms_analysis::{rta, CachedCoreAnalysis};
+use spms_task::{Priority, Task, TaskId, Time};
+
+/// A compact task spec the strategies generate: `(wcet_us, extra_period_us,
+/// priority_level)`. Periods are `wcet + extra + 1` so tasks are always
+/// constructible; levels are drawn from a tiny range to force ties.
+type Spec = (u64, u64, u32);
+
+fn build_task(id: u32, spec: Spec) -> Task {
+    let (wcet, extra, level) = spec;
+    let wcet = wcet.max(1);
+    let mut task = Task::new(
+        id,
+        Time::from_micros(wcet),
+        Time::from_micros(wcet + extra + 1),
+    )
+    .expect("constructible by construction");
+    task.set_priority(Priority::new(level));
+    task
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1u64..40, 0u64..120, 0u32..5)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Spec),
+    /// Remove the task at `index % len` of the current assignment.
+    Remove(usize),
+    /// Re-rank every task densely by (deadline, period, id) — the shape of
+    /// a whole-task renormalization — and resync via `refresh`.
+    Renormalize,
+    /// Replace the parameters of the task at `index % len` (same id) and
+    /// resync via `refresh`: exercises the cold path of the diff.
+    Mutate(usize, Spec),
+}
+
+/// The shim proptest has no `prop_oneof`; a discriminant range plus
+/// `prop_map` gives the same weighted choice.
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..8, spec(), 0usize..64).prop_map(|(kind, spec, index)| match kind {
+        0..=3 => Op::Insert(spec),
+        4 | 5 => Op::Remove(index),
+        6 => Op::Renormalize,
+        _ => Op::Mutate(index, spec),
+    })
+}
+
+/// Asserts the cache equals a cold `analyse_core` over its own tasks.
+fn assert_matches_scratch(cache: &CachedCoreAnalysis) {
+    let tasks: Vec<Task> = cache.tasks().cloned().collect();
+    let scratch = rta::analyse_core(&tasks);
+    prop_assert_eq!(cache.analysis(), scratch, "cache diverged from scratch");
+}
+
+/// Dense re-ranking by (deadline, period, id) — mirrors the partition's
+/// whole-task renormalization without depending on `spms-core`.
+fn renormalized(tasks: &[Task]) -> Vec<Task> {
+    let mut ranked: Vec<Task> = tasks.to_vec();
+    ranked.sort_by_key(|t| (t.deadline(), t.period(), t.id()));
+    for (level, task) in ranked.iter_mut().enumerate() {
+        task.set_priority(Priority::new(level as u32));
+    }
+    ranked
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random insert/remove/renormalize/mutate sequences keep the cache
+    /// bit-identical to from-scratch analysis at every step.
+    #[test]
+    fn cache_equals_scratch_under_random_mutation(ops in vec(op(), 1..24)) {
+        let mut cache = CachedCoreAnalysis::new();
+        let mut next_id = 0u32;
+        for op in ops {
+            match op {
+                Op::Insert(spec) => {
+                    cache.insert(build_task(next_id, spec));
+                    next_id += 1;
+                }
+                Op::Remove(index) => {
+                    if !cache.is_empty() {
+                        let ids: Vec<TaskId> = cache.tasks().map(Task::id).collect();
+                        let id = ids[index % ids.len()];
+                        prop_assert!(cache.remove(id).is_some());
+                    }
+                }
+                Op::Renormalize => {
+                    let tasks: Vec<Task> = cache.tasks().cloned().collect();
+                    cache.refresh(&renormalized(&tasks));
+                }
+                Op::Mutate(index, spec) => {
+                    if !cache.is_empty() {
+                        let mut tasks: Vec<Task> = cache.tasks().cloned().collect();
+                        let slot = index % tasks.len();
+                        let id = tasks[slot].id().0;
+                        tasks[slot] = build_task(id, spec);
+                        cache.refresh(&tasks);
+                    }
+                }
+            }
+            assert_matches_scratch(&cache);
+        }
+    }
+
+    /// The non-mutating what-if probe answers exactly what a scratch
+    /// analysis of the combined assignment answers, and leaves the cache
+    /// untouched.
+    #[test]
+    fn prioritised_probe_equals_scratch(
+        existing in vec(spec(), 0..8),
+        candidate in spec(),
+    ) {
+        let tasks: Vec<Task> = existing
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_task(i as u32, *s))
+            .collect();
+        let cache = CachedCoreAnalysis::from_tasks(&tasks);
+        let candidate = build_task(1000, candidate);
+
+        let snapshot = cache.clone();
+        let probed = cache.accepts_prioritised(&candidate);
+        prop_assert_eq!(&cache, &snapshot, "probe mutated the cache");
+
+        let mut combined = tasks.clone();
+        combined.push(candidate);
+        prop_assert_eq!(probed, rta::is_core_schedulable(&combined));
+    }
+
+    /// Insert followed by remove of the same task restores the cache to its
+    /// previous state exactly (responses included).
+    #[test]
+    fn insert_remove_round_trips(
+        existing in vec(spec(), 0..8),
+        extra in spec(),
+    ) {
+        let tasks: Vec<Task> = existing
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_task(i as u32, *s))
+            .collect();
+        let mut cache = CachedCoreAnalysis::from_tasks(&tasks);
+        let before = cache.clone();
+        cache.insert(build_task(1000, extra));
+        assert_matches_scratch(&cache);
+        prop_assert!(cache.remove(TaskId(1000)).is_some());
+        prop_assert_eq!(cache, before);
+    }
+}

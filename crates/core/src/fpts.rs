@@ -31,7 +31,7 @@
 //! remote sleep-queue insertion when it finishes.
 
 use serde::{Deserialize, Serialize};
-use spms_analysis::{bounds, OverheadModel, UniprocessorTest};
+use spms_analysis::{bounds, CachedCoreAnalysis, OverheadModel, UniprocessorTest};
 use spms_task::{Priority, PriorityAssignment, Task, TaskSet, Time};
 
 use crate::{
@@ -67,6 +67,61 @@ pub enum SplitPlacement {
     /// remainder moves on. Splits are frequent, which is the configuration
     /// the paper's overhead question is really about.
     NextFit,
+}
+
+/// The per-core bins an assignment pass fills, plus — when the acceptance
+/// test is the exact RTA — one incremental [`CachedCoreAnalysis`] per bin,
+/// so every acceptance probe reuses the converged response times of the
+/// tasks ranked above the candidate instead of cloning and re-analysing the
+/// whole core (the splitting pass binary-searches body budgets, so probes
+/// dominate its cost). Probe verdicts are bit-identical to the from-scratch
+/// fallback, which keeps partitioning output unchanged.
+struct Bins {
+    bins: Vec<Vec<PlacedTask>>,
+    caches: Option<Vec<CachedCoreAnalysis>>,
+}
+
+impl Bins {
+    fn new(cores: usize, test: UniprocessorTest) -> Self {
+        Bins {
+            bins: vec![Vec::new(); cores],
+            caches: (test == UniprocessorTest::ResponseTime)
+                .then(|| vec![CachedCoreAnalysis::new(); cores]),
+        }
+    }
+
+    /// Whether `core` still passes `test` with `candidate` added. Every
+    /// candidate in the offline passes carries its final priority, so the
+    /// cached probe ranks it by its explicit level.
+    fn accepts(&self, test: UniprocessorTest, core: usize, candidate: &Task) -> bool {
+        if let Some(caches) = &self.caches {
+            return caches[core].accepts_prioritised(candidate);
+        }
+        let mut tasks: Vec<Task> = self.bins[core].iter().map(|p| p.task.clone()).collect();
+        tasks.push(candidate.clone());
+        test.accepts(&tasks)
+    }
+
+    fn push(&mut self, core: usize, placed: PlacedTask) {
+        if let Some(caches) = &mut self.caches {
+            caches[core].insert(placed.task.clone());
+        }
+        self.bins[core].push(placed);
+    }
+
+    fn has_tail(&self, core: usize) -> bool {
+        self.bins[core].iter().any(|p| p.is_tail())
+    }
+
+    fn into_partition(self, cores: usize) -> Partition {
+        let mut partition = Partition::new(cores);
+        for (core, bin) in self.bins.into_iter().enumerate() {
+            for placed in bin {
+                partition.place(CoreId(core), placed);
+            }
+        }
+        partition
+    }
 }
 
 /// The FP-TS semi-partitioned partitioning algorithm.
@@ -201,26 +256,25 @@ impl SemiPartitionedFpTs {
     }
 
     /// The largest body budget (pure execution, excluding any overhead) that
-    /// the acceptance test still admits on `core_tasks`, bounded by
-    /// `max_budget`. Returns `Time::ZERO` when not even the smallest budget
-    /// fits. The `C = D` piece construction and the binary search over the
-    /// acceptance frontier are shared with the online incremental placer
+    /// the acceptance test still admits on `core`, bounded by `max_budget`.
+    /// Returns `Time::ZERO` when not even the smallest budget fits. The
+    /// `C = D` piece construction and the binary search over the acceptance
+    /// frontier are shared with the online incremental placer
     /// (`split_budget` module).
     fn max_body_budget(
         &self,
-        core_tasks: &[Task],
+        bins: &Bins,
+        core: usize,
         template: &Task,
         max_budget: Time,
         piece_index: usize,
     ) -> Time {
         let overhead = self.body_piece_overhead(piece_index);
         crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
-            let Some(piece) = crate::split_budget::body_piece(template, budget, overhead) else {
-                return false;
-            };
-            let mut candidate = core_tasks.to_vec();
-            candidate.push(piece);
-            self.test.accepts(&candidate)
+            match crate::split_budget::body_piece(template, budget, overhead) {
+                Some(piece) => bins.accepts(self.test, core, &piece),
+                None => false,
+            }
         })
     }
 
@@ -261,12 +315,7 @@ impl SemiPartitionedFpTs {
 
     /// The SPA assignment pass over `tasks` (original parameters, carrying RM
     /// priorities), starting from the existing `bins`.
-    fn spa1_pass(
-        &self,
-        tasks: &[Task],
-        bins: &mut [Vec<PlacedTask>],
-        cores: usize,
-    ) -> Result<(), String> {
+    fn spa1_pass(&self, tasks: &[Task], bins: &mut Bins, cores: usize) -> Result<(), String> {
         let mut current = 0usize;
         // Tasks are offered in decreasing utilization order. Guan's SPA1
         // assigns in increasing priority order because its utilization-bound
@@ -315,16 +364,11 @@ impl SemiPartitionedFpTs {
                     let accepted_core = candidates
                         .into_iter()
                         .filter(|c| !used.contains(c))
-                        // A tail piece runs at the promoted tail priority, so
-                        // at most one tail may live on a core for the per-core
-                        // RTA to stay sound.
-                        .filter(|&c| !is_tail || !bins[c].iter().any(|p| p.is_tail()))
-                        .find(|&c| {
-                            let mut candidate: Vec<Task> =
-                                bins[c].iter().map(|p| p.task.clone()).collect();
-                            candidate.push(final_piece.clone());
-                            self.test.accepts(&candidate)
-                        });
+                        // A tail piece runs at the promoted tail priority, and
+                        // at most one tail may live on a core (stacked pieces
+                        // on one level would charge each other's full budget).
+                        .filter(|&c| !is_tail || !bins.has_tail(c))
+                        .find(|&c| bins.accepts(self.test, c, &final_piece));
                     if let Some(core) = accepted_core {
                         pieces.push((core, final_piece, remaining));
                         break;
@@ -334,7 +378,6 @@ impl SemiPartitionedFpTs {
                 // Otherwise carve out the largest body budget the processor
                 // currently being filled still accepts, close it, and
                 // continue with the remainder.
-                let core_tasks: Vec<Task> = bins[current].iter().map(|p| p.task.clone()).collect();
                 let already_hosts_piece = pieces.iter().any(|(c, _, _)| *c == current);
                 let piece_overhead = self.body_piece_overhead(pieces.len());
                 let deadline_room = task
@@ -345,7 +388,7 @@ impl SemiPartitionedFpTs {
                     .saturating_sub(Time::from_nanos(1))
                     .min(deadline_room);
                 let budget = if !already_hosts_piece && max_budget >= self.min_split_budget {
-                    self.max_body_budget(&core_tasks, task, max_budget, pieces.len())
+                    self.max_body_budget(bins, current, task, max_budget, pieces.len())
                 } else {
                     Time::ZERO
                 };
@@ -370,12 +413,15 @@ impl SemiPartitionedFpTs {
             let count = pieces.len();
             if count == 1 {
                 let (core, piece, budget) = pieces.into_iter().next().expect("one piece");
-                bins[core].push(PlacedTask {
-                    task: piece,
-                    execution: budget,
-                    parent: task.id(),
-                    split: None,
-                });
+                bins.push(
+                    core,
+                    PlacedTask {
+                        task: piece,
+                        execution: budget,
+                        parent: task.id(),
+                        split: None,
+                    },
+                );
             } else {
                 let first_core = CoreId(pieces[0].0);
                 let core_sequence: Vec<usize> = pieces.iter().map(|(c, _, _)| *c).collect();
@@ -383,23 +429,26 @@ impl SemiPartitionedFpTs {
                 for (i, (core, piece, budget)) in pieces.into_iter().enumerate() {
                     let is_tail = i == count - 1;
                     let piece_wcet = piece.wcet();
-                    bins[core].push(PlacedTask {
-                        task: piece,
-                        execution: budget,
-                        parent: task.id(),
-                        split: Some(SplitInfo {
-                            part_index: i,
-                            part_count: count,
-                            kind: if is_tail {
-                                SubtaskKind::Tail
-                            } else {
-                                SubtaskKind::Body
-                            },
-                            release_offset: running_offset,
-                            next_core: core_sequence.get(i + 1).copied().map(CoreId),
-                            first_core,
-                        }),
-                    });
+                    bins.push(
+                        core,
+                        PlacedTask {
+                            task: piece,
+                            execution: budget,
+                            parent: task.id(),
+                            split: Some(SplitInfo {
+                                part_index: i,
+                                part_count: count,
+                                kind: if is_tail {
+                                    SubtaskKind::Tail
+                                } else {
+                                    SubtaskKind::Body
+                                },
+                                release_offset: running_offset,
+                                next_core: core_sequence.get(i + 1).copied().map(CoreId),
+                                first_core,
+                            }),
+                        },
+                    );
                     running_offset += piece_wcet;
                 }
             }
@@ -409,11 +458,7 @@ impl SemiPartitionedFpTs {
 
     /// SPA2 pre-assignment: place every heavy task whole, first-fit, before
     /// the splitting pass.
-    fn preassign_heavy(
-        &self,
-        tasks: &[Task],
-        bins: &mut [Vec<PlacedTask>],
-    ) -> Result<Vec<Task>, String> {
+    fn preassign_heavy(&self, tasks: &[Task], bins: &mut Bins) -> Result<Vec<Task>, String> {
         let threshold = bounds::heavy_task_threshold(tasks.len().max(1));
         let mut light = Vec::with_capacity(tasks.len());
         let mut heavy: Vec<&Task> = Vec::new();
@@ -441,18 +486,17 @@ impl SemiPartitionedFpTs {
                 continue;
             };
             analysis_task.set_priority(Self::shifted_priority(task));
-            let slot = (0..bins.len()).find(|&c| {
-                let mut candidate: Vec<Task> = bins[c].iter().map(|p| p.task.clone()).collect();
-                candidate.push(analysis_task.clone());
-                self.test.accepts(&candidate)
-            });
+            let slot = (0..bins.bins.len()).find(|&c| bins.accepts(self.test, c, &analysis_task));
             match slot {
-                Some(c) => bins[c].push(PlacedTask {
-                    task: analysis_task,
-                    execution: task.wcet(),
-                    parent: task.id(),
-                    split: None,
-                }),
+                Some(c) => bins.push(
+                    c,
+                    PlacedTask {
+                        task: analysis_task,
+                        execution: task.wcet(),
+                        parent: task.id(),
+                        split: None,
+                    },
+                ),
                 // A heavy task that fits nowhere whole is handed to the
                 // splitting pass instead of declaring failure outright.
                 None => light.push(task.clone()),
@@ -489,7 +533,7 @@ impl Partitioner for SemiPartitionedFpTs {
         prioritised.assign_priorities(PriorityAssignment::RateMonotonic);
         let all: Vec<Task> = prioritised.iter().cloned().collect();
 
-        let mut bins: Vec<Vec<PlacedTask>> = vec![Vec::new(); cores];
+        let mut bins = Bins::new(cores, self.test);
         let to_split: Vec<Task> = match self.strategy {
             SplitStrategy::Spa1 => all,
             SplitStrategy::Spa2 => match self.preassign_heavy(&all, &mut bins) {
@@ -502,12 +546,7 @@ impl Partitioner for SemiPartitionedFpTs {
             return Ok(PartitionOutcome::Unschedulable { reason });
         }
 
-        let mut partition = Partition::new(cores);
-        for (core, bin) in bins.into_iter().enumerate() {
-            for placed in bin {
-                partition.place(CoreId(core), placed);
-            }
-        }
+        let partition = bins.into_partition(cores);
         debug_assert_eq!(partition.validate(), Ok(()));
 
         // Final safety net: every core must pass the acceptance test with the

@@ -28,9 +28,10 @@
 //! dense deadline-monotonic levels from
 //! [`WHOLE_PRIORITY_BASE`](crate::WHOLE_PRIORITY_BASE) upward, recomputed by
 //! [`Partition::renormalize_core_priorities`] after every mutation. At most
-//! one body and one tail may live on a core: the per-core RTA treats equal
-//! priority levels as non-interfering, so duplicated promoted levels would
-//! be unsound.
+//! one body and one tail may live on a core: the per-core RTA counts
+//! same-level tasks as mutually interfering, so stacking promoted pieces on
+//! one level would charge each the other's full budget and void the
+//! guarantee that a body completes within its own budget.
 //!
 //! [`SemiPartitionedFpTs`]: crate::SemiPartitionedFpTs
 //! [`PartitionedFixedPriority`]: crate::PartitionedFixedPriority
@@ -145,7 +146,7 @@ impl IncrementalPlacer {
     ) -> Option<PlacementPlan> {
         let analysis_task = self.whole_analysis_task(task)?;
         let core = (0..partition.core_count()).map(CoreId).find(|c| {
-            !exclude.contains(c) && self.core_accepts(partition, *c, analysis_task.clone(), false)
+            !exclude.contains(c) && self.core_accepts(partition, *c, &analysis_task, false)
         })?;
         Some(PlacementPlan::Whole {
             core,
@@ -183,7 +184,7 @@ impl IncrementalPlacer {
                         !exclude.contains(c)
                             && !pieces.iter().any(|(pc, _, _)| pc == c)
                             && !partition.core_has_tail(*c)
-                            && self.core_accepts(partition, *c, tail.clone(), true)
+                            && self.core_accepts(partition, *c, &tail, true)
                     });
                     if let Some(core) = found {
                         pieces.push((core, tail, remaining));
@@ -205,10 +206,14 @@ impl IncrementalPlacer {
                         && !partition.core_has_body(*c)
                 })
                 .collect();
+            // Rank by *clamped* spare capacity: an overhead-inflated,
+            // overcommitted core reports a negative residual and must not
+            // outrank an exactly full one (it ties at zero and falls back
+            // to index order instead).
             candidates.sort_by(|a, b| {
                 partition
-                    .residual_utilization(*b)
-                    .partial_cmp(&partition.residual_utilization(*a))
+                    .spare_utilization(*b)
+                    .partial_cmp(&partition.spare_utilization(*a))
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
@@ -327,14 +332,42 @@ impl IncrementalPlacer {
     /// reserved priority; whole candidates are ranked deadline-monotonically
     /// among the core's existing whole tasks, exactly as
     /// [`Partition::renormalize_core_priorities`] will rank them on commit.
+    ///
+    /// When the partition carries a converged analysis cache and the test is
+    /// the exact RTA, the probe runs through
+    /// [`CachedCoreAnalysis::accepts_candidate`](spms_analysis::CachedCoreAnalysis::accepts_candidate):
+    /// no task vectors are cloned, tasks ranked above the candidate keep
+    /// their memoized response times, and tasks below re-converge from warm
+    /// starts — bit-identical to the from-scratch fallback below.
     fn core_accepts(
         &self,
         partition: &Partition,
         core: CoreId,
-        candidate: Task,
+        candidate: &Task,
         candidate_is_split: bool,
     ) -> bool {
-        let tasks = normalized_candidate_tasks(partition.core(core), candidate, candidate_is_split);
+        if self.test == UniprocessorTest::ResponseTime {
+            if let Some(cache) = partition.cached_core(core) {
+                if candidate_is_split {
+                    // Promoted pieces keep their reserved level: they peer
+                    // with (hypothetical) same-level pieces and outrank
+                    // strictly lower levels.
+                    return cache.accepts_prioritised(candidate);
+                }
+                // A whole candidate slots into the deadline-monotonic order
+                // the commit-time renormalization will assign: it outranks
+                // exactly the whole tasks with a larger DM key, and peers
+                // with none (dense re-ranked levels are distinct).
+                let key = whole_rank_key(candidate);
+                return cache.accepts_candidate(
+                    candidate,
+                    |t| !has_reserved_level(t) && whole_rank_key(t) > key,
+                    |_| false,
+                );
+            }
+        }
+        let tasks =
+            normalized_candidate_tasks(partition.core(core), candidate.clone(), candidate_is_split);
         self.test.accepts(&tasks)
     }
 
@@ -364,7 +397,7 @@ impl IncrementalPlacer {
         let overhead = self.body_piece_overhead(piece_index);
         crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
             match crate::split_budget::body_piece(template, budget, overhead) {
-                Some(piece) => self.core_accepts(partition, core, piece, true),
+                Some(piece) => self.core_accepts(partition, core, &piece, true),
                 None => false,
             }
         })
@@ -387,6 +420,19 @@ impl IncrementalPlacer {
             .build()
             .ok()
     }
+}
+
+/// The deadline-monotonic ranking key `assign_whole_priorities` sorts whole
+/// tasks by — the cached probe's notion of where a whole candidate lands.
+fn whole_rank_key(task: &Task) -> (Time, Time, spms_task::TaskId) {
+    (task.deadline(), task.period(), task.id())
+}
+
+/// Whether a task sits on a level reserved for promoted split pieces (and
+/// is therefore exempt from whole-task re-ranking).
+fn has_reserved_level(task: &Task) -> bool {
+    task.priority()
+        .is_some_and(|p| p.level() < crate::WHOLE_PRIORITY_BASE)
 }
 
 /// The per-core analysis task list with `candidate` included and whole-task
@@ -517,6 +563,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_ranks_cores_by_clamped_spare_capacity() {
+        // Core 0 is overcommitted by overhead inflation (analysis WCETs sum
+        // to 130% while the pure execution budgets stay lower): its residual
+        // is negative, and the split pass must rank it by *clamped* spare
+        // capacity — never carving a piece there and never letting the
+        // negative value distort the candidate order for the real cores.
+        let mut partition = Partition::new(3);
+        for (id, wcet_ms) in [(0u32, 7u64), (1, 6)] {
+            let inflated = task(id, wcet_ms, 10);
+            partition.place(
+                CoreId(0),
+                PlacedTask::whole(inflated).with_execution(Time::from_millis(5)),
+            );
+        }
+        partition.renormalize_core_priorities(CoreId(0));
+        for (id, wcet_ms, core) in [(2u32, 55u64, 1usize), (3, 50, 2)] {
+            let t = Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(100)).unwrap();
+            let plan = PlacementPlan::Whole {
+                core: CoreId(core),
+                analysis_task: t.clone(),
+            };
+            placer().commit(&mut partition, &t, plan);
+        }
+        assert!(partition.residual_utilization(CoreId(0)) < 0.0);
+        assert_eq!(partition.spare_utilization(CoreId(0)), 0.0);
+
+        // 80% fits nowhere whole; the split must use cores 1 and 2 only,
+        // carving the body on core 2 (the most spare capacity).
+        let arrival = task(4, 8, 10);
+        assert!(placer().plan_whole(&partition, &arrival, &[]).is_none());
+        let plan = placer().plan_split(&partition, &arrival, &[]).unwrap();
+        let cores = plan.cores();
+        assert!(
+            !cores.contains(&CoreId(0)),
+            "split used the overcommitted core: {cores:?}"
+        );
+        assert_eq!(cores[0], CoreId(2), "body must land on the most-spare core");
+        placer().commit(&mut partition, &arrival, plan);
+        assert_eq!(partition.validate(), Ok(()));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use spms_analysis::{rta, UniprocessorTest};
+use spms_analysis::{rta, CachedCoreAnalysis, UniprocessorTest};
 use spms_task::{Priority, Task, TaskId, Time};
 
 /// Priority level reserved for promoted body subtasks: a body piece runs
@@ -11,9 +11,11 @@ use spms_task::{Priority, Task, TaskId, Time};
 pub const BODY_PRIORITY: Priority = Priority::new(0);
 
 /// Priority level reserved for promoted tail subtasks: below bodies, above
-/// every task assigned whole. At most one tail may live on a core for the
-/// per-core RTA to stay sound (equal priority levels do not interfere in
-/// [`rta::analyse_core`]).
+/// every task assigned whole. At most one tail may live on a core:
+/// [`rta::analyse_core`] treats same-level tasks as mutually interfering
+/// (the sound, conservative reading of a tie), so stacking promoted pieces
+/// on one level would charge each the other's full budget and destroy the
+/// split-piece guarantee that a body completes within its own budget.
 pub const TAIL_PRIORITY: Priority = Priority::new(1);
 
 /// The first priority level available to tasks assigned whole; levels 0 and
@@ -162,14 +164,89 @@ impl PlacedTask {
     }
 }
 
+/// How a core's cache slot diverged from its placements since the last
+/// refresh. Tracking the *kind* of mutation lets the renormalization sync
+/// point pick the cheap specialised refresh (pure insert / pure removal)
+/// instead of the general diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheStaleness {
+    /// The cache matches the placements.
+    Fresh,
+    /// Placements were only added since the last refresh.
+    Inserted,
+    /// Placements were only removed since the last refresh.
+    Removed,
+    /// Mixed or unknown mutations: only the general diff is sound.
+    Mixed,
+}
+
+impl CacheStaleness {
+    fn escalate(self, op: CacheStaleness) -> CacheStaleness {
+        match (self, op) {
+            (CacheStaleness::Fresh, op) => op,
+            (current, op) if current == op => current,
+            _ => CacheStaleness::Mixed,
+        }
+    }
+}
+
+/// Per-core slot of the optional attached analysis cache: the incremental
+/// RTA state plus a staleness marker set by [`Partition::place`] /
+/// [`Partition::remove_parent`] (which cannot know the final priorities —
+/// renormalization runs after them) and cleared by
+/// [`Partition::renormalize_core_priorities`].
+#[derive(Debug, Clone)]
+struct CoreCacheSlot {
+    analysis: CachedCoreAnalysis,
+    staleness: CacheStaleness,
+}
+
 /// A complete mapping of a task set onto `m` cores.
 ///
 /// Produced by a [`Partitioner`](crate::Partitioner); consumed by the
 /// schedulability analysis, the statistics in the acceptance-ratio
 /// experiments and the discrete-event simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+///
+/// # The attached analysis cache
+///
+/// [`enable_analysis_cache`](Self::enable_analysis_cache) attaches an
+/// incremental [`CachedCoreAnalysis`] per core, kept coherent through
+/// [`place`](Self::place), [`remove_parent`](Self::remove_parent) and
+/// [`renormalize_core_priorities`](Self::renormalize_core_priorities). The
+/// cache is derived state: it is skipped by serialization and ignored by
+/// `PartialEq`, and it travels with `Clone`, so snapshot/rollback flows
+/// (the online controller's bounded repair) restore it for free.
+#[derive(Debug, Clone, Default)]
 pub struct Partition {
     cores: Vec<Vec<PlacedTask>>,
+    cache: Option<Vec<CoreCacheSlot>>,
+}
+
+/// Placement equality only: the analysis cache is derived state and two
+/// partitions differing only in cache attachment are the same mapping.
+impl PartialEq for Partition {
+    fn eq(&self, other: &Self) -> bool {
+        self.cores == other.cores
+    }
+}
+
+/// Serializes the placements only; the analysis cache is derived state and
+/// is rebuilt (when wanted) after deserialization. The encoding matches what
+/// the former `#[derive(Serialize)]` produced, so stored partitions stay
+/// readable.
+impl Serialize for Partition {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("cores".to_owned(), self.cores.to_value())])
+    }
+}
+
+impl Deserialize for Partition {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Partition {
+            cores: Vec::<Vec<PlacedTask>>::from_value(value.field("cores")?)?,
+            cache: None,
+        })
+    }
 }
 
 impl Partition {
@@ -177,7 +254,43 @@ impl Partition {
     pub fn new(cores: usize) -> Self {
         Partition {
             cores: vec![Vec::new(); cores],
+            cache: None,
         }
+    }
+
+    /// Attaches (or rebuilds) the incremental analysis cache: one converged
+    /// [`CachedCoreAnalysis`] per core. See the
+    /// [struct docs](Self#the-attached-analysis-cache).
+    pub fn enable_analysis_cache(&mut self) {
+        self.cache = Some(
+            self.cores
+                .iter()
+                .map(|bin| {
+                    let tasks: Vec<Task> = bin.iter().map(|p| p.task.clone()).collect();
+                    CoreCacheSlot {
+                        analysis: CachedCoreAnalysis::from_tasks(&tasks),
+                        staleness: CacheStaleness::Fresh,
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    /// Whether an analysis cache is attached (converged or not).
+    pub fn analysis_cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The converged cached analysis of one core, or `None` when no cache is
+    /// attached or the core has been mutated since the last
+    /// renormalization (callers then fall back to from-scratch analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range while a cache is attached.
+    pub fn cached_core(&self, core: CoreId) -> Option<&CachedCoreAnalysis> {
+        let slot = &self.cache.as_ref()?[core.0];
+        (slot.staleness == CacheStaleness::Fresh).then_some(&slot.analysis)
     }
 
     /// Number of processors.
@@ -196,11 +309,20 @@ impl Partition {
 
     /// Adds a placement to a core.
     ///
+    /// With an analysis cache attached, the core's cache turns stale until
+    /// the next [`renormalize_core_priorities`](Self::renormalize_core_priorities)
+    /// call (the commit discipline: placements get their final priorities
+    /// only then).
+    ///
     /// # Panics
     ///
     /// Panics if the core id is out of range.
     pub fn place(&mut self, core: CoreId, placed: PlacedTask) {
         self.cores[core.0].push(placed);
+        if let Some(slots) = &mut self.cache {
+            let slot = &mut slots[core.0];
+            slot.staleness = slot.staleness.escalate(CacheStaleness::Inserted);
+        }
     }
 
     /// Iterates over `(core, placement)` pairs.
@@ -249,9 +371,18 @@ impl Partition {
         self.cores[core.0].iter().map(|p| p.task.clone()).collect()
     }
 
-    /// Runs the given uniprocessor test on every core.
+    /// Runs the given uniprocessor test on every core. Cores with a
+    /// converged analysis cache answer from the cache when the test is the
+    /// exact RTA (bit-identical to the from-scratch run by construction).
     pub fn is_schedulable(&self, test: UniprocessorTest) -> bool {
-        (0..self.core_count()).all(|c| test.accepts(&self.core_tasks(CoreId(c))))
+        (0..self.core_count()).all(|c| {
+            if test == UniprocessorTest::ResponseTime {
+                if let Some(cache) = self.cached_core(CoreId(c)) {
+                    return cache.is_schedulable();
+                }
+            }
+            test.accepts(&self.core_tasks(CoreId(c)))
+        })
     }
 
     /// Worst-case response times per core under exact RTA (`None` entries are
@@ -275,6 +406,19 @@ impl Partition {
             .iter()
             .map(|p| p.task.utilization())
             .sum::<f64>()
+    }
+
+    /// [`residual_utilization`](Self::residual_utilization) clamped at zero:
+    /// the spare capacity a caller may order or admit against. An
+    /// overhead-inflated assignment can overcommit a core, and a negative
+    /// "residual" must never rank such a core as roomier than an exactly
+    /// full one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn spare_utilization(&self, core: CoreId) -> f64 {
+        self.residual_utilization(core).max(0.0)
     }
 
     /// The distinct parent tasks placed anywhere in the partition, sorted by
@@ -328,6 +472,12 @@ impl Partition {
                 touched.push(CoreId(idx));
             }
         }
+        if let Some(slots) = &mut self.cache {
+            for core in &touched {
+                let slot = &mut slots[core.0];
+                slot.staleness = slot.staleness.escalate(CacheStaleness::Removed);
+            }
+        }
         for core in touched {
             self.renormalize_core_priorities(core);
         }
@@ -346,6 +496,11 @@ impl Partition {
     /// sets the generators produce it coincides with the rate-monotonic
     /// order the offline partitioners assign.
     ///
+    /// With an analysis cache attached, this is also the cache's sync
+    /// point: the core's slot is refreshed against the renormalized
+    /// assignment (reusing or warm-starting every response time the
+    /// mutation did not invalidate) and marked converged again.
+    ///
     /// # Panics
     ///
     /// Panics if the core id is out of range.
@@ -357,6 +512,22 @@ impl Partition {
                 .map(|p| &mut p.task)
                 .collect(),
         );
+        if let Some(slots) = &mut self.cache {
+            let tasks: Vec<Task> = self.cores[core.0].iter().map(|p| p.task.clone()).collect();
+            let slot = &mut slots[core.0];
+            match slot.staleness {
+                CacheStaleness::Fresh if slot.analysis.len() == tasks.len() => {
+                    // Renormalization of an untouched core cannot reorder
+                    // tasks; levels may shift, which the insert-specialised
+                    // refresh absorbs with one warm iteration per task.
+                    slot.analysis.refresh_after_insert(&tasks)
+                }
+                CacheStaleness::Inserted => slot.analysis.refresh_after_insert(&tasks),
+                CacheStaleness::Removed => slot.analysis.refresh_after_remove(&tasks),
+                _ => slot.analysis.refresh(&tasks),
+            }
+            slot.staleness = CacheStaleness::Fresh;
+        }
     }
 
     /// Structural sanity checks, used by tests and debug assertions:
@@ -638,6 +809,84 @@ mod tests {
         assert_eq!(lookup(0), Priority::new(WHOLE_PRIORITY_BASE + 1));
         // The promoted tail keeps its reserved level.
         assert_eq!(lookup(7), TAIL_PRIORITY);
+    }
+
+    #[test]
+    fn spare_utilization_clamps_overcommitted_cores() {
+        let mut p = Partition::new(2);
+        // An "overhead-inflated" assignment overcommitting core 0: 130%.
+        p.place(CoreId(0), PlacedTask::whole(task(0, 7, 10, 2)));
+        p.place(CoreId(0), PlacedTask::whole(task(2, 6, 10, 3)));
+        p.place(CoreId(1), PlacedTask::whole(task(1, 5, 10, 2)));
+        assert!(p.residual_utilization(CoreId(0)) < 0.0);
+        assert_eq!(p.spare_utilization(CoreId(0)), 0.0);
+        assert!((p.spare_utilization(CoreId(1)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_cache_tracks_mutations() {
+        let mut p = two_core_partition_with_split();
+        assert!(!p.analysis_cache_enabled());
+        assert!(p.cached_core(CoreId(0)).is_none());
+        p.enable_analysis_cache();
+        let cache = p.cached_core(CoreId(0)).expect("converged after enable");
+        assert!(cache.is_schedulable());
+        assert_eq!(cache.len(), 2);
+
+        // place() stales the touched core until renormalization.
+        p.place(CoreId(0), PlacedTask::whole(task(9, 1, 10, 0)));
+        assert!(p.cached_core(CoreId(0)).is_none());
+        assert!(p.cached_core(CoreId(1)).is_some());
+        p.renormalize_core_priorities(CoreId(0));
+        let cache = p.cached_core(CoreId(0)).expect("refreshed");
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.analysis(),
+            rta::analyse_core(&cache.tasks().cloned().collect::<Vec<_>>())
+        );
+
+        // Departures keep every touched core coherent.
+        p.remove_parent(TaskId(2));
+        for core in [CoreId(0), CoreId(1)] {
+            let cache = p.cached_core(core).expect("coherent after removal");
+            assert_eq!(
+                cache.analysis(),
+                rta::analyse_core(&cache.tasks().cloned().collect::<Vec<_>>())
+            );
+        }
+    }
+
+    #[test]
+    fn cache_is_ignored_by_equality_and_survives_clone() {
+        let plain = two_core_partition_with_split();
+        let mut cached = plain.clone();
+        cached.enable_analysis_cache();
+        assert_eq!(plain, cached, "the cache is derived state");
+        let snapshot = cached.clone();
+        assert!(snapshot.cached_core(CoreId(0)).is_some());
+        assert_eq!(
+            snapshot.cached_core(CoreId(0)),
+            cached.cached_core(CoreId(0))
+        );
+    }
+
+    #[test]
+    fn cached_is_schedulable_matches_scratch() {
+        let mut p = two_core_partition_with_split();
+        let scratch = p.is_schedulable(UniprocessorTest::ResponseTime);
+        p.enable_analysis_cache();
+        assert_eq!(p.is_schedulable(UniprocessorTest::ResponseTime), scratch);
+    }
+
+    #[test]
+    fn serialization_skips_the_cache_and_round_trips() {
+        let mut p = two_core_partition_with_split();
+        p.enable_analysis_cache();
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(!json.contains("cache"));
+        let back: Partition = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert!(!back.analysis_cache_enabled());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`ChurnExperiment`] — online admission control under task churn:
 //!   acceptance ratio, decision-path mix and migrations of the
 //!   `spms-online` controller over a target-load sweep, with every admitted
-//!   epoch optionally replayed through the simulator (E11).
+//!   epoch optionally replayed through the simulator (E11),
+//! * [`RtaCacheBenchmark`] — the incremental-RTA regression guard: drives
+//!   cached and from-scratch controllers over identical churn traces,
+//!   asserts byte-identical decision logs and reports the wall-clock
+//!   speedup (E12, the `BENCH_rta.json` CI artifact).
 //!
 //! Each experiment produces a plain-old-data result type with
 //! `render_markdown()` / `render_csv()` helpers so that examples, benches and
@@ -60,6 +64,7 @@ mod figure1;
 mod global_comparison;
 mod online_churn;
 mod progress;
+mod rta_cache;
 mod runner;
 mod runtime_costs;
 mod sensitivity;
@@ -74,6 +79,7 @@ pub use global_comparison::{
 };
 pub use online_churn::{ChurnExperiment, ChurnPoint, ChurnResults};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
+pub use rta_cache::{RtaCacheBenchmark, RtaCachePoint, RtaCacheResults, RtaCacheTiming};
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
 pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};

@@ -21,6 +21,17 @@
 //! partition untouched. Departures free capacity immediately and can never
 //! invalidate the partition (per-core demand only shrinks).
 //!
+//! Under the exact RTA test the live partition carries an incremental
+//! analysis cache
+//! ([`Partition::enable_analysis_cache`](spms_core::Partition::enable_analysis_cache)):
+//! one [`CachedCoreAnalysis`](spms_analysis::CachedCoreAnalysis) per core
+//! threads through all four stages — placement and split probes answer from
+//! memoized response times, the repair pass's snapshot/rollback restores
+//! cache state along with the placements (the cache clones with the
+//! partition), and a full-repartition adoption re-attaches a fresh cache.
+//! Decisions are bit-identical with the cache on or off
+//! ([`OnlineConfig::use_rta_cache`]); only the latency changes.
+//!
 //! Every decision is recorded with its path, the number of already-placed
 //! tasks it migrated, and (for rejections) a typed reason. Wall-clock
 //! decision latencies are measured but kept out of every serializable
@@ -74,6 +85,11 @@ pub struct OnlineConfig {
     pub max_repair_moves: usize,
     /// Whether a failed repair may fall back to a full offline repartition.
     pub allow_fallback: bool,
+    /// Whether the live partition carries the incremental RTA cache
+    /// (effective only with [`UniprocessorTest::ResponseTime`]). Decisions
+    /// are bit-identical either way; disabling it exists for benchmarking
+    /// the from-scratch analysis the cache replaces.
+    pub use_rta_cache: bool,
 }
 
 impl Default for OnlineConfig {
@@ -85,6 +101,7 @@ impl Default for OnlineConfig {
             min_split_budget: Time::from_micros(100),
             max_repair_moves: 2,
             allow_fallback: true,
+            use_rta_cache: true,
         }
     }
 }
@@ -126,6 +143,12 @@ impl OnlineConfig {
     /// Sets the smallest admissible body-subtask budget (builder style).
     pub fn with_min_split_budget(mut self, budget: Time) -> Self {
         self.min_split_budget = budget;
+        self
+    }
+
+    /// Enables or disables the incremental RTA cache (builder style).
+    pub fn with_rta_cache(mut self, enabled: bool) -> Self {
+        self.use_rta_cache = enabled;
         self
     }
 }
@@ -306,8 +329,14 @@ impl AdmissionController {
             .with_test(config.test)
             .with_overhead(config.overhead)
             .with_min_split_budget(config.min_split_budget);
+        let mut partition = Partition::new(config.cores);
+        // The cache pays off only under the exact RTA (the utilization
+        // bounds are already O(n) per probe).
+        if config.use_rta_cache && config.test == UniprocessorTest::ResponseTime {
+            partition.enable_analysis_cache();
+        }
         Ok(AdmissionController {
-            partition: Partition::new(config.cores),
+            partition,
             placer,
             config,
             admitted: BTreeMap::new(),
@@ -535,8 +564,25 @@ impl AdmissionController {
             .offline_partitioner()
             .partition(&all, self.config.cores);
         match outcome {
-            Ok(PartitionOutcome::Schedulable(new)) => {
+            Ok(PartitionOutcome::Schedulable(mut new)) => {
                 let migrations = moved_parents(&self.partition, &new, task.id());
+                // The offline pass ranks whole tasks by global rate-monotonic
+                // levels; every later probe and commit assumes the per-core
+                // deadline-monotonic discipline. Renormalize before adopting
+                // so the stored priorities (and the cache snapshot below)
+                // match what the placer's candidate ranking expects — for
+                // constrained deadlines the two orders genuinely differ.
+                // DM is optimal among fixed-priority assignments, so a
+                // schedulable adoption stays schedulable.
+                for core in 0..new.core_count() {
+                    new.renormalize_core_priorities(CoreId(core));
+                }
+                // The adopted partition is a fresh object: re-attach the
+                // incremental analysis cache the cascade threads through
+                // every later decision.
+                if self.partition.analysis_cache_enabled() {
+                    new.enable_analysis_cache();
+                }
                 self.partition = new;
                 Some(migrations)
             }
@@ -695,6 +741,130 @@ mod tests {
         assert!(c.partition().is_schedulable(c.config().test));
         // Everything the controller admitted is still placed.
         assert_eq!(c.partition().parent_ids().len(), 4);
+    }
+
+    #[test]
+    fn cached_and_uncached_controllers_decide_identically() {
+        let events = crate::ChurnGenerator::new()
+            .cores(2)
+            .target_normalized_utilization(0.85)
+            .events(80)
+            .seed(7)
+            .generate()
+            .unwrap();
+        let mut cached = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        let mut scratch =
+            AdmissionController::new(OnlineConfig::new(2).with_rta_cache(false)).unwrap();
+        assert!(cached.partition().analysis_cache_enabled());
+        assert!(!scratch.partition().analysis_cache_enabled());
+        let a = cached.handle_all(&events);
+        let b = scratch.handle_all(&events);
+        assert_eq!(a, b);
+        assert_eq!(cached.partition(), scratch.partition());
+        assert_eq!(cached.stats(), scratch.stats());
+    }
+
+    #[test]
+    fn rolled_back_repair_restores_the_cache_state() {
+        // Two 90% tasks leave no room: the repair pass tries (and fails) to
+        // relocate them before the arrival is rejected; the rollback must
+        // restore not just the placements but the attached analysis cache.
+        let config = two_cores_no_split().with_fallback(false);
+        let mut c = AdmissionController::new(config).unwrap();
+        arrive(&mut c, task(0, 9, 10));
+        arrive(&mut c, task(1, 9, 10));
+        let before = c.partition().clone();
+        assert!(before.analysis_cache_enabled());
+        let kind = arrive(&mut c, task(2, 15, 100));
+        assert_eq!(
+            kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::NoFeasiblePlacement
+            }
+        );
+        for core in 0..2 {
+            assert_eq!(
+                c.partition().cached_core(CoreId(core)),
+                before.cached_core(CoreId(core)),
+                "cache state diverged on core {core} after rollback"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_with_constrained_deadlines_keeps_cached_and_scratch_aligned() {
+        // The offline fallback assigns global rate-monotonic priorities,
+        // but every probe and commit ranks whole tasks deadline-
+        // monotonically; with constrained deadlines (D < T) the two orders
+        // genuinely differ, so the adoption must renormalize before the
+        // cache snapshots the cores — otherwise cached and uncached
+        // controllers diverge on post-fallback decisions.
+        let constrained = |id: u32, wcet: u64, period: u64, deadline: u64| {
+            Task::builder(id)
+                .wcet(Time::from_millis(wcet))
+                .period(Time::from_millis(period))
+                .deadline(Time::from_millis(deadline))
+                .build()
+                .unwrap()
+        };
+        let mut fallbacks = 0;
+        for variant in 0..8u64 {
+            // Patterned constrained-deadline arrivals heavy enough to push
+            // the cascade (split and repair disabled) into the fallback.
+            let events: Vec<WorkloadEvent> = (0..12u64)
+                .map(|i| {
+                    let period = 60 + ((i * 17 + variant * 29) % 60);
+                    let wcet = 6 + ((i * 11 + variant * 7) % (period / 3));
+                    let deadline = period - ((i * 13 + variant * 5) % (period / 2));
+                    WorkloadEvent::Arrive(constrained(i as u32, wcet, period, deadline.max(wcet)))
+                })
+                .collect();
+            let config = two_cores_no_split().with_max_repair_moves(0);
+            let mut cached = AdmissionController::new(config.clone()).unwrap();
+            let mut scratch = AdmissionController::new(config.with_rta_cache(false)).unwrap();
+            assert_eq!(
+                cached.handle_all(&events),
+                scratch.handle_all(&events),
+                "variant {variant} diverged"
+            );
+            assert_eq!(cached.partition(), scratch.partition());
+            fallbacks += cached.stats().full_repartitions;
+            // The adopted partition must follow the per-core DM discipline:
+            // whole-task priority order matches (deadline, period, id).
+            for core in 0..2 {
+                let mut wholes: Vec<&Task> = cached
+                    .partition()
+                    .core(CoreId(core))
+                    .iter()
+                    .filter(|p| !p.is_split())
+                    .map(|p| &p.task)
+                    .collect();
+                wholes.sort_by_key(|t| t.priority().expect("whole tasks are prioritised"));
+                let dm_sorted = wholes
+                    .windows(2)
+                    .all(|w| (w[0].deadline(), w[0].period()) <= (w[1].deadline(), w[1].period()));
+                assert!(dm_sorted, "variant {variant} core {core} not DM-ordered");
+            }
+        }
+        assert!(fallbacks > 0, "the scenario never exercised the fallback");
+    }
+
+    #[test]
+    fn full_repartition_reattaches_the_cache() {
+        let config = two_cores_no_split().with_max_repair_moves(0);
+        let mut c = AdmissionController::new(config).unwrap();
+        arrive(&mut c, task(0, 35, 100));
+        arrive(&mut c, task(1, 35, 100));
+        arrive(&mut c, task(2, 65, 100));
+        arrive(&mut c, task(3, 65, 100));
+        assert_eq!(c.stats().full_repartitions, 1);
+        assert!(c.partition().analysis_cache_enabled());
+        for core in 0..2 {
+            assert!(
+                c.partition().cached_core(CoreId(core)).is_some(),
+                "core {core} cache not converged after adoption"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use spms::analysis::OverheadModel;
 use spms::experiments::{
     AcceptanceRatioExperiment, CacheCrossoverExperiment, ChurnExperiment, CoreCountSweepExperiment,
     GlobalComparisonExperiment, NullProgress, OverheadSensitivityExperiment, PreemptionAnatomy,
-    ProgressSink, RuntimeCostExperiment, StderrProgress,
+    ProgressSink, RtaCacheBenchmark, RuntimeCostExperiment, StderrProgress,
 };
 use spms::task::Time;
 use std::io::IsTerminal;
@@ -100,6 +100,20 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     --overhead <zero|n4|n64>  Overhead model folded into the admission analysis
                             [default: zero]
     (--sets-per-point sets the churn traces generated per sweep point)
+",
+    ),
+    (
+        "rtabench",
+        "Cached vs from-scratch RTA on the admission fast path (E12, BENCH_rta)",
+        "    --cores <N>             Number of processors [default: 4]
+    --events <N>            Arrive/depart events per churn trace [default: 120]
+    --points <a,b,..>       Target normalized-utilization sweep points
+                            [default: 0.6,0.8]
+    --repair-moves <K>      Max already-placed tasks relocated per admission
+                            [default: 2]
+    (--sets-per-point sets the churn traces generated per sweep point;
+     the `timing` object in the output is wall-clock measurement data and
+     is the only part that varies run-to-run)
 ",
     ),
 ];
@@ -576,6 +590,43 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
     )
 }
 
+fn run_rtabench(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = RtaCacheBenchmark::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(traces) = common.sets_per_point {
+        experiment = experiment.traces_per_point(traces);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        if cores == 0 {
+            return usage_error("--cores must be at least 1");
+        }
+        experiment = experiment.cores(cores);
+    }
+    if let Some(events) = flags.take_usize("--events")? {
+        if events == 0 {
+            return usage_error("--events must be at least 1");
+        }
+        experiment = experiment.events_per_trace(events);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    if let Some(moves) = flags.take_usize("--repair-moves")? {
+        experiment = experiment.max_repair_moves(moves);
+    }
+    flags.expect_empty("rtabench")?;
+    let results = experiment.run_with_progress(common.progress("rtabench").as_ref());
+    render(
+        "rtabench",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
 fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
     match command {
         "acceptance" => run_acceptance(flags),
@@ -586,6 +637,7 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
         "cores" => run_cores(flags),
         "global" => run_global(flags),
         "online" => run_online(flags),
+        "rtabench" => run_rtabench(flags),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
