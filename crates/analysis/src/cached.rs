@@ -101,6 +101,18 @@ impl CachedCoreAnalysis {
             .map(|e| e.response)
     }
 
+    /// The cached slack (`deadline − response`) of the task with `id`:
+    /// `None` when the task is not on this core, `Some(None)` when it
+    /// provably misses its deadline (negative slack). Free to read — the
+    /// cache is always converged — which is what makes slack-guided repair
+    /// ranking affordable on the admission hot path.
+    pub fn slack_of(&self, id: TaskId) -> Option<Option<Time>> {
+        self.entries.iter().find(|e| e.task.id() == id).map(|e| {
+            e.response
+                .map(|response| e.task.deadline().saturating_sub(response))
+        })
+    }
+
     /// The full analysis in canonical order — bit-identical to
     /// [`rta::analyse_core`] over [`tasks`](Self::tasks).
     pub fn analysis(&self) -> CoreAnalysis {
@@ -311,9 +323,27 @@ impl CachedCoreAnalysis {
         outranked: impl Fn(&Task) -> bool,
         peer: impl Fn(&Task) -> bool,
     ) -> bool {
+        self.probe_candidate(candidate, outranked, peer).is_none()
+    }
+
+    /// [`accepts_candidate`](Self::accepts_candidate) with **blocker
+    /// localization**: `None` means the core accepts the candidate;
+    /// `Some(id)` names the first task whose slack goes negative — the
+    /// candidate itself when its own recurrence exceeds its deadline, or
+    /// the first cached entry (in canonical priority order) that a
+    /// from-scratch analysis of the committed core would prove to miss.
+    /// Slack-guided repair uses the blocker to prune victims whose eviction
+    /// provably cannot unblock the arrival (a victim ranked strictly below
+    /// the blocker never relieves it).
+    pub fn probe_candidate(
+        &self,
+        candidate: &Task,
+        outranked: impl Fn(&Task) -> bool,
+        peer: impl Fn(&Task) -> bool,
+    ) -> Option<TaskId> {
         // Extra interference never repairs an already-doomed task.
-        if !self.is_schedulable() {
-            return false;
+        if let Some(doomed) = self.entries.iter().find(|e| e.response.is_none()) {
+            return Some(doomed.task.id());
         }
         // The candidate sees everything it does not outrank (peers included).
         let candidate_response = rta::converge(candidate.wcet(), candidate.deadline(), None, |r| {
@@ -324,7 +354,7 @@ impl CachedCoreAnalysis {
                 .sum()
         });
         if candidate_response.is_none() {
-            return false;
+            return Some(candidate.id());
         }
         // Entries at or below the candidate gain its interference; their
         // interference among existing entries is unchanged, so their cached
@@ -340,6 +370,84 @@ impl CachedCoreAnalysis {
                 |r| self.own_interference(i, r) + interference_term(candidate, r),
             );
             if survived.is_none() {
+                return Some(entry.task.id());
+            }
+        }
+        None
+    }
+
+    /// What-if probe for one repair eviction: would the core accept
+    /// `candidate` with the entry `removed` evicted first? Nothing is
+    /// cloned; the verdict is bit-identical to re-running
+    /// [`rta::analyse_core`] over the committed (evicted + admitted) core.
+    ///
+    /// The `outranked` / `peer` predicates describe the candidate's rank
+    /// exactly as in [`accepts_candidate`](Self::accepts_candidate) (they
+    /// are only consulted for surviving entries). Entries above both the
+    /// candidate and the removed entry keep their memoized responses;
+    /// entries that only gain the candidate's interference re-converge from
+    /// warm starts; entries that lose the removed entry's interference
+    /// re-converge cold (their cached responses are upper bounds there).
+    /// Falls back to [`accepts_candidate`](Self::accepts_candidate) when
+    /// `removed` is not on this core.
+    pub fn accepts_candidate_without(
+        &self,
+        candidate: &Task,
+        removed: TaskId,
+        outranked: impl Fn(&Task) -> bool,
+        peer: impl Fn(&Task) -> bool,
+    ) -> bool {
+        let Some(removed_idx) = self.entries.iter().position(|e| e.task.id() == removed) else {
+            return self.accepts_candidate(candidate, outranked, peer);
+        };
+        let removed_level = sort_key(&self.entries[removed_idx].task).0;
+        // The candidate sees every *surviving* entry it does not outrank.
+        let candidate_response = rta::converge(candidate.wcet(), candidate.deadline(), None, |r| {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(j, e)| *j != removed_idx && !outranked(&e.task))
+                .map(|(_, e)| interference_term(&e.task, r))
+                .sum()
+        });
+        if candidate_response.is_none() {
+            return false;
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i == removed_idx {
+                continue;
+            }
+            let gains = outranked(&entry.task) || peer(&entry.task);
+            // The removed entry interfered with everything at or below its
+            // level (peers included): those entries shrink and must run
+            // cold — a cached response is an upper bound after a removal.
+            let loses = sort_key(&entry.task).0 >= removed_level;
+            let response = match (gains, loses) {
+                // Unaffected: above both the candidate and the removal.
+                (false, false) => entry.response,
+                // Only gains the candidate: the cached response is a valid
+                // warm start.
+                (true, false) => rta::converge(
+                    entry.task.wcet(),
+                    entry.task.deadline(),
+                    entry.response,
+                    |r| {
+                        self.interference_without(i, removed_idx, r)
+                            + interference_term(candidate, r)
+                    },
+                ),
+                (gains, true) => {
+                    rta::converge(entry.task.wcet(), entry.task.deadline(), None, |r| {
+                        let candidate_term = if gains {
+                            interference_term(candidate, r)
+                        } else {
+                            Time::ZERO
+                        };
+                        self.interference_without(i, removed_idx, r) + candidate_term
+                    })
+                }
+            };
+            if response.is_none() {
                 return false;
             }
         }
@@ -357,6 +465,84 @@ impl CachedCoreAnalysis {
             |t| rta::effective_priority(t).level() > level,
             |t| rta::effective_priority(t).level() == level,
         )
+    }
+
+    /// [`accepts_prioritised`](Self::accepts_prioritised) with a
+    /// **cross-probe warm start**: the split-budget binary search probes
+    /// this core repeatedly with the same template at growing WCETs, and
+    /// each accepted probe's converged response times are valid lower
+    /// bounds for every later probe with a larger WCET (interference only
+    /// grows with the candidate's `C`). `warmth` carries that state between
+    /// probes; the verdict is bit-identical to the cold probe — only the
+    /// number of fixed-point iterations changes.
+    ///
+    /// `warmth` must only ever be reused against the *same* cache state and
+    /// candidate template (same id, period, priority); the
+    /// [`ProbeWarmth::reset`] guard drops state recorded for a different
+    /// entry count defensively.
+    pub fn accepts_prioritised_warm(&self, candidate: &Task, warmth: &mut ProbeWarmth) -> bool {
+        if !self.is_schedulable() {
+            return false;
+        }
+        let level = rta::effective_priority(candidate).level();
+        let outranked = |t: &Task| rta::effective_priority(t).level() > level;
+        let peer = |t: &Task| rta::effective_priority(t).level() == level;
+        // State from a probe of a larger candidate would be an upper bound,
+        // not a lower bound: only smaller-or-equal WCETs warm-start.
+        let usable = warmth.entry_responses.len() == self.entries.len()
+            && warmth.wcet.is_some_and(|w| w <= candidate.wcet());
+        if !usable {
+            warmth.reset();
+        }
+
+        let candidate_warm = if usable {
+            warmth.candidate_response
+        } else {
+            None
+        };
+        let candidate_response = rta::converge(
+            candidate.wcet(),
+            candidate.deadline(),
+            candidate_warm,
+            |r| {
+                self.entries
+                    .iter()
+                    .filter(|e| !outranked(&e.task))
+                    .map(|e| interference_term(&e.task, r))
+                    .sum()
+            },
+        );
+        let Some(candidate_response) = candidate_response else {
+            return false;
+        };
+
+        let mut responses = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            if !outranked(&entry.task) && !peer(&entry.task) {
+                responses.push(entry.response);
+                continue;
+            }
+            // The cached baseline is always a valid lower bound; a previous
+            // smaller probe's converged response is a tighter one.
+            let warm = if usable {
+                warmth.entry_responses[i].or(entry.response)
+            } else {
+                entry.response
+            };
+            let survived = rta::converge(entry.task.wcet(), entry.task.deadline(), warm, |r| {
+                self.own_interference(i, r) + interference_term(candidate, r)
+            });
+            let Some(survived) = survived else {
+                return false;
+            };
+            responses.push(Some(survived));
+        }
+        // Fully converged: this probe becomes the warm start for the next
+        // (larger) one.
+        warmth.wcet = Some(candidate.wcet());
+        warmth.candidate_response = Some(candidate_response);
+        warmth.entry_responses = responses;
+        true
     }
 
     // ------------------------------------------------------------------
@@ -396,6 +582,50 @@ impl CachedCoreAnalysis {
             .filter(|(j, _)| *j != i)
             .map(|(_, e)| interference_term(&e.task, r))
             .sum()
+    }
+
+    /// [`own_interference`](Self::own_interference) with entry
+    /// `removed_idx` evicted from the core.
+    fn interference_without(&self, i: usize, removed_idx: usize, r: Time) -> Time {
+        let level = sort_key(&self.entries[i].task).0;
+        self.entries
+            .iter()
+            .enumerate()
+            .take_while(|(_, e)| sort_key(&e.task).0 <= level)
+            .filter(|(j, _)| *j != i && *j != removed_idx)
+            .map(|(_, e)| interference_term(&e.task, r))
+            .sum()
+    }
+}
+
+/// Cross-probe warm-start state for
+/// [`CachedCoreAnalysis::accepts_prioritised_warm`]: the converged response
+/// times of the last *accepted* probe, valid as lower-bound warm starts for
+/// every later probe of the same core with a larger candidate WCET. One
+/// instance lives for the duration of one split-budget binary search.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeWarmth {
+    /// Candidate WCET of the last accepted probe (`None` = no state yet).
+    wcet: Option<Time>,
+    /// The candidate's converged response at that WCET.
+    candidate_response: Option<Time>,
+    /// Converged per-entry responses at that WCET, parallel to the cache's
+    /// entries (entries above the candidate keep their cached baselines).
+    entry_responses: Vec<Option<Time>>,
+}
+
+impl ProbeWarmth {
+    /// A fresh, empty warm-start state.
+    pub fn new() -> Self {
+        ProbeWarmth::default()
+    }
+
+    /// Drops all recorded state (the next probe runs from the cache's
+    /// baselines).
+    pub fn reset(&mut self) {
+        self.wcet = None;
+        self.candidate_response = None;
+        self.entry_responses.clear();
     }
 }
 
@@ -609,6 +839,112 @@ mod tests {
         let cache = CachedCoreAnalysis::from_tasks(&[task(0, 6, 10, 2), task(1, 6, 10, 3)]);
         assert!(!cache.is_schedulable());
         assert!(!cache.accepts_prioritised(&task(2, 1, 1000, 9)));
+    }
+
+    #[test]
+    fn slack_accessors_match_response_times() {
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        // R0 = 1 → slack 3; R1 = 3 → slack 7.
+        assert_eq!(cache.slack_of(TaskId(0)), Some(Some(Time::from_micros(3))));
+        assert_eq!(cache.slack_of(TaskId(1)), Some(Some(Time::from_micros(7))));
+        assert_eq!(cache.slack_of(TaskId(9)), None);
+        let doomed = CachedCoreAnalysis::from_tasks(&[task(0, 6, 10, 2), task(1, 6, 10, 3)]);
+        assert_eq!(doomed.slack_of(TaskId(1)), Some(None));
+    }
+
+    #[test]
+    fn probe_candidate_localizes_the_blocker() {
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        // Accepted: no blocker.
+        assert_eq!(
+            cache.probe_candidate(&task(2, 3, 20, 4), |_| true, |_| false),
+            None
+        );
+        // A candidate whose own recurrence exceeds its constrained deadline
+        // blocks on itself (it absorbs the entries' interference).
+        let constrained = Task::builder(3)
+            .wcet(Time::from_micros(9))
+            .period(Time::from_micros(40))
+            .deadline(Time::from_micros(12))
+            .priority(Priority::new(4))
+            .build()
+            .unwrap();
+        assert_eq!(
+            cache.probe_candidate(&constrained, |_| false, |_| false),
+            Some(TaskId(3))
+        );
+        // A candidate that outranks everything converges itself but pushes
+        // an entry over its deadline: that entry is the blocker (τ0 still
+        // fits exactly at R = D = 4; τ1 diverges past 10).
+        assert_eq!(
+            cache.probe_candidate(&task(4, 3, 4, 0), |_| true, |_| false),
+            Some(TaskId(1))
+        );
+    }
+
+    #[test]
+    fn eviction_probe_matches_scratch() {
+        // Three tasks; probing "remove one, add candidate" must agree with
+        // a from-scratch analysis of the modified core for every victim.
+        let tasks = [task(0, 1, 4, 2), task(1, 3, 10, 3), task(2, 4, 20, 4)];
+        let cache = CachedCoreAnalysis::from_tasks(&tasks);
+        for candidate in [task(7, 5, 20, 5), task(8, 11, 20, 5), task(9, 2, 8, 1)] {
+            let level = rta::effective_priority(&candidate).level();
+            for victim in &tasks {
+                let mut modified: Vec<Task> = tasks
+                    .iter()
+                    .filter(|t| t.id() != victim.id())
+                    .cloned()
+                    .collect();
+                modified.push(candidate.clone());
+                assert_eq!(
+                    cache.accepts_candidate_without(
+                        &candidate,
+                        victim.id(),
+                        |t| rta::effective_priority(t).level() > level,
+                        |t| rta::effective_priority(t).level() == level,
+                    ),
+                    rta::is_core_schedulable(&modified),
+                    "eviction probe diverged for candidate {} victim {}",
+                    candidate.id(),
+                    victim.id()
+                );
+            }
+        }
+        // Unknown victim falls back to the plain probe.
+        assert_eq!(
+            cache.accepts_candidate_without(&task(7, 5, 20, 5), TaskId(42), |_| true, |_| false),
+            cache.accepts_candidate(&task(7, 5, 20, 5), |_| true, |_| false)
+        );
+    }
+
+    #[test]
+    fn warm_probe_matches_cold_probe_across_growing_budgets() {
+        // The split-budget search probes the same core with C = D pieces of
+        // growing budget; warm and cold probes must agree bit-for-bit.
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 2, 10, 2), task(1, 3, 20, 3)]);
+        let mut warmth = ProbeWarmth::new();
+        for budget_us in [1u64, 5, 3, 8, 6, 14, 2, 20] {
+            let piece = Task::builder(9)
+                .wcet(Time::from_micros(budget_us))
+                .period(Time::from_micros(20))
+                .deadline(Time::from_micros(budget_us))
+                .priority(Priority::new(0))
+                .build()
+                .unwrap();
+            assert_eq!(
+                cache.accepts_prioritised_warm(&piece, &mut warmth),
+                cache.accepts_prioritised(&piece),
+                "warm probe diverged at budget {budget_us}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_probe_rejects_on_unschedulable_core() {
+        let cache = CachedCoreAnalysis::from_tasks(&[task(0, 6, 10, 2), task(1, 6, 10, 3)]);
+        let mut warmth = ProbeWarmth::new();
+        assert!(!cache.accepts_prioritised_warm(&task(2, 1, 1000, 9), &mut warmth));
     }
 
     #[test]

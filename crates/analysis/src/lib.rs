@@ -50,6 +50,6 @@ mod overhead;
 pub mod rta;
 mod uniprocessor_test;
 
-pub use cached::CachedCoreAnalysis;
+pub use cached::{CachedCoreAnalysis, ProbeWarmth};
 pub use overhead::{OverheadModel, OverheadScenario};
 pub use uniprocessor_test::UniprocessorTest;

@@ -60,6 +60,24 @@ pub fn reset_cap_exhaustions() {
     CAP_EXHAUSTIONS.store(0, Ordering::Relaxed);
 }
 
+std::thread_local! {
+    /// Per-thread twin of [`CAP_EXHAUSTIONS`], for deterministic
+    /// attribution: a parallel sweep cell runs entirely on one worker
+    /// thread, so the delta of this counter around the cell is exactly the
+    /// cell's own exhaustion count — independent of what other threads do
+    /// concurrently (the process-wide counter cannot be attributed).
+    static THREAD_CAP_EXHAUSTIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of times the defensive iteration cap was exhausted **on the
+/// calling thread** since it started. Experiment drivers snapshot this
+/// around each grid cell to report a deterministic `rta_cap_exhaustions`
+/// column regardless of the worker-thread count; see [`cap_exhaustions`]
+/// for what an exhaustion means.
+pub fn thread_cap_exhaustions() -> u64 {
+    THREAD_CAP_EXHAUSTIONS.with(|c| c.get())
+}
+
 /// The effective priority used by the per-core analysis: the task's assigned
 /// priority, or [`Priority::LOWEST`] when none was assigned.
 #[inline]
@@ -100,6 +118,7 @@ pub(crate) fn converge(
     }
     // The cap is a time-out, not a proof: make it visible instead of
     // blending into ordinary deadline misses.
+    THREAD_CAP_EXHAUSTIONS.with(|c| c.set(c.get() + 1));
     if CAP_EXHAUSTIONS.fetch_add(1, Ordering::Relaxed) == 0 {
         eprintln!(
             "spms-analysis: RTA iteration cap ({MAX_ITERATIONS}) exhausted without convergence; \
@@ -360,6 +379,23 @@ mod tests {
         let victim = Task::new(2, Time::from_nanos(1), Time::from_millis(1)).unwrap();
         assert_eq!(response_time(&victim, &hp), None);
         assert_eq!(cap_exhaustions(), 1);
+
+        // Thread-local twin, exercised in the same test function so its
+        // spawned thread's *global* increment cannot race the exact
+        // global-count assertions above (cargo runs separate #[test]s
+        // concurrently in one process): a fresh thread starts at zero,
+        // counts its own exhaustion, and leaves this thread's counter
+        // untouched.
+        let here_before = thread_cap_exhaustions();
+        std::thread::spawn(move || {
+            assert_eq!(thread_cap_exhaustions(), 0);
+            assert_eq!(response_time(&victim, &hp), None);
+            assert_eq!(thread_cap_exhaustions(), 1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thread_cap_exhaustions(), here_before);
+
         reset_cap_exhaustions();
         assert_eq!(cap_exhaustions(), 0);
     }

@@ -16,7 +16,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use spms_analysis::{rta, CachedCoreAnalysis};
+use spms_analysis::{rta, CachedCoreAnalysis, ProbeWarmth};
 use spms_task::{Priority, Task, TaskId, Time};
 
 /// A compact task spec the strategies generate: `(wcet_us, extra_period_us,
@@ -146,6 +146,80 @@ proptest! {
         let mut combined = tasks.clone();
         combined.push(candidate);
         prop_assert_eq!(probed, rta::is_core_schedulable(&combined));
+    }
+
+    /// The eviction what-if probe (`accepts_candidate_without`) answers
+    /// exactly what a scratch analysis of the core minus the victim plus
+    /// the candidate answers, for every victim.
+    #[test]
+    fn eviction_probe_equals_scratch(
+        existing in vec(spec(), 1..8),
+        candidate in spec(),
+    ) {
+        let tasks: Vec<Task> = existing
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_task(i as u32, *s))
+            .collect();
+        let cache = CachedCoreAnalysis::from_tasks(&tasks);
+        let candidate = build_task(1000, candidate);
+        let level = rta::effective_priority(&candidate).level();
+        for victim in &tasks {
+            let probed = cache.accepts_candidate_without(
+                &candidate,
+                victim.id(),
+                |t| rta::effective_priority(t).level() > level,
+                |t| rta::effective_priority(t).level() == level,
+            );
+            let mut modified: Vec<Task> = tasks
+                .iter()
+                .filter(|t| t.id() != victim.id())
+                .cloned()
+                .collect();
+            modified.push(candidate.clone());
+            prop_assert_eq!(
+                probed,
+                rta::is_core_schedulable(&modified),
+                "eviction probe diverged for victim {}",
+                victim.id()
+            );
+        }
+    }
+
+    /// Warm-started probes of a growing-then-shrinking budget sequence
+    /// agree with cold probes on every step (the warm start is a pure
+    /// iteration-count optimization).
+    #[test]
+    fn warm_probe_equals_cold_probe(
+        existing in vec(spec(), 0..8),
+        budgets in vec(1u64..60, 1..12),
+        period_extra in 0u64..200,
+    ) {
+        let tasks: Vec<Task> = existing
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_task(i as u32, *s))
+            .collect();
+        let cache = CachedCoreAnalysis::from_tasks(&tasks);
+        let period = budgets.iter().max().unwrap() + period_extra + 1;
+        let mut warmth = ProbeWarmth::new();
+        for &budget in &budgets {
+            // A C = D body piece at the promoted level, like the split
+            // search carves.
+            let piece = Task::builder(1000)
+                .wcet(Time::from_micros(budget))
+                .period(Time::from_micros(period))
+                .deadline(Time::from_micros(budget))
+                .priority(Priority::new(0))
+                .build()
+                .expect("constructible by construction");
+            prop_assert_eq!(
+                cache.accepts_prioritised_warm(&piece, &mut warmth),
+                cache.accepts_prioritised(&piece),
+                "warm probe diverged at budget {}",
+                budget
+            );
+        }
     }
 
     /// Insert followed by remove of the same task restores the cache to its

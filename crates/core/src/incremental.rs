@@ -37,8 +37,8 @@
 //! [`PartitionedFixedPriority`]: crate::PartitionedFixedPriority
 
 use serde::{Deserialize, Serialize};
-use spms_analysis::{OverheadModel, UniprocessorTest};
-use spms_task::{Task, Time};
+use spms_analysis::{rta, OverheadModel, ProbeWarmth, UniprocessorTest};
+use spms_task::{Task, TaskId, Time};
 
 use crate::{CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind};
 
@@ -76,6 +76,24 @@ impl PlacementPlan {
     }
 }
 
+/// Outcome of probing one core for a whole-task placement with blocker
+/// localization ([`IncrementalPlacer::probe_whole`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WholeProbe {
+    /// The core accepts the task whole.
+    Accepted,
+    /// The core rejects the task.
+    Blocked {
+        /// Under the exact RTA: the first task whose slack goes negative
+        /// with the candidate added — the candidate's own id when its
+        /// recurrence exceeds its deadline, otherwise the first existing
+        /// task (in per-core priority order) that would miss its deadline.
+        /// `None` when the test has no blocker notion (utilization bounds)
+        /// or the task cannot absorb the overhead at all.
+        blocker: Option<TaskId>,
+    },
+}
+
 /// Places single tasks into an existing partition, whole-first-fit with an
 /// FP-TS-style splitting fallback. See the [module docs](self) for the
 /// placement and priority discipline.
@@ -89,6 +107,12 @@ pub struct IncrementalPlacer {
     pub overhead: OverheadModel,
     /// Smallest body-subtask budget worth carving.
     pub min_split_budget: Time,
+    /// Whether the split-budget binary search threads a
+    /// [`ProbeWarmth`] across its probes of one core (each probe
+    /// warm-starts from the last accepted smaller-budget probe). Verdicts
+    /// are bit-identical either way; disabling exists for benchmarking the
+    /// cold probes the warm starts replace.
+    pub probe_warm_start: bool,
 }
 
 impl Default for IncrementalPlacer {
@@ -97,6 +121,7 @@ impl Default for IncrementalPlacer {
             test: UniprocessorTest::ResponseTime,
             overhead: OverheadModel::zero(),
             min_split_budget: Time::from_micros(100),
+            probe_warm_start: true,
         }
     }
 }
@@ -123,6 +148,13 @@ impl IncrementalPlacer {
     /// Sets the smallest admissible body-subtask budget (builder style).
     pub fn with_min_split_budget(mut self, budget: Time) -> Self {
         self.min_split_budget = budget;
+        self
+    }
+
+    /// Enables or disables cross-probe warm starts in the split-budget
+    /// search (builder style).
+    pub fn with_probe_warm_start(mut self, enabled: bool) -> Self {
+        self.probe_warm_start = enabled;
         self
     }
 
@@ -280,6 +312,99 @@ impl IncrementalPlacer {
         Some(PlacementPlan::Split { pieces: placed })
     }
 
+    /// Probes one core for a whole-task placement and, on rejection,
+    /// localizes the **blocker**: the first task whose `deadline − response`
+    /// slack would go negative with the candidate added. Slack-guided
+    /// repair uses the blocker to prune eviction candidates — a victim
+    /// ranked strictly below the blocker can never relieve it.
+    ///
+    /// With a converged analysis cache the probe is allocation-free; the
+    /// from-scratch fallback reports the same blocker in the same
+    /// (priority, id) order, so cached and uncached controllers make
+    /// identical repair decisions.
+    pub fn probe_whole(&self, partition: &Partition, core: CoreId, task: &Task) -> WholeProbe {
+        let Some(analysis_task) = self.whole_analysis_task(task) else {
+            return WholeProbe::Blocked { blocker: None };
+        };
+        if self.test == UniprocessorTest::ResponseTime {
+            if let Some(cache) = partition.cached_core(core) {
+                return match cache.probe_candidate(
+                    &analysis_task,
+                    outranked_by_whole(&analysis_task),
+                    |_| false,
+                ) {
+                    None => WholeProbe::Accepted,
+                    Some(id) => WholeProbe::Blocked { blocker: Some(id) },
+                };
+            }
+        }
+        let tasks = normalized_candidate_tasks(partition.core(core), analysis_task, false);
+        if self.test != UniprocessorTest::ResponseTime {
+            return if self.test.accepts(&tasks) {
+                WholeProbe::Accepted
+            } else {
+                WholeProbe::Blocked { blocker: None }
+            };
+        }
+        let analysis = rta::analyse_core(&tasks);
+        if analysis.schedulable {
+            return WholeProbe::Accepted;
+        }
+        // Report the first failure in the same order as the cached probe:
+        // the candidate first, then the existing tasks by (level, id).
+        let candidate_pos = tasks
+            .iter()
+            .position(|t| t.id() == task.id())
+            .expect("candidate was appended above");
+        if analysis.response_times[candidate_pos].is_none() {
+            return WholeProbe::Blocked {
+                blocker: Some(task.id()),
+            };
+        }
+        let mut order: Vec<usize> = (0..tasks.len()).filter(|i| *i != candidate_pos).collect();
+        order.sort_by_key(|&i| (rta::effective_priority(&tasks[i]).level(), tasks[i].id()));
+        let blocker = order
+            .into_iter()
+            .find(|&i| analysis.response_times[i].is_none())
+            .map(|i| tasks[i].id());
+        debug_assert!(blocker.is_some(), "unschedulable core with no failing task");
+        WholeProbe::Blocked { blocker }
+    }
+
+    /// What-if probe for one repair eviction: would `core` accept `task`
+    /// whole with every placement of parent `removed` evicted from it
+    /// first? Allocation-free through the analysis cache; the from-scratch
+    /// fallback is bit-identical (same commit-time priority ranking).
+    pub fn accepts_whole_without(
+        &self,
+        partition: &Partition,
+        core: CoreId,
+        task: &Task,
+        removed: TaskId,
+    ) -> bool {
+        let Some(analysis_task) = self.whole_analysis_task(task) else {
+            return false;
+        };
+        if self.test == UniprocessorTest::ResponseTime {
+            if let Some(cache) = partition.cached_core(core) {
+                return cache.accepts_candidate_without(
+                    &analysis_task,
+                    removed,
+                    outranked_by_whole(&analysis_task),
+                    |_| false,
+                );
+            }
+        }
+        let bin: Vec<PlacedTask> = partition
+            .core(core)
+            .iter()
+            .filter(|p| p.parent != removed)
+            .cloned()
+            .collect();
+        let tasks = normalized_candidate_tasks(&bin, analysis_task, false);
+        self.test.accepts(&tasks)
+    }
+
     /// Plans whole-first, split-second: the admission fast path.
     pub fn plan(
         &self,
@@ -358,12 +483,8 @@ impl IncrementalPlacer {
                 // the commit-time renormalization will assign: it outranks
                 // exactly the whole tasks with a larger DM key, and peers
                 // with none (dense re-ranked levels are distinct).
-                let key = whole_rank_key(candidate);
-                return cache.accepts_candidate(
-                    candidate,
-                    |t| !has_reserved_level(t) && whole_rank_key(t) > key,
-                    |_| false,
-                );
+                return cache
+                    .accepts_candidate(candidate, outranked_by_whole(candidate), |_| false);
             }
         }
         let tasks =
@@ -395,9 +516,21 @@ impl IncrementalPlacer {
         piece_index: usize,
     ) -> Time {
         let overhead = self.body_piece_overhead(piece_index);
+        // Every probe of this search hits the same core with the same
+        // template at a different budget: thread one warm-start state
+        // through them so each probe resumes from the last accepted
+        // (smaller) budget's converged response times. Bit-identical to
+        // cold probes; only the iteration count drops.
+        let mut warmth = ProbeWarmth::new();
+        let warm_cache = (self.probe_warm_start && self.test == UniprocessorTest::ResponseTime)
+            .then(|| partition.cached_core(core))
+            .flatten();
         crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
             match crate::split_budget::body_piece(template, budget, overhead) {
-                Some(piece) => self.core_accepts(partition, core, &piece, true),
+                Some(piece) => match warm_cache {
+                    Some(cache) => cache.accepts_prioritised_warm(&piece, &mut warmth),
+                    None => self.core_accepts(partition, core, &piece, true),
+                },
                 None => false,
             }
         })
@@ -426,6 +559,27 @@ impl IncrementalPlacer {
 /// tasks by — the cached probe's notion of where a whole candidate lands.
 fn whole_rank_key(task: &Task) -> (Time, Time, spms_task::TaskId) {
     (task.deadline(), task.period(), task.id())
+}
+
+/// The probe-side predicate marking the entries a whole `candidate`
+/// outranks under the commit-time ranking: every non-reserved task with a
+/// larger DM key. The single definition every cached whole probe
+/// ([`IncrementalPlacer::core_accepts`], [`IncrementalPlacer::probe_whole`],
+/// [`IncrementalPlacer::accepts_whole_without`]) shares — the cached and
+/// from-scratch paths stay decision-identical only while this rule does.
+fn outranked_by_whole(candidate: &Task) -> impl Fn(&Task) -> bool {
+    let key = whole_rank_key(candidate);
+    move |t| !has_reserved_level(t) && whole_rank_key(t) > key
+}
+
+/// Whether whole task `a` ranks at-or-above whole task `b` under the
+/// commit-time deadline-monotonic ranking (`assign_whole_priorities`
+/// order: deadline, then period, then id) — i.e. `a` would interfere with
+/// `b` on a shared core. The public face of [`whole_rank_key`] for
+/// callers (the online controller's slack-guided victim pruning) that
+/// must agree with the probes' ranking rule.
+pub fn whole_outranks_or_ties(a: &Task, b: &Task) -> bool {
+    whole_rank_key(a) <= whole_rank_key(b)
 }
 
 /// Whether a task sits on a level reserved for promoted split pieces (and

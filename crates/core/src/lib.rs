@@ -64,10 +64,10 @@ pub use dmpm::SemiPartitionedDmPm;
 pub use edf_partitioned::PartitionedEdf;
 pub use error::PartitionError;
 pub use fpts::{SemiPartitionedFpTs, SplitPlacement, SplitStrategy};
-pub use incremental::{IncrementalPlacer, PlacementPlan};
+pub use incremental::{whole_outranks_or_ties, IncrementalPlacer, PlacementPlan, WholeProbe};
 pub use partitioned::{BinPackingHeuristic, PartitionedFixedPriority, TaskOrdering};
 pub use partitioner::{PartitionOutcome, Partitioner};
 pub use placement::{
-    CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY, TAIL_PRIORITY,
-    WHOLE_PRIORITY_BASE,
+    CoreId, JournalMark, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY,
+    TAIL_PRIORITY, WHOLE_PRIORITY_BASE,
 };

@@ -6,6 +6,17 @@ use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, CachedCoreAnalysis, UniprocessorTest};
 use spms_task::{Priority, Task, TaskId, Time};
 
+std::thread_local! {
+    /// Per-thread count of [`Partition`] clones, incremented by every
+    /// `Partition::clone()` on the calling thread. The online admission
+    /// cascade's rollback paths are journal-based and must not clone
+    /// partitions; benches and tests read this counter around a decision
+    /// stream to prove the hot path stayed clone-free (thread-local so
+    /// concurrent sweep workers cannot perturb each other's readings; see
+    /// [`Partition::clone_count`]).
+    static PARTITION_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Priority level reserved for promoted body subtasks: a body piece runs
 /// above everything else on its core so it completes within its budget.
 pub const BODY_PRIORITY: Priority = Priority::new(0);
@@ -201,6 +212,55 @@ struct CoreCacheSlot {
     staleness: CacheStaleness,
 }
 
+/// One recorded, undoable mutation of a [`Partition`]. Every entry stores
+/// exactly the state the mutation destroyed, so undoing the journal in LIFO
+/// order restores the partition — placements, priorities *and* the attached
+/// analysis-cache state — bit-identically.
+#[derive(Debug)]
+enum JournalOp {
+    /// [`Partition::place`] pushed one placement onto `core` and escalated
+    /// the cache staleness from `prev_staleness`.
+    Place {
+        core: CoreId,
+        prev_staleness: Option<CacheStaleness>,
+    },
+    /// [`Partition::remove_parent`] removed `removed` (original indices,
+    /// ascending) from `core` and escalated the staleness.
+    Remove {
+        core: CoreId,
+        removed: Vec<(usize, PlacedTask)>,
+        prev_staleness: Option<CacheStaleness>,
+    },
+    /// [`Partition::renormalize_core_priorities`] rewrote the priorities of
+    /// every placement on `core` (recorded in placement order) and refreshed
+    /// the cache slot from `prev_slot`.
+    Renormalize {
+        core: CoreId,
+        priorities: Vec<Option<Priority>>,
+        prev_slot: Option<CoreCacheSlot>,
+    },
+}
+
+/// The mutation journal behind [`Partition::journal_begin`] /
+/// [`Partition::rewind`]: a LIFO log of [`JournalOp`]s recorded while at
+/// least one rollback scope is open (`depth > 0`). Journals are
+/// instance-local derived state — they do not travel with `Clone`, do not
+/// serialize and do not participate in equality.
+#[derive(Debug, Default)]
+struct Journal {
+    ops: Vec<JournalOp>,
+    /// Number of open rollback scopes; recording stops and the log clears
+    /// only when the outermost scope ends.
+    depth: usize,
+}
+
+/// A position in a partition's mutation journal, returned by
+/// [`Partition::journal_begin`] / [`Partition::journal_mark`] and consumed
+/// by [`Partition::rewind`]. Marks are LIFO: rewinding to an outer mark
+/// undoes everything recorded after it, including inner scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalMark(usize);
+
 /// A complete mapping of a task set onto `m` cores.
 ///
 /// Produced by a [`Partitioner`](crate::Partitioner); consumed by the
@@ -215,11 +275,42 @@ struct CoreCacheSlot {
 /// [`renormalize_core_priorities`](Self::renormalize_core_priorities). The
 /// cache is derived state: it is skipped by serialization and ignored by
 /// `PartialEq`, and it travels with `Clone`, so snapshot/rollback flows
-/// (the online controller's bounded repair) restore it for free.
-#[derive(Debug, Clone, Default)]
+/// restore it for free.
+///
+/// # The mutation journal
+///
+/// [`enable_journal`](Self::enable_journal) attaches a mutation journal;
+/// [`journal_begin`](Self::journal_begin) opens a rollback scope in which
+/// every [`place`](Self::place), [`remove_parent`](Self::remove_parent) and
+/// [`renormalize_core_priorities`](Self::renormalize_core_priorities)
+/// records an undo entry (including the touched analysis-cache state), and
+/// [`rewind`](Self::rewind) restores the partition to a mark in O(recorded
+/// moves) instead of the O(tasks) full-partition clone a snapshot would
+/// cost. The online controller's bounded repair and split rollback run on
+/// this journal; [`clone_count`](Self::clone_count) proves the hot path
+/// stays clone-free.
+#[derive(Debug, Default)]
 pub struct Partition {
     cores: Vec<Vec<PlacedTask>>,
     cache: Option<Vec<CoreCacheSlot>>,
+    journal: Option<Journal>,
+}
+
+/// Clones the placements and the attached analysis cache. The mutation
+/// journal is instance-local rollback state and does *not* travel: the clone
+/// gets a fresh, empty journal (still enabled when the source had one).
+/// Every clone increments the calling thread's counter behind
+/// [`Partition::clone_count`] so rollback paths can prove they stopped
+/// snapshotting.
+impl Clone for Partition {
+    fn clone(&self) -> Self {
+        PARTITION_CLONES.with(|c| c.set(c.get() + 1));
+        Partition {
+            cores: self.cores.clone(),
+            cache: self.cache.clone(),
+            journal: self.journal.as_ref().map(|_| Journal::default()),
+        }
+    }
 }
 
 /// Placement equality only: the analysis cache is derived state and two
@@ -245,6 +336,7 @@ impl Deserialize for Partition {
         Ok(Partition {
             cores: Vec::<Vec<PlacedTask>>::from_value(value.field("cores")?)?,
             cache: None,
+            journal: None,
         })
     }
 }
@@ -255,13 +347,172 @@ impl Partition {
         Partition {
             cores: vec![Vec::new(); cores],
             cache: None,
+            journal: None,
+        }
+    }
+
+    /// Count of `Partition::clone()` calls **on the calling thread** since
+    /// it started (or the last [`reset_clone_count`](Self::reset_clone_count)).
+    /// The journal-based rollback paths of the online admission cascade
+    /// must not clone partitions; benches and regression tests read this
+    /// counter around a decision stream to assert the repair/split hot
+    /// path stayed clone-free. Thread-local so concurrent sweep workers
+    /// cannot perturb each other's readings.
+    pub fn clone_count() -> u64 {
+        PARTITION_CLONES.with(|c| c.get())
+    }
+
+    /// Resets the calling thread's [`clone_count`](Self::clone_count)
+    /// (bench/test support).
+    pub fn reset_clone_count() {
+        PARTITION_CLONES.with(|c| c.set(0));
+    }
+
+    /// Attaches a mutation journal (initially idle: nothing is recorded
+    /// until a rollback scope is opened with
+    /// [`journal_begin`](Self::journal_begin)). See the
+    /// [struct docs](Self#the-mutation-journal).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::default());
+        }
+    }
+
+    /// Whether a mutation journal is attached.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Opens a rollback scope: subsequent mutations record undo entries
+    /// until the matching [`journal_end`](Self::journal_end). Scopes nest
+    /// (each `journal_begin` must be paired with one `journal_end`; the
+    /// undo log is kept until the outermost scope closes). Returns the
+    /// mark to [`rewind`](Self::rewind) to. No-op mark when no journal is
+    /// attached.
+    pub fn journal_begin(&mut self) -> JournalMark {
+        match &mut self.journal {
+            Some(journal) => {
+                journal.depth += 1;
+                JournalMark(journal.ops.len())
+            }
+            None => JournalMark(0),
+        }
+    }
+
+    /// The current journal position, for nested rollback points inside an
+    /// open scope (e.g. one speculative relocation within a repair attempt).
+    pub fn journal_mark(&self) -> JournalMark {
+        JournalMark(self.journal.as_ref().map_or(0, |j| j.ops.len()))
+    }
+
+    /// Undoes every mutation recorded after `mark`, in LIFO order,
+    /// restoring placements, priorities and the attached analysis-cache
+    /// state bit-identically. O(recorded moves), not O(tasks). No-op when
+    /// no journal is attached.
+    pub fn rewind(&mut self, mark: JournalMark) {
+        let mut ops = match &mut self.journal {
+            Some(journal) => std::mem::take(&mut journal.ops),
+            None => return,
+        };
+        debug_assert!(
+            mark.0 <= ops.len(),
+            "rewind to a stale journal mark (taken before a cleared scope?)"
+        );
+        while ops.len() > mark.0 {
+            let op = ops.pop().expect("len checked above");
+            self.undo(op);
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.ops = ops;
+        }
+    }
+
+    /// Closes the innermost rollback scope opened by
+    /// [`journal_begin`](Self::journal_begin). When the outermost scope
+    /// closes, recording stops and the accumulated undo history is
+    /// discarded (the mutations are final); an inner close keeps the
+    /// outer scope's log intact, so its marks stay rewindable.
+    pub fn journal_end(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            journal.depth = journal.depth.saturating_sub(1);
+            if journal.depth == 0 {
+                journal.ops.clear();
+            }
+        }
+    }
+
+    /// Applies one undo entry. The undo writes fields directly (never
+    /// through the recording mutators), so rewinding records nothing.
+    fn undo(&mut self, op: JournalOp) {
+        match op {
+            JournalOp::Place {
+                core,
+                prev_staleness,
+            } => {
+                self.cores[core.0].pop();
+                self.restore_staleness(core, prev_staleness);
+            }
+            JournalOp::Remove {
+                core,
+                removed,
+                prev_staleness,
+            } => {
+                // Ascending original indices: re-inserting in order puts
+                // every placement back where it was.
+                for (idx, placed) in removed {
+                    self.cores[core.0].insert(idx, placed);
+                }
+                self.restore_staleness(core, prev_staleness);
+            }
+            JournalOp::Renormalize {
+                core,
+                priorities,
+                prev_slot,
+            } => {
+                for (placed, prev) in self.cores[core.0].iter_mut().zip(priorities) {
+                    match prev {
+                        Some(priority) => placed.task.set_priority(priority),
+                        None => placed.task.clear_priority(),
+                    }
+                }
+                if let (Some(slots), Some(prev)) = (&mut self.cache, prev_slot) {
+                    slots[core.0] = prev;
+                }
+            }
+        }
+    }
+
+    fn restore_staleness(&mut self, core: CoreId, prev: Option<CacheStaleness>) {
+        if let (Some(slots), Some(prev)) = (&mut self.cache, prev) {
+            slots[core.0].staleness = prev;
+        }
+    }
+
+    /// Whether the journal is currently recording (an open rollback scope).
+    fn recording(&self) -> bool {
+        self.journal.as_ref().is_some_and(|j| j.depth > 0)
+    }
+
+    fn record(&mut self, op: JournalOp) {
+        if let Some(journal) = &mut self.journal {
+            if journal.depth > 0 {
+                journal.ops.push(op);
+            }
         }
     }
 
     /// Attaches (or rebuilds) the incremental analysis cache: one converged
     /// [`CachedCoreAnalysis`] per core. See the
     /// [struct docs](Self#the-attached-analysis-cache).
+    ///
+    /// Must not be called inside an open journal scope: cache attachment
+    /// is not journaled, so a later [`rewind`](Self::rewind) could not
+    /// restore the pre-attachment state (debug builds assert this).
     pub fn enable_analysis_cache(&mut self) {
+        debug_assert!(
+            !self.recording(),
+            "enable_analysis_cache inside an open journal scope cannot be rewound"
+        );
         self.cache = Some(
             self.cores
                 .iter()
@@ -318,6 +569,13 @@ impl Partition {
     ///
     /// Panics if the core id is out of range.
     pub fn place(&mut self, core: CoreId, placed: PlacedTask) {
+        if self.recording() {
+            let prev_staleness = self.cache.as_ref().map(|s| s[core.0].staleness);
+            self.record(JournalOp::Place {
+                core,
+                prev_staleness,
+            });
+        }
         self.cores[core.0].push(placed);
         if let Some(slots) = &mut self.cache {
             let slot = &mut slots[core.0];
@@ -462,15 +720,42 @@ impl Partition {
     /// tasks only ever shrinks per-core demand, so a schedulable partition
     /// stays schedulable.
     pub fn remove_parent(&mut self, parent: TaskId) -> usize {
+        let recording = self.recording();
         let mut removed = 0;
         let mut touched = Vec::new();
+        let mut undo = Vec::new();
         for (idx, bin) in self.cores.iter_mut().enumerate() {
-            let before = bin.len();
-            bin.retain(|p| p.parent != parent);
-            if bin.len() != before {
-                removed += before - bin.len();
-                touched.push(CoreId(idx));
+            if !bin.iter().any(|p| p.parent == parent) {
+                continue;
             }
+            if recording {
+                // Extract instead of retain so the undo entry keeps the
+                // original index of every removed placement.
+                let old = std::mem::take(bin);
+                let mut removed_here = Vec::new();
+                for (pos, placed) in old.into_iter().enumerate() {
+                    if placed.parent == parent {
+                        removed_here.push((pos, placed));
+                    } else {
+                        bin.push(placed);
+                    }
+                }
+                removed += removed_here.len();
+                undo.push((CoreId(idx), removed_here));
+            } else {
+                let before = bin.len();
+                bin.retain(|p| p.parent != parent);
+                removed += before - bin.len();
+            }
+            touched.push(CoreId(idx));
+        }
+        for (core, removed_here) in undo {
+            let prev_staleness = self.cache.as_ref().map(|s| s[core.0].staleness);
+            self.record(JournalOp::Remove {
+                core,
+                removed: removed_here,
+                prev_staleness,
+            });
         }
         if let Some(slots) = &mut self.cache {
             for core in &touched {
@@ -505,6 +790,18 @@ impl Partition {
     ///
     /// Panics if the core id is out of range.
     pub fn renormalize_core_priorities(&mut self, core: CoreId) {
+        if self.recording() {
+            let priorities = self.cores[core.0]
+                .iter()
+                .map(|p| p.task.priority())
+                .collect();
+            let prev_slot = self.cache.as_ref().map(|s| s[core.0].clone());
+            self.record(JournalOp::Renormalize {
+                core,
+                priorities,
+                prev_slot,
+            });
+        }
         assign_whole_priorities(
             self.cores[core.0]
                 .iter_mut()
@@ -887,6 +1184,140 @@ mod tests {
         let back: Partition = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
         assert!(!back.analysis_cache_enabled());
+    }
+
+    /// Placement + cache equality: the journal must restore both, so tests
+    /// compare the visible placements and every core's converged cache.
+    fn assert_fully_equal(a: &Partition, b: &Partition) {
+        assert_eq!(a, b);
+        for core in 0..a.core_count() {
+            assert_eq!(
+                a.cached_core(CoreId(core)),
+                b.cached_core(CoreId(core)),
+                "cache state diverged on core {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewind_restores_place_and_renormalize() {
+        let mut p = two_core_partition_with_split();
+        p.enable_analysis_cache();
+        p.enable_journal();
+        let snapshot = p.clone();
+        let mark = p.journal_begin();
+        p.place(CoreId(0), PlacedTask::whole(task(9, 1, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        p.place(CoreId(1), PlacedTask::whole(task(10, 1, 30, 0)));
+        p.renormalize_core_priorities(CoreId(1));
+        assert_ne!(p, snapshot);
+        p.rewind(mark);
+        assert_fully_equal(&p, &snapshot);
+        p.journal_end();
+    }
+
+    #[test]
+    fn rewind_restores_remove_parent_at_original_indices() {
+        let mut p = two_core_partition_with_split();
+        p.enable_analysis_cache();
+        p.enable_journal();
+        let snapshot = p.clone();
+        let mark = p.journal_begin();
+        // Removes the split chain: one piece per core, at index 1 of each
+        // bin, exercising mid-bin re-insertion on rewind.
+        assert_eq!(p.remove_parent(TaskId(2)), 2);
+        assert_ne!(p, snapshot);
+        p.rewind(mark);
+        assert_fully_equal(&p, &snapshot);
+        for core in [CoreId(0), CoreId(1)] {
+            assert_eq!(
+                p.core(core).iter().map(|pl| pl.parent).collect::<Vec<_>>(),
+                snapshot
+                    .core(core)
+                    .iter()
+                    .map(|pl| pl.parent)
+                    .collect::<Vec<_>>(),
+                "bin order changed on {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_marks_rewind_lifo() {
+        let mut p = Partition::new(2);
+        p.enable_analysis_cache();
+        p.enable_journal();
+        let outer = p.journal_begin();
+        p.place(CoreId(0), PlacedTask::whole(task(0, 1, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        let committed = p.clone();
+        let inner = p.journal_mark();
+        p.place(CoreId(0), PlacedTask::whole(task(1, 2, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        p.rewind(inner);
+        assert_fully_equal(&p, &committed);
+        p.rewind(outer);
+        assert_eq!(p.placement_count(), 0);
+        assert!(p.cached_core(CoreId(0)).unwrap().is_empty());
+        p.journal_end();
+    }
+
+    #[test]
+    fn nested_scopes_keep_the_outer_log_until_the_outermost_end() {
+        let mut p = Partition::new(1);
+        p.enable_analysis_cache();
+        p.enable_journal();
+        let outer = p.journal_begin();
+        p.place(CoreId(0), PlacedTask::whole(task(0, 1, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        let inner = p.journal_begin();
+        p.place(CoreId(0), PlacedTask::whole(task(1, 2, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        p.rewind(inner);
+        // Closing the inner scope must keep the outer scope's undo log:
+        // the outer mark stays rewindable.
+        p.journal_end();
+        assert_eq!(p.placement_count(), 1);
+        p.rewind(outer);
+        p.journal_end();
+        assert_eq!(p.placement_count(), 0);
+        assert!(p.cached_core(CoreId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn journal_records_only_inside_scopes() {
+        let mut p = Partition::new(1);
+        p.enable_journal();
+        // Outside a scope: mutations are final, rewinding does nothing.
+        let mark = p.journal_mark();
+        p.place(CoreId(0), PlacedTask::whole(task(0, 1, 10, 0)));
+        p.renormalize_core_priorities(CoreId(0));
+        p.rewind(mark);
+        assert_eq!(p.placement_count(), 1);
+    }
+
+    #[test]
+    fn clones_do_not_carry_journal_history_but_stay_enabled() {
+        let mut p = Partition::new(1);
+        p.enable_journal();
+        let mark = p.journal_begin();
+        p.place(CoreId(0), PlacedTask::whole(task(0, 1, 10, 0)));
+        let clone = p.clone();
+        assert!(clone.journal_enabled());
+        // The clone's journal is fresh: its marks are independent.
+        assert_eq!(clone.journal_mark(), JournalMark(0));
+        p.rewind(mark);
+        assert_eq!(p.placement_count(), 0);
+        assert_eq!(clone.placement_count(), 1);
+    }
+
+    #[test]
+    fn clone_counter_tracks_partition_clones() {
+        let p = two_core_partition_with_split();
+        let before = Partition::clone_count();
+        let _ = p.clone();
+        let _ = p.clone();
+        assert_eq!(Partition::clone_count(), before + 2);
     }
 
     #[test]

@@ -32,10 +32,16 @@ pub(crate) fn body_piece(template: &Task, budget: Time, overhead: Time) -> Optio
 /// that `accepts` still admits, or [`Time::ZERO`] when not even the minimum
 /// fits. `accepts` must be monotone (a smaller budget never fails where a
 /// larger one passes); the frontier is located by binary search to 100 ns.
+///
+/// The predicate is `FnMut` so callers can thread state *across* probes:
+/// the online placer carries a [`ProbeWarmth`](spms_analysis::ProbeWarmth)
+/// that warm-starts each probe's fixed points from the last accepted
+/// (smaller-budget) probe, cutting the re-convergence work of the search
+/// roughly in half without changing any verdict.
 pub(crate) fn max_accepted_budget(
     min_split_budget: Time,
     max_budget: Time,
-    accepts: impl Fn(Time) -> bool,
+    mut accepts: impl FnMut(Time) -> bool,
 ) -> Time {
     let floor = min_split_budget.max(Time::from_nanos(1));
     if !accepts(floor) {

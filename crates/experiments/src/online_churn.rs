@@ -12,7 +12,7 @@
 //! bit-identical for every `--threads` value under a fixed seed.
 
 use serde::{Deserialize, Serialize};
-use spms_analysis::OverheadModel;
+use spms_analysis::{rta, OverheadModel};
 use spms_online::{
     run_trace, AdmissionController, ChurnGenerator, OnlineConfig, ReplayConfig, ReplayOutcome,
 };
@@ -45,6 +45,11 @@ pub struct ChurnPoint {
     pub replayed_epochs: u64,
     /// Deadline misses across all replayed epochs (must stay 0).
     pub replay_misses: u64,
+    /// How often the RTA fixed-point iteration cap was exhausted while
+    /// deciding this point's traces. A time-out is a conservative
+    /// rejection, not a proof — a non-zero count flags configurations whose
+    /// rejections deserve scrutiny (see `spms_analysis::rta::cap_exhaustions`).
+    pub rta_cap_exhaustions: u64,
 }
 
 /// Results of an online-churn sweep.
@@ -75,12 +80,12 @@ impl ChurnResults {
     /// Renders a markdown table, one row per target-utilization point.
     pub fn render_markdown(&self) -> String {
         let mut out = String::from(
-            "| U / m | accepted | fast path | repair | repartition | moves/admit | replay misses |\n\
-             |---|---|---|---|---|---|---|\n",
+            "| U / m | accepted | fast path | repair | repartition | moves/admit | replay misses | RTA cap hits |\n\
+             |---|---|---|---|---|---|---|---|\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "| {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |\n",
+                "| {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} |\n",
                 p.normalized_utilization,
                 p.acceptance_ratio,
                 p.fast_path_ratio,
@@ -88,6 +93,7 @@ impl ChurnResults {
                 p.fallback_ratio,
                 p.migrations_per_admission,
                 p.replay_misses,
+                p.rta_cap_exhaustions,
             ));
         }
         out
@@ -97,11 +103,12 @@ impl ChurnResults {
     pub fn render_csv(&self) -> String {
         let mut out = String::from(
             "normalized_utilization,arrivals,admitted,acceptance_ratio,fast_path_ratio,\
-             repair_ratio,fallback_ratio,migrations_per_admission,replayed_epochs,replay_misses\n",
+             repair_ratio,fallback_ratio,migrations_per_admission,replayed_epochs,replay_misses,\
+             rta_cap_exhaustions\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}\n",
+                "{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
                 p.normalized_utilization,
                 p.arrivals,
                 p.admitted,
@@ -112,6 +119,7 @@ impl ChurnResults {
                 p.migrations_per_admission,
                 p.replayed_epochs,
                 p.replay_misses,
+                p.rta_cap_exhaustions,
             ));
         }
         out
@@ -128,6 +136,7 @@ pub struct ChurnExperiment {
     max_repair_moves: usize,
     overhead: OverheadModel,
     replay_duration: Option<Time>,
+    release_jitter: Time,
     seed: u64,
     threads: usize,
 }
@@ -142,6 +151,7 @@ impl Default for ChurnExperiment {
             max_repair_moves: 2,
             overhead: OverheadModel::zero(),
             replay_duration: Some(Time::from_millis(50)),
+            release_jitter: Time::ZERO,
             seed: 0,
             threads: 1,
         }
@@ -198,6 +208,14 @@ impl ChurnExperiment {
         self
     }
 
+    /// Sets the maximum sporadic release jitter the epoch replay injects
+    /// per job (seeded per grid cell, so the sweep stays deterministic and
+    /// thread-count invariant). Zero replays synchronous-periodic.
+    pub fn release_jitter(mut self, jitter: Time) -> Self {
+        self.release_jitter = jitter;
+        self
+    }
+
     /// Sets the RNG seed for trace generation.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -219,11 +237,6 @@ impl ChurnExperiment {
 
     /// [`run`](Self::run) with per-cell completion reported to `progress`.
     pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> ChurnResults {
-        // Replay injects the same overheads the admission analysis charges,
-        // so a miss flags an analysis that under-charges them.
-        let replay = self
-            .replay_duration
-            .map(|duration| ReplayConfig::new(duration).with_overhead(self.overhead));
         let grid = SweepRunner::new()
             .threads(self.threads)
             .run_grid_with_progress(
@@ -244,8 +257,21 @@ impl ChurnExperiment {
                         .with_overhead(self.overhead)
                         .with_max_repair_moves(self.max_repair_moves);
                     let mut controller = AdmissionController::new(config).ok()?;
+                    // Replay injects the same overheads the admission
+                    // analysis charges (a miss flags an analysis that
+                    // under-charges them), plus the optional sporadic
+                    // release jitter, seeded per cell for determinism.
+                    let replay = self.replay_duration.map(|duration| {
+                        ReplayConfig::new(duration)
+                            .with_overhead(self.overhead)
+                            .with_release_jitter(self.release_jitter, cell.seed)
+                    });
+                    // Grid cells run wholly on one worker thread, so the
+                    // thread-local delta is exactly this cell's count.
+                    let exhaustions_before = rta::thread_cap_exhaustions();
                     let (_, replay_outcome) = run_trace(&mut controller, &events, replay.as_ref());
-                    Some((*controller.stats(), replay_outcome))
+                    let cap_exhaustions = rta::thread_cap_exhaustions() - exhaustions_before;
+                    Some((*controller.stats(), replay_outcome, cap_exhaustions))
                 },
             );
         let points = self
@@ -258,11 +284,12 @@ impl ChurnExperiment {
     }
 }
 
-/// Folds one point's per-trace `(stats, replay)` pairs into a [`ChurnPoint`]
-/// (always on the merged, ordered results — never inside workers).
+/// Folds one point's per-trace `(stats, replay, cap-exhaustion)` triples
+/// into a [`ChurnPoint`] (always on the merged, ordered results — never
+/// inside workers).
 fn aggregate_point(
     target: f64,
-    traces: &[(spms_online::ControllerStats, ReplayOutcome)],
+    traces: &[(spms_online::ControllerStats, ReplayOutcome, u64)],
 ) -> ChurnPoint {
     let mut arrivals = 0u64;
     let mut admitted = 0u64;
@@ -270,14 +297,16 @@ fn aggregate_point(
     let mut repairs = 0u64;
     let mut fallbacks = 0u64;
     let mut migrations = 0u64;
+    let mut cap_exhaustions = 0u64;
     let mut replay = ReplayOutcome::default();
-    for (stats, outcome) in traces {
+    for (stats, outcome, exhaustions) in traces {
         arrivals += stats.arrivals;
         admitted += stats.admitted;
         fast += stats.fast_whole + stats.fast_split;
         repairs += stats.repairs;
         fallbacks += stats.full_repartitions;
         migrations += stats.migrations_caused;
+        cap_exhaustions += exhaustions;
         replay.absorb(*outcome);
     }
     let ratio = |num: u64, den: u64| {
@@ -298,6 +327,7 @@ fn aggregate_point(
         migrations_per_admission: ratio(migrations, admitted),
         replayed_epochs: replay.epochs,
         replay_misses: replay.deadline_misses,
+        rta_cap_exhaustions: cap_exhaustions,
     }
 }
 
@@ -363,6 +393,42 @@ mod tests {
         for (a, b) in base.points().iter().zip(with_overhead.points()) {
             assert!(b.acceptance_ratio <= a.acceptance_ratio + 1e-9);
         }
+    }
+
+    #[test]
+    fn jittered_replay_is_deterministic_thread_invariant_and_miss_free() {
+        let jittered = || quick().release_jitter(Time::from_millis(1));
+        let results = jittered().run();
+        assert_eq!(results.total_replay_misses(), 0);
+        assert_eq!(results, jittered().run());
+        assert_eq!(results, jittered().threads(4).run());
+        for p in results.points() {
+            assert!(p.replayed_epochs > 0);
+        }
+    }
+
+    #[test]
+    fn cap_exhaustion_column_is_present_and_thread_invariant() {
+        let results = quick().run();
+        // The moderate default grid converges everywhere; the point is that
+        // the column exists, serializes and stays invariant across thread
+        // counts (per-cell thread-local deltas, not the process counter).
+        assert_eq!(
+            results
+                .points()
+                .iter()
+                .map(|p| p.rta_cap_exhaustions)
+                .collect::<Vec<_>>(),
+            quick()
+                .threads(4)
+                .run()
+                .points()
+                .iter()
+                .map(|p| p.rta_cap_exhaustions)
+                .collect::<Vec<_>>()
+        );
+        assert!(results.render_csv().contains("rta_cap_exhaustions"));
+        assert!(results.render_markdown().contains("RTA cap hits"));
     }
 
     #[test]

@@ -1,20 +1,34 @@
-//! Cached vs. from-scratch RTA on the online admission fast path.
+//! The admission-cascade regression bench: cached vs. from-scratch RTA,
+//! journal vs. clone rollback, warm vs. cold split probes.
 //!
 //! For every point of a target-utilization sweep this driver generates churn
-//! traces and drives **two** controllers over each — one with the
-//! incremental RTA cache (the default), one probing with from-scratch
-//! per-core analysis (`OnlineConfig::with_rta_cache(false)`) — and checks
-//! that their serialized decision logs are byte-identical while timing both
-//! runs. The correctness half of the output (decision counts, the log
-//! digest, the `decision_logs_identical` verdict) is deterministic and
-//! thread-count invariant like every other sweep; the wall-clock timings
-//! are measurement data and are grouped under a single `timing` object so
-//! CI can strip them before diffing artifacts.
+//! traces and drives **four** controllers over each:
+//!
+//! * `cached` — the production configuration (incremental RTA cache,
+//!   journal-based rollback, cross-probe warm starts),
+//! * `scratch` — RTA cache disabled (`OnlineConfig::with_rta_cache(false)`),
+//! * `clone` — journal disabled (`with_journal(false)`): repair/split
+//!   rollback snapshots the whole partition per attempt, the PR 3 baseline,
+//! * `cold` — cross-probe warm starts disabled
+//!   (`with_probe_warm_start(false)`).
+//!
+//! All four must produce byte-identical serialized decision logs (the three
+//! optimisations are pure mechanism; only the policy knob
+//! `OnlineConfig::repair_ranking` may change decisions, and it is held
+//! fixed here). The correctness half of the output (decision counts, the
+//! log digest, the `decision_logs_identical` verdict, the cap-exhaustion
+//! column) is deterministic and thread-count invariant like every other
+//! sweep; the wall-clock timings are measurement data grouped under a
+//! single `timing` object so CI can strip them before diffing artifacts.
+//! The cached run additionally asserts the repair/split hot path performs
+//! **zero** partition snapshot clones (`Partition::clone_count`).
 
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use spms_online::{AdmissionController, ChurnGenerator, Decision, OnlineConfig};
+use spms_analysis::rta;
+use spms_core::Partition;
+use spms_online::{AdmissionController, ChurnGenerator, Decision, OnlineConfig, WorkloadEvent};
 
 use crate::progress::{NullProgress, ProgressSink};
 use crate::runner::SweepRunner;
@@ -27,8 +41,12 @@ struct TraceOutcome {
     admitted: u64,
     log_identical: bool,
     log_digest: u64,
+    cap_exhaustions: u64,
+    journal_clone_free: bool,
     cached: Duration,
     scratch: Duration,
+    clone_rollback: Duration,
+    cold_probe: Duration,
 }
 
 /// Aggregated behaviour at one target-utilization point (deterministic
@@ -39,30 +57,47 @@ pub struct RtaCachePoint {
     pub normalized_utilization: f64,
     /// Arrival events across all traces of this point.
     pub arrivals: u64,
-    /// Arrivals admitted (identical for cached and scratch controllers).
+    /// Arrivals admitted (identical across all controller variants).
     pub admitted: u64,
+    /// RTA fixed-point cap exhaustions while deciding this point's traces
+    /// with the cached controller (deterministic; see
+    /// `spms_analysis::rta::cap_exhaustions`).
+    pub rta_cap_exhaustions: u64,
 }
 
 /// Wall-clock measurements of the sweep: everything non-deterministic in
 /// one place, so artifact diffs can strip exactly this object.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct RtaCacheTiming {
-    /// Total nanoseconds deciding every trace with the incremental cache.
+    /// Total nanoseconds deciding every trace with the full cascade
+    /// (cache + journal + warm probes).
     pub cached_ns: u64,
-    /// Total nanoseconds deciding every trace from scratch.
+    /// Total nanoseconds deciding every trace with from-scratch RTA.
     pub scratch_ns: u64,
+    /// Total nanoseconds with clone-based rollback instead of the journal.
+    pub clone_rollback_ns: u64,
+    /// Total nanoseconds with cold split probes instead of warm starts.
+    pub cold_probe_ns: u64,
     /// `scratch_ns / cached_ns` — how many times faster the cached fast
     /// path answered (> 1.0 means the cache wins).
     pub speedup: f64,
+    /// `clone_rollback_ns / cached_ns` — what journal rollback buys.
+    pub journal_speedup: f64,
+    /// `cold_probe_ns / cached_ns` — what cross-probe warm starts buy.
+    pub warm_probe_speedup: f64,
 }
 
-/// Results of a cached-vs-scratch comparison sweep.
+/// Results of a cascade comparison sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct RtaCacheResults {
     points: Vec<RtaCachePoint>,
     /// Whether every trace produced byte-identical serialized decision logs
-    /// from the cached and the from-scratch controller.
+    /// from all four controller variants (cached / scratch / clone-rollback
+    /// / cold-probe).
     pub decision_logs_identical: bool,
+    /// Whether the cached (journal-based) controller decided every trace
+    /// without a single partition snapshot clone.
+    pub journal_clone_free: bool,
     /// Order-sensitive FNV-1a digest over every cached decision log —
     /// deterministic under a fixed seed for any thread count.
     pub decisions_digest: u64,
@@ -86,32 +121,44 @@ impl RtaCacheResults {
 
     /// Renders a markdown table plus the equivalence/timing summary.
     pub fn render_markdown(&self) -> String {
-        let mut out = String::from("| U / m | arrivals | admitted |\n|---|---|---|\n");
+        let mut out =
+            String::from("| U / m | arrivals | admitted | RTA cap hits |\n|---|---|---|---|\n");
         for p in &self.points {
             out.push_str(&format!(
-                "| {:.2} | {} | {} |\n",
-                p.normalized_utilization, p.arrivals, p.admitted,
+                "| {:.2} | {} | {} | {} |\n",
+                p.normalized_utilization, p.arrivals, p.admitted, p.rta_cap_exhaustions,
             ));
         }
         out.push_str(&format!(
             "\ndecision logs identical: {} (digest {:#018x})\n\
-             cached {} ns vs scratch {} ns — speedup {:.2}x\n",
+             journal hot path clone-free: {}\n\
+             cached {} ns vs scratch {} ns — speedup {:.2}x\n\
+             journal vs clone rollback: {} ns vs {} ns — {:.2}x\n\
+             warm vs cold split probes: {} ns vs {} ns — {:.2}x\n",
             self.decision_logs_identical,
             self.decisions_digest,
+            self.journal_clone_free,
             self.timing.cached_ns,
             self.timing.scratch_ns,
             self.timing.speedup,
+            self.timing.cached_ns,
+            self.timing.clone_rollback_ns,
+            self.timing.journal_speedup,
+            self.timing.cached_ns,
+            self.timing.cold_probe_ns,
+            self.timing.warm_probe_speedup,
         ));
         out
     }
 
     /// Renders the deterministic per-point data as CSV.
     pub fn render_csv(&self) -> String {
-        let mut out = String::from("normalized_utilization,arrivals,admitted\n");
+        let mut out =
+            String::from("normalized_utilization,arrivals,admitted,rta_cap_exhaustions\n");
         for p in &self.points {
             out.push_str(&format!(
-                "{:.4},{},{}\n",
-                p.normalized_utilization, p.arrivals, p.admitted,
+                "{:.4},{},{},{}\n",
+                p.normalized_utilization, p.arrivals, p.admitted, p.rta_cap_exhaustions,
             ));
         }
         out
@@ -221,63 +268,103 @@ impl RtaCacheBenchmark {
                     let config =
                         OnlineConfig::new(self.cores).with_max_repair_moves(self.max_repair_moves);
 
-                    let mut cached = AdmissionController::new(config.clone()).ok()?;
-                    let started = Instant::now();
-                    cached.handle_all(&events);
-                    let cached_elapsed = started.elapsed();
+                    // One untimed warm-up pass absorbs one-time costs
+                    // (lazy allocation, code paging) that would otherwise
+                    // be charged entirely to the first timed variant.
+                    drive(config.clone(), &events)?;
 
-                    let mut scratch =
-                        AdmissionController::new(config.with_rta_cache(false)).ok()?;
-                    let started = Instant::now();
-                    scratch.handle_all(&events);
-                    let scratch_elapsed = started.elapsed();
+                    // The production cascade, with the snapshot-clone
+                    // counter and the cap-exhaustion delta read around it.
+                    let clones_before = Partition::clone_count();
+                    let exhaustions_before = rta::thread_cap_exhaustions();
+                    let (cached, cached_elapsed) = drive(config.clone(), &events)?;
+                    let cap_exhaustions = rta::thread_cap_exhaustions() - exhaustions_before;
+                    let journal_clone_free = Partition::clone_count() == clones_before;
+
+                    let (scratch, scratch_elapsed) =
+                        drive(config.clone().with_rta_cache(false), &events)?;
+                    let (clone_rollback, clone_elapsed) =
+                        drive(config.clone().with_journal(false), &events)?;
+                    let (cold_probe, cold_elapsed) =
+                        drive(config.with_probe_warm_start(false), &events)?;
 
                     let cached_log = serialize_log(cached.decisions());
-                    let scratch_log = serialize_log(scratch.decisions());
+                    let log_identical = [&scratch, &clone_rollback, &cold_probe]
+                        .iter()
+                        .all(|c| serialize_log(c.decisions()) == cached_log);
                     Some(TraceOutcome {
                         arrivals: cached.stats().arrivals,
                         admitted: cached.stats().admitted,
-                        log_identical: cached_log == scratch_log,
+                        log_identical,
                         log_digest: fnv1a(cached_log.as_bytes()),
+                        cap_exhaustions,
+                        journal_clone_free,
                         cached: cached_elapsed,
                         scratch: scratch_elapsed,
+                        clone_rollback: clone_elapsed,
+                        cold_probe: cold_elapsed,
                     })
                 },
             );
 
         let mut identical = true;
+        let mut clone_free = true;
         let mut digest = FNV_OFFSET;
         let mut timing = RtaCacheTiming::default();
         let mut points = Vec::with_capacity(self.utilization_points.len());
         for (&target, traces) in self.utilization_points.iter().zip(&grid) {
             let mut arrivals = 0u64;
             let mut admitted = 0u64;
+            let mut cap_exhaustions = 0u64;
             for outcome in traces {
                 arrivals += outcome.arrivals;
                 admitted += outcome.admitted;
+                cap_exhaustions += outcome.cap_exhaustions;
                 identical &= outcome.log_identical;
+                clone_free &= outcome.journal_clone_free;
                 digest = fnv1a_combine(digest, outcome.log_digest);
                 timing.cached_ns += outcome.cached.as_nanos() as u64;
                 timing.scratch_ns += outcome.scratch.as_nanos() as u64;
+                timing.clone_rollback_ns += outcome.clone_rollback.as_nanos() as u64;
+                timing.cold_probe_ns += outcome.cold_probe.as_nanos() as u64;
             }
             points.push(RtaCachePoint {
                 normalized_utilization: target,
                 arrivals,
                 admitted,
+                rta_cap_exhaustions: cap_exhaustions,
             });
         }
-        timing.speedup = if timing.cached_ns == 0 {
-            0.0
-        } else {
-            timing.scratch_ns as f64 / timing.cached_ns as f64
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
         };
+        timing.speedup = ratio(timing.scratch_ns, timing.cached_ns);
+        timing.journal_speedup = ratio(timing.clone_rollback_ns, timing.cached_ns);
+        timing.warm_probe_speedup = ratio(timing.cold_probe_ns, timing.cached_ns);
         RtaCacheResults {
             points,
             decision_logs_identical: identical,
+            journal_clone_free: clone_free,
             decisions_digest: digest,
             timing,
         }
     }
+}
+
+/// Builds a controller for `config`, decides the whole trace and returns it
+/// with the wall-clock time the decisions took.
+fn drive(
+    config: OnlineConfig,
+    events: &[WorkloadEvent],
+) -> Option<(AdmissionController, Duration)> {
+    let mut controller = AdmissionController::new(config).ok()?;
+    let started = Instant::now();
+    controller.handle_all(events);
+    Some((controller, started.elapsed()))
 }
 
 /// Canonical serialization of a decision log for byte-comparison.
@@ -317,9 +404,16 @@ mod tests {
     }
 
     #[test]
-    fn cached_and_scratch_logs_are_identical() {
+    fn all_cascade_variants_decide_identically() {
         let results = quick().run();
-        assert!(results.decision_logs_identical);
+        assert!(
+            results.decision_logs_identical,
+            "cached / scratch / clone-rollback / cold-probe logs diverged"
+        );
+        assert!(
+            results.journal_clone_free,
+            "the journal-based cascade cloned a partition on the hot path"
+        );
         assert_eq!(results.points().len(), 2);
         for p in results.points() {
             assert!(p.arrivals > 0);
@@ -352,8 +446,12 @@ mod tests {
         let results = quick().run();
         let md = results.render_markdown();
         assert!(md.contains("decision logs identical: true"));
+        assert!(md.contains("journal hot path clone-free: true"));
+        assert!(md.contains("journal vs clone rollback"));
+        assert!(md.contains("warm vs cold split probes"));
         assert!(md.contains("speedup"));
         let csv = results.render_csv();
+        assert!(csv.starts_with("normalized_utilization,arrivals,admitted,rta_cap_exhaustions"));
         assert_eq!(csv.lines().count(), 1 + results.points().len());
     }
 }

@@ -26,11 +26,18 @@
 //! ([`Partition::enable_analysis_cache`](spms_core::Partition::enable_analysis_cache)):
 //! one [`CachedCoreAnalysis`](spms_analysis::CachedCoreAnalysis) per core
 //! threads through all four stages — placement and split probes answer from
-//! memoized response times, the repair pass's snapshot/rollback restores
-//! cache state along with the placements (the cache clones with the
-//! partition), and a full-repartition adoption re-attaches a fresh cache.
-//! Decisions are bit-identical with the cache on or off
-//! ([`OnlineConfig::use_rta_cache`]); only the latency changes.
+//! memoized response times (with warm starts carried *across* the split
+//! planner's budget-search probes), and a full-repartition adoption
+//! re-attaches a fresh cache. Speculative stages run inside the partition's
+//! mutation journal ([`Partition::enable_journal`](spms_core::Partition::enable_journal)):
+//! a failed repair attempt rewinds placements, priorities and cache state
+//! in O(moves) instead of restoring a full-partition snapshot, so the
+//! whole cascade is clone-free (`Partition::clone_count` proves it).
+//! Decisions are bit-identical with the cache, journal and warm starts on
+//! or off ([`OnlineConfig::use_rta_cache`], [`OnlineConfig::use_journal`],
+//! [`OnlineConfig::probe_warm_start`]); only the latency changes. The one
+//! *policy* knob is the repair victim ranking
+//! ([`OnlineConfig::repair_ranking`], slack-guided by default).
 //!
 //! Every decision is recorded with its path, the number of already-placed
 //! tasks it migrated, and (for rejections) a typed reason. Wall-clock
@@ -45,7 +52,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_core::{
-    CoreId, IncrementalPlacer, Partition, PartitionOutcome, Partitioner, SemiPartitionedFpTs,
+    CoreId, IncrementalPlacer, JournalMark, Partition, PartitionOutcome, Partitioner,
+    SemiPartitionedFpTs, WholeProbe,
 };
 use spms_task::{Task, TaskId, TaskSet, Time};
 
@@ -90,6 +98,47 @@ pub struct OnlineConfig {
     /// are bit-identical either way; disabling it exists for benchmarking
     /// the from-scratch analysis the cache replaces.
     pub use_rta_cache: bool,
+    /// Whether repair/split rollback runs on the partition's mutation
+    /// journal (`rewind` to a mark, O(moves)) instead of cloning the whole
+    /// partition per attempt. Decisions are bit-identical either way;
+    /// disabling it exists for benchmarking the clone-based rollback the
+    /// journal replaces.
+    pub use_journal: bool,
+    /// Whether the split-budget binary search carries warm starts across
+    /// its probes of one core (effective only with the RTA cache).
+    /// Decisions are bit-identical either way; disabling it exists for
+    /// benchmarking the cold probes the warm starts replace.
+    pub probe_warm_start: bool,
+    /// How the bounded-repair pass ranks eviction victims. This is a
+    /// *policy* knob: the two rankings can make genuinely different (both
+    /// sound) admit/reject decisions.
+    pub repair_ranking: RepairRanking,
+}
+
+/// Victim-ranking policy of the bounded-repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RepairRanking {
+    /// Slack-guided (the default): localize the blocker — the task whose
+    /// `deadline − response` slack goes negative with the arrival added —
+    /// then evict the smallest task whose removal provably unblocks the
+    /// arrival (exact what-if probes, candidates that cannot relieve the
+    /// blocker pruned). Split chains are movable (chain-aware relocation).
+    /// Falls back to freeing the most capacity per move when no single
+    /// eviction opens the hole.
+    #[default]
+    Slack,
+    /// Largest utilization first (PR 3 behaviour): free the most capacity
+    /// per move, never touching split chains.
+    Utilization,
+}
+
+impl fmt::Display for RepairRanking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairRanking::Slack => write!(f, "slack"),
+            RepairRanking::Utilization => write!(f, "utilization"),
+        }
+    }
 }
 
 impl Default for OnlineConfig {
@@ -102,6 +151,9 @@ impl Default for OnlineConfig {
             max_repair_moves: 2,
             allow_fallback: true,
             use_rta_cache: true,
+            use_journal: true,
+            probe_warm_start: true,
+            repair_ranking: RepairRanking::Slack,
         }
     }
 }
@@ -149,6 +201,24 @@ impl OnlineConfig {
     /// Enables or disables the incremental RTA cache (builder style).
     pub fn with_rta_cache(mut self, enabled: bool) -> Self {
         self.use_rta_cache = enabled;
+        self
+    }
+
+    /// Enables or disables journal-based rollback (builder style).
+    pub fn with_journal(mut self, enabled: bool) -> Self {
+        self.use_journal = enabled;
+        self
+    }
+
+    /// Enables or disables cross-probe warm starts (builder style).
+    pub fn with_probe_warm_start(mut self, enabled: bool) -> Self {
+        self.probe_warm_start = enabled;
+        self
+    }
+
+    /// Sets the repair victim-ranking policy (builder style).
+    pub fn with_repair_ranking(mut self, ranking: RepairRanking) -> Self {
+        self.repair_ranking = ranking;
         self
     }
 }
@@ -328,12 +398,16 @@ impl AdmissionController {
         let placer = IncrementalPlacer::new()
             .with_test(config.test)
             .with_overhead(config.overhead)
-            .with_min_split_budget(config.min_split_budget);
+            .with_min_split_budget(config.min_split_budget)
+            .with_probe_warm_start(config.probe_warm_start);
         let mut partition = Partition::new(config.cores);
         // The cache pays off only under the exact RTA (the utilization
         // bounds are already O(n) per probe).
         if config.use_rta_cache && config.test == UniprocessorTest::ResponseTime {
             partition.enable_analysis_cache();
+        }
+        if config.use_journal {
+            partition.enable_journal();
         }
         Ok(AdmissionController {
             partition,
@@ -392,11 +466,18 @@ impl AdmissionController {
 
     /// Handles one workload event and returns the decision made.
     pub fn handle(&mut self, event: WorkloadEvent) -> Decision {
+        self.handle_event(&event)
+    }
+
+    /// [`handle`](Self::handle) by reference: nothing is cloned unless the
+    /// arrival is actually admitted (the admitted map keeps its own copy of
+    /// the task).
+    pub fn handle_event(&mut self, event: &WorkloadEvent) -> Decision {
         let started = Instant::now();
         let task_id = event.task_id();
         let kind = match event {
             WorkloadEvent::Arrive(task) => self.arrive(task),
-            WorkloadEvent::Depart(id) => self.depart(id),
+            WorkloadEvent::Depart(id) => self.depart(*id),
         };
         let decision = Decision {
             event_index: self.next_event,
@@ -411,15 +492,16 @@ impl AdmissionController {
     }
 
     /// Handles a whole event stream, returning the per-event decisions.
+    /// Events are consumed by reference — no per-event clones.
     pub fn handle_all(&mut self, events: &[WorkloadEvent]) -> Vec<Decision> {
-        events.iter().map(|e| self.handle(e.clone())).collect()
+        events.iter().map(|e| self.handle_event(e)).collect()
     }
 
     // ------------------------------------------------------------------
     // arrivals
     // ------------------------------------------------------------------
 
-    fn arrive(&mut self, task: Task) -> DecisionKind {
+    fn arrive(&mut self, task: &Task) -> DecisionKind {
         self.stats.arrivals += 1;
         if self.admitted.contains_key(&task.id()) {
             return self.reject(RejectionReason::DuplicateTask);
@@ -429,35 +511,35 @@ impl AdmissionController {
         if self.admitted_utilization() + task.utilization() > self.config.cores as f64 + 1e-9 {
             return self.reject(RejectionReason::PlatformOverloaded);
         }
-        if self.placer.whole_analysis_task(&task).is_none() {
+        if self.placer.whole_analysis_task(task).is_none() {
             return self.reject(RejectionReason::OverheadUnabsorbable);
         }
 
-        if let Some(plan) = self.placer.plan_whole(&self.partition, &task, &[]) {
-            self.placer.commit(&mut self.partition, &task, plan);
+        if let Some(plan) = self.placer.plan_whole(&self.partition, task, &[]) {
+            self.placer.commit(&mut self.partition, task, plan);
             self.stats.fast_whole += 1;
             return self.admit(task, DecisionPath::FastWhole, 0);
         }
-        if let Some(plan) = self.placer.plan_split(&self.partition, &task, &[]) {
-            self.placer.commit(&mut self.partition, &task, plan);
+        if let Some(plan) = self.placer.plan_split(&self.partition, task, &[]) {
+            self.placer.commit(&mut self.partition, task, plan);
             self.stats.fast_split += 1;
             return self.admit(task, DecisionPath::FastSplit, 0);
         }
-        if let Some(moves) = self.try_repair(&task) {
+        if let Some(moves) = self.try_repair(task) {
             self.stats.repairs += 1;
             return self.admit(task, DecisionPath::Repair, moves);
         }
-        if let Some(moves) = self.try_fallback(&task) {
+        if let Some(moves) = self.try_fallback(task) {
             self.stats.full_repartitions += 1;
             return self.admit(task, DecisionPath::FullRepartition, moves);
         }
         self.reject(RejectionReason::NoFeasiblePlacement)
     }
 
-    fn admit(&mut self, task: Task, path: DecisionPath, migrations: usize) -> DecisionKind {
+    fn admit(&mut self, task: &Task, path: DecisionPath, migrations: usize) -> DecisionKind {
         self.stats.admitted += 1;
         self.stats.migrations_caused += migrations as u64;
-        self.admitted.insert(task.id(), task);
+        self.admitted.insert(task.id(), task.clone());
         DecisionKind::Admitted { path, migrations }
     }
 
@@ -471,49 +553,68 @@ impl AdmissionController {
     // ------------------------------------------------------------------
 
     /// Tries to open a hole for `task` on some core by relocating at most
-    /// `k` already-placed whole tasks (first whole, then re-split). Restores
-    /// the partition whenever a target core cannot be freed. Returns the
-    /// number of tasks moved on success.
+    /// `k` already-placed tasks (whole-first, re-split if needed). Restores
+    /// the partition whenever a target core cannot be freed — by rewinding
+    /// the mutation journal ([`OnlineConfig::use_journal`], O(moves)) or by
+    /// restoring a snapshot clone (O(tasks), kept for benchmarking).
+    /// Returns the number of tasks moved on success.
     fn try_repair(&mut self, task: &Task) -> Option<usize> {
-        let k = self.config.max_repair_moves;
-        if k == 0 {
+        if self.config.max_repair_moves == 0 {
             return None;
         }
         for target in (0..self.config.cores).map(CoreId) {
-            let snapshot = self.partition.clone();
-            let mut moves = 0usize;
-            let mut immovable: Vec<TaskId> = Vec::new();
-            loop {
-                let others: Vec<CoreId> = (0..self.config.cores)
-                    .map(CoreId)
-                    .filter(|c| *c != target)
-                    .collect();
-                if let Some(plan) = self.placer.plan_whole(&self.partition, task, &others) {
-                    self.placer.commit(&mut self.partition, task, plan);
+            let rollback = self.begin_rollback();
+            match self.repair_on(target, task) {
+                Some(moves) => {
+                    self.commit_rollback(rollback);
                     return Some(moves);
                 }
-                if moves == k {
-                    break;
-                }
-                let Some(victim) = self.pick_victim(target, &immovable) else {
-                    break;
-                };
-                if self.relocate(victim, target) {
-                    moves += 1;
-                } else {
-                    immovable.push(victim);
-                }
+                None => self.abort_rollback(rollback),
             }
-            self.partition = snapshot;
         }
         None
     }
 
-    /// The next whole task worth evicting from `target`: the largest
-    /// utilization first (freeing the most capacity per move), ties broken
-    /// by id for determinism. Split parents are never victims — relocating
-    /// a multi-core chain is a full repartition in disguise.
-    fn pick_victim(&self, target: CoreId, immovable: &[TaskId]) -> Option<TaskId> {
+    /// One repair attempt against a fixed `target` core. Mutates the
+    /// partition freely; the caller rolls back on `None`.
+    fn repair_on(&mut self, target: CoreId, task: &Task) -> Option<usize> {
+        let k = self.config.max_repair_moves;
+        let others: Vec<CoreId> = (0..self.config.cores)
+            .map(CoreId)
+            .filter(|c| *c != target)
+            .collect();
+        let mut moves = 0usize;
+        let mut immovable: Vec<TaskId> = Vec::new();
+        loop {
+            if let Some(plan) = self.placer.plan_whole(&self.partition, task, &others) {
+                self.placer.commit(&mut self.partition, task, plan);
+                return Some(moves);
+            }
+            if moves == k {
+                return None;
+            }
+            let victim = self.pick_victim(target, task, &immovable)?;
+            if self.relocate(victim, target) {
+                moves += 1;
+            } else {
+                immovable.push(victim);
+            }
+        }
+    }
+
+    /// The next task worth evicting from `target` under the configured
+    /// ranking policy.
+    fn pick_victim(&self, target: CoreId, arrival: &Task, immovable: &[TaskId]) -> Option<TaskId> {
+        match self.config.repair_ranking {
+            RepairRanking::Utilization => self.pick_victim_by_utilization(target, immovable),
+            RepairRanking::Slack => self.pick_victim_by_slack(target, arrival, immovable),
+        }
+    }
+
+    /// Largest utilization first (freeing the most capacity per move), ties
+    /// broken by id for determinism. Split parents are never victims here —
+    /// the historical PR 3 policy.
+    fn pick_victim_by_utilization(&self, target: CoreId, immovable: &[TaskId]) -> Option<TaskId> {
         let mut candidates: Vec<(f64, TaskId)> = self
             .partition
             .core(target)
@@ -529,21 +630,194 @@ impl AdmissionController {
         candidates.first().map(|(_, id)| *id)
     }
 
+    /// Slack-guided victim choice: localize the blocker (the task whose
+    /// `deadline − response` slack goes negative with the arrival added),
+    /// prune candidates that provably cannot relieve it, then evict the
+    /// *smallest* task whose removal an exact what-if probe confirms to
+    /// unblock the arrival. Split parents are candidates too (chain-aware
+    /// relocation: evicting one piece relocates the whole chain). When no
+    /// single eviction opens the hole, falls back to freeing the most
+    /// capacity per move so multi-move repair still progresses.
+    fn pick_victim_by_slack(
+        &self,
+        target: CoreId,
+        arrival: &Task,
+        immovable: &[TaskId],
+    ) -> Option<TaskId> {
+        let candidates: Vec<(f64, TaskId)> = {
+            let mut c: Vec<(f64, TaskId)> = self
+                .partition
+                .core(target)
+                .iter()
+                .filter(|p| !immovable.contains(&p.parent))
+                .map(|p| (p.task.utilization(), p.parent))
+                .collect();
+            c.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            c
+        };
+        let blocker = match self.placer.probe_whole(&self.partition, target, arrival) {
+            WholeProbe::Accepted => None, // unreachable in practice: repair runs after rejection
+            WholeProbe::Blocked { blocker } => blocker,
+        };
+        // Pass 1: smallest candidate whose eviction provably unblocks the
+        // arrival. Candidates ranked strictly below the blocker cannot
+        // relieve it and are pruned without probing.
+        for &(_, id) in &candidates {
+            if let Some(blocker_id) = blocker {
+                if id != blocker_id && !self.interferes_with(target, id, blocker_id, arrival) {
+                    continue;
+                }
+            }
+            if self
+                .placer
+                .accepts_whole_without(&self.partition, target, arrival, id)
+            {
+                return Some(id);
+            }
+        }
+        // Pass 2: no single eviction opens the hole — free the most
+        // capacity per move; equal-utilization ties go to the task with
+        // the smallest slack (relocating the most squeezed task relieves
+        // the core's tightest constraint), then to the smallest id.
+        candidates
+            .iter()
+            .map(|&(utilization, id)| (utilization, self.slack_on(target, id), id))
+            .max_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.1.cmp(&a.1))
+                    .then_with(|| b.2.cmp(&a.2))
+            })
+            .map(|(_, _, id)| id)
+    }
+
+    /// The slack (`deadline − response`) of `parent`'s placement on
+    /// `core`: read from the attached cache when converged
+    /// ([`CachedCoreAnalysis::slack_of`](spms_analysis::CachedCoreAnalysis::slack_of),
+    /// free), recomputed from scratch otherwise — bit-identical either
+    /// way, so cached and uncached controllers rank victims identically.
+    /// A provably missed deadline counts as zero slack (most squeezed).
+    fn slack_on(&self, core: CoreId, parent: TaskId) -> Time {
+        if let Some(cache) = self.partition.cached_core(core) {
+            return cache.slack_of(parent).flatten().unwrap_or(Time::ZERO);
+        }
+        let tasks = self.partition.core_tasks(core);
+        let analysis = spms_analysis::rta::analyse_core(&tasks);
+        tasks
+            .iter()
+            .zip(&analysis.response_times)
+            .find(|(t, _)| t.id() == parent)
+            .and_then(|(t, response)| response.map(|r| t.deadline().saturating_sub(r)))
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Whether `victim`'s placement on `target` interferes with `blocker`
+    /// there — i.e. runs at higher-or-equal effective priority, so its
+    /// eviction actually removes interference from the blocker. The blocker
+    /// may be the (unplaced) arrival itself, which ranks by the same
+    /// deadline-monotonic key the commit-time renormalization uses.
+    fn interferes_with(
+        &self,
+        target: CoreId,
+        victim: TaskId,
+        blocker: TaskId,
+        arrival: &Task,
+    ) -> bool {
+        let bin = self.partition.core(target);
+        let Some(victim_placed) = bin.iter().find(|p| p.parent == victim) else {
+            return false;
+        };
+        if blocker == arrival.id() {
+            // Promoted split pieces outrank every whole task; whole victims
+            // interfere with the arrival when their DM key ranks at or
+            // above the arrival's (the same commit-time ranking rule the
+            // placer's probes use).
+            if victim_placed.is_split() {
+                return true;
+            }
+            return spms_core::whole_outranks_or_ties(&victim_placed.task, arrival);
+        }
+        let Some(blocker_placed) = bin.iter().find(|p| p.parent == blocker) else {
+            // Blocker not on this core (cannot happen for a target probe):
+            // do not prune.
+            return true;
+        };
+        let level =
+            |placed: &spms_core::PlacedTask| placed.task.priority().map_or(u32::MAX, |p| p.level());
+        level(victim_placed) <= level(blocker_placed)
+    }
+
     /// Moves `victim` off `target`, whole-first-fit over the other cores and
     /// re-splitting it across them if it fits nowhere whole. Returns whether
-    /// the relocation succeeded (on failure the partition is unchanged).
+    /// the relocation succeeded (on failure the partition is unchanged —
+    /// via an inner journal mark, or an inner snapshot when the journal is
+    /// disabled).
     fn relocate(&mut self, victim: TaskId, target: CoreId) -> bool {
         let Some(original) = self.admitted.get(&victim).cloned() else {
             return false;
         };
-        let before = self.partition.clone();
+        let inner = self.inner_rollback_point();
         self.partition.remove_parent(victim);
         if let Some(plan) = self.placer.plan(&self.partition, &original, &[target]) {
             self.placer.commit(&mut self.partition, &original, plan);
             true
         } else {
-            self.partition = before;
+            self.restore_inner(inner);
             false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // rollback plumbing
+    // ------------------------------------------------------------------
+
+    /// Opens a speculative scope around one repair attempt.
+    fn begin_rollback(&mut self) -> Rollback {
+        if self.config.use_journal {
+            Rollback::Journal(self.partition.journal_begin())
+        } else {
+            Rollback::Snapshot(Box::new(self.partition.clone()))
+        }
+    }
+
+    /// Keeps the speculative mutations (the attempt succeeded).
+    fn commit_rollback(&mut self, rollback: Rollback) {
+        if let Rollback::Journal(_) = rollback {
+            self.partition.journal_end();
+        }
+    }
+
+    /// Discards the speculative mutations (the attempt failed).
+    fn abort_rollback(&mut self, rollback: Rollback) {
+        match rollback {
+            Rollback::Journal(mark) => {
+                self.partition.rewind(mark);
+                self.partition.journal_end();
+            }
+            Rollback::Snapshot(snapshot) => self.partition = *snapshot,
+        }
+    }
+
+    /// A nested rollback point *inside* an open repair scope (one
+    /// speculative relocation). With the journal this is just a mark — the
+    /// outer scope keeps recording.
+    fn inner_rollback_point(&mut self) -> Rollback {
+        if self.config.use_journal {
+            Rollback::Journal(self.partition.journal_mark())
+        } else {
+            Rollback::Snapshot(Box::new(self.partition.clone()))
+        }
+    }
+
+    /// Restores a nested rollback point without closing the outer scope.
+    fn restore_inner(&mut self, inner: Rollback) {
+        match inner {
+            Rollback::Journal(mark) => self.partition.rewind(mark),
+            Rollback::Snapshot(snapshot) => self.partition = *snapshot,
         }
     }
 
@@ -578,10 +852,13 @@ impl AdmissionController {
                     new.renormalize_core_priorities(CoreId(core));
                 }
                 // The adopted partition is a fresh object: re-attach the
-                // incremental analysis cache the cascade threads through
-                // every later decision.
+                // incremental analysis cache and the mutation journal the
+                // cascade threads through every later decision.
                 if self.partition.analysis_cache_enabled() {
                     new.enable_analysis_cache();
+                }
+                if self.config.use_journal {
+                    new.enable_journal();
                 }
                 self.partition = new;
                 Some(migrations)
@@ -614,6 +891,14 @@ impl AdmissionController {
         self.stats.departures += 1;
         DecisionKind::Departed
     }
+}
+
+/// How one speculative repair scope will be rolled back: a journal mark
+/// (rewind in O(moves)) or a full snapshot clone (O(tasks), the PR 3
+/// behaviour kept for benchmarking via [`OnlineConfig::use_journal`]).
+enum Rollback {
+    Journal(JournalMark),
+    Snapshot(Box<Partition>),
 }
 
 /// Counts the parents (other than `arriving`) whose placement — the set of
@@ -865,6 +1150,164 @@ mod tests {
                 "core {core} cache not converged after adoption"
             );
         }
+    }
+
+    #[test]
+    fn journal_and_clone_rollback_decide_identically() {
+        // The journal is pure mechanism: same decisions, same partitions,
+        // same stats as the clone-snapshot rollback it replaces — across a
+        // churn trace heavy enough to exercise repair and fallback.
+        let events = crate::ChurnGenerator::new()
+            .cores(2)
+            .target_normalized_utilization(0.95)
+            .events(120)
+            .seed(11)
+            .generate()
+            .unwrap();
+        let mut journal = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        let mut clone = AdmissionController::new(OnlineConfig::new(2).with_journal(false)).unwrap();
+        assert_eq!(journal.handle_all(&events), clone.handle_all(&events));
+        assert_eq!(journal.partition(), clone.partition());
+        assert_eq!(journal.stats(), clone.stats());
+    }
+
+    #[test]
+    fn warm_and_cold_probes_decide_identically() {
+        // Cross-probe warm starts only change iteration counts, never
+        // verdicts: identical decisions on a split-heavy trace.
+        let events = crate::ChurnGenerator::new()
+            .cores(4)
+            .target_normalized_utilization(0.95)
+            .events(120)
+            .seed(13)
+            .generate()
+            .unwrap();
+        let mut warm = AdmissionController::new(OnlineConfig::new(4)).unwrap();
+        let mut cold =
+            AdmissionController::new(OnlineConfig::new(4).with_probe_warm_start(false)).unwrap();
+        assert_eq!(warm.handle_all(&events), cold.handle_all(&events));
+        assert_eq!(warm.partition(), cold.partition());
+        assert!(
+            warm.stats().fast_split > 0,
+            "the trace never exercised the split path"
+        );
+    }
+
+    #[test]
+    fn journal_cascade_is_clone_free() {
+        // The acceptance criterion of the journal refactor: no
+        // full-partition clones remain anywhere on the decision hot path
+        // (repair rollback included) when the journal is enabled.
+        let events = crate::ChurnGenerator::new()
+            .cores(2)
+            .target_normalized_utilization(0.95)
+            .events(120)
+            .seed(11)
+            .generate()
+            .unwrap();
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        let before = spms_core::Partition::clone_count();
+        c.handle_all(&events);
+        assert_eq!(
+            spms_core::Partition::clone_count(),
+            before,
+            "the journal-based cascade cloned a partition"
+        );
+        assert!(
+            c.stats().repairs + c.stats().full_repartitions > 0,
+            "the trace never left the fast path"
+        );
+    }
+
+    #[test]
+    fn slack_ranking_admits_what_utilization_ranking_rejects() {
+        // Two cores, k = 1, splits and fallback disabled; all periods
+        // 100 ms. P0 holds BIG (46 ms, D = 100) and SMALL (25 ms, D = 40);
+        // P1 holds L (30 ms, D = 59). The arrival M (30 ms, D = 50) fits
+        // nowhere whole: on P0 SMALL's interference pushes M to 55 > 50,
+        // on P1 M's interference pushes L to 60 > 59.
+        //
+        // Only evicting SMALL unblocks P0 (M's blocker is M itself, and
+        // SMALL is the interference above it — evicting BIG, ranked below
+        // M, frees nothing M can use). Utilization ranking evicts BIG
+        // first anyway: the move *succeeds* (BIG fits on P1), burns the
+        // single repair move, and M is still blocked — the arrival is
+        // rejected. Slack-guided ranking probes SMALL first (smallest
+        // candidate that provably unblocks), relocates it to P1 and admits
+        // M with the same single move.
+        let constrained = |id: u32, wcet_ms: u64, deadline_ms: u64| {
+            Task::builder(id)
+                .wcet(Time::from_millis(wcet_ms))
+                .period(Time::from_millis(100))
+                .deadline(Time::from_millis(deadline_ms))
+                .build()
+                .unwrap()
+        };
+        let trace = [
+            constrained(0, 46, 100), // BIG → P0
+            constrained(1, 25, 40),  // SMALL → P0
+            constrained(4, 30, 59),  // L → P0 rejected (BIG at 101) → P1
+            constrained(9, 30, 50),  // M: the contested arrival
+        ];
+        let config = two_cores_no_split()
+            .with_max_repair_moves(1)
+            .with_fallback(false);
+        let run = |ranking: RepairRanking| {
+            let mut c =
+                AdmissionController::new(config.clone().with_repair_ranking(ranking)).unwrap();
+            let decisions: Vec<DecisionKind> =
+                trace.iter().map(|t| arrive(&mut c, t.clone())).collect();
+            (decisions, c)
+        };
+
+        let (util_decisions, util) = run(RepairRanking::Utilization);
+        assert_eq!(
+            util_decisions[3],
+            DecisionKind::Rejected {
+                reason: RejectionReason::NoFeasiblePlacement
+            },
+            "utilization ranking should burn its move on BIG and reject M"
+        );
+        assert!(util.partition().is_schedulable(util.config().test));
+
+        let (slack_decisions, slack) = run(RepairRanking::Slack);
+        assert_eq!(
+            slack_decisions[3],
+            DecisionKind::Admitted {
+                path: DecisionPath::Repair,
+                migrations: 1
+            },
+            "slack ranking should evict SMALL and admit M"
+        );
+        assert!(slack.partition().is_schedulable(slack.config().test));
+        // Soundness: every core of the slack-admitted partition passes a
+        // from-scratch exact RTA (not the cache, not the offline heuristic
+        // — whose first-fit search cannot find this arrangement and proves
+        // nothing about it).
+        for responses in slack.partition().response_times() {
+            assert!(responses.iter().all(Option::is_some));
+        }
+        assert_eq!(slack.partition().validate(), Ok(()));
+    }
+
+    #[test]
+    fn slack_ranking_relocates_split_chains() {
+        // Chain-aware relocation: under slack ranking a split parent is a
+        // legal victim — its whole chain is removed and re-placed. The
+        // utilization ranking never touches split parents.
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        for id in 0..2 {
+            arrive(&mut c, task(id, 6, 10));
+        }
+        arrive(&mut c, task(2, 6, 10));
+        assert_eq!(c.partition().split_count(), 1, "setup: task 2 is split");
+        // Both cores now carry ~90%; a 30% whole arrival has no room and
+        // no split capacity. Whether or not repair succeeds, picking a
+        // victim must consider the split parent without corrupting the
+        // partition.
+        arrive(&mut c, task(3, 3, 10));
+        assert_eq!(c.partition().validate(), Ok(()));
+        assert!(c.partition().is_schedulable(c.config().test));
     }
 
     #[test]

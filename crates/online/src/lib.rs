@@ -52,7 +52,7 @@ pub mod replay;
 pub use churn::ChurnGenerator;
 pub use controller::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
-    OnlineError, RejectionReason,
+    OnlineError, RejectionReason, RepairRanking,
 };
 pub use event::WorkloadEvent;
 pub use replay::{run_trace, ReplayConfig, ReplayOutcome};

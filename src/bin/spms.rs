@@ -97,6 +97,9 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             (0 disables bounded repair) [default: 2]
     --replay-ms <N>         Simulated milliseconds per admitted-epoch replay;
                             0 disables replay [default: 50]
+    --jitter-us <N>         Max sporadic release jitter per job injected by the
+                            replay, in microseconds (seeded per trace;
+                            0 replays synchronous-periodic) [default: 0]
     --overhead <zero|n4|n64>  Overhead model folded into the admission analysis
                             [default: zero]
     (--sets-per-point sets the churn traces generated per sweep point)
@@ -104,7 +107,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "rtabench",
-        "Cached vs from-scratch RTA on the admission fast path (E12, BENCH_rta)",
+        "Admission-cascade bench: cache, journal rollback, warm probes (E12/E13)",
         "    --cores <N>             Number of processors [default: 4]
     --events <N>            Arrive/depart events per churn trace [default: 120]
     --points <a,b,..>       Target normalized-utilization sweep points
@@ -112,8 +115,11 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     --repair-moves <K>      Max already-placed tasks relocated per admission
                             [default: 2]
     (--sets-per-point sets the churn traces generated per sweep point;
-     the `timing` object in the output is wall-clock measurement data and
-     is the only part that varies run-to-run)
+     drives four controller variants — cached, from-scratch RTA,
+     clone-based rollback, cold split probes — asserts their decision logs
+     are byte-identical and the journal hot path is clone-free; the
+     `timing` object in the output is wall-clock measurement data and is
+     the only part that varies run-to-run)
 ",
     ),
 ];
@@ -577,6 +583,9 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
     }
     if let Some(ms) = flags.take_u64("--replay-ms")? {
         experiment = experiment.replay_duration((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    if let Some(us) = flags.take_u64("--jitter-us")? {
+        experiment = experiment.release_jitter(Time::from_micros(us));
     }
     experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
     flags.expect_empty("online")?;

@@ -179,6 +179,19 @@ impl Display for BenchmarkId {
     }
 }
 
+/// Batching hint accepted by [`Bencher::iter_batched`] for API
+/// compatibility with real criterion; this shim always produces one input
+/// per iteration regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion would batch many per alloc.
+    SmallInput,
+    /// Inputs are large; criterion would batch fewer.
+    LargeInput,
+    /// One input per iteration (what this shim always does).
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
 pub struct Bencher {
     config: Criterion,
@@ -188,6 +201,49 @@ pub struct Bencher {
 impl Bencher {
     fn new(config: Criterion, name: String) -> Self {
         Self { config, name }
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding the setup
+    /// cost from the measurement (each iteration is timed individually and
+    /// the setup runs outside the timed window). The [`BatchSize`] hint is
+    /// accepted for API compatibility and ignored — inputs are always
+    /// produced one per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Warm up and estimate the per-iteration routine cost.
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while Instant::now() < warm_up_end {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_spent += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1.0e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut means = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            means.push(spent.as_secs_f64() / iters_per_sample as f64);
+        }
+        self.report(means);
     }
 
     /// Times `routine`, printing a one-line min/mean/max summary.
@@ -216,6 +272,11 @@ impl Bencher {
             }
             means.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
         }
+        self.report(means);
+    }
+
+    /// Prints the one-line min/mean/max summary over per-sample means.
+    fn report(&self, mut means: Vec<f64>) {
         means.sort_by(|a, b| a.total_cmp(b));
         let min = means.first().copied().unwrap_or(0.0);
         let max = means.last().copied().unwrap_or(0.0);
