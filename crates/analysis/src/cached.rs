@@ -31,7 +31,7 @@
 //! [`accepts_candidate`]: CachedCoreAnalysis::accepts_candidate
 //! [`accepts_prioritised`]: CachedCoreAnalysis::accepts_prioritised
 
-use spms_task::{Task, TaskId, Time};
+use spms_task::{Priority, Task, TaskId, Time};
 
 use crate::rta::{self, CoreAnalysis};
 
@@ -182,7 +182,54 @@ impl CachedCoreAnalysis {
     ///   new one → the old response is a valid **warm start**;
     /// * anything else → cold recompute.
     pub fn refresh(&mut self, tasks: &[Task]) {
-        self.refresh_general(tasks);
+        let _ = self.refresh_general(tasks);
+        self.debug_assert_converged();
+    }
+
+    /// Runs the refresh flavour selected by `mode` and returns a compact
+    /// [`RefreshUndo`] that restores the pre-refresh state bit-identically
+    /// via [`apply_refresh_undo`](Self::apply_refresh_undo).
+    ///
+    /// The undo record holds only the *differences* — entries the refresh
+    /// dropped, ids it added, and `(priority, response)` pairs of surviving
+    /// entries it changed — so a renormalization that shifts nothing (the
+    /// common steady-state case) records nothing, and one that shifts `k`
+    /// levels records `O(k)`, never a clone of the whole core. The diff is
+    /// computed against the old entry vector the refresh already detaches
+    /// internally, so building it performs no extra clones either.
+    pub fn refresh_with_undo(&mut self, tasks: &[Task], mode: RefreshMode) -> RefreshUndo {
+        let old = match mode {
+            RefreshMode::General => self.refresh_general(tasks),
+            RefreshMode::AfterInsert => self.refresh_after_insert_inner(tasks),
+            RefreshMode::AfterRemove => self.refresh_after_remove_inner(tasks),
+        };
+        let undo = RefreshUndo::diff(old, &self.entries);
+        self.debug_assert_converged();
+        undo
+    }
+
+    /// Restores the state a [`refresh_with_undo`](Self::refresh_with_undo)
+    /// call destroyed. Must be applied against the exact post-refresh state
+    /// the undo was recorded for (journal rewinds guarantee this by undoing
+    /// in LIFO order).
+    pub fn apply_refresh_undo(&mut self, undo: RefreshUndo) {
+        self.entries.retain(|e| !undo.added.contains(&e.task.id()));
+        for delta in undo.changed {
+            let entry = self
+                .entries
+                .iter_mut()
+                .find(|e| e.task.id() == delta.id)
+                .expect("refresh undo names a task no longer on the core");
+            match delta.priority {
+                Some(priority) => entry.task.set_priority(priority),
+                None => entry.task.clear_priority(),
+            }
+            entry.response = delta.response;
+        }
+        for (task, response) in undo.removed {
+            self.entries.push(Entry { task, response });
+        }
+        self.entries.sort_by_key(|e| sort_key(&e.task));
         self.debug_assert_converged();
     }
 
@@ -194,6 +241,14 @@ impl CachedCoreAnalysis {
     /// an unchanged level re-converges in a single interference sum — and
     /// only the new tasks run cold. No interferer profiles are built.
     pub fn refresh_after_insert(&mut self, tasks: &[Task]) {
+        let _ = self.refresh_after_insert_inner(tasks);
+        self.debug_assert_converged();
+    }
+
+    /// [`refresh_after_insert`](Self::refresh_after_insert) body; returns
+    /// the detached pre-refresh entries so
+    /// [`refresh_with_undo`](Self::refresh_with_undo) can diff them.
+    fn refresh_after_insert_inner(&mut self, tasks: &[Task]) -> Vec<Entry> {
         let old = std::mem::take(&mut self.entries);
         self.entries = tasks
             .iter()
@@ -215,7 +270,7 @@ impl CachedCoreAnalysis {
             let response = self.compute(i, warm);
             self.entries[i].response = response;
         }
-        self.debug_assert_converged();
+        old
     }
 
     /// [`refresh`](Self::refresh) specialised for a **pure removal**: the
@@ -224,6 +279,14 @@ impl CachedCoreAnalysis {
     /// above every removed task keep their fixed points outright; the rest
     /// lost interference and re-converge cold.
     pub fn refresh_after_remove(&mut self, tasks: &[Task]) {
+        let _ = self.refresh_after_remove_inner(tasks);
+        self.debug_assert_converged();
+    }
+
+    /// [`refresh_after_remove`](Self::refresh_after_remove) body; returns
+    /// the detached pre-refresh entries so
+    /// [`refresh_with_undo`](Self::refresh_with_undo) can diff them.
+    fn refresh_after_remove_inner(&mut self, tasks: &[Task]) -> Vec<Entry> {
         let old = std::mem::take(&mut self.entries);
         self.entries = tasks
             .iter()
@@ -252,7 +315,7 @@ impl CachedCoreAnalysis {
             };
             self.entries[i].response = response;
         }
-        self.debug_assert_converged();
+        old
     }
 
     /// Debug-build guard: after any refresh the cache must be bit-identical
@@ -271,8 +334,9 @@ impl CachedCoreAnalysis {
     }
 
     /// The general diff-based resynchronization behind
-    /// [`refresh`](Self::refresh).
-    fn refresh_general(&mut self, tasks: &[Task]) {
+    /// [`refresh`](Self::refresh); returns the detached pre-refresh entries
+    /// so [`refresh_with_undo`](Self::refresh_with_undo) can diff them.
+    fn refresh_general(&mut self, tasks: &[Task]) -> Vec<Entry> {
         let old = std::mem::take(&mut self.entries);
         self.entries = tasks
             .iter()
@@ -301,6 +365,7 @@ impl CachedCoreAnalysis {
             };
             self.entries[i].response = response;
         }
+        old
     }
 
     /// Non-mutating what-if probe: would the core stay schedulable with
@@ -629,6 +694,103 @@ impl ProbeWarmth {
     }
 }
 
+/// Which refresh specialisation [`CachedCoreAnalysis::refresh_with_undo`]
+/// runs — mirrors the three public refresh entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// The general diff-based resynchronization of
+    /// [`refresh`](CachedCoreAnalysis::refresh).
+    General,
+    /// The pure-insertion fast path of
+    /// [`refresh_after_insert`](CachedCoreAnalysis::refresh_after_insert).
+    AfterInsert,
+    /// The pure-removal fast path of
+    /// [`refresh_after_remove`](CachedCoreAnalysis::refresh_after_remove).
+    AfterRemove,
+}
+
+/// Prior `(priority, response)` of one surviving entry a refresh changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryDelta {
+    id: TaskId,
+    priority: Option<Priority>,
+    response: Option<Time>,
+}
+
+/// Compact, per-entry undo record of one
+/// [`CachedCoreAnalysis::refresh_with_undo`] call: only what the refresh
+/// actually changed — `O(changed levels)`, never a clone of the whole core.
+/// Consumed by [`CachedCoreAnalysis::apply_refresh_undo`].
+#[derive(Debug, Default)]
+pub struct RefreshUndo {
+    /// Entries the refresh dropped (or re-shaped beyond a priority shift):
+    /// full prior copies, reinserted on undo.
+    removed: Vec<(Task, Option<Time>)>,
+    /// Ids the refresh added (or re-shaped): their entries are dropped on
+    /// undo before the `removed` copies come back.
+    added: Vec<TaskId>,
+    /// Surviving entries whose priority or response shifted: prior values,
+    /// patched back in place on undo.
+    changed: Vec<EntryDelta>,
+}
+
+impl RefreshUndo {
+    /// Number of per-entry records the undo carries (test/bench support:
+    /// a no-op renormalization must record zero).
+    pub fn len(&self) -> usize {
+        self.removed.len() + self.added.len() + self.changed.len()
+    }
+
+    /// Whether the refresh changed nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Diffs the detached pre-refresh entries against the refreshed state.
+    /// `old` is consumed, so dropped entries move into the record without a
+    /// clone. A same-id entry whose task parameters changed shape (WCET,
+    /// period or deadline — possible through the general refresh after a
+    /// split re-carve) is treated as removed-plus-added.
+    fn diff(old: Vec<Entry>, new: &[Entry]) -> RefreshUndo {
+        let same_shape = |a: &Task, b: &Task| {
+            a.wcet() == b.wcet() && a.period() == b.period() && a.deadline() == b.deadline()
+        };
+        let added = new
+            .iter()
+            .filter(|e| {
+                !old.iter()
+                    .any(|p| p.task.id() == e.task.id() && same_shape(&p.task, &e.task))
+            })
+            .map(|e| e.task.id())
+            .collect();
+        let mut removed = Vec::new();
+        let mut changed = Vec::new();
+        for prev in old {
+            match new
+                .iter()
+                .find(|e| e.task.id() == prev.task.id() && same_shape(&prev.task, &e.task))
+            {
+                Some(now) => {
+                    if prev.task.priority() != now.task.priority() || prev.response != now.response
+                    {
+                        changed.push(EntryDelta {
+                            id: prev.task.id(),
+                            priority: prev.task.priority(),
+                            response: prev.response,
+                        });
+                    }
+                }
+                None => removed.push((prev.task, prev.response)),
+            }
+        }
+        RefreshUndo {
+            removed,
+            added,
+            changed,
+        }
+    }
+}
+
 /// How a previously converged response carries over through
 /// [`CachedCoreAnalysis::refresh`].
 enum ReusePlan {
@@ -790,6 +952,59 @@ mod tests {
             .collect();
         assert_eq!(before, after);
         assert_matches_scratch(&cache);
+    }
+
+    #[test]
+    fn refresh_undo_is_empty_for_noop_and_restores_bit_identically() {
+        // A refresh that changes nothing (same tasks, same levels) must
+        // record an empty undo — the journal's steady-state cost.
+        let initial = [task(0, 1, 4, 2), task(1, 2, 10, 3), task(2, 3, 20, 4)];
+        let mut cache = CachedCoreAnalysis::from_tasks(&initial);
+        let noop = cache.refresh_with_undo(&initial, RefreshMode::AfterInsert);
+        assert!(
+            noop.is_empty(),
+            "no-op refresh recorded {} deltas",
+            noop.len()
+        );
+
+        // An insertion-plus-shift refresh records only what changed, and
+        // applying the undo restores the prior state bit-identically.
+        let before = cache.clone();
+        let grown = [
+            task(0, 1, 4, 2),
+            task(3, 1, 6, 3),
+            task(1, 2, 10, 4),
+            task(2, 3, 20, 5),
+        ];
+        let undo = cache.refresh_with_undo(&grown, RefreshMode::AfterInsert);
+        assert!(!undo.is_empty());
+        assert!(undo.len() <= grown.len(), "undo must stay per-entry");
+        assert_matches_scratch(&cache);
+        cache.apply_refresh_undo(undo);
+        assert_eq!(cache, before);
+
+        // Same round trip through the removal-specialised refresh.
+        let before = cache.clone();
+        let shrunk = [task(0, 1, 4, 2), task(2, 3, 20, 3)];
+        let undo = cache.refresh_with_undo(&shrunk, RefreshMode::AfterRemove);
+        assert!(!undo.is_empty());
+        assert_matches_scratch(&cache);
+        cache.apply_refresh_undo(undo);
+        assert_eq!(cache, before);
+    }
+
+    #[test]
+    fn refresh_undo_round_trips_a_parameter_reshape() {
+        // The general refresh can see a same-id task change shape (split
+        // re-carves); the undo must restore the old shape outright.
+        let mut cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        let before = cache.clone();
+        let reshaped = [task(0, 2, 4, 2), task(1, 2, 10, 3)];
+        let undo = cache.refresh_with_undo(&reshaped, RefreshMode::General);
+        assert!(!undo.is_empty());
+        assert_matches_scratch(&cache);
+        cache.apply_refresh_undo(undo);
+        assert_eq!(cache, before);
     }
 
     #[test]

@@ -50,6 +50,6 @@ mod overhead;
 pub mod rta;
 mod uniprocessor_test;
 
-pub use cached::{CachedCoreAnalysis, ProbeWarmth};
+pub use cached::{CachedCoreAnalysis, ProbeWarmth, RefreshMode, RefreshUndo};
 pub use overhead::{OverheadModel, OverheadScenario};
 pub use uniprocessor_test::UniprocessorTest;

@@ -1,0 +1,94 @@
+//! Throughput of the sharded event-loop admission service: the soak
+//! experiment's hot path in isolation.
+//!
+//! `event_loop_{N}shard` drives one churn trace end to end through the full
+//! engine stack — `EventLoop` heap pops, seeded tie-shuffling, `ShardRouter`
+//! placement, per-shard admission cascades and periodic work-stealing
+//! rebalance ticks — so the number reported is simulated events per unit of
+//! wall-clock time, the same quantity `BENCH_soak.json` publishes as
+//! `decisions_per_sec`. Comparing the shard counts pins the sharding
+//! overhead (routing, overflow probing, rebalancing) against the smaller
+//! per-shard admitted sets each cascade has to analyse.
+//!
+//! `single_decision` isolates one warm arrival through the service front
+//! door — the routed analogue of the `online_admission/fast_path` bench —
+//! so regressions can be attributed to the per-decision path or the loop
+//! machinery around it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_online::{
+    ChurnGenerator, EventLoop, EventLoopConfig, OnlineConfig, ShardedAdmission, TimedEvent,
+    WorkloadEvent,
+};
+use spms_task::{Task, Time};
+use std::hint::black_box;
+
+const CORES: usize = 8;
+const SEED: u64 = 2011;
+
+/// One churn trace shared by every shard count, so the shard axis is the
+/// only thing that varies.
+fn trace(events: usize) -> Vec<TimedEvent> {
+    ChurnGenerator::new()
+        .cores(CORES)
+        .target_normalized_utilization(0.6)
+        .events(events)
+        .seed(SEED)
+        .generate_timed()
+        .expect("reachable churn configuration")
+}
+
+fn engine(shards: usize) -> ShardedAdmission {
+    ShardedAdmission::new(OnlineConfig::new(CORES), shards).expect("shards <= cores")
+}
+
+fn bench_soak_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soak_path");
+    let trace = trace(1000);
+
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("event_loop_{shards}shard"), |b| {
+            b.iter(|| {
+                let mut engine = engine(shards);
+                let mut event_loop = EventLoop::new(
+                    EventLoopConfig::new(SEED)
+                        .with_rebalance_period(Some(Time::from_millis(250)))
+                        .with_rebalance_max_moves(4),
+                );
+                event_loop.load_trace(&trace);
+                event_loop.run(&mut engine);
+                black_box(engine.decisions().len())
+            });
+        });
+    }
+
+    // A warm service deciding one routed arrival: the per-decision cost
+    // without the event-loop machinery.
+    let mut warm = engine(2);
+    warm.handle_all(
+        &trace
+            .iter()
+            .map(|timed| timed.event.clone())
+            .collect::<Vec<_>>(),
+    );
+    let probe = Task::new(1_000_000, Time::from_millis(2), Time::from_millis(50))
+        .expect("valid probe task");
+    group.bench_function("single_decision", |b| {
+        b.iter(|| {
+            let mut service = warm.clone();
+            black_box(service.handle_event(&WorkloadEvent::Arrive(probe.clone())))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_soak_path
+}
+criterion_main!(benches);

@@ -58,6 +58,7 @@ mod incremental;
 mod partitioned;
 mod partitioner;
 mod placement;
+mod shard;
 mod split_budget;
 
 pub use dmpm::SemiPartitionedDmPm;
@@ -71,3 +72,4 @@ pub use placement::{
     CoreId, JournalMark, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY,
     TAIL_PRIORITY, WHOLE_PRIORITY_BASE,
 };
+pub use shard::{rebalance_partitions, shard_core_counts, RebalanceMove, ShardRouter};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use spms_analysis::{rta, CachedCoreAnalysis, UniprocessorTest};
+use spms_analysis::{rta, CachedCoreAnalysis, RefreshMode, RefreshUndo, UniprocessorTest};
 use spms_task::{Priority, Task, TaskId, Time};
 
 std::thread_local! {
@@ -233,11 +233,13 @@ enum JournalOp {
     },
     /// [`Partition::renormalize_core_priorities`] rewrote the priorities of
     /// every placement on `core` (recorded in placement order) and refreshed
-    /// the cache slot from `prev_slot`.
+    /// the cache slot. `cache_undo` carries the prior staleness marker plus
+    /// the per-entry deltas the refresh destroyed — O(changed levels), not a
+    /// clone of the whole slot.
     Renormalize {
         core: CoreId,
         priorities: Vec<Option<Priority>>,
-        prev_slot: Option<CoreCacheSlot>,
+        cache_undo: Option<(CacheStaleness, RefreshUndo)>,
     },
 }
 
@@ -467,7 +469,7 @@ impl Partition {
             JournalOp::Renormalize {
                 core,
                 priorities,
-                prev_slot,
+                cache_undo,
             } => {
                 for (placed, prev) in self.cores[core.0].iter_mut().zip(priorities) {
                     match prev {
@@ -475,8 +477,10 @@ impl Partition {
                         None => placed.task.clear_priority(),
                     }
                 }
-                if let (Some(slots), Some(prev)) = (&mut self.cache, prev_slot) {
-                    slots[core.0] = prev;
+                if let (Some(slots), Some((staleness, undo))) = (&mut self.cache, cache_undo) {
+                    let slot = &mut slots[core.0];
+                    slot.analysis.apply_refresh_undo(undo);
+                    slot.staleness = staleness;
                 }
             }
         }
@@ -790,18 +794,13 @@ impl Partition {
     ///
     /// Panics if the core id is out of range.
     pub fn renormalize_core_priorities(&mut self, core: CoreId) {
-        if self.recording() {
-            let priorities = self.cores[core.0]
+        let recording = self.recording();
+        let priorities: Option<Vec<Option<Priority>>> = recording.then(|| {
+            self.cores[core.0]
                 .iter()
                 .map(|p| p.task.priority())
-                .collect();
-            let prev_slot = self.cache.as_ref().map(|s| s[core.0].clone());
-            self.record(JournalOp::Renormalize {
-                core,
-                priorities,
-                prev_slot,
-            });
-        }
+                .collect()
+        });
         assign_whole_priorities(
             self.cores[core.0]
                 .iter_mut()
@@ -809,21 +808,41 @@ impl Partition {
                 .map(|p| &mut p.task)
                 .collect(),
         );
+        let mut cache_undo = None;
         if let Some(slots) = &mut self.cache {
             let tasks: Vec<Task> = self.cores[core.0].iter().map(|p| p.task.clone()).collect();
             let slot = &mut slots[core.0];
-            match slot.staleness {
+            let mode = match slot.staleness {
+                // Renormalization of an untouched core cannot reorder
+                // tasks; levels may shift, which the insert-specialised
+                // refresh absorbs with one warm iteration per task.
                 CacheStaleness::Fresh if slot.analysis.len() == tasks.len() => {
-                    // Renormalization of an untouched core cannot reorder
-                    // tasks; levels may shift, which the insert-specialised
-                    // refresh absorbs with one warm iteration per task.
-                    slot.analysis.refresh_after_insert(&tasks)
+                    RefreshMode::AfterInsert
                 }
-                CacheStaleness::Inserted => slot.analysis.refresh_after_insert(&tasks),
-                CacheStaleness::Removed => slot.analysis.refresh_after_remove(&tasks),
-                _ => slot.analysis.refresh(&tasks),
+                CacheStaleness::Inserted => RefreshMode::AfterInsert,
+                CacheStaleness::Removed => RefreshMode::AfterRemove,
+                _ => RefreshMode::General,
+            };
+            if recording {
+                // Undo data is only the per-entry deltas the refresh
+                // destroys — the journal never clones a whole cache slot.
+                let undo = slot.analysis.refresh_with_undo(&tasks, mode);
+                cache_undo = Some((slot.staleness, undo));
+            } else {
+                match mode {
+                    RefreshMode::AfterInsert => slot.analysis.refresh_after_insert(&tasks),
+                    RefreshMode::AfterRemove => slot.analysis.refresh_after_remove(&tasks),
+                    RefreshMode::General => slot.analysis.refresh(&tasks),
+                }
             }
             slot.staleness = CacheStaleness::Fresh;
+        }
+        if recording {
+            self.record(JournalOp::Renormalize {
+                core,
+                priorities: priorities.expect("captured while recording"),
+                cache_undo,
+            });
         }
     }
 

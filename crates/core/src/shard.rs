@@ -1,0 +1,368 @@
+//! Sharding primitives for the online admission service.
+//!
+//! A sharded deployment splits the machine's core set into N independent
+//! [`Partition`]s, each with its own mutation journal and RTA cache, so
+//! admission decisions on different shards never contend on shared analysis
+//! state. This module supplies the pieces that are pure placement policy —
+//! everything that does not need to know about admission bookkeeping:
+//!
+//! * [`shard_core_counts`] — near-even division of the core set,
+//! * [`ShardRouter`] — deterministic hash-based home-shard assignment plus a
+//!   utilization-aware overflow order for cross-shard placement when the
+//!   home shard rejects an arrival,
+//! * [`rebalance_partitions`] — the periodic work-stealing pass that moves
+//!   whole-placed tasks from the most-loaded shard to the most-spare one,
+//!   each attempt wrapped in a journal rollback scope on the donor so a
+//!   receiver-side rejection leaves both shards untouched.
+
+use crate::incremental::IncrementalPlacer;
+use crate::placement::{CoreId, Partition};
+use spms_task::{Task, TaskId};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |acc, b| {
+        (acc ^ u64::from(*b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// Splits `total_cores` processor cores into `shards` near-even groups.
+///
+/// The first `total_cores % shards` shards get one extra core, so shard
+/// sizes differ by at most one and every core is assigned exactly once.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or exceeds `total_cores` (a shard with zero
+/// cores could never admit anything).
+pub fn shard_core_counts(total_cores: usize, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "shard count must be positive");
+    assert!(
+        shards <= total_cores,
+        "cannot split {total_cores} cores into {shards} shards"
+    );
+    let base = total_cores / shards;
+    let extra = total_cores % shards;
+    (0..shards)
+        .map(|idx| base + usize::from(idx < extra))
+        .collect()
+}
+
+/// Routes arriving tasks to shards.
+///
+/// Every task has a deterministic *home shard* derived from an FNV-1a hash
+/// of its id, which spreads unrelated arrivals across shards without any
+/// shared state. When the home shard rejects, [`placement_order`]
+/// (ShardRouter::placement_order) continues with the remaining shards in
+/// descending spare-utilization order (index as the tie-break), so overflow
+/// placement tries the roomiest shard first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shard_count: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shard_count` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn new(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard count must be positive");
+        ShardRouter { shard_count }
+    }
+
+    /// The number of shards routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The deterministic home shard for a task id.
+    pub fn home_shard(&self, id: TaskId) -> usize {
+        (fnv1a(&id.0.to_le_bytes()) % self.shard_count as u64) as usize
+    }
+
+    /// The order in which shards should be offered an arriving task: the
+    /// home shard first, then every other shard by descending spare
+    /// utilization (`spare[i]`), lowest index first on ties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spare` does not have one entry per shard.
+    pub fn placement_order(&self, id: TaskId, spare: &[f64]) -> Vec<usize> {
+        assert_eq!(
+            spare.len(),
+            self.shard_count,
+            "spare-utilization vector must have one entry per shard"
+        );
+        let home = self.home_shard(id);
+        let mut order = Vec::with_capacity(self.shard_count);
+        order.push(home);
+        let mut rest: Vec<usize> = (0..self.shard_count).filter(|i| *i != home).collect();
+        rest.sort_by(|a, b| {
+            spare[*b]
+                .partial_cmp(&spare[*a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        order.extend(rest);
+        order
+    }
+}
+
+/// One task migration performed by [`rebalance_partitions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceMove {
+    /// The migrated parent task.
+    pub task: TaskId,
+    /// Shard the task left.
+    pub from: usize,
+    /// Shard the task now lives on.
+    pub to: usize,
+}
+
+/// Total spare utilization of one shard (sum over its cores).
+fn shard_spare(partition: &Partition) -> f64 {
+    (0..partition.core_count())
+        .map(|c| partition.spare_utilization(CoreId(c)))
+        .sum()
+}
+
+/// Work-steals spare utilization between shards: repeatedly moves a
+/// whole-placed task from the most-loaded shard (least spare utilization)
+/// to the most-spare one, until `max_moves` migrations have been performed
+/// or no migration still improves the balance.
+///
+/// Only migrations that keep the receiver at least as spare as the donor
+/// afterwards are attempted (`u <= (spare_to - spare_from) / 2`), which
+/// rules out oscillation across successive rebalance ticks. Among the
+/// eligible candidates the largest utilization is tried first (steal the
+/// most imbalance per move), smallest id on ties. Split tasks never move:
+/// their placements encode cross-core precedence that a whole-placement
+/// steal cannot preserve.
+///
+/// Each attempt removes the candidate from the donor inside a journal
+/// rollback scope, then plans a whole placement on the receiver; if the
+/// receiver's RTA rejects the task the donor is rewound bit-identically
+/// and the next candidate is tried. Donors without an attached journal
+/// fall back to planning on the receiver *before* removing, which needs no
+/// rollback but plans against slightly staler receiver state (the outcome
+/// is identical because donor and receiver are distinct partitions).
+///
+/// `lookup` maps a parent id back to the original (un-inflated) task; ids
+/// it cannot resolve are skipped. Returns the migrations performed, in
+/// order.
+pub fn rebalance_partitions(
+    shards: &mut [&mut Partition],
+    placer: &IncrementalPlacer,
+    lookup: &dyn Fn(TaskId) -> Option<Task>,
+    max_moves: usize,
+) -> Vec<RebalanceMove> {
+    let mut moves = Vec::new();
+    if shards.len() < 2 {
+        return moves;
+    }
+    'pass: while moves.len() < max_moves {
+        let spares: Vec<f64> = shards.iter().map(|p| shard_spare(p)).collect();
+        let donor = (0..spares.len())
+            .min_by(|a, b| {
+                spares[*a]
+                    .partial_cmp(&spares[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(b))
+            })
+            .expect("at least two shards");
+        let receiver = (0..spares.len())
+            .max_by(|a, b| {
+                spares[*a]
+                    .partial_cmp(&spares[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.cmp(a))
+            })
+            .expect("at least two shards");
+        if donor == receiver {
+            return moves;
+        }
+        let headroom = (spares[receiver] - spares[donor]) / 2.0;
+        if headroom <= 0.0 {
+            return moves;
+        }
+
+        let mut candidates: Vec<(TaskId, Task)> = shards[donor]
+            .parent_ids()
+            .into_iter()
+            .filter(|id| {
+                let placements = shards[donor].placements_of(*id);
+                placements.len() == 1 && !placements[0].1.is_split()
+            })
+            .filter_map(|id| lookup(id).map(|task| (id, task)))
+            .filter(|(_, task)| {
+                let u = task.utilization();
+                u > 0.0 && u <= headroom
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.1.utilization()
+                .partial_cmp(&a.1.utilization())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        for (id, task) in candidates {
+            let migrated = if shards[donor].journal_enabled() {
+                let mark = shards[donor].journal_begin();
+                shards[donor].remove_parent(id);
+                match placer.plan_whole(shards[receiver], &task, &[]) {
+                    Some(plan) => {
+                        placer.commit(shards[receiver], &task, plan);
+                        shards[donor].journal_end();
+                        true
+                    }
+                    None => {
+                        shards[donor].rewind(mark);
+                        shards[donor].journal_end();
+                        false
+                    }
+                }
+            } else {
+                match placer.plan_whole(shards[receiver], &task, &[]) {
+                    Some(plan) => {
+                        shards[donor].remove_parent(id);
+                        placer.commit(shards[receiver], &task, plan);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if migrated {
+                moves.push(RebalanceMove {
+                    task: id,
+                    from: donor,
+                    to: receiver,
+                });
+                continue 'pass;
+            }
+        }
+        // No candidate on the most-loaded shard fits the most-spare one:
+        // further passes would pick the same pair, so the rebalance is done.
+        return moves;
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::Time;
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> Task {
+        Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(period_ms)).expect("valid task")
+    }
+
+    fn shard_with(cores: usize, tasks: &[Task]) -> Partition {
+        let mut partition = Partition::new(cores);
+        partition.enable_analysis_cache();
+        partition.enable_journal();
+        let placer = IncrementalPlacer::new();
+        for t in tasks {
+            let plan = placer.plan_whole(&partition, t, &[]).expect("fits");
+            placer.commit(&mut partition, t, plan);
+        }
+        partition
+    }
+
+    #[test]
+    fn core_counts_split_near_evenly() {
+        assert_eq!(shard_core_counts(8, 1), vec![8]);
+        assert_eq!(shard_core_counts(8, 2), vec![4, 4]);
+        assert_eq!(shard_core_counts(8, 3), vec![3, 3, 2]);
+        assert_eq!(shard_core_counts(5, 4), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn core_counts_reject_more_shards_than_cores() {
+        shard_core_counts(2, 3);
+    }
+
+    #[test]
+    fn home_shard_is_stable_and_in_range() {
+        let router = ShardRouter::new(3);
+        for id in 0..64u32 {
+            let home = router.home_shard(TaskId(id));
+            assert!(home < 3);
+            assert_eq!(home, router.home_shard(TaskId(id)));
+        }
+        // The hash actually spreads ids over shards.
+        let homes: std::collections::BTreeSet<usize> =
+            (0..64u32).map(|id| router.home_shard(TaskId(id))).collect();
+        assert_eq!(homes.len(), 3);
+    }
+
+    #[test]
+    fn placement_order_visits_home_first_then_spare_descending() {
+        let router = ShardRouter::new(4);
+        let id = TaskId(7);
+        let home = router.home_shard(id);
+        let mut spare = vec![0.25, 0.5, 1.5, 1.0];
+        spare[home] = 0.0; // a full home shard is still tried first
+        let order = router.placement_order(id, &spare);
+        assert_eq!(order[0], home);
+        let rest: Vec<usize> = order[1..].to_vec();
+        let mut expected: Vec<usize> = (0..4).filter(|i| *i != home).collect();
+        expected.sort_by(|a, b| {
+            spare[*b]
+                .partial_cmp(&spare[*a])
+                .unwrap()
+                .then_with(|| a.cmp(b))
+        });
+        assert_eq!(rest, expected);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn rebalance_moves_load_toward_the_spare_shard() {
+        // Donor shard: one core at 0.9 utilization; receiver: one core,
+        // empty. Stealing the 0.4 task keeps the receiver the spare one.
+        let t_heavy = task(0, 5, 10); // u = 0.5
+        let t_light = task(1, 4, 10); // u = 0.4
+        let mut donor = shard_with(1, &[t_heavy.clone(), t_light.clone()]);
+        let mut receiver = shard_with(1, &[]);
+        let placer = IncrementalPlacer::new();
+        let tasks = [t_heavy, t_light];
+        let lookup = |id: TaskId| tasks.iter().find(|t| t.id() == id).cloned();
+
+        let mut shards = [&mut donor, &mut receiver];
+        let moves = rebalance_partitions(&mut shards, &placer, &lookup, 4);
+
+        assert_eq!(
+            moves,
+            vec![RebalanceMove {
+                task: TaskId(1),
+                from: 0,
+                to: 1,
+            }]
+        );
+        assert!(donor.placements_of(TaskId(1)).is_empty());
+        assert_eq!(receiver.placements_of(TaskId(1)).len(), 1);
+        // Balanced enough that a second pass does nothing.
+        let mut shards = [&mut donor, &mut receiver];
+        assert!(rebalance_partitions(&mut shards, &placer, &lookup, 4).is_empty());
+    }
+
+    #[test]
+    fn rebalance_never_moves_split_tasks_or_oscillates() {
+        let light = task(2, 1, 10); // u = 0.1
+        let mut a = shard_with(1, std::slice::from_ref(&light));
+        let mut b = shard_with(1, &[]);
+        let placer = IncrementalPlacer::new();
+        let lookup = |id: TaskId| (id == light.id()).then(|| light.clone());
+        // spare(a) = 0.9, spare(b) = 1.0: headroom 0.05 < u, so no move.
+        let mut shards = [&mut a, &mut b];
+        assert!(rebalance_partitions(&mut shards, &placer, &lookup, 8).is_empty());
+    }
+}

@@ -24,7 +24,12 @@
 //! * [`RtaCacheBenchmark`] — the incremental-RTA regression guard: drives
 //!   cached and from-scratch controllers over identical churn traces,
 //!   asserts byte-identical decision logs and reports the wall-clock
-//!   speedup (E12, the `BENCH_rta.json` CI artifact).
+//!   speedup (E12, the `BENCH_rta.json` CI artifact),
+//! * [`SoakExperiment`] — million-event endurance runs of the sharded
+//!   event-loop admission service: decisions/sec throughput, decision
+//!   latency percentiles, cross-shard-count event-stream digests and
+//!   sampled schedulability replays (E14, the `BENCH_soak.json` CI
+//!   artifact).
 //!
 //! Each experiment produces a plain-old-data result type with
 //! `render_markdown()` / `render_csv()` helpers so that examples, benches and
@@ -68,6 +73,7 @@ mod rta_cache;
 mod runner;
 mod runtime_costs;
 mod sensitivity;
+mod soak;
 
 pub use acceptance::{AcceptancePoint, AcceptanceRatioExperiment, AcceptanceRatioResults};
 pub use algorithms::AlgorithmKind;
@@ -83,6 +89,7 @@ pub use rta_cache::{RtaCacheBenchmark, RtaCachePoint, RtaCacheResults, RtaCacheT
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
 pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};
+pub use soak::{SoakExperiment, SoakPoint, SoakResults, SoakTiming};
 
 /// Whether a sweep-axis value matches a query within the tolerance used by
 /// the `*_at()` result lookups (1e-9 — utilization points and overhead

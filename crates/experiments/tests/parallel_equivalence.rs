@@ -10,6 +10,7 @@
 use spms_experiments::{
     AcceptanceRatioExperiment, CacheCrossoverExperiment, CoreCountSweepExperiment,
     GlobalComparisonExperiment, OverheadSensitivityExperiment, RuntimeCostExperiment,
+    SoakExperiment,
 };
 use spms_task::Time;
 
@@ -98,4 +99,33 @@ fn cache_crossover_is_thread_count_invariant() {
         json(&base.clone().threads(1).run()),
         json(&base.clone().threads(3).run())
     );
+}
+
+#[test]
+fn soak_deterministic_half_is_thread_count_invariant() {
+    // The soak results carry a wall-clock `timing` array by design, so the
+    // invariance contract covers the deterministic half: per-shard-count
+    // points (with their event and decision digests) and the stream
+    // invariant / replay-miss verdicts.
+    let base = SoakExperiment::new()
+        .cores(4)
+        .shard_counts(vec![1, 2])
+        .events_per_trace(150)
+        .traces_per_point(3)
+        .replay_sample_every(40)
+        .seed(42);
+    let serial = base.clone().threads(1).run();
+    for threads in [2, 4, 0] {
+        let parallel = base.clone().threads(threads).run();
+        assert_eq!(
+            json(&serial.points().to_vec()),
+            json(&parallel.points().to_vec()),
+            "threads={threads}"
+        );
+        assert_eq!(
+            serial.event_stream_shard_invariant,
+            parallel.event_stream_shard_invariant
+        );
+        assert_eq!(serial.replay_misses, parallel.replay_misses);
+    }
 }

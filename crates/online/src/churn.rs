@@ -28,7 +28,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use spms_task::{Task, TaskError, TaskId, Time};
 
-use crate::WorkloadEvent;
+use crate::{TimedEvent, WorkloadEvent};
 
 /// Seedable generator of churn traces. See the [module docs](self) for the
 /// stochastic model.
@@ -146,6 +146,25 @@ impl ChurnGenerator {
     /// Returns [`TaskError::InvalidGeneratorConfig`] when the configuration
     /// is inconsistent (zero events, non-positive target, empty ranges, ...).
     pub fn generate(&self) -> Result<Vec<WorkloadEvent>, TaskError> {
+        Ok(self
+            .generate_timed()?
+            .into_iter()
+            .map(|timed| timed.event)
+            .collect())
+    }
+
+    /// [`generate`](Self::generate) with each event stamped by its absolute
+    /// occurrence time (arrivals at the Poisson clock, departures at the
+    /// end of their task's lifetime), for feeding the
+    /// [`EventLoop`](crate::EventLoop). The RNG draw order is identical to
+    /// `generate`, so the untimed trace is exactly the timed one with the
+    /// stamps stripped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidGeneratorConfig`] when the configuration
+    /// is inconsistent (zero events, non-positive target, empty ranges, ...).
+    pub fn generate_timed(&self) -> Result<Vec<TimedEvent>, TaskError> {
         self.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let base_utilization = (self.target_normalized_utilization * self.cores as f64
@@ -167,7 +186,10 @@ impl ChurnGenerator {
                 match departures.first() {
                     Some(&(when, id)) if when <= arrival_time => {
                         departures.remove(0);
-                        events.push(WorkloadEvent::Depart(id));
+                        events.push(TimedEvent {
+                            at: Time::from_secs_f64(when),
+                            event: WorkloadEvent::Depart(id),
+                        });
                     }
                     _ => break,
                 }
@@ -185,7 +207,10 @@ impl ChurnGenerator {
                 })
                 .unwrap_or_else(|i| i);
             departures.insert(idx, (clock + lifetime, TaskId(next_id)));
-            events.push(WorkloadEvent::Arrive(task));
+            events.push(TimedEvent {
+                at: Time::from_secs_f64(clock),
+                event: WorkloadEvent::Arrive(task),
+            });
             next_id += 1;
         }
         Ok(events)
@@ -298,6 +323,19 @@ mod tests {
         assert_eq!(gen.generate().unwrap(), gen.generate().unwrap());
         let other = ChurnGenerator::new().events(50).seed(8).generate().unwrap();
         assert_ne!(gen.generate().unwrap(), other);
+    }
+
+    #[test]
+    fn timed_traces_strip_to_untimed_and_are_monotonic() {
+        let gen = ChurnGenerator::new().events(120).seed(13);
+        let timed = gen.generate_timed().unwrap();
+        let untimed = gen.generate().unwrap();
+        assert_eq!(timed.len(), untimed.len());
+        assert!(timed.iter().zip(&untimed).all(|(t, u)| &t.event == u));
+        assert!(
+            timed.windows(2).all(|w| w[0].at <= w[1].at),
+            "timestamps must be non-decreasing"
+        );
     }
 
     #[test]

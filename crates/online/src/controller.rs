@@ -65,12 +65,23 @@ use crate::WorkloadEvent;
 pub enum OnlineError {
     /// The platform must have at least one core.
     NoCores,
+    /// A sharded service needs between 1 and `cores` shards.
+    InvalidShardCount {
+        /// The requested shard count.
+        shards: usize,
+        /// The platform's core count.
+        cores: usize,
+    },
 }
 
 impl fmt::Display for OnlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OnlineError::NoCores => write!(f, "online admission needs at least one core"),
+            OnlineError::InvalidShardCount { shards, cores } => write!(
+                f,
+                "cannot shard {cores} cores into {shards} admission shards"
+            ),
         }
     }
 }
@@ -426,6 +437,16 @@ impl AdmissionController {
         &self.partition
     }
 
+    /// Whether a task with this id is currently admitted.
+    pub fn is_admitted(&self, id: TaskId) -> bool {
+        self.admitted.contains_key(&id)
+    }
+
+    /// The admitted copy (original parameters) of one task, if present.
+    pub fn admitted_task(&self, id: TaskId) -> Option<&Task> {
+        self.admitted.get(&id)
+    }
+
     /// The controller configuration.
     pub fn config(&self) -> &OnlineConfig {
         &self.config
@@ -562,7 +583,7 @@ impl AdmissionController {
         if self.config.max_repair_moves == 0 {
             return None;
         }
-        for target in (0..self.config.cores).map(CoreId) {
+        for target in self.repair_target_order(task) {
             let rollback = self.begin_rollback();
             match self.repair_on(target, task) {
                 Some(moves) => {
@@ -573,6 +594,39 @@ impl AdmissionController {
             }
         }
         None
+    }
+
+    /// Candidate repair targets, most repairable first, instead of raw
+    /// index order: cores where [`probe_whole`](IncrementalPlacer::probe_whole)
+    /// localizes a concrete blocker (so the victim search has something to
+    /// aim at) come before cores where it cannot, and within each group the
+    /// arrival's *deficit* — how far over capacity the core would go with
+    /// the arrival added (`U(core) + u(arrival) − 1`) — ranks ascending:
+    /// the core needing the least utilization shed is tried first, so the
+    /// common case commits on the first attempt and rejected-target rewinds
+    /// drop. Ties break on core index, keeping the order deterministic and
+    /// independent of every pure-mechanism knob (cache / journal / warm
+    /// probes).
+    fn repair_target_order(&self, task: &Task) -> Vec<CoreId> {
+        let utilizations = self.partition.core_utilizations();
+        let mut scored: Vec<(bool, f64, usize)> = (0..self.config.cores)
+            .map(|idx| {
+                let localized = match self.placer.probe_whole(&self.partition, CoreId(idx), task) {
+                    // Unreachable in practice: repair runs after first-fit
+                    // failed on every core. Rank it first defensively.
+                    WholeProbe::Accepted => true,
+                    WholeProbe::Blocked { blocker } => blocker.is_some(),
+                };
+                let deficit = utilizations[idx] + task.utilization() - 1.0;
+                (!localized, deficit, idx)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        scored.into_iter().map(|(_, _, idx)| CoreId(idx)).collect()
     }
 
     /// One repair attempt against a fixed `target` core. Mutates the
@@ -893,6 +947,51 @@ impl AdmissionController {
     }
 }
 
+/// The controller *is* the production admission shard: one decision
+/// cascade over one partition slice. See [`AdmissionShard`](crate::AdmissionShard)
+/// for the bookkeeping contract of the rebalancer plumbing methods.
+impl crate::AdmissionShard for AdmissionController {
+    fn decide(&mut self, event: &WorkloadEvent) -> Decision {
+        self.handle_event(event)
+    }
+
+    fn resident(&self, id: TaskId) -> bool {
+        self.is_admitted(id)
+    }
+
+    fn admitted_utilization(&self) -> f64 {
+        AdmissionController::admitted_utilization(self)
+    }
+
+    fn core_count(&self) -> usize {
+        self.config.cores
+    }
+
+    fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn partition_mut(&mut self) -> &mut Partition {
+        &mut self.partition
+    }
+
+    fn lookup_admitted(&self, id: TaskId) -> Option<Task> {
+        self.admitted.get(&id).cloned()
+    }
+
+    fn forget_admitted(&mut self, id: TaskId) -> Option<Task> {
+        self.admitted.remove(&id)
+    }
+
+    fn note_admitted(&mut self, task: Task) {
+        self.admitted.insert(task.id(), task);
+    }
+
+    fn placer(&self) -> &IncrementalPlacer {
+        &self.placer
+    }
+}
+
 /// How one speculative repair scope will be rolled back: a journal mark
 /// (rewind in O(moves)) or a full snapshot clone (O(tasks), the PR 3
 /// behaviour kept for benchmarking via [`OnlineConfig::use_journal`]).
@@ -1003,6 +1102,21 @@ mod tests {
         assert_eq!(c.stats().repairs, 1);
         assert_eq!(c.stats().migrations_caused, 1);
         assert!(c.partition().is_schedulable(c.config().test));
+    }
+
+    #[test]
+    fn repair_targets_rank_by_blocker_deficit() {
+        // P0 carries 0.85, P1 carries 0.55. A 0.50 arrival fits nowhere
+        // whole; the repair cascade must try P1 first (deficit 0.05) and
+        // P0 last (deficit 0.35) — not index order.
+        let mut c = AdmissionController::new(two_cores_no_split()).unwrap();
+        arrive(&mut c, task(0, 85, 100));
+        arrive(&mut c, task(1, 55, 100));
+        assert_eq!(
+            c.repair_target_order(&task(2, 50, 100)),
+            vec![CoreId(1), CoreId(0)],
+            "the core needing the least shed utilization must come first"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The workload-event stream the admission controller consumes.
 
 use serde::{Deserialize, Serialize};
-use spms_task::{Task, TaskId};
+use spms_task::{Task, TaskId, Time};
 
 /// One event of an online workload: a task asking to join the system, or an
 /// admitted task leaving it.
@@ -26,6 +26,20 @@ impl WorkloadEvent {
     pub fn is_arrival(&self) -> bool {
         matches!(self, WorkloadEvent::Arrive(_))
     }
+}
+
+/// A [`WorkloadEvent`] stamped with its absolute occurrence time.
+///
+/// Timed traces feed the [`EventLoop`](crate::EventLoop): events sharing a
+/// timestamp form one batch whose processing order is decided by the loop's
+/// seeded tie-shuffle, while events at distinct timestamps keep their
+/// temporal order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Absolute time the event occurs at.
+    pub at: Time,
+    /// The workload event itself.
+    pub event: WorkloadEvent,
 }
 
 #[cfg(test)]

@@ -1,0 +1,391 @@
+//! The timestamped event loop driving a sharded admission service.
+//!
+//! [`EventLoop`] turns the admission layer from a synchronous library call
+//! into an engine: events live in a timestamped [`BinaryHeap`] and are
+//! processed in time order — workload arrivals and departures from a
+//! loaded trace, deadline expirations that synthesize a departure when an
+//! admitted task's lease runs out, and periodic rebalance ticks that
+//! work-steal utilization between shards.
+//!
+//! **Determinism.** Events sharing a timestamp form one batch whose
+//! processing order is decided by a seeded ChaCha8 tie-shuffle, not by
+//! heap insertion order; everything else is ordered by `(time, sequence)`.
+//! Equal configuration, trace and shuffle seed therefore reproduce the
+//! processed event stream byte-identically. With leases disabled the heap
+//! content is independent of admission outcomes, so the processed stream
+//! is also identical *across shard counts* (the `events_digest` the soak
+//! experiment asserts on); with leases enabled, expirations depend on
+//! which arrivals were admitted, which may legitimately differ between
+//! shard layouts.
+//!
+//! The loop records every workload event it dispatches (including
+//! synthesized lease departures) as a [`TimedEvent`] log. Feeding that
+//! log to a fresh single controller reproduces a 1-shard run's decision
+//! log byte-identically — the `shard_equivalence` suite enforces it.
+
+use std::collections::BinaryHeap;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spms_task::{TaskId, Time};
+
+use crate::{AdmissionShard, Decision, ShardedAdmission, TimedEvent, WorkloadEvent};
+
+/// One event the loop can process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A workload event from the trace (or injected by a caller).
+    Workload(WorkloadEvent),
+    /// An admitted task's lease ran out: synthesize its departure if it is
+    /// still resident, else ignore (it already departed).
+    DeadlineExpire(TaskId),
+    /// Run one work-stealing rebalance pass over the shards.
+    RebalanceTick,
+}
+
+/// Heap entry: a scheduled event with its timestamp and insertion
+/// sequence. The heap is a max-heap, so `Ord` is reversed to pop the
+/// earliest `(at, seq)` first.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: EngineEvent,
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Configuration of an [`EventLoop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLoopConfig {
+    /// Seed of the same-timestamp tie-shuffle.
+    pub shuffle_seed: u64,
+    /// When set, every admission schedules a deadline expiration `lease`
+    /// after its admission time, synthesizing a departure if the task is
+    /// still resident then. `None` (the default) disables leases and keeps
+    /// the heap content — and thus the processed event stream —
+    /// independent of admission outcomes.
+    pub lease: Option<Time>,
+    /// When set, a rebalance tick fires every `period` while workload
+    /// events remain pending.
+    pub rebalance_period: Option<Time>,
+    /// Migration budget of each rebalance tick.
+    pub rebalance_max_moves: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            shuffle_seed: 0,
+            lease: None,
+            rebalance_period: None,
+            rebalance_max_moves: 4,
+        }
+    }
+}
+
+impl EventLoopConfig {
+    /// A default configuration with the given tie-shuffle seed.
+    pub fn new(shuffle_seed: u64) -> Self {
+        EventLoopConfig {
+            shuffle_seed,
+            ..EventLoopConfig::default()
+        }
+    }
+
+    /// Sets the admission lease (builder style).
+    pub fn with_lease(mut self, lease: Option<Time>) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Sets the rebalance period (builder style).
+    pub fn with_rebalance_period(mut self, period: Option<Time>) -> Self {
+        self.rebalance_period = period;
+        self
+    }
+
+    /// Sets the per-tick migration budget (builder style).
+    pub fn with_rebalance_max_moves(mut self, moves: usize) -> Self {
+        self.rebalance_max_moves = moves;
+        self
+    }
+}
+
+/// The timestamped event loop. See the [module docs](self) for ordering
+/// and determinism guarantees.
+#[derive(Debug, Clone)]
+pub struct EventLoop {
+    config: EventLoopConfig,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    pending_workload: usize,
+    now: Time,
+    log: Vec<TimedEvent>,
+}
+
+impl EventLoop {
+    /// An empty loop.
+    pub fn new(config: EventLoopConfig) -> Self {
+        EventLoop {
+            config,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pending_workload: 0,
+            now: Time::ZERO,
+            log: Vec::new(),
+        }
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &EventLoopConfig {
+        &self.config
+    }
+
+    /// Schedules one event at an absolute time.
+    pub fn schedule(&mut self, at: Time, event: EngineEvent) {
+        if matches!(event, EngineEvent::Workload(_)) {
+            self.pending_workload += 1;
+        }
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules a whole timed workload trace.
+    pub fn load_trace(&mut self, trace: &[TimedEvent]) {
+        for timed in trace {
+            self.schedule(timed.at, EngineEvent::Workload(timed.event.clone()));
+        }
+    }
+
+    /// The simulated clock: timestamp of the last processed batch.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The workload events dispatched so far, in processing order, with
+    /// the timestamps they fired at. Synthesized lease departures appear
+    /// here too; rebalance ticks (which make no admission decision) do
+    /// not.
+    pub fn event_log(&self) -> &[TimedEvent] {
+        &self.log
+    }
+
+    /// Detaches the processed-event log (e.g. to write a replayable
+    /// trace) without cloning it.
+    pub fn take_event_log(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Runs until the heap is empty, dispatching every event to `engine`.
+    pub fn run<S: AdmissionShard>(&mut self, engine: &mut ShardedAdmission<S>) {
+        self.run_with(engine, |_, _| {});
+    }
+
+    /// [`run`](Self::run) with an observer called after every decision —
+    /// the hook the soak experiment uses to sample schedulability
+    /// replays.
+    pub fn run_with<S: AdmissionShard>(
+        &mut self,
+        engine: &mut ShardedAdmission<S>,
+        mut observer: impl FnMut(&ShardedAdmission<S>, &Decision),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.shuffle_seed);
+        if let Some(period) = self.config.rebalance_period {
+            if self.pending_workload > 0 {
+                self.schedule(self.now + period, EngineEvent::RebalanceTick);
+            }
+        }
+        let mut batch: Vec<Scheduled> = Vec::new();
+        while let Some(first) = self.heap.pop() {
+            let at = first.at;
+            batch.clear();
+            batch.push(first);
+            while self.heap.peek().is_some_and(|next| next.at == at) {
+                batch.push(self.heap.pop().expect("peeked entry"));
+            }
+            // The batch arrives in (at, seq) order; the seeded shuffle
+            // decides the order of simultaneous events instead of
+            // insertion order, so it is identical for every shard count
+            // and thread count.
+            if batch.len() > 1 {
+                batch.shuffle(&mut rng);
+            }
+            self.now = at;
+            for scheduled in batch.drain(..) {
+                match scheduled.event {
+                    EngineEvent::Workload(event) => {
+                        self.pending_workload -= 1;
+                        self.dispatch(engine, at, event, &mut observer);
+                    }
+                    EngineEvent::DeadlineExpire(id) => {
+                        if engine.resident_shard(id).is_some() {
+                            engine.record_lease_expiration();
+                            self.dispatch(engine, at, WorkloadEvent::Depart(id), &mut observer);
+                        }
+                    }
+                    EngineEvent::RebalanceTick => {
+                        engine.rebalance(self.config.rebalance_max_moves);
+                        if self.pending_workload > 0 {
+                            if let Some(period) = self.config.rebalance_period {
+                                self.schedule(at + period, EngineEvent::RebalanceTick);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch<S: AdmissionShard>(
+        &mut self,
+        engine: &mut ShardedAdmission<S>,
+        at: Time,
+        event: WorkloadEvent,
+        observer: &mut impl FnMut(&ShardedAdmission<S>, &Decision),
+    ) {
+        let decision = engine.handle_event(&event);
+        if decision.is_admission() {
+            if let Some(lease) = self.config.lease {
+                self.schedule(at + lease, EngineEvent::DeadlineExpire(event.task_id()));
+            }
+        }
+        self.log.push(TimedEvent { at, event });
+        observer(engine, &decision);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdmissionController, ChurnGenerator, OnlineConfig};
+
+    fn run_trace(
+        shards: usize,
+        seed: u64,
+        config: EventLoopConfig,
+    ) -> (EventLoop, ShardedAdmission) {
+        let trace = ChurnGenerator::new()
+            .cores(4)
+            .events(150)
+            .seed(seed)
+            .generate_timed()
+            .unwrap();
+        let mut engine = ShardedAdmission::new(OnlineConfig::new(4), shards).unwrap();
+        let mut event_loop = EventLoop::new(config);
+        event_loop.load_trace(&trace);
+        event_loop.run(&mut engine);
+        (event_loop, engine)
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_shard_count_invariant_in_events() {
+        let config = EventLoopConfig::new(42);
+        let (loop_a, engine_a) = run_trace(1, 9, config);
+        let (loop_b, engine_b) = run_trace(1, 9, config);
+        assert_eq!(loop_a.event_log(), loop_b.event_log());
+        assert_eq!(engine_a.decisions(), engine_b.decisions());
+        // Without leases the processed stream does not depend on shard
+        // count, only the decisions may.
+        let (loop_c, _) = run_trace(2, 9, config);
+        assert_eq!(loop_a.event_log(), loop_c.event_log());
+    }
+
+    #[test]
+    fn one_shard_run_replays_byte_identically_on_the_legacy_controller() {
+        let (event_loop, engine) = run_trace(1, 5, EventLoopConfig::new(7));
+        let events: Vec<WorkloadEvent> = event_loop
+            .event_log()
+            .iter()
+            .map(|t| t.event.clone())
+            .collect();
+        let mut legacy = AdmissionController::new(OnlineConfig::new(4)).unwrap();
+        let legacy_decisions = legacy.handle_all(&events);
+        assert_eq!(engine.decisions(), legacy_decisions.as_slice());
+    }
+
+    #[test]
+    fn leases_synthesize_departures() {
+        let config = EventLoopConfig::new(3).with_lease(Some(Time::from_millis(50)));
+        let (event_loop, engine) = run_trace(2, 11, config);
+        assert!(
+            engine.stats().lease_expirations > 0,
+            "short leases must expire"
+        );
+        // Every lease expiry shows up in the log as a departure, so the
+        // log remains a faithful, replayable workload stream.
+        let synthesized = engine.stats().lease_expirations;
+        let departs = event_loop
+            .event_log()
+            .iter()
+            .filter(|t| !t.event.is_arrival())
+            .count() as u64;
+        assert!(departs >= synthesized);
+        // Processed count matches the engine's decision log 1:1.
+        assert_eq!(event_loop.event_log().len(), engine.decisions().len());
+    }
+
+    #[test]
+    fn rebalance_ticks_fire_and_terminate() {
+        let config = EventLoopConfig::new(1)
+            .with_rebalance_period(Some(Time::from_millis(20)))
+            .with_rebalance_max_moves(2);
+        let (_, engine) = run_trace(2, 13, config);
+        assert!(engine.stats().rebalance_ticks > 0);
+        // The loop terminated (we are here) even though ticks reschedule
+        // themselves: they stop once the workload drains.
+    }
+
+    #[test]
+    fn tie_shuffle_depends_only_on_the_seed() {
+        // Two events at the same timestamp: order decided by the seed.
+        let t_a = spms_task::Task::new(0, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let t_b = spms_task::Task::new(1, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let order_for = |seed: u64| {
+            let mut engine = ShardedAdmission::new(OnlineConfig::new(2), 1).unwrap();
+            let mut event_loop = EventLoop::new(EventLoopConfig::new(seed));
+            let at = Time::from_millis(5);
+            event_loop.schedule(
+                at,
+                EngineEvent::Workload(WorkloadEvent::Arrive(t_a.clone())),
+            );
+            event_loop.schedule(
+                at,
+                EngineEvent::Workload(WorkloadEvent::Arrive(t_b.clone())),
+            );
+            event_loop.run(&mut engine);
+            let ids: Vec<_> = event_loop
+                .event_log()
+                .iter()
+                .map(|t| t.event.task_id())
+                .collect();
+            ids
+        };
+        let baseline = order_for(0);
+        assert_eq!(baseline, order_for(0), "same seed, same order");
+        assert!(
+            (0..64).any(|seed| order_for(seed) != baseline),
+            "some seed must flip the tie order"
+        );
+    }
+}

@@ -19,7 +19,14 @@
 //! * [`ChurnGenerator`] — seeded Poisson arrivals with log-uniform
 //!   lifetimes targeting a configurable offered load,
 //! * [`replay`](mod@replay) — feeds each admitted epoch through the
-//!   `spms-sim` discrete-event simulator to confirm zero deadline misses.
+//!   `spms-sim` discrete-event simulator to confirm zero deadline misses,
+//! * [`ShardedAdmission`] / [`AdmissionShard`] — the fleet-scale service:
+//!   N independent controller shards behind a hash + utilization-aware
+//!   [`ShardRouter`](spms_core::ShardRouter) with cross-shard overflow
+//!   placement and periodic work-stealing rebalance,
+//! * [`EventLoop`] — the timestamped event heap driving the service
+//!   (arrivals, departures, deadline expirations, rebalance ticks) with a
+//!   seeded same-timestamp tie-shuffle for reproducible runs.
 //!
 //! # Example
 //!
@@ -47,12 +54,16 @@
 mod churn;
 mod controller;
 mod event;
+mod event_loop;
 pub mod replay;
+mod service;
 
 pub use churn::ChurnGenerator;
 pub use controller::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
     OnlineError, RejectionReason, RepairRanking,
 };
-pub use event::WorkloadEvent;
+pub use event::{TimedEvent, WorkloadEvent};
+pub use event_loop::{EngineEvent, EventLoop, EventLoopConfig};
 pub use replay::{run_trace, ReplayConfig, ReplayOutcome};
+pub use service::{AdmissionShard, ServiceStats, ShardedAdmission};

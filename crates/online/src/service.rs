@@ -1,0 +1,533 @@
+//! The sharded admission service.
+//!
+//! [`ShardedAdmission`] scales the single-partition
+//! [`AdmissionController`](crate::AdmissionController) to fleet-sized
+//! workloads by splitting the machine's core set into N independent shards
+//! ([`shard_core_counts`]), each a full admission cascade over its own
+//! [`Partition`] with a private mutation journal and RTA cache. The
+//! cascade is reached through the [`AdmissionShard`] trait, so the service
+//! is generic over the shard implementation (the production shard is the
+//! `AdmissionController` itself).
+//!
+//! Arrivals are routed by a [`ShardRouter`]: the deterministic home shard
+//! is offered the task first, and when it rejects, the remaining shards
+//! are tried in descending spare-utilization order (*cross-shard overflow
+//! placement*). Departures go straight to the task's resident shard. A
+//! periodic [`rebalance`](ShardedAdmission::rebalance) pass work-steals
+//! whole-placed tasks from the most-loaded shard to the most-spare one
+//! (see [`rebalance_partitions`]), keeping overflow rare as churn skews
+//! the load.
+//!
+//! With one shard the service adds no policy at all: every event reaches
+//! the single controller exactly as a direct `handle_event` call would,
+//! and the service decision log is byte-identical to the legacy
+//! controller's on the same event stream (enforced by the
+//! `shard_equivalence` test suite).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use spms_core::{
+    rebalance_partitions, shard_core_counts, IncrementalPlacer, Partition, ShardRouter,
+};
+use spms_task::{Task, TaskId};
+
+use crate::{
+    AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
+    OnlineError, RejectionReason, WorkloadEvent,
+};
+
+/// The decision cascade of one admission shard, as the service consumes
+/// it: decide events, report capacity, and expose the bookkeeping hooks
+/// the cross-shard rebalancer needs.
+///
+/// The production implementation is [`AdmissionController`]; the trait
+/// exists so the service layer (routing, overflow, rebalancing, the event
+/// loop) is independent of the cascade internals and testable against
+/// mock shards.
+///
+/// The `partition_mut` / `forget_admitted` / `note_admitted` trio is
+/// rebalancer plumbing: the service moves a task's placements between
+/// shard partitions and then patches both shards' admission bookkeeping.
+/// Calling `partition_mut` without maintaining that bookkeeping breaks
+/// the shard's invariants.
+pub trait AdmissionShard {
+    /// Decides one workload event, recording it in the shard's own log.
+    fn decide(&mut self, event: &WorkloadEvent) -> Decision;
+    /// Whether this shard currently hosts the task.
+    fn resident(&self, id: TaskId) -> bool;
+    /// Total utilization of the tasks admitted on this shard (original
+    /// parameters, not overhead-inflated).
+    fn admitted_utilization(&self) -> f64;
+    /// Number of processor cores this shard owns.
+    fn core_count(&self) -> usize;
+    /// The shard's live partition.
+    fn partition(&self) -> &Partition;
+    /// Mutable access to the shard's partition (rebalancer plumbing).
+    fn partition_mut(&mut self) -> &mut Partition;
+    /// The admitted copy (original parameters) of one task, if resident.
+    fn lookup_admitted(&self, id: TaskId) -> Option<Task>;
+    /// Drops a task from the shard's admission bookkeeping without
+    /// touching the partition (rebalancer plumbing).
+    fn forget_admitted(&mut self, id: TaskId) -> Option<Task>;
+    /// Registers a task in the shard's admission bookkeeping without
+    /// touching the partition (rebalancer plumbing).
+    fn note_admitted(&mut self, task: Task);
+    /// The placer whose policy governs this shard's placements.
+    fn placer(&self) -> &IncrementalPlacer;
+
+    /// Spare capacity of this shard: cores minus admitted utilization,
+    /// clamped at zero.
+    fn spare_utilization(&self) -> f64 {
+        (self.core_count() as f64 - self.admitted_utilization()).max(0.0)
+    }
+}
+
+/// Aggregate counters of a [`ShardedAdmission`] service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Service-level decision counters (one entry per workload event the
+    /// service handled, regardless of how many shards were offered it).
+    pub decisions: ControllerStats,
+    /// Admissions that landed on a shard other than the task's home shard
+    /// (the home shard rejected, an overflow shard accepted).
+    pub overflow_admissions: u64,
+    /// Rebalance passes run.
+    pub rebalance_ticks: u64,
+    /// Tasks migrated between shards by rebalance passes.
+    pub rebalance_moves: u64,
+    /// Departures synthesized by lease expiry (event-loop deadline
+    /// expirations, not part of the workload trace).
+    pub lease_expirations: u64,
+}
+
+/// A sharded admission service over N independent [`AdmissionShard`]s.
+/// See the [module docs](self) for the routing and rebalancing policy.
+#[derive(Debug, Clone)]
+pub struct ShardedAdmission<S: AdmissionShard = AdmissionController> {
+    shards: Vec<S>,
+    router: ShardRouter,
+    resident: BTreeMap<TaskId, usize>,
+    decisions: Vec<Decision>,
+    latencies: Vec<Duration>,
+    stats: ServiceStats,
+    next_event: usize,
+}
+
+impl ShardedAdmission<AdmissionController> {
+    /// A service of `shard_count` controller shards splitting the
+    /// `config.cores` processor cores near-evenly. Every shard inherits
+    /// the configuration's cascade knobs (test, overheads, repair bound,
+    /// cache/journal toggles) against its own core slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::InvalidShardCount`] when `shard_count` is
+    /// zero or exceeds the core count, and propagates construction errors
+    /// of the underlying controllers.
+    pub fn new(config: OnlineConfig, shard_count: usize) -> Result<Self, OnlineError> {
+        if shard_count == 0 || shard_count > config.cores {
+            return Err(OnlineError::InvalidShardCount {
+                shards: shard_count,
+                cores: config.cores,
+            });
+        }
+        let shards = shard_core_counts(config.cores, shard_count)
+            .into_iter()
+            .map(|cores| {
+                AdmissionController::new(OnlineConfig {
+                    cores,
+                    ..config.clone()
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedAdmission::from_shards(shards))
+    }
+}
+
+impl<S: AdmissionShard> ShardedAdmission<S> {
+    /// A service over pre-built shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn from_shards(shards: Vec<S>) -> Self {
+        assert!(!shards.is_empty(), "service needs at least one shard");
+        let router = ShardRouter::new(shards.len());
+        ShardedAdmission {
+            shards,
+            router,
+            resident: BTreeMap::new(),
+            decisions: Vec::new(),
+            latencies: Vec::new(),
+            stats: ServiceStats::default(),
+            next_event: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, home-index order.
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// The shard a task currently lives on.
+    pub fn resident_shard(&self, id: TaskId) -> Option<usize> {
+        self.resident.get(&id).copied()
+    }
+
+    /// Number of currently admitted tasks across all shards.
+    pub fn admitted_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Total utilization admitted across all shards.
+    pub fn admitted_utilization(&self) -> f64 {
+        self.shards.iter().map(S::admitted_utilization).sum()
+    }
+
+    /// Per-shard spare utilization, shard-index order.
+    pub fn spare_utilizations(&self) -> Vec<f64> {
+        self.shards.iter().map(S::spare_utilization).collect()
+    }
+
+    /// The service-level decision log, one entry per handled event.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Wall-clock latency of each service decision, parallel to
+    /// [`decisions`](Self::decisions). Never serialized (latencies vary
+    /// run-to-run; serializable reports must stay deterministic).
+    pub fn decision_latencies(&self) -> &[Duration] {
+        &self.latencies
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Handles one workload event: arrivals are offered to shards in
+    /// router order (home first, then spare-descending overflow),
+    /// departures go to the resident shard. Returns the service-level
+    /// decision.
+    pub fn handle_event(&mut self, event: &WorkloadEvent) -> Decision {
+        let started = Instant::now();
+        let kind = match event {
+            WorkloadEvent::Arrive(task) => self.arrive(task),
+            WorkloadEvent::Depart(id) => self.depart(*id),
+        };
+        let decision = Decision {
+            event_index: self.next_event,
+            task: event.task_id(),
+            kind,
+        };
+        self.next_event += 1;
+        self.decisions.push(decision);
+        self.latencies.push(started.elapsed());
+        decision
+    }
+
+    /// Handles a whole event stream, returning the per-event decisions.
+    pub fn handle_all(&mut self, events: &[WorkloadEvent]) -> Vec<Decision> {
+        events.iter().map(|e| self.handle_event(e)).collect()
+    }
+
+    fn arrive(&mut self, task: &Task) -> DecisionKind {
+        self.stats.decisions.arrivals += 1;
+        if self.resident.contains_key(&task.id()) {
+            self.stats.decisions.rejected += 1;
+            return DecisionKind::Rejected {
+                reason: RejectionReason::DuplicateTask,
+            };
+        }
+        let spare = self.spare_utilizations();
+        let order = self.router.placement_order(task.id(), &spare);
+        let home = order[0];
+        let event = WorkloadEvent::Arrive(task.clone());
+        let mut first_rejection: Option<RejectionReason> = None;
+        for shard_idx in order {
+            let shard_decision = self.shards[shard_idx].decide(&event);
+            match shard_decision.kind {
+                DecisionKind::Admitted { path, migrations } => {
+                    self.resident.insert(task.id(), shard_idx);
+                    let s = &mut self.stats.decisions;
+                    s.admitted += 1;
+                    s.migrations_caused += migrations as u64;
+                    match path {
+                        DecisionPath::FastWhole => s.fast_whole += 1,
+                        DecisionPath::FastSplit => s.fast_split += 1,
+                        DecisionPath::Repair => s.repairs += 1,
+                        DecisionPath::FullRepartition => s.full_repartitions += 1,
+                    }
+                    if shard_idx != home {
+                        self.stats.overflow_admissions += 1;
+                    }
+                    return shard_decision.kind;
+                }
+                DecisionKind::Rejected { reason } => {
+                    // The home shard's verdict names the service-level
+                    // reason; overflow shards only get a chance to accept.
+                    if first_rejection.is_none() {
+                        first_rejection = Some(reason);
+                    }
+                }
+                DecisionKind::Departed | DecisionKind::DepartUnknown => {
+                    unreachable!("an arrival cannot produce a departure decision")
+                }
+            }
+        }
+        self.stats.decisions.rejected += 1;
+        DecisionKind::Rejected {
+            reason: first_rejection.unwrap_or(RejectionReason::NoFeasiblePlacement),
+        }
+    }
+
+    fn depart(&mut self, id: TaskId) -> DecisionKind {
+        match self.resident.remove(&id) {
+            Some(shard_idx) => {
+                let shard_decision = self.shards[shard_idx].decide(&WorkloadEvent::Depart(id));
+                debug_assert_eq!(shard_decision.kind, DecisionKind::Departed);
+                self.stats.decisions.departures += 1;
+                shard_decision.kind
+            }
+            None => {
+                self.stats.decisions.unknown_departures += 1;
+                DecisionKind::DepartUnknown
+            }
+        }
+    }
+
+    /// One work-stealing rebalance pass: migrates up to `max_moves`
+    /// whole-placed tasks from the most-loaded shard to the most-spare
+    /// one (see [`rebalance_partitions`] for the policy), then patches
+    /// both shards' admission bookkeeping and the resident map. Returns
+    /// the number of migrations performed. A single-shard service is a
+    /// no-op.
+    pub fn rebalance(&mut self, max_moves: usize) -> usize {
+        self.stats.rebalance_ticks += 1;
+        if self.shards.len() < 2 || max_moves == 0 {
+            return 0;
+        }
+        let admitted: BTreeMap<TaskId, Task> = self
+            .resident
+            .iter()
+            .filter_map(|(id, shard)| self.shards[*shard].lookup_admitted(*id))
+            .map(|task| (task.id(), task))
+            .collect();
+        let lookup = |id: TaskId| admitted.get(&id).cloned();
+        let placer = self.shards[0].placer().clone();
+        let moves = {
+            let mut partitions: Vec<&mut Partition> =
+                self.shards.iter_mut().map(S::partition_mut).collect();
+            rebalance_partitions(&mut partitions, &placer, &lookup, max_moves)
+        };
+        for mv in &moves {
+            let task = self.shards[mv.from]
+                .forget_admitted(mv.task)
+                .expect("rebalanced task must be admitted on its donor shard");
+            self.shards[mv.to].note_admitted(task);
+            self.resident.insert(mv.task, mv.to);
+        }
+        self.stats.rebalance_moves += moves.len() as u64;
+        debug_assert!(self
+            .shards
+            .iter()
+            .all(|s| s.partition().validate() == Ok(())));
+        moves.len()
+    }
+
+    /// Counts one lease-expiry departure (called by the event loop when a
+    /// deadline expiration synthesizes a departure).
+    pub(crate) fn record_lease_expiration(&mut self) {
+        self.stats.lease_expirations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_task::Time;
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> Task {
+        Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(period_ms)).unwrap()
+    }
+
+    fn service(cores: usize, shards: usize) -> ShardedAdmission {
+        ShardedAdmission::new(OnlineConfig::new(cores), shards).unwrap()
+    }
+
+    #[test]
+    fn shard_counts_are_validated() {
+        assert!(matches!(
+            ShardedAdmission::new(OnlineConfig::new(4), 0),
+            Err(OnlineError::InvalidShardCount {
+                shards: 0,
+                cores: 4
+            })
+        ));
+        assert!(matches!(
+            ShardedAdmission::new(OnlineConfig::new(2), 3),
+            Err(OnlineError::InvalidShardCount {
+                shards: 3,
+                cores: 2
+            })
+        ));
+        let svc = service(5, 2);
+        assert_eq!(svc.shard_count(), 2);
+        let cores: Vec<usize> = svc.shards().iter().map(|s| s.config().cores).collect();
+        assert_eq!(cores, vec![3, 2]);
+    }
+
+    #[test]
+    fn arrivals_route_home_and_departures_follow_residency() {
+        let mut svc = service(4, 2);
+        let t = task(0, 1, 10);
+        let home = ShardRouter::new(2).home_shard(t.id());
+        let d = svc.handle_event(&WorkloadEvent::Arrive(t.clone()));
+        assert!(d.is_admission());
+        assert_eq!(svc.resident_shard(t.id()), Some(home));
+        assert!(svc.shards()[home].is_admitted(t.id()));
+
+        let d = svc.handle_event(&WorkloadEvent::Depart(t.id()));
+        assert_eq!(d.kind, DecisionKind::Departed);
+        assert_eq!(svc.resident_shard(t.id()), None);
+        assert_eq!(svc.stats().decisions.departures, 1);
+
+        let d = svc.handle_event(&WorkloadEvent::Depart(t.id()));
+        assert_eq!(d.kind, DecisionKind::DepartUnknown);
+        assert_eq!(svc.stats().decisions.unknown_departures, 1);
+    }
+
+    #[test]
+    fn duplicate_arrivals_are_rejected_at_the_service() {
+        let mut svc = service(2, 2);
+        let t = task(3, 1, 10);
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(t.clone()))
+            .is_admission());
+        let d = svc.handle_event(&WorkloadEvent::Arrive(t));
+        assert_eq!(
+            d.kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::DuplicateTask
+            }
+        );
+        // The duplicate never reached a shard: each shard saw at most one
+        // arrival.
+        assert!(svc.shards().iter().all(|s| s.stats().arrivals <= 1));
+    }
+
+    #[test]
+    fn overflow_places_on_another_shard_when_home_is_full() {
+        // 2 cores, 2 shards of 1 core each. Fill both shards' homes with
+        // utilization 0.9, then offer a 0.5 task: its home shard must
+        // reject and the overflow path cannot help either (both full) —
+        // then drain one shard and the overflow admission must land there.
+        let mut svc = service(2, 2);
+        let router = ShardRouter::new(2);
+        // Two heavy tasks with ids homed on different shards.
+        let mut heavy_ids = vec![];
+        for id in 0.. {
+            let home = router.home_shard(TaskId(id));
+            if !heavy_ids.iter().any(|(_, h)| *h == home) {
+                heavy_ids.push((id, home));
+            }
+            if heavy_ids.len() == 2 {
+                break;
+            }
+        }
+        for (id, _) in &heavy_ids {
+            let t = task(*id, 9, 10); // u = 0.9
+            assert!(svc.handle_event(&WorkloadEvent::Arrive(t)).is_admission());
+        }
+        // A 0.5 task cannot fit anywhere now.
+        let mut probe_id = 1000;
+        let t = task(probe_id, 5, 10);
+        let d = svc.handle_event(&WorkloadEvent::Arrive(t));
+        assert!(!d.is_admission());
+        // Drain the task on the shard that is NOT the probe's home.
+        let probe_home = router.home_shard(TaskId(probe_id));
+        let (victim_id, _) = heavy_ids.iter().find(|(_, h)| *h != probe_home).unwrap();
+        svc.handle_event(&WorkloadEvent::Depart(TaskId(*victim_id)));
+        // Re-offer (fresh id with the same home as the full shard).
+        loop {
+            probe_id += 1;
+            if router.home_shard(TaskId(probe_id)) == probe_home {
+                break;
+            }
+        }
+        let t = task(probe_id, 5, 10);
+        let d = svc.handle_event(&WorkloadEvent::Arrive(t.clone()));
+        assert!(d.is_admission(), "overflow shard had room: {:?}", d.kind);
+        assert_ne!(svc.resident_shard(t.id()), Some(probe_home));
+        assert_eq!(svc.stats().overflow_admissions, 1);
+    }
+
+    #[test]
+    fn rebalance_moves_load_and_keeps_bookkeeping_consistent() {
+        let mut svc = service(2, 2);
+        let router = ShardRouter::new(2);
+        // Pile several small tasks onto one home shard.
+        let mut ids = vec![];
+        let mut id = 0u32;
+        while ids.len() < 4 {
+            if router.home_shard(TaskId(id)) == 0 {
+                ids.push(id);
+            }
+            id += 1;
+        }
+        for id in &ids {
+            let t = task(*id, 2, 10); // u = 0.2 each
+            assert!(svc.handle_event(&WorkloadEvent::Arrive(t)).is_admission());
+        }
+        assert!(svc.spare_utilizations()[0] < svc.spare_utilizations()[1]);
+        let moved = svc.rebalance(8);
+        assert!(moved > 0, "imbalanced shards must trigger moves");
+        assert_eq!(svc.stats().rebalance_moves, moved as u64);
+        // Every task is still resident exactly where the map says.
+        for id in &ids {
+            let shard = svc.resident_shard(TaskId(*id)).unwrap();
+            assert!(svc.shards()[shard].is_admitted(TaskId(*id)));
+            assert_eq!(
+                svc.shards()[shard]
+                    .partition()
+                    .placements_of(TaskId(*id))
+                    .len(),
+                1
+            );
+        }
+        // Departing a migrated task still works.
+        for id in &ids {
+            assert_eq!(
+                svc.handle_event(&WorkloadEvent::Depart(TaskId(*id))).kind,
+                DecisionKind::Departed
+            );
+        }
+        assert_eq!(svc.admitted_count(), 0);
+    }
+
+    #[test]
+    fn single_shard_service_matches_the_legacy_controller() {
+        let events = crate::ChurnGenerator::new()
+            .cores(4)
+            .events(200)
+            .seed(21)
+            .generate()
+            .unwrap();
+        let config = OnlineConfig::new(4);
+        let mut svc = ShardedAdmission::new(config.clone(), 1).unwrap();
+        let mut legacy = AdmissionController::new(config).unwrap();
+        let service_decisions = svc.handle_all(&events);
+        let legacy_decisions = legacy.handle_all(&events);
+        assert_eq!(service_decisions, legacy_decisions);
+        assert_eq!(svc.stats().decisions, *legacy.stats());
+        assert_eq!(svc.stats().overflow_admissions, 0);
+    }
+}

@@ -18,8 +18,9 @@ use spms::analysis::OverheadModel;
 use spms::experiments::{
     AcceptanceRatioExperiment, CacheCrossoverExperiment, ChurnExperiment, CoreCountSweepExperiment,
     GlobalComparisonExperiment, NullProgress, OverheadSensitivityExperiment, PreemptionAnatomy,
-    ProgressSink, RtaCacheBenchmark, RuntimeCostExperiment, StderrProgress,
+    ProgressSink, RtaCacheBenchmark, RuntimeCostExperiment, SoakExperiment, StderrProgress,
 };
+use spms::online::{OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent};
 use spms::task::Time;
 use std::io::IsTerminal;
 use std::process::ExitCode;
@@ -102,6 +103,16 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             0 replays synchronous-periodic) [default: 0]
     --overhead <zero|n4|n64>  Overhead model folded into the admission analysis
                             [default: zero]
+    --trace <FILE>          Replay a recorded event log instead of sweeping:
+                            one JSON event per line, either timed
+                            ({\"at\":..,\"event\":..}, as written by
+                            `spms soak --dump-trace`) or a bare
+                            arrive/depart event. Only --cores, --shards,
+                            --repair-moves, --overhead, --format and
+                            --quiet apply in trace mode.
+    --shards <N>            Admission shards for --trace replay; 1 replays
+                            the decision stream byte-identically to the
+                            single controller [default: 1]
     (--sets-per-point sets the churn traces generated per sweep point)
 ",
     ),
@@ -120,6 +131,34 @@ const COMMANDS: &[(&str, &str, &str)] = &[
      are byte-identical and the journal hot path is clone-free; the
      `timing` object in the output is wall-clock measurement data and is
      the only part that varies run-to-run)
+",
+    ),
+    (
+        "soak",
+        "Endurance soak of the sharded event-loop admission service (E14)",
+        "    --cores <N>             Number of processors [default: 8]
+    --shards <a,b,..>       Shard counts to sweep [default: 1,2]
+    --events <N>            Workload events per churn trace [default: 10000]
+    --utilization <U>       Target normalized utilization [default: 0.6]
+    --repair-moves <K>      Max already-placed tasks relocated per admission
+                            (0 disables bounded repair) [default: 2]
+    --rebalance-ms <N>      Simulated milliseconds between work-stealing
+                            rebalance ticks; 0 disables [default: 250]
+    --rebalance-moves <K>   Max cross-shard migrations per rebalance tick
+                            [default: 4]
+    --lease-ms <N>          Admission lease in simulated milliseconds; expiry
+                            synthesizes a departure (makes the event stream
+                            depend on admissions, so the cross-shard-count
+                            stream invariant may not hold); 0 disables
+                            [default: 0]
+    --replay-every <N>      Replay every Nth admission's shard through the
+                            simulator; 0 disables [default: 0]
+    --dump-trace <FILE>     Write the first trace's processed event log as a
+                            JSON-lines file replayable by
+                            `spms online --trace`
+    (--sets-per-point sets the churn traces generated per shard count;
+     the `timing` array in the output is wall-clock measurement data and
+     is the only part that varies run-to-run)
 ",
     ),
 ];
@@ -553,6 +592,9 @@ fn run_global(mut flags: Flags) -> CliResult<String> {
 }
 
 fn run_online(mut flags: Flags) -> CliResult<String> {
+    if let Some(path) = flags.take("--trace") {
+        return run_online_trace(&path, flags);
+    }
     let common = CommonFlags::take(&mut flags)?;
     let mut experiment = ChurnExperiment::new()
         .seed(common.seed)
@@ -592,6 +634,232 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
     let results = experiment.run_with_progress(common.progress("online").as_ref());
     render(
         "online",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+/// What `spms online --trace` reports: the decision counters of one replay
+/// of a recorded event log through the sharded admission service.
+#[derive(serde::Serialize)]
+struct TraceReplayReport {
+    shards: usize,
+    events: u64,
+    arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    departures: u64,
+    overflow_admissions: u64,
+    acceptance_ratio: f64,
+    decisions_digest: u64,
+}
+
+impl TraceReplayReport {
+    fn render_markdown(&self) -> String {
+        format!(
+            "| shards | events | arrivals | admitted | rejected | departures | overflow | acceptance | decisions digest |\n\
+             |---|---|---|---|---|---|---|---|---|\n\
+             | {} | {} | {} | {} | {} | {} | {} | {:.4} | {:#018x} |\n",
+            self.shards,
+            self.events,
+            self.arrivals,
+            self.admitted,
+            self.rejected,
+            self.departures,
+            self.overflow_admissions,
+            self.acceptance_ratio,
+            self.decisions_digest,
+        )
+    }
+
+    fn render_csv(&self) -> String {
+        format!(
+            "shards,events,arrivals,admitted,rejected,departures,overflow_admissions,acceptance_ratio,decisions_digest\n\
+             {},{},{},{},{},{},{},{:.4},{:#018x}\n",
+            self.shards,
+            self.events,
+            self.arrivals,
+            self.admitted,
+            self.rejected,
+            self.departures,
+            self.overflow_admissions,
+            self.acceptance_ratio,
+            self.decisions_digest,
+        )
+    }
+}
+
+/// FNV-1a over a byte string — the same digest function the soak experiment
+/// uses, so two replays of the same trace can be compared by one number.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    bytes
+        .iter()
+        .fold(OFFSET, |acc, b| (acc ^ u64::from(*b)).wrapping_mul(PRIME))
+}
+
+/// Parses a JSON-lines event log: each non-empty line is either a
+/// [`TimedEvent`] (as written by `spms soak --dump-trace`) or a bare
+/// [`WorkloadEvent`]. Timestamps are dropped — the replay feeds the service
+/// in recorded order.
+fn read_trace(path: &str) -> CliResult<Vec<WorkloadEvent>> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("reading trace `{path}` failed: {e}")))?;
+    let mut events = Vec::new();
+    for (index, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = serde_json::from_str::<TimedEvent>(line)
+            .map(|timed| timed.event)
+            .or_else(|_| serde_json::from_str::<WorkloadEvent>(line))
+            .map_err(|_| {
+                UsageError(format!(
+                    "trace `{path}` line {}: not a workload event",
+                    index + 1
+                ))
+            })?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return usage_error(format!("trace `{path}` contains no events"));
+    }
+    Ok(events)
+}
+
+/// Writes a captured processed-event log as a JSON-lines trace file.
+fn write_trace(path: &str, trace: &[TimedEvent]) -> CliResult<()> {
+    let mut out = String::new();
+    for event in trace {
+        let line = serde_json::to_string(event)
+            .map_err(|e| UsageError(format!("serializing trace event failed: {e}")))?;
+        out.push_str(&line);
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| UsageError(format!("writing trace `{path}` failed: {e}")))
+}
+
+/// `spms online --trace <file>`: replays a recorded event log through the
+/// sharded admission service and reports the decision counters plus the
+/// decision-log digest.
+fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
+    // Trace mode neither generates task sets nor sweeps a grid, so the
+    // sweep-only flags are rejected rather than silently ignored.
+    reject_inapplicable(
+        &mut flags,
+        "online --trace",
+        &[
+            "--seed",
+            "--sets-per-point",
+            "--threads",
+            "--points",
+            "--events",
+            "--replay-ms",
+            "--jitter-us",
+        ],
+    )?;
+    let common = CommonFlags::take(&mut flags)?;
+    let cores = flags.take_usize("--cores")?.unwrap_or(4);
+    if cores == 0 {
+        return usage_error("--cores must be at least 1");
+    }
+    let shards = flags.take_usize("--shards")?.unwrap_or(1);
+    let repair_moves = flags.take_usize("--repair-moves")?.unwrap_or(2);
+    let overhead = take_overhead(&mut flags, OverheadModel::zero())?;
+    flags.expect_empty("online")?;
+
+    let events = read_trace(path)?;
+    let config = OnlineConfig::new(cores)
+        .with_max_repair_moves(repair_moves)
+        .with_overhead(overhead);
+    let mut service =
+        ShardedAdmission::new(config, shards).map_err(|e| UsageError(e.to_string()))?;
+    service.handle_all(&events);
+    let stats = *service.stats();
+    let log = serde_json::to_string(&service.decisions().to_vec())
+        .map_err(|e| UsageError(format!("serializing decisions failed: {e}")))?;
+    let report = TraceReplayReport {
+        shards,
+        events: service.decisions().len() as u64,
+        arrivals: stats.decisions.arrivals,
+        admitted: stats.decisions.admitted,
+        rejected: stats.decisions.rejected,
+        departures: stats.decisions.departures,
+        overflow_admissions: stats.overflow_admissions,
+        acceptance_ratio: stats.decisions.acceptance_ratio(),
+        decisions_digest: fnv1a(log.as_bytes()),
+    };
+    render(
+        "online-trace",
+        &common,
+        &report,
+        || report.render_markdown(),
+        || report.render_csv(),
+    )
+}
+
+fn run_soak(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = SoakExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(traces) = common.sets_per_point {
+        experiment = experiment.traces_per_point(traces);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        if cores == 0 {
+            return usage_error("--cores must be at least 1");
+        }
+        experiment = experiment.cores(cores);
+    }
+    if let Some(shards) = flags.take_list::<usize>("--shards")? {
+        if shards.is_empty() || shards.contains(&0) {
+            return usage_error("--shards expects shard counts of at least 1");
+        }
+        experiment = experiment.shard_counts(shards);
+    }
+    if let Some(events) = flags.take_usize("--events")? {
+        if events == 0 {
+            return usage_error("--events must be at least 1");
+        }
+        experiment = experiment.events_per_trace(events);
+    }
+    if let Some(u) = flags.take_f64("--utilization")? {
+        experiment = experiment.target_utilization(u);
+    }
+    if let Some(moves) = flags.take_usize("--repair-moves")? {
+        experiment = experiment.max_repair_moves(moves);
+    }
+    if let Some(ms) = flags.take_u64("--rebalance-ms")? {
+        experiment = experiment.rebalance_period((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    if let Some(moves) = flags.take_usize("--rebalance-moves")? {
+        experiment = experiment.rebalance_max_moves(moves);
+    }
+    if let Some(ms) = flags.take_u64("--lease-ms")? {
+        experiment = experiment.lease((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    if let Some(every) = flags.take_usize("--replay-every")? {
+        experiment = experiment.replay_sample_every(every);
+    }
+    let dump_trace = flags.take("--dump-trace");
+    if dump_trace.is_some() {
+        experiment = experiment.capture_trace(true);
+    }
+    flags.expect_empty("soak")?;
+    let (results, captured) =
+        experiment.run_captured_with_progress(common.progress("soak").as_ref());
+    if let Some(path) = &dump_trace {
+        let trace = captured
+            .ok_or_else(|| UsageError("no trace captured: the first grid cell failed".into()))?;
+        write_trace(path, &trace)?;
+    }
+    render(
+        "soak",
         &common,
         &results,
         || results.render_markdown(),
@@ -647,6 +915,7 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
         "global" => run_global(flags),
         "online" => run_online(flags),
         "rtabench" => run_rtabench(flags),
+        "soak" => run_soak(flags),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
