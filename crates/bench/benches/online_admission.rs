@@ -13,7 +13,7 @@
 //! `fast_path` vs `fast_path_scratch_rta` additionally pins the incremental
 //! RTA cache: the same decision stream with the cache disabled re-runs
 //! `analyse_core` from scratch on every placement probe
-//! (`OnlineConfig::with_rta_cache(false)`). Decisions are byte-identical
+//! (`OnlineConfig::builder().rta_cache(false)`). Decisions are byte-identical
 //! either way (asserted by the `rtabench` CI smoke and the cache
 //! equivalence proptests); only the latency moves.
 
@@ -64,7 +64,12 @@ fn bench_admission_latency(c: &mut Criterion) {
 
     // The same admission with the incremental RTA cache disabled: every
     // placement probe clones the core's tasks and re-runs analyse_core.
-    let warm_scratch = warm_controller_with(OnlineConfig::new(CORES).with_rta_cache(false));
+    let warm_scratch = warm_controller_with(
+        OnlineConfig::builder()
+            .cores(CORES)
+            .rta_cache(false)
+            .build(),
+    );
     group.bench_function("fast_path_scratch_rta", |b| {
         b.iter(|| {
             let mut controller = warm_scratch.clone();

@@ -8,7 +8,7 @@
 //! every attempt must be undone. The `*_journal` variants rewind the
 //! partition's mutation journal (O(moves)); the `*_clone` variants restore
 //! snapshot clones (O(tasks), the PR 3 behaviour kept behind
-//! `OnlineConfig::use_journal(false)`). `split_probe_{warm,cold}` admits a
+//! `OnlineConfig::builder().journal(false)`). `split_probe_{warm,cold}` admits a
 //! task that must be split, with and without cross-probe warm starts in
 //! the budget binary search. Decisions are byte-identical across all
 //! variants (asserted here and by the `rtabench` CI smoke); only the
@@ -17,7 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use spms_core::Partition;
-use spms_online::{AdmissionController, DecisionKind, DecisionPath, OnlineConfig, WorkloadEvent};
+use spms_online::{
+    AdmissionController, DecisionKind, DecisionPath, OnlineConfig, OnlineConfigBuilder,
+    WorkloadEvent,
+};
 use spms_task::{Task, Time};
 use std::hint::black_box;
 
@@ -32,9 +35,9 @@ fn task(id: u32, wcet_us: u64, period_us: u64) -> Task {
 /// order first-fit packs exactly that way. Bounded repair gets victims of
 /// several sizes to rank; splitting is disabled to keep every probe on
 /// the whole-placement path.
-fn warm_repair_controller(config: OnlineConfig) -> AdmissionController {
+fn warm_repair_controller(config: OnlineConfigBuilder) -> AdmissionController {
     let mut controller =
-        AdmissionController::new(config.with_min_split_budget(Time::from_secs(10)))
+        AdmissionController::new(config.min_split_budget(Time::from_secs(10)).build())
             .expect("cores > 0");
     let mut id = 0u32;
     let mut admit = |c: &mut AdmissionController, wcet_us: u64| {
@@ -94,7 +97,8 @@ fn expect_path(controller: &mut AdmissionController, probe: Task, path: Decision
         decision.kind,
         DecisionKind::Admitted {
             path,
-            migrations: 1
+            migrations: 1,
+            inflation: Time::ZERO
         },
         "probe did not take the expected path"
     );
@@ -103,8 +107,8 @@ fn expect_path(controller: &mut AdmissionController, probe: Task, path: Decision
 fn bench_repair_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("repair_path");
 
-    let journal = warm_repair_controller(OnlineConfig::new(CORES));
-    let clone_based = warm_repair_controller(OnlineConfig::new(CORES).with_journal(false));
+    let journal = warm_repair_controller(OnlineConfig::builder().cores(CORES));
+    let clone_based = warm_repair_controller(OnlineConfig::builder().cores(CORES).journal(false));
 
     // Sanity: the probes take the intended paths, identically in both
     // rollback modes, and the journal cascade performs zero partition
@@ -164,8 +168,13 @@ fn bench_repair_path(c: &mut Criterion) {
         );
     });
 
-    let warm = warm_split_controller(OnlineConfig::new(CORES));
-    let cold = warm_split_controller(OnlineConfig::new(CORES).with_probe_warm_start(false));
+    let warm = warm_split_controller(OnlineConfig::builder().cores(CORES).build());
+    let cold = warm_split_controller(
+        OnlineConfig::builder()
+            .cores(CORES)
+            .probe_warm_start(false)
+            .build(),
+    );
     {
         let mut w = warm.clone();
         let mut c2 = cold.clone();

@@ -163,7 +163,16 @@ impl IncrementalPlacer {
     /// within its deadline (such a task is unschedulable under this model on
     /// any core).
     pub fn whole_analysis_task(&self, task: &Task) -> Option<Task> {
-        task.with_wcet(task.wcet() + self.overhead.whole_job_inflation())
+        self.whole_analysis_task_charged(task, Time::ZERO)
+    }
+
+    /// [`whole_analysis_task`](Self::whole_analysis_task) with an additional
+    /// per-migration `charge` folded into the WCET — the form used when the
+    /// task is being *relocated* (repair move, rebalance) rather than placed
+    /// fresh, so the placement must stay schedulable after absorbing the
+    /// cache-reload and context-switch cost of the move.
+    pub fn whole_analysis_task_charged(&self, task: &Task, charge: Time) -> Option<Task> {
+        task.with_wcet(task.wcet() + self.overhead.whole_job_inflation() + charge)
             .ok()
     }
 
@@ -176,7 +185,21 @@ impl IncrementalPlacer {
         task: &Task,
         exclude: &[CoreId],
     ) -> Option<PlacementPlan> {
-        let analysis_task = self.whole_analysis_task(task)?;
+        self.plan_whole_charged(partition, task, exclude, Time::ZERO)
+    }
+
+    /// [`plan_whole`](Self::plan_whole) with a per-migration `charge`
+    /// inflating the analysis WCET (see
+    /// [`whole_analysis_task_charged`](Self::whole_analysis_task_charged)).
+    /// A zero charge is bit-identical to the uncharged plan.
+    pub fn plan_whole_charged(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+        charge: Time,
+    ) -> Option<PlacementPlan> {
+        let analysis_task = self.whole_analysis_task_charged(task, charge)?;
         let core = (0..partition.core_count()).map(CoreId).find(|c| {
             !exclude.contains(c) && self.core_accepts(partition, *c, &analysis_task, false)
         })?;
@@ -202,6 +225,22 @@ impl IncrementalPlacer {
         task: &Task,
         exclude: &[CoreId],
     ) -> Option<PlacementPlan> {
+        self.plan_split_charged(partition, task, exclude, Time::ZERO)
+    }
+
+    /// [`plan_split`](Self::plan_split) with a per-migration `charge`: every
+    /// piece after the first — each one reached by an intra-job migration
+    /// along the chain — must absorb the charge on top of its split
+    /// overhead, since the job pays the cache-reload and context-switch
+    /// cost on every hop, every period. A zero charge is bit-identical to
+    /// the uncharged plan.
+    pub fn plan_split_charged(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+        charge: Time,
+    ) -> Option<PlacementPlan> {
         let cores = partition.core_count();
         let mut remaining = task.wcet();
         let mut offset = Time::ZERO;
@@ -209,9 +248,11 @@ impl IncrementalPlacer {
         let mut pieces: Vec<(CoreId, Task, Time)> = Vec::new();
 
         loop {
-            // With at least one body carved, try to finish with a tail.
+            // With at least one body carved, try to finish with a tail. The
+            // tail is always reached by a migration (chain index >= 1), so
+            // it carries the full per-migration charge.
             if !pieces.is_empty() {
-                if let Some(tail) = self.make_tail_piece(task, remaining, offset) {
+                if let Some(tail) = self.make_tail_piece(task, remaining, offset, charge) {
                     let found = (0..cores).map(CoreId).find(|c| {
                         !exclude.contains(c)
                             && !pieces.iter().any(|(pc, _, _)| pc == c)
@@ -249,7 +290,8 @@ impl IncrementalPlacer {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
-            let piece_overhead = self.body_piece_overhead(pieces.len());
+            let piece_overhead =
+                self.body_piece_overhead(pieces.len()) + piece_charge(pieces.len(), charge);
             let deadline_room = task
                 .deadline()
                 .saturating_sub(offset)
@@ -262,7 +304,8 @@ impl IncrementalPlacer {
             }
             let mut carved = false;
             for core in candidates {
-                let budget = self.max_body_budget(partition, core, task, max_budget, pieces.len());
+                let budget =
+                    self.max_body_budget(partition, core, task, max_budget, pieces.len(), charge);
                 if budget >= self.min_split_budget && !budget.is_zero() {
                     let piece = crate::split_budget::body_piece(task, budget, piece_overhead)?;
                     offset += piece.wcet();
@@ -412,8 +455,25 @@ impl IncrementalPlacer {
         task: &Task,
         exclude: &[CoreId],
     ) -> Option<PlacementPlan> {
-        self.plan_whole(partition, task, exclude)
-            .or_else(|| self.plan_split(partition, task, exclude))
+        self.plan_charged(partition, task, exclude, Time::ZERO)
+    }
+
+    /// [`plan`](Self::plan) with a per-migration `charge`: the form used
+    /// when an already-placed task is *relocated*. A whole placement on the
+    /// new core absorbs one charge (the relocation reload); a split
+    /// placement charges every piece after the first (the recurring
+    /// intra-job hops — the one-time entry reload is dominated by them and
+    /// deliberately not double-charged). A zero charge is bit-identical to
+    /// the uncharged plan.
+    pub fn plan_charged(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        exclude: &[CoreId],
+        charge: Time,
+    ) -> Option<PlacementPlan> {
+        self.plan_whole_charged(partition, task, exclude, charge)
+            .or_else(|| self.plan_split_charged(partition, task, exclude, charge))
     }
 
     /// Commits a plan produced by [`plan_whole`](Self::plan_whole) /
@@ -514,8 +574,9 @@ impl IncrementalPlacer {
         template: &Task,
         max_budget: Time,
         piece_index: usize,
+        charge: Time,
     ) -> Time {
-        let overhead = self.body_piece_overhead(piece_index);
+        let overhead = self.body_piece_overhead(piece_index) + piece_charge(piece_index, charge);
         // Every probe of this search hits the same core with the same
         // template at a different budget: thread one warm-start state
         // through them so each probe resumes from the last accepted
@@ -537,10 +598,16 @@ impl IncrementalPlacer {
     }
 
     /// The tail piece of a split chain with `budget` pure execution left,
-    /// released `offset` after the parent. `None` when the piece cannot meet
-    /// what is left of the deadline.
-    fn make_tail_piece(&self, task: &Task, budget: Time, offset: Time) -> Option<Task> {
-        let wcet = budget + self.overhead.tail_piece_inflation();
+    /// released `offset` after the parent, absorbing `charge` per-migration
+    /// cost. `None` when the piece cannot meet what is left of the deadline.
+    fn make_tail_piece(
+        &self,
+        task: &Task,
+        budget: Time,
+        offset: Time,
+        charge: Time,
+    ) -> Option<Task> {
+        let wcet = budget + self.overhead.tail_piece_inflation() + charge;
         let deadline = task.deadline().checked_sub(offset)?;
         if deadline > task.period() || wcet > deadline {
             return None;
@@ -552,6 +619,17 @@ impl IncrementalPlacer {
             .priority(crate::TAIL_PRIORITY)
             .build()
             .ok()
+    }
+}
+
+/// The per-migration charge a split piece at `piece_index` absorbs: pieces
+/// after the first are each reached by one intra-job hop; the first piece
+/// starts where the job is released and pays nothing.
+fn piece_charge(piece_index: usize, charge: Time) -> Time {
+    if piece_index == 0 {
+        Time::ZERO
+    } else {
+        charge
     }
 }
 
@@ -768,6 +846,75 @@ mod tests {
         let before = partition.clone();
         let _ = placer().plan(&partition, &t, &[]);
         assert_eq!(partition, before);
+    }
+
+    #[test]
+    fn zero_charge_plans_are_identical_to_uncharged_plans() {
+        let mut partition = Partition::new(2);
+        for (id, core) in [(0u32, 0usize), (1, 1)] {
+            let t = task(id, 6, 10);
+            let plan = PlacementPlan::Whole {
+                core: CoreId(core),
+                analysis_task: t.clone(),
+            };
+            placer().commit(&mut partition, &t, plan);
+        }
+        for probe in [task(2, 2, 10), task(3, 6, 10)] {
+            assert_eq!(
+                placer().plan(&partition, &probe, &[]),
+                placer().plan_charged(&partition, &probe, &[], Time::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn charge_inflates_whole_and_split_analysis_wcets() {
+        let charge = Time::from_micros(500);
+        let partition = Partition::new(2);
+        let t = task(0, 3, 10);
+        let Some(PlacementPlan::Whole { analysis_task, .. }) =
+            placer().plan_whole_charged(&partition, &t, &[], charge)
+        else {
+            panic!("whole placement expected");
+        };
+        assert_eq!(analysis_task.wcet(), t.wcet() + charge);
+
+        // Force a split and check every piece after the first absorbs the
+        // charge on top of its budget.
+        let mut partition = Partition::new(2);
+        for (id, core) in [(1u32, 0usize), (2, 1)] {
+            let base = task(id, 6, 10);
+            let plan = PlacementPlan::Whole {
+                core: CoreId(core),
+                analysis_task: base.clone(),
+            };
+            placer().commit(&mut partition, &base, plan);
+        }
+        let t3 = task(3, 6, 10);
+        let Some(PlacementPlan::Split { pieces }) =
+            placer().plan_split_charged(&partition, &t3, &[], charge)
+        else {
+            panic!("split placement expected");
+        };
+        assert!(pieces.len() >= 2);
+        assert_eq!(pieces[0].1.task.wcet(), pieces[0].1.execution);
+        for (_, placed) in &pieces[1..] {
+            assert_eq!(placed.task.wcet(), placed.execution + charge);
+        }
+        // The charge eats real budget: the charged split covers the same
+        // total execution with strictly more analysis WCET.
+        let total: Time = pieces.iter().map(|(_, p)| p.execution).sum();
+        assert_eq!(total, t3.wcet());
+    }
+
+    #[test]
+    fn an_unaffordable_charge_rejects_the_placement() {
+        // A charge larger than the deadline room can absorb must fail the
+        // plan rather than silently dropping the cost.
+        let partition = Partition::new(2);
+        let t = task(0, 6, 10);
+        let charge = Time::from_millis(20);
+        assert!(placer().plan_charged(&partition, &t, &[], charge).is_none());
     }
 
     #[test]

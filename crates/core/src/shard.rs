@@ -17,7 +17,7 @@
 
 use crate::incremental::IncrementalPlacer;
 use crate::placement::{CoreId, Partition};
-use spms_task::{Task, TaskId};
+use spms_task::{Task, TaskId, Time};
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -154,12 +154,17 @@ fn shard_spare(partition: &Partition) -> f64 {
 /// is identical because donor and receiver are distinct partitions).
 ///
 /// `lookup` maps a parent id back to the original (un-inflated) task; ids
-/// it cannot resolve are skipped. Returns the migrations performed, in
-/// order.
+/// it cannot resolve are skipped. `charge_of` is the per-migration WCET
+/// charge the receiver-side placement must absorb (the admission cost
+/// model; `&|_| Time::ZERO` for free moves) — a candidate whose charged
+/// placement the receiver's RTA rejects is skipped like any other
+/// rejection, so rebalancing never trades balance for schedulability.
+/// Returns the migrations performed, in order.
 pub fn rebalance_partitions(
     shards: &mut [&mut Partition],
     placer: &IncrementalPlacer,
     lookup: &dyn Fn(TaskId) -> Option<Task>,
+    charge_of: &dyn Fn(&Task) -> Time,
     max_moves: usize,
 ) -> Vec<RebalanceMove> {
     let mut moves = Vec::new();
@@ -213,10 +218,11 @@ pub fn rebalance_partitions(
         });
 
         for (id, task) in candidates {
+            let charge = charge_of(&task);
             let migrated = if shards[donor].journal_enabled() {
                 let mark = shards[donor].journal_begin();
                 shards[donor].remove_parent(id);
-                match placer.plan_whole(shards[receiver], &task, &[]) {
+                match placer.plan_whole_charged(shards[receiver], &task, &[], charge) {
                     Some(plan) => {
                         placer.commit(shards[receiver], &task, plan);
                         shards[donor].journal_end();
@@ -229,7 +235,7 @@ pub fn rebalance_partitions(
                     }
                 }
             } else {
-                match placer.plan_whole(shards[receiver], &task, &[]) {
+                match placer.plan_whole_charged(shards[receiver], &task, &[], charge) {
                     Some(plan) => {
                         shards[donor].remove_parent(id);
                         placer.commit(shards[receiver], &task, plan);
@@ -337,7 +343,7 @@ mod tests {
         let lookup = |id: TaskId| tasks.iter().find(|t| t.id() == id).cloned();
 
         let mut shards = [&mut donor, &mut receiver];
-        let moves = rebalance_partitions(&mut shards, &placer, &lookup, 4);
+        let moves = rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::ZERO, 4);
 
         assert_eq!(
             moves,
@@ -351,7 +357,42 @@ mod tests {
         assert_eq!(receiver.placements_of(TaskId(1)).len(), 1);
         // Balanced enough that a second pass does nothing.
         let mut shards = [&mut donor, &mut receiver];
-        assert!(rebalance_partitions(&mut shards, &placer, &lookup, 4).is_empty());
+        assert!(rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::ZERO, 4).is_empty());
+    }
+
+    #[test]
+    fn rebalance_respects_the_migration_charge() {
+        // The receiver has room for the pristine task but not for the task
+        // plus its migration charge: the charged pass must leave both
+        // shards untouched (journal rewind on the donor, no commit on the
+        // receiver), while the free pass migrates.
+        let resident = task(0, 8, 10); // receiver core at 80%
+        let movable = task(1, 1, 20); // u = 0.05, inside the headroom
+        let ballast = task(2, 9, 10); // keeps the donor the loaded shard
+        let build = || {
+            let donor = shard_with(1, &[ballast.clone(), movable.clone()]);
+            let receiver = shard_with(1, std::slice::from_ref(&resident));
+            (donor, receiver)
+        };
+        let placer = IncrementalPlacer::new();
+        let tasks = [resident.clone(), movable.clone(), ballast.clone()];
+        let lookup = |id: TaskId| tasks.iter().find(|t| t.id() == id).cloned();
+
+        let (mut donor, mut receiver) = build();
+        let mut shards = [&mut donor, &mut receiver];
+        // A charge that pushes the 3 ms placement past what the 80% core
+        // absorbs within the 20 ms deadline.
+        let charged =
+            rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::from_millis(5), 4);
+        assert!(charged.is_empty(), "charged move should be rejected");
+        assert_eq!(donor.placements_of(TaskId(1)).len(), 1);
+        assert!(receiver.placements_of(TaskId(1)).is_empty());
+
+        let (mut donor, mut receiver) = build();
+        let mut shards = [&mut donor, &mut receiver];
+        let free = rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::ZERO, 4);
+        assert_eq!(free.len(), 1, "the free move fits");
+        assert_eq!(receiver.placements_of(TaskId(1)).len(), 1);
     }
 
     #[test]
@@ -363,6 +404,6 @@ mod tests {
         let lookup = |id: TaskId| (id == light.id()).then(|| light.clone());
         // spare(a) = 0.9, spare(b) = 1.0: headroom 0.05 < u, so no move.
         let mut shards = [&mut a, &mut b];
-        assert!(rebalance_partitions(&mut shards, &placer, &lookup, 8).is_empty());
+        assert!(rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::ZERO, 8).is_empty());
     }
 }

@@ -29,7 +29,15 @@
 //!   event-loop admission service: decisions/sec throughput, decision
 //!   latency percentiles, cross-shard-count event-stream digests and
 //!   sampled schedulability replays (E14, the `BENCH_soak.json` CI
-//!   artifact).
+//!   artifact),
+//! * [`OverheadExperiment`] — what admission capacity costs when splits
+//!   and repair relocations are charged at their real CRPD price: the same
+//!   churn traces decided under the free, light and heavy
+//!   [`CostModelSpec`](spms_overhead::CostModelSpec) scenarios (E15, the
+//!   `BENCH_overhead.json` CI artifact).
+//!
+//! [`ReportSink`] formats any driver's results for the CLI: markdown, CSV
+//! or the JSON envelope the CI benchmark artifacts diff.
 //!
 //! Each experiment produces a plain-old-data result type with
 //! `render_markdown()` / `render_csv()` helpers so that examples, benches and
@@ -68,7 +76,9 @@ mod core_sweep;
 mod figure1;
 mod global_comparison;
 mod online_churn;
+mod overhead_sweep;
 mod progress;
+mod report;
 mod rta_cache;
 mod runner;
 mod runtime_costs;
@@ -84,7 +94,9 @@ pub use global_comparison::{
     ComparisonPoint, ComparisonSeries, GlobalComparisonExperiment, GlobalComparisonResults,
 };
 pub use online_churn::{ChurnExperiment, ChurnPoint, ChurnResults};
+pub use overhead_sweep::{OverheadExperiment, OverheadPoint, OverheadResults, OverheadScenario};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
+pub use report::{ReportError, ReportFormat, ReportSink};
 pub use rta_cache::{RtaCacheBenchmark, RtaCachePoint, RtaCacheResults, RtaCacheTiming};
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};

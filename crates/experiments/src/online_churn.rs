@@ -16,6 +16,7 @@ use spms_analysis::{rta, OverheadModel};
 use spms_online::{
     run_trace, AdmissionController, ChurnGenerator, OnlineConfig, ReplayConfig, ReplayOutcome,
 };
+use spms_overhead::CostModelSpec;
 use spms_task::Time;
 
 use crate::progress::{NullProgress, ProgressSink};
@@ -41,6 +42,9 @@ pub struct ChurnPoint {
     pub fallback_ratio: f64,
     /// Already-placed tasks relocated per admission, on average.
     pub migrations_per_admission: f64,
+    /// Microseconds of migration-cost WCET inflation charged per admission,
+    /// on average (0 under the free [`CostModelSpec::Zero`] model).
+    pub inflation_us_per_admission: f64,
     /// Epochs replayed through the simulator (0 when replay is disabled).
     pub replayed_epochs: u64,
     /// Deadline misses across all replayed epochs (must stay 0).
@@ -80,18 +84,19 @@ impl ChurnResults {
     /// Renders a markdown table, one row per target-utilization point.
     pub fn render_markdown(&self) -> String {
         let mut out = String::from(
-            "| U / m | accepted | fast path | repair | repartition | moves/admit | replay misses | RTA cap hits |\n\
-             |---|---|---|---|---|---|---|---|\n",
+            "| U / m | accepted | fast path | repair | repartition | moves/admit | inflate µs/admit | replay misses | RTA cap hits |\n\
+             |---|---|---|---|---|---|---|---|---|\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "| {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} |\n",
+                "| {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1} | {} | {} |\n",
                 p.normalized_utilization,
                 p.acceptance_ratio,
                 p.fast_path_ratio,
                 p.repair_ratio,
                 p.fallback_ratio,
                 p.migrations_per_admission,
+                p.inflation_us_per_admission,
                 p.replay_misses,
                 p.rta_cap_exhaustions,
             ));
@@ -103,12 +108,12 @@ impl ChurnResults {
     pub fn render_csv(&self) -> String {
         let mut out = String::from(
             "normalized_utilization,arrivals,admitted,acceptance_ratio,fast_path_ratio,\
-             repair_ratio,fallback_ratio,migrations_per_admission,replayed_epochs,replay_misses,\
-             rta_cap_exhaustions\n",
+             repair_ratio,fallback_ratio,migrations_per_admission,inflation_us_per_admission,\
+             replayed_epochs,replay_misses,rta_cap_exhaustions\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
+                "{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
                 p.normalized_utilization,
                 p.arrivals,
                 p.admitted,
@@ -117,6 +122,7 @@ impl ChurnResults {
                 p.repair_ratio,
                 p.fallback_ratio,
                 p.migrations_per_admission,
+                p.inflation_us_per_admission,
                 p.replayed_epochs,
                 p.replay_misses,
                 p.rta_cap_exhaustions,
@@ -135,6 +141,9 @@ pub struct ChurnExperiment {
     utilization_points: Vec<f64>,
     max_repair_moves: usize,
     overhead: OverheadModel,
+    cost_model: CostModelSpec,
+    mean_interarrival: Option<Time>,
+    lifetime_range: Option<(Time, Time)>,
     replay_duration: Option<Time>,
     release_jitter: Time,
     seed: u64,
@@ -150,6 +159,9 @@ impl Default for ChurnExperiment {
             utilization_points: vec![0.5, 0.6, 0.7, 0.8, 0.9],
             max_repair_moves: 2,
             overhead: OverheadModel::zero(),
+            cost_model: CostModelSpec::Zero,
+            mean_interarrival: None,
+            lifetime_range: None,
             replay_duration: Some(Time::from_millis(50)),
             release_jitter: Time::ZERO,
             seed: 0,
@@ -202,6 +214,29 @@ impl ChurnExperiment {
         self
     }
 
+    /// Sets the migration cost model the controller charges: every split
+    /// piece and repair relocation inflates the affected task's analysis
+    /// WCET by the model's per-job migration charge.
+    pub fn cost_model(mut self, model: CostModelSpec) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Sets the mean inter-arrival time of the churn process (`None` keeps
+    /// the generator default). Longer inter-arrivals shrink the concurrent
+    /// task population, concentrating the offered load in heavier tasks.
+    pub fn mean_interarrival(mut self, mean: Time) -> Self {
+        self.mean_interarrival = Some(mean);
+        self
+    }
+
+    /// Sets the log-uniform task lifetime range (`None` keeps the
+    /// generator default).
+    pub fn lifetime_range(mut self, min: Time, max: Time) -> Self {
+        self.lifetime_range = Some((min, max));
+        self
+    }
+
     /// Sets the per-epoch replay duration; `None` disables replay.
     pub fn replay_duration(mut self, duration: Option<Time>) -> Self {
         self.replay_duration = duration;
@@ -246,16 +281,24 @@ impl ChurnExperiment {
                 progress,
                 |cell| {
                     let target = self.utilization_points[cell.point_idx];
-                    let events = ChurnGenerator::new()
+                    let mut generator = ChurnGenerator::new()
                         .cores(self.cores)
                         .target_normalized_utilization(target)
                         .events(self.events_per_trace)
-                        .seed(cell.seed)
-                        .generate()
-                        .ok()?;
-                    let config = OnlineConfig::new(self.cores)
-                        .with_overhead(self.overhead)
-                        .with_max_repair_moves(self.max_repair_moves);
+                        .seed(cell.seed);
+                    if let Some(mean) = self.mean_interarrival {
+                        generator = generator.mean_interarrival(mean);
+                    }
+                    if let Some((min, max)) = self.lifetime_range {
+                        generator = generator.lifetime_range(min, max);
+                    }
+                    let events = generator.generate().ok()?;
+                    let config = OnlineConfig::builder()
+                        .cores(self.cores)
+                        .overhead(self.overhead)
+                        .max_repair_moves(self.max_repair_moves)
+                        .cost_model(self.cost_model.clone())
+                        .build();
                     let mut controller = AdmissionController::new(config).ok()?;
                     // Replay injects the same overheads the admission
                     // analysis charges (a miss flags an analysis that
@@ -297,6 +340,7 @@ fn aggregate_point(
     let mut repairs = 0u64;
     let mut fallbacks = 0u64;
     let mut migrations = 0u64;
+    let mut inflation_ns = 0u64;
     let mut cap_exhaustions = 0u64;
     let mut replay = ReplayOutcome::default();
     for (stats, outcome, exhaustions) in traces {
@@ -306,6 +350,7 @@ fn aggregate_point(
         repairs += stats.repairs;
         fallbacks += stats.full_repartitions;
         migrations += stats.migrations_caused;
+        inflation_ns += stats.inflation_charged_ns;
         cap_exhaustions += exhaustions;
         replay.absorb(*outcome);
     }
@@ -325,6 +370,7 @@ fn aggregate_point(
         repair_ratio: ratio(repairs, admitted),
         fallback_ratio: ratio(fallbacks, admitted),
         migrations_per_admission: ratio(migrations, admitted),
+        inflation_us_per_admission: ratio(inflation_ns, admitted) / 1_000.0,
         replayed_epochs: replay.epochs,
         replay_misses: replay.deadline_misses,
         rta_cap_exhaustions: cap_exhaustions,
@@ -432,6 +478,35 @@ mod tests {
     }
 
     #[test]
+    fn a_charged_cost_model_shows_up_in_the_inflation_column() {
+        use spms_overhead::CrpdCostModel;
+        // A small task population concentrates the load in heavy tasks so
+        // the traces actually split (the default churn population is too
+        // fine-grained to ever need a split piece).
+        let split_prone = || {
+            quick()
+                .mean_interarrival(Time::from_millis(200))
+                .lifetime_range(Time::from_millis(200), Time::from_secs(1))
+        };
+        let free = split_prone().run();
+        let charged = split_prone()
+            .cost_model(CostModelSpec::Crpd(CrpdCostModel::heavy()))
+            .run();
+        assert_eq!(charged.total_replay_misses(), 0);
+        let mut charged_something = false;
+        for (a, b) in free.points().iter().zip(charged.points()) {
+            assert_eq!(a.inflation_us_per_admission, 0.0);
+            // Charging migrations can only make admission harder.
+            assert!(b.acceptance_ratio <= a.acceptance_ratio + 1e-9);
+            charged_something |= b.inflation_us_per_admission > 0.0;
+        }
+        assert!(
+            charged_something,
+            "the high-load point should split at least once and be charged"
+        );
+    }
+
+    #[test]
     fn disabling_replay_zeroes_epochs() {
         let results = quick().replay_duration(None).run();
         for p in results.points() {
@@ -448,7 +523,9 @@ mod tests {
         assert!(md.contains("0.50"));
         assert!(md.contains("0.80"));
         assert!(md.contains("replay misses"));
+        assert!(md.contains("inflate µs/admit"));
         assert_eq!(csv.lines().count(), 1 + results.points().len());
         assert!(csv.starts_with("normalized_utilization"));
+        assert!(csv.contains("inflation_us_per_admission"));
     }
 }

@@ -1,0 +1,153 @@
+//! One report writer for every experiment driver.
+//!
+//! Each driver produces a plain-old-data result type with
+//! `render_markdown()` / `render_csv()` helpers; what used to vary per CLI
+//! subcommand was only the dispatch on `--format` and the JSON envelope the
+//! CI benchmark artifacts expect. [`ReportSink`] centralizes both so the
+//! `spms` binary (and any other front end) formats every experiment the
+//! same way — and so the envelope's byte layout is pinned in exactly one
+//! place.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// The output formats every experiment front end understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// A human-readable markdown table.
+    Markdown,
+    /// A CSV with a header row, suitable for plotting.
+    Csv,
+    /// The serialized results wrapped in the CI artifact envelope.
+    Json,
+}
+
+impl ReportFormat {
+    /// Parses a `--format` flag value; `None` for anything unknown.
+    pub fn parse(raw: &str) -> Option<ReportFormat> {
+        match raw {
+            "markdown" => Some(ReportFormat::Markdown),
+            "csv" => Some(ReportFormat::Csv),
+            "json" => Some(ReportFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A report failed to produce output (serialization only — the markdown
+/// and CSV renderers are infallible).
+#[derive(Debug)]
+pub struct ReportError(String);
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serializing results failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Formats one experiment's results in the requested [`ReportFormat`].
+///
+/// The JSON output is the envelope the CI benchmark artifacts diff:
+/// `{"experiment":"<name>","seed":N,"threads":N,"results":<payload>}` —
+/// which experiment ran and under which reproducibility knobs, with the
+/// driver's serialized results embedded verbatim.
+#[derive(Debug, Clone)]
+pub struct ReportSink {
+    experiment: String,
+    format: ReportFormat,
+    seed: u64,
+    threads: usize,
+}
+
+impl ReportSink {
+    /// A sink for `experiment` writing in `format`, with seed 0 and one
+    /// thread recorded in the envelope until overridden.
+    pub fn new(experiment: impl Into<String>, format: ReportFormat) -> Self {
+        ReportSink {
+            experiment: experiment.into(),
+            format,
+            seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// Records the root RNG seed in the JSON envelope.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records the worker-thread count in the JSON envelope.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Renders `results` in the sink's format: the matching closure for
+    /// markdown/CSV, or the serialized results inside the CI envelope for
+    /// JSON.
+    pub fn render<T: Serialize>(
+        &self,
+        results: &T,
+        markdown: impl FnOnce() -> String,
+        csv: impl FnOnce() -> String,
+    ) -> Result<String, ReportError> {
+        Ok(match self.format {
+            ReportFormat::Markdown => markdown(),
+            ReportFormat::Csv => csv(),
+            ReportFormat::Json => {
+                let payload =
+                    serde_json::to_string(results).map_err(|e| ReportError(e.to_string()))?;
+                format!(
+                    "{{\"experiment\":\"{}\",\"seed\":{},\"threads\":{},\"results\":{payload}}}",
+                    self.experiment, self.seed, self.threads
+                )
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing_covers_the_flag_values() {
+        assert_eq!(
+            ReportFormat::parse("markdown"),
+            Some(ReportFormat::Markdown)
+        );
+        assert_eq!(ReportFormat::parse("csv"), Some(ReportFormat::Csv));
+        assert_eq!(ReportFormat::parse("json"), Some(ReportFormat::Json));
+        assert_eq!(ReportFormat::parse("yaml"), None);
+    }
+
+    #[test]
+    fn markdown_and_csv_dispatch_to_the_renderers() {
+        let sink = ReportSink::new("demo", ReportFormat::Markdown);
+        let out = sink.render(&7u32, || "md".into(), || "csv".into()).unwrap();
+        assert_eq!(out, "md");
+        let sink = ReportSink::new("demo", ReportFormat::Csv);
+        let out = sink.render(&7u32, || "md".into(), || "csv".into()).unwrap();
+        assert_eq!(out, "csv");
+    }
+
+    #[test]
+    fn the_json_envelope_bytes_are_pinned() {
+        // CI diffs these artifacts byte-for-byte; the envelope layout must
+        // not drift.
+        let sink = ReportSink::new("demo", ReportFormat::Json)
+            .seed(42)
+            .threads(2);
+        let out = sink
+            .render(&vec![1u32, 2], || unreachable!(), || unreachable!())
+            .unwrap();
+        assert_eq!(
+            out,
+            "{\"experiment\":\"demo\",\"seed\":42,\"threads\":2,\"results\":[1,2]}"
+        );
+    }
+}

@@ -6,11 +6,12 @@
 //!
 //! * `cached` — the production configuration (incremental RTA cache,
 //!   journal-based rollback, cross-probe warm starts),
-//! * `scratch` — RTA cache disabled (`OnlineConfig::with_rta_cache(false)`),
-//! * `clone` — journal disabled (`with_journal(false)`): repair/split
+//! * `scratch` — RTA cache disabled
+//!   (`OnlineConfig::builder().rta_cache(false)`),
+//! * `clone` — journal disabled (`.journal(false)`): repair/split
 //!   rollback snapshots the whole partition per attempt, the PR 3 baseline,
 //! * `cold` — cross-probe warm starts disabled
-//!   (`with_probe_warm_start(false)`).
+//!   (`.probe_warm_start(false)`).
 //!
 //! All four must produce byte-identical serialized decision logs (the three
 //! optimisations are pure mechanism; only the policy knob
@@ -265,8 +266,12 @@ impl RtaCacheBenchmark {
                         .seed(cell.seed)
                         .generate()
                         .ok()?;
-                    let config =
-                        OnlineConfig::new(self.cores).with_max_repair_moves(self.max_repair_moves);
+                    let base = || {
+                        OnlineConfig::builder()
+                            .cores(self.cores)
+                            .max_repair_moves(self.max_repair_moves)
+                    };
+                    let config = base().build();
 
                     // One untimed warm-up pass absorbs one-time costs
                     // (lazy allocation, code paging) that would otherwise
@@ -282,11 +287,11 @@ impl RtaCacheBenchmark {
                     let journal_clone_free = Partition::clone_count() == clones_before;
 
                     let (scratch, scratch_elapsed) =
-                        drive(config.clone().with_rta_cache(false), &events)?;
+                        drive(base().rta_cache(false).build(), &events)?;
                     let (clone_rollback, clone_elapsed) =
-                        drive(config.clone().with_journal(false), &events)?;
+                        drive(base().journal(false).build(), &events)?;
                     let (cold_probe, cold_elapsed) =
-                        drive(config.with_probe_warm_start(false), &events)?;
+                        drive(base().probe_warm_start(false).build(), &events)?;
 
                     let cached_log = serialize_log(cached.decisions());
                     let log_identical = [&scratch, &clone_rollback, &cold_probe]

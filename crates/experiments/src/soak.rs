@@ -32,6 +32,7 @@ use spms_online::{
     ChurnGenerator, Decision, EventLoop, EventLoopConfig, OnlineConfig, ShardedAdmission,
     TimedEvent,
 };
+use spms_overhead::CostModelSpec;
 use spms_task::Time;
 
 use crate::progress::{NullProgress, ProgressSink};
@@ -50,6 +51,7 @@ struct SoakTrace {
     rebalance_ticks: u64,
     rebalance_moves: u64,
     lease_expirations: u64,
+    inflation_charged_ns: u64,
     replay: ReplayOutcome,
     events_digest: u64,
     decisions_digest: u64,
@@ -82,6 +84,9 @@ pub struct SoakPoint {
     pub rebalance_moves: u64,
     /// Departures synthesized by lease expiry.
     pub lease_expirations: u64,
+    /// Nanoseconds of migration-cost WCET inflation charged across every
+    /// admission and rebalance move (0 under the free cost model).
+    pub inflation_charged_ns: u64,
     /// Simulator epochs replayed (sampled admissions).
     pub replayed_epochs: u64,
     /// Deadline misses across every replayed epoch (must stay 0).
@@ -138,12 +143,12 @@ impl SoakResults {
     /// throughput/latency columns.
     pub fn render_markdown(&self) -> String {
         let mut out = String::from(
-            "| shards | events | arrivals | admitted | rejected | overflow | rebalance moves | replay misses | events digest | decisions digest |\n\
-             |---|---|---|---|---|---|---|---|---|---|\n",
+            "| shards | events | arrivals | admitted | rejected | overflow | rebalance moves | inflate µs | replay misses | events digest | decisions digest |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {:#018x} | {:#018x} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:#018x} | {:#018x} |\n",
                 p.shards,
                 p.events_processed,
                 p.arrivals,
@@ -151,6 +156,7 @@ impl SoakResults {
                 p.rejected,
                 p.overflow_admissions,
                 p.rebalance_moves,
+                p.inflation_charged_ns / 1_000,
                 p.replay_misses,
                 p.events_digest,
                 p.decisions_digest,
@@ -176,11 +182,11 @@ impl SoakResults {
     /// Renders the deterministic per-point data as CSV.
     pub fn render_csv(&self) -> String {
         let mut out = String::from(
-            "shards,events_processed,arrivals,admitted,rejected,overflow_admissions,rebalance_moves,replay_misses,events_digest,decisions_digest\n",
+            "shards,events_processed,arrivals,admitted,rejected,overflow_admissions,rebalance_moves,inflation_charged_ns,replay_misses,events_digest,decisions_digest\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:#018x},{:#018x}\n",
+                "{},{},{},{},{},{},{},{},{},{:#018x},{:#018x}\n",
                 p.shards,
                 p.events_processed,
                 p.arrivals,
@@ -188,6 +194,7 @@ impl SoakResults {
                 p.rejected,
                 p.overflow_admissions,
                 p.rebalance_moves,
+                p.inflation_charged_ns,
                 p.replay_misses,
                 p.events_digest,
                 p.decisions_digest,
@@ -206,6 +213,7 @@ pub struct SoakExperiment {
     traces_per_point: usize,
     target_utilization: f64,
     max_repair_moves: usize,
+    cost_model: CostModelSpec,
     rebalance_period: Option<Time>,
     rebalance_max_moves: usize,
     lease: Option<Time>,
@@ -224,6 +232,7 @@ impl Default for SoakExperiment {
             traces_per_point: 1,
             target_utilization: 0.6,
             max_repair_moves: 2,
+            cost_model: CostModelSpec::Zero,
             rebalance_period: Some(Time::from_millis(250)),
             rebalance_max_moves: 4,
             lease: None,
@@ -276,6 +285,13 @@ impl SoakExperiment {
     /// Sets the repair bound `k` of every shard.
     pub fn max_repair_moves(mut self, k: usize) -> Self {
         self.max_repair_moves = k;
+        self
+    }
+
+    /// Sets the migration cost model every shard charges on splits, repair
+    /// relocations and rebalance moves.
+    pub fn cost_model(mut self, model: CostModelSpec) -> Self {
+        self.cost_model = model;
         self
     }
 
@@ -366,8 +382,11 @@ impl SoakExperiment {
                         .seed(trace_seed)
                         .generate_timed()
                         .ok()?;
-                    let config =
-                        OnlineConfig::new(self.cores).with_max_repair_moves(self.max_repair_moves);
+                    let config = OnlineConfig::builder()
+                        .cores(self.cores)
+                        .max_repair_moves(self.max_repair_moves)
+                        .cost_model(self.cost_model.clone())
+                        .build();
                     let mut engine = ShardedAdmission::new(config, shards).ok()?;
                     let mut event_loop = EventLoop::new(
                         EventLoopConfig::new(trace_seed)
@@ -423,6 +442,7 @@ impl SoakExperiment {
                         rebalance_ticks: stats.rebalance_ticks,
                         rebalance_moves: stats.rebalance_moves,
                         lease_expirations: stats.lease_expirations,
+                        inflation_charged_ns: stats.decisions.inflation_charged_ns,
                         replay,
                         events_digest,
                         decisions_digest,
@@ -449,6 +469,7 @@ impl SoakExperiment {
                 rebalance_ticks: 0,
                 rebalance_moves: 0,
                 lease_expirations: 0,
+                inflation_charged_ns: 0,
                 replayed_epochs: 0,
                 replay_misses: 0,
                 events_digest: FNV_OFFSET,
@@ -466,6 +487,7 @@ impl SoakExperiment {
                 point.rebalance_ticks += outcome.rebalance_ticks;
                 point.rebalance_moves += outcome.rebalance_moves;
                 point.lease_expirations += outcome.lease_expirations;
+                point.inflation_charged_ns += outcome.inflation_charged_ns;
                 point.replayed_epochs += outcome.replay.epochs;
                 point.replay_misses += outcome.replay.deadline_misses;
                 point.events_digest = fnv1a_combine(point.events_digest, outcome.events_digest);
@@ -610,6 +632,26 @@ mod tests {
     }
 
     #[test]
+    fn charged_soaks_report_deterministic_inflation() {
+        use spms_overhead::CrpdCostModel;
+        let charged = || {
+            quick()
+                .target_utilization(0.8)
+                .cost_model(CostModelSpec::Crpd(CrpdCostModel::heavy()))
+        };
+        let a = charged().run();
+        assert_eq!(a.points(), charged().threads(4).run().points());
+        assert_eq!(a.replay_misses, 0);
+        for p in quick().run().points() {
+            assert_eq!(p.inflation_charged_ns, 0, "free model must charge nothing");
+        }
+        assert!(
+            a.points().iter().any(|p| p.inflation_charged_ns > 0),
+            "a high-load charged soak should split or rebalance at least once"
+        );
+    }
+
+    #[test]
     fn rendering_has_throughput_and_latency_columns() {
         let results = quick().run();
         let md = results.render_markdown();
@@ -620,6 +662,8 @@ mod tests {
         assert!(md.contains("replay misses: 0"));
         let csv = results.render_csv();
         assert!(csv.starts_with("shards,"));
+        assert!(csv.contains("inflation_charged_ns"));
+        assert!(md.contains("inflate µs"));
         assert_eq!(csv.lines().count(), 1 + results.points().len());
     }
 }

@@ -53,8 +53,9 @@ use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_core::{
     CoreId, IncrementalPlacer, JournalMark, Partition, PartitionOutcome, Partitioner,
-    SemiPartitionedFpTs, WholeProbe,
+    PlacementPlan, SemiPartitionedFpTs, WholeProbe,
 };
+use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, TaskSet, Time};
 
 use crate::WorkloadEvent;
@@ -89,7 +90,14 @@ impl fmt::Display for OnlineError {
 impl std::error::Error for OnlineError {}
 
 /// Configuration of the online admission controller.
+///
+/// Construct via [`OnlineConfig::new`] (the defaults for a core count) or
+/// [`OnlineConfig::builder`] to set individual knobs. The struct is
+/// `#[non_exhaustive]`: fields are readable everywhere, but out-of-crate
+/// construction must go through the builder so new knobs (like
+/// [`cost_model`](Self::cost_model)) can be added without breaking callers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OnlineConfig {
     /// Number of processor cores.
     pub cores: usize,
@@ -124,6 +132,12 @@ pub struct OnlineConfig {
     /// *policy* knob: the two rankings can make genuinely different (both
     /// sound) admit/reject decisions.
     pub repair_ranking: RepairRanking,
+    /// What one migration costs a task in extra WCET. Every split hop,
+    /// repair relocation and rebalance move must stay schedulable *after*
+    /// the affected task's analysis WCET absorbs this charge. The default
+    /// [`CostModelSpec::Zero`] charges nothing and reproduces the
+    /// pre-cost-model decisions bit for bit.
+    pub cost_model: CostModelSpec,
 }
 
 /// Victim-ranking policy of the bounded-repair pass.
@@ -165,13 +179,15 @@ impl Default for OnlineConfig {
             use_journal: true,
             probe_warm_start: true,
             repair_ranking: RepairRanking::Slack,
+            cost_model: CostModelSpec::Zero,
         }
     }
 }
 
 impl OnlineConfig {
     /// A configuration for `cores` processors with exact RTA, no overhead,
-    /// repair bound 2 and the full-repartition fallback enabled.
+    /// repair bound 2, free migrations and the full-repartition fallback
+    /// enabled. Shorthand for `OnlineConfig::builder().cores(cores).build()`.
     pub fn new(cores: usize) -> Self {
         OnlineConfig {
             cores,
@@ -179,58 +195,158 @@ impl OnlineConfig {
         }
     }
 
+    /// Starts a builder from the defaults. The builder is the one way to
+    /// set knobs: `OnlineConfig::builder().cores(8).cost_model(...).build()`.
+    pub fn builder() -> OnlineConfigBuilder {
+        OnlineConfigBuilder {
+            config: OnlineConfig::default(),
+        }
+    }
+
     /// Replaces the acceptance test (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().test(..)")]
     pub fn with_test(mut self, test: UniprocessorTest) -> Self {
         self.test = test;
         self
     }
 
     /// Replaces the overhead model (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().overhead(..)")]
     pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
         self.overhead = overhead;
         self
     }
 
     /// Sets the repair bound `k` (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().max_repair_moves(..)")]
     pub fn with_max_repair_moves(mut self, k: usize) -> Self {
         self.max_repair_moves = k;
         self
     }
 
     /// Enables or disables the full-repartition fallback (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().fallback(..)")]
     pub fn with_fallback(mut self, allow: bool) -> Self {
         self.allow_fallback = allow;
         self
     }
 
     /// Sets the smallest admissible body-subtask budget (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().min_split_budget(..)")]
     pub fn with_min_split_budget(mut self, budget: Time) -> Self {
         self.min_split_budget = budget;
         self
     }
 
     /// Enables or disables the incremental RTA cache (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().rta_cache(..)")]
     pub fn with_rta_cache(mut self, enabled: bool) -> Self {
         self.use_rta_cache = enabled;
         self
     }
 
     /// Enables or disables journal-based rollback (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().journal(..)")]
     pub fn with_journal(mut self, enabled: bool) -> Self {
         self.use_journal = enabled;
         self
     }
 
     /// Enables or disables cross-probe warm starts (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().probe_warm_start(..)")]
     pub fn with_probe_warm_start(mut self, enabled: bool) -> Self {
         self.probe_warm_start = enabled;
         self
     }
 
     /// Sets the repair victim-ranking policy (builder style).
+    #[deprecated(note = "use OnlineConfig::builder().repair_ranking(..)")]
     pub fn with_repair_ranking(mut self, ranking: RepairRanking) -> Self {
         self.repair_ranking = ranking;
         self
+    }
+}
+
+/// Builder for [`OnlineConfig`]. Obtained from [`OnlineConfig::builder`];
+/// every method replaces one knob and [`build`](Self::build) yields the
+/// finished configuration (core-count validation stays where it always
+/// was, in [`AdmissionController::new`]).
+#[derive(Debug, Clone)]
+pub struct OnlineConfigBuilder {
+    config: OnlineConfig,
+}
+
+impl OnlineConfigBuilder {
+    /// Sets the number of processor cores.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Replaces the per-core acceptance test.
+    pub fn test(mut self, test: UniprocessorTest) -> Self {
+        self.config.test = test;
+        self
+    }
+
+    /// Replaces the run-time overhead model.
+    pub fn overhead(mut self, overhead: OverheadModel) -> Self {
+        self.config.overhead = overhead;
+        self
+    }
+
+    /// Sets the smallest admissible body-subtask budget.
+    pub fn min_split_budget(mut self, budget: Time) -> Self {
+        self.config.min_split_budget = budget;
+        self
+    }
+
+    /// Sets the repair bound `k` (`0` disables repair).
+    pub fn max_repair_moves(mut self, k: usize) -> Self {
+        self.config.max_repair_moves = k;
+        self
+    }
+
+    /// Enables or disables the full-repartition fallback.
+    pub fn fallback(mut self, allow: bool) -> Self {
+        self.config.allow_fallback = allow;
+        self
+    }
+
+    /// Enables or disables the incremental RTA cache.
+    pub fn rta_cache(mut self, enabled: bool) -> Self {
+        self.config.use_rta_cache = enabled;
+        self
+    }
+
+    /// Enables or disables journal-based rollback.
+    pub fn journal(mut self, enabled: bool) -> Self {
+        self.config.use_journal = enabled;
+        self
+    }
+
+    /// Enables or disables cross-probe warm starts.
+    pub fn probe_warm_start(mut self, enabled: bool) -> Self {
+        self.config.probe_warm_start = enabled;
+        self
+    }
+
+    /// Sets the repair victim-ranking policy.
+    pub fn repair_ranking(mut self, ranking: RepairRanking) -> Self {
+        self.config.repair_ranking = ranking;
+        self
+    }
+
+    /// Sets the migration cost model charged by every split, relocation
+    /// and rebalance move.
+    pub fn cost_model(mut self, model: CostModelSpec) -> Self {
+        self.config.cost_model = model;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> OnlineConfig {
+        self.config
     }
 }
 
@@ -288,7 +404,7 @@ impl fmt::Display for RejectionReason {
 }
 
 /// The outcome of one event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecisionKind {
     /// The arrival was admitted.
     Admitted {
@@ -297,6 +413,11 @@ pub enum DecisionKind {
         /// How many *already-placed* tasks this decision relocated (0 on the
         /// fast paths).
         migrations: usize,
+        /// Total extra WCET the cost model charged across every placement
+        /// this decision inflated (split hops of the arrival, relocated
+        /// repair victims). Zero under [`CostModelSpec::Zero`] and on the
+        /// fast-whole and fallback paths.
+        inflation: Time,
     },
     /// The arrival was rejected; the partition is unchanged.
     Rejected {
@@ -307,6 +428,78 @@ pub enum DecisionKind {
     Departed,
     /// A departure for a task that was never admitted (no-op).
     DepartUnknown,
+}
+
+// Hand-rolled (de)serialization so zero charges stay invisible: a ZeroCost
+// decision log must stay byte-identical to the pre-cost-model format (the
+// derive would emit `"inflation":0` into every admission). The encoding
+// otherwise matches the derive exactly — unit variants as strings, data
+// variants as single-key maps — and old logs without the entry read back
+// with [`Time::ZERO`].
+impl Serialize for DecisionKind {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        match self {
+            DecisionKind::Admitted {
+                path,
+                migrations,
+                inflation,
+            } => {
+                let mut fields = vec![
+                    (String::from("path"), path.to_value()),
+                    (String::from("migrations"), migrations.to_value()),
+                ];
+                if !inflation.is_zero() {
+                    fields.push((String::from("inflation"), inflation.to_value()));
+                }
+                Value::Map(vec![(String::from("Admitted"), Value::Map(fields))])
+            }
+            DecisionKind::Rejected { reason } => Value::Map(vec![(
+                String::from("Rejected"),
+                Value::Map(vec![(String::from("reason"), reason.to_value())]),
+            )]),
+            DecisionKind::Departed => Value::Str(String::from("Departed")),
+            DecisionKind::DepartUnknown => Value::Str(String::from("DepartUnknown")),
+        }
+    }
+}
+
+impl Deserialize for DecisionKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Value;
+        match value {
+            Value::Str(name) => match name.as_str() {
+                "Departed" => Ok(DecisionKind::Departed),
+                "DepartUnknown" => Ok(DecisionKind::DepartUnknown),
+                other => Err(serde::Error::custom(format!(
+                    "unknown variant `{other}` of DecisionKind"
+                ))),
+            },
+            Value::Map(entries) if entries.len() == 1 => {
+                let (tag, payload) = &entries[0];
+                match tag.as_str() {
+                    "Admitted" => Ok(DecisionKind::Admitted {
+                        path: Deserialize::from_value(payload.field("path")?)?,
+                        migrations: Deserialize::from_value(payload.field("migrations")?)?,
+                        inflation: match payload.field("inflation")? {
+                            Value::Null => Time::ZERO,
+                            present => Deserialize::from_value(present)?,
+                        },
+                    }),
+                    "Rejected" => Ok(DecisionKind::Rejected {
+                        reason: Deserialize::from_value(payload.field("reason")?)?,
+                    }),
+                    other => Err(serde::Error::custom(format!(
+                        "unknown variant `{other}` of DecisionKind"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected DecisionKind representation, found {}",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 /// One entry of the controller's decision log.
@@ -358,6 +551,11 @@ pub struct ControllerStats {
     pub full_repartitions: u64,
     /// Already-placed tasks relocated across all decisions.
     pub migrations_caused: u64,
+    /// Total WCET inflation (nanoseconds) the cost model charged across
+    /// all admissions — the schedulable capacity spent on migration
+    /// overhead rather than task execution. Zero under
+    /// [`CostModelSpec::Zero`].
+    pub inflation_charged_ns: u64,
 }
 
 impl ControllerStats {
@@ -536,32 +734,66 @@ impl AdmissionController {
             return self.reject(RejectionReason::OverheadUnabsorbable);
         }
 
+        // A whole placement crosses no core boundary at run time, so the
+        // fast-whole path is charge-free under every cost model.
         if let Some(plan) = self.placer.plan_whole(&self.partition, task, &[]) {
             self.placer.commit(&mut self.partition, task, plan);
             self.stats.fast_whole += 1;
-            return self.admit(task, DecisionPath::FastWhole, 0);
+            return self.admit(task, DecisionPath::FastWhole, 0, Time::ZERO);
         }
-        if let Some(plan) = self.placer.plan_split(&self.partition, task, &[]) {
+        // A split chain hops one core boundary per piece after the first,
+        // every job: each later piece's analysis WCET absorbs one charge,
+        // and the split is admitted only if it stays schedulable inflated.
+        let charge = self.migration_charge(task);
+        if let Some(plan) = self
+            .placer
+            .plan_split_charged(&self.partition, task, &[], charge)
+        {
+            let inflation = plan_inflation(&plan, charge);
             self.placer.commit(&mut self.partition, task, plan);
             self.stats.fast_split += 1;
-            return self.admit(task, DecisionPath::FastSplit, 0);
+            return self.admit(task, DecisionPath::FastSplit, 0, inflation);
         }
-        if let Some(moves) = self.try_repair(task) {
+        if let Some((moves, inflation)) = self.try_repair(task) {
             self.stats.repairs += 1;
-            return self.admit(task, DecisionPath::Repair, moves);
+            return self.admit(task, DecisionPath::Repair, moves, inflation);
         }
+        // The fallback adopts a from-scratch offline partition; its moves
+        // are a one-time reshuffle, not recurring per-job hops, so they are
+        // deliberately uncharged (see the module docs).
         if let Some(moves) = self.try_fallback(task) {
             self.stats.full_repartitions += 1;
-            return self.admit(task, DecisionPath::FullRepartition, moves);
+            return self.admit(task, DecisionPath::FullRepartition, moves, Time::ZERO);
         }
         self.reject(RejectionReason::NoFeasiblePlacement)
     }
 
-    fn admit(&mut self, task: &Task, path: DecisionPath, migrations: usize) -> DecisionKind {
+    /// The per-migration WCET charge of `task` under the configured cost
+    /// model. Always computed from the task's pristine parameters, so
+    /// repeated relocations never compound charges.
+    fn migration_charge(&self, task: &Task) -> Time {
+        self.config.cost_model.migration_charge(task)
+    }
+
+    fn admit(
+        &mut self,
+        task: &Task,
+        path: DecisionPath,
+        migrations: usize,
+        inflation: Time,
+    ) -> DecisionKind {
         self.stats.admitted += 1;
         self.stats.migrations_caused += migrations as u64;
+        self.stats.inflation_charged_ns = self
+            .stats
+            .inflation_charged_ns
+            .saturating_add(inflation.as_nanos());
         self.admitted.insert(task.id(), task.clone());
-        DecisionKind::Admitted { path, migrations }
+        DecisionKind::Admitted {
+            path,
+            migrations,
+            inflation,
+        }
     }
 
     fn reject(&mut self, reason: RejectionReason) -> DecisionKind {
@@ -578,17 +810,18 @@ impl AdmissionController {
     /// the partition whenever a target core cannot be freed — by rewinding
     /// the mutation journal ([`OnlineConfig::use_journal`], O(moves)) or by
     /// restoring a snapshot clone (O(tasks), kept for benchmarking).
-    /// Returns the number of tasks moved on success.
-    fn try_repair(&mut self, task: &Task) -> Option<usize> {
+    /// Returns the number of tasks moved and the total WCET inflation the
+    /// cost model charged to the relocated victims on success.
+    fn try_repair(&mut self, task: &Task) -> Option<(usize, Time)> {
         if self.config.max_repair_moves == 0 {
             return None;
         }
         for target in self.repair_target_order(task) {
             let rollback = self.begin_rollback();
             match self.repair_on(target, task) {
-                Some(moves) => {
+                Some(outcome) => {
                     self.commit_rollback(rollback);
-                    return Some(moves);
+                    return Some(outcome);
                 }
                 None => self.abort_rollback(rollback),
             }
@@ -630,28 +863,34 @@ impl AdmissionController {
     }
 
     /// One repair attempt against a fixed `target` core. Mutates the
-    /// partition freely; the caller rolls back on `None`.
-    fn repair_on(&mut self, target: CoreId, task: &Task) -> Option<usize> {
+    /// partition freely; the caller rolls back on `None`. Returns the
+    /// number of relocations and their accumulated WCET inflation.
+    fn repair_on(&mut self, target: CoreId, task: &Task) -> Option<(usize, Time)> {
         let k = self.config.max_repair_moves;
         let others: Vec<CoreId> = (0..self.config.cores)
             .map(CoreId)
             .filter(|c| *c != target)
             .collect();
         let mut moves = 0usize;
+        let mut inflation = Time::ZERO;
         let mut immovable: Vec<TaskId> = Vec::new();
         loop {
+            // The arrival itself lands whole on the opened core — a fresh
+            // placement crossing no boundary, so it stays uncharged.
             if let Some(plan) = self.placer.plan_whole(&self.partition, task, &others) {
                 self.placer.commit(&mut self.partition, task, plan);
-                return Some(moves);
+                return Some((moves, inflation));
             }
             if moves == k {
                 return None;
             }
             let victim = self.pick_victim(target, task, &immovable)?;
-            if self.relocate(victim, target) {
-                moves += 1;
-            } else {
-                immovable.push(victim);
+            match self.relocate(victim, target) {
+                Some(added) => {
+                    moves += 1;
+                    inflation += added;
+                }
+                None => immovable.push(victim),
             }
         }
     }
@@ -806,22 +1045,28 @@ impl AdmissionController {
     }
 
     /// Moves `victim` off `target`, whole-first-fit over the other cores and
-    /// re-splitting it across them if it fits nowhere whole. Returns whether
-    /// the relocation succeeded (on failure the partition is unchanged —
-    /// via an inner journal mark, or an inner snapshot when the journal is
-    /// disabled).
-    fn relocate(&mut self, victim: TaskId, target: CoreId) -> bool {
-        let Some(original) = self.admitted.get(&victim).cloned() else {
-            return false;
-        };
+    /// re-splitting it across them if it fits nowhere whole. The victim is
+    /// re-planned from its *pristine* admitted copy with one migration
+    /// charge folded in (a relocated whole absorbs one charge; a re-split
+    /// charges each later piece), so the move commits only if the inflated
+    /// placement stays schedulable. Returns the inflation charged on
+    /// success; on failure the partition is unchanged — via an inner
+    /// journal mark, or an inner snapshot when the journal is disabled.
+    fn relocate(&mut self, victim: TaskId, target: CoreId) -> Option<Time> {
+        let original = self.admitted.get(&victim).cloned()?;
+        let charge = self.migration_charge(&original);
         let inner = self.inner_rollback_point();
         self.partition.remove_parent(victim);
-        if let Some(plan) = self.placer.plan(&self.partition, &original, &[target]) {
+        if let Some(plan) = self
+            .placer
+            .plan_charged(&self.partition, &original, &[target], charge)
+        {
+            let inflation = plan_inflation(&plan, charge);
             self.placer.commit(&mut self.partition, &original, plan);
-            true
+            Some(inflation)
         } else {
             self.restore_inner(inner);
-            false
+            None
         }
     }
 
@@ -990,6 +1235,10 @@ impl crate::AdmissionShard for AdmissionController {
     fn placer(&self) -> &IncrementalPlacer {
         &self.placer
     }
+
+    fn cost_model(&self) -> CostModelSpec {
+        self.config.cost_model.clone()
+    }
 }
 
 /// How one speculative repair scope will be rolled back: a journal mark
@@ -998,6 +1247,18 @@ impl crate::AdmissionShard for AdmissionController {
 enum Rollback {
     Journal(JournalMark),
     Snapshot(Box<Partition>),
+}
+
+/// Total WCET inflation a committed plan carries for one per-migration
+/// `charge`: a charged whole placement absorbs one charge, a split chain
+/// one per piece after the first (the first piece never crosses a
+/// boundary). Mirrors the charging rule inside
+/// [`IncrementalPlacer::plan_charged`].
+fn plan_inflation(plan: &PlacementPlan, charge: Time) -> Time {
+    match plan {
+        PlacementPlan::Whole { .. } => charge,
+        PlacementPlan::Split { pieces } => charge * (pieces.len().saturating_sub(1) as u64),
+    }
 }
 
 /// Counts the parents (other than `arriving`) whose placement — the set of
@@ -1031,11 +1292,13 @@ mod tests {
         c.handle(WorkloadEvent::Arrive(t)).kind
     }
 
-    /// A config where all tasks share a 10 ms period, so per-core RTA
-    /// accepts exactly up to 100% utilization — convenient for constructing
-    /// repair and fallback scenarios.
-    fn two_cores_no_split() -> OnlineConfig {
-        OnlineConfig::new(2).with_min_split_budget(Time::from_secs(10))
+    /// A config builder where all tasks share a 10 ms period, so per-core
+    /// RTA accepts exactly up to 100% utilization — convenient for
+    /// constructing repair and fallback scenarios.
+    fn two_cores_no_split() -> OnlineConfigBuilder {
+        OnlineConfig::builder()
+            .cores(2)
+            .min_split_budget(Time::from_secs(10))
     }
 
     #[test]
@@ -1055,7 +1318,8 @@ mod tests {
                 kind,
                 DecisionKind::Admitted {
                     path: DecisionPath::FastWhole,
-                    migrations: 0
+                    migrations: 0,
+                    inflation: Time::ZERO
                 }
             );
         }
@@ -1075,7 +1339,8 @@ mod tests {
             kind,
             DecisionKind::Admitted {
                 path: DecisionPath::FastSplit,
-                migrations: 0
+                migrations: 0,
+                inflation: Time::ZERO
             }
         );
         assert_eq!(c.partition().split_count(), 1);
@@ -1087,7 +1352,7 @@ mod tests {
         // P0 fills with A (0.30) and B (0.55); C (0.60) lands on P1. D
         // (0.45) fits nowhere whole and splitting is disabled; moving A to
         // P1 frees exactly enough room on P0.
-        let mut c = AdmissionController::new(two_cores_no_split()).unwrap();
+        let mut c = AdmissionController::new(two_cores_no_split().build()).unwrap();
         arrive(&mut c, task(0, 3, 10));
         arrive(&mut c, task(1, 55, 100));
         arrive(&mut c, task(2, 6, 10));
@@ -1096,7 +1361,8 @@ mod tests {
             kind,
             DecisionKind::Admitted {
                 path: DecisionPath::Repair,
-                migrations: 1
+                migrations: 1,
+                inflation: Time::ZERO
             }
         );
         assert_eq!(c.stats().repairs, 1);
@@ -1109,7 +1375,7 @@ mod tests {
         // P0 carries 0.85, P1 carries 0.55. A 0.50 arrival fits nowhere
         // whole; the repair cascade must try P1 first (deficit 0.05) and
         // P0 last (deficit 0.35) — not index order.
-        let mut c = AdmissionController::new(two_cores_no_split()).unwrap();
+        let mut c = AdmissionController::new(two_cores_no_split().build()).unwrap();
         arrive(&mut c, task(0, 85, 100));
         arrive(&mut c, task(1, 55, 100));
         assert_eq!(
@@ -1124,7 +1390,7 @@ mod tests {
         // A (0.35) and B (0.35) pack onto P0, C (0.65) onto P1. D (0.65)
         // fits nowhere whole, splitting and repair are disabled, but the
         // offline algorithm places {0.65, 0.35} on each core from scratch.
-        let config = two_cores_no_split().with_max_repair_moves(0);
+        let config = two_cores_no_split().max_repair_moves(0).build();
         let mut c = AdmissionController::new(config).unwrap();
         arrive(&mut c, task(0, 35, 100));
         arrive(&mut c, task(1, 35, 100));
@@ -1134,7 +1400,8 @@ mod tests {
             kind,
             DecisionKind::Admitted {
                 path: DecisionPath::FullRepartition,
-                migrations: 2
+                migrations: 2,
+                inflation: Time::ZERO
             }
         );
         assert!(c.partition().is_schedulable(c.config().test));
@@ -1153,7 +1420,8 @@ mod tests {
             .unwrap();
         let mut cached = AdmissionController::new(OnlineConfig::new(2)).unwrap();
         let mut scratch =
-            AdmissionController::new(OnlineConfig::new(2).with_rta_cache(false)).unwrap();
+            AdmissionController::new(OnlineConfig::builder().cores(2).rta_cache(false).build())
+                .unwrap();
         assert!(cached.partition().analysis_cache_enabled());
         assert!(!scratch.partition().analysis_cache_enabled());
         let a = cached.handle_all(&events);
@@ -1168,7 +1436,7 @@ mod tests {
         // Two 90% tasks leave no room: the repair pass tries (and fails) to
         // relocate them before the arrival is rejected; the rollback must
         // restore not just the placements but the attached analysis cache.
-        let config = two_cores_no_split().with_fallback(false);
+        let config = two_cores_no_split().fallback(false).build();
         let mut c = AdmissionController::new(config).unwrap();
         arrive(&mut c, task(0, 9, 10));
         arrive(&mut c, task(1, 9, 10));
@@ -1218,9 +1486,9 @@ mod tests {
                     WorkloadEvent::Arrive(constrained(i as u32, wcet, period, deadline.max(wcet)))
                 })
                 .collect();
-            let config = two_cores_no_split().with_max_repair_moves(0);
-            let mut cached = AdmissionController::new(config.clone()).unwrap();
-            let mut scratch = AdmissionController::new(config.with_rta_cache(false)).unwrap();
+            let config = two_cores_no_split().max_repair_moves(0);
+            let mut cached = AdmissionController::new(config.clone().build()).unwrap();
+            let mut scratch = AdmissionController::new(config.rta_cache(false).build()).unwrap();
             assert_eq!(
                 cached.handle_all(&events),
                 scratch.handle_all(&events),
@@ -1250,7 +1518,7 @@ mod tests {
 
     #[test]
     fn full_repartition_reattaches_the_cache() {
-        let config = two_cores_no_split().with_max_repair_moves(0);
+        let config = two_cores_no_split().max_repair_moves(0).build();
         let mut c = AdmissionController::new(config).unwrap();
         arrive(&mut c, task(0, 35, 100));
         arrive(&mut c, task(1, 35, 100));
@@ -1279,7 +1547,9 @@ mod tests {
             .generate()
             .unwrap();
         let mut journal = AdmissionController::new(OnlineConfig::new(2)).unwrap();
-        let mut clone = AdmissionController::new(OnlineConfig::new(2).with_journal(false)).unwrap();
+        let mut clone =
+            AdmissionController::new(OnlineConfig::builder().cores(2).journal(false).build())
+                .unwrap();
         assert_eq!(journal.handle_all(&events), clone.handle_all(&events));
         assert_eq!(journal.partition(), clone.partition());
         assert_eq!(journal.stats(), clone.stats());
@@ -1297,8 +1567,13 @@ mod tests {
             .generate()
             .unwrap();
         let mut warm = AdmissionController::new(OnlineConfig::new(4)).unwrap();
-        let mut cold =
-            AdmissionController::new(OnlineConfig::new(4).with_probe_warm_start(false)).unwrap();
+        let mut cold = AdmissionController::new(
+            OnlineConfig::builder()
+                .cores(4)
+                .probe_warm_start(false)
+                .build(),
+        )
+        .unwrap();
         assert_eq!(warm.handle_all(&events), cold.handle_all(&events));
         assert_eq!(warm.partition(), cold.partition());
         assert!(
@@ -1363,12 +1638,10 @@ mod tests {
             constrained(4, 30, 59),  // L → P0 rejected (BIG at 101) → P1
             constrained(9, 30, 50),  // M: the contested arrival
         ];
-        let config = two_cores_no_split()
-            .with_max_repair_moves(1)
-            .with_fallback(false);
+        let config = two_cores_no_split().max_repair_moves(1).fallback(false);
         let run = |ranking: RepairRanking| {
             let mut c =
-                AdmissionController::new(config.clone().with_repair_ranking(ranking)).unwrap();
+                AdmissionController::new(config.clone().repair_ranking(ranking).build()).unwrap();
             let decisions: Vec<DecisionKind> =
                 trace.iter().map(|t| arrive(&mut c, t.clone())).collect();
             (decisions, c)
@@ -1389,7 +1662,8 @@ mod tests {
             slack_decisions[3],
             DecisionKind::Admitted {
                 path: DecisionPath::Repair,
-                migrations: 1
+                migrations: 1,
+                inflation: Time::ZERO
             },
             "slack ranking should evict SMALL and admit M"
         );
@@ -1427,8 +1701,9 @@ mod tests {
     #[test]
     fn rejection_leaves_the_partition_untouched() {
         let config = two_cores_no_split()
-            .with_max_repair_moves(0)
-            .with_fallback(false);
+            .max_repair_moves(0)
+            .fallback(false)
+            .build();
         let mut c = AdmissionController::new(config).unwrap();
         arrive(&mut c, task(0, 9, 10));
         arrive(&mut c, task(1, 9, 10));
@@ -1551,6 +1826,170 @@ mod tests {
         assert!((stats.acceptance_ratio() - 0.8).abs() < 1e-12);
         assert!((stats.fast_path_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(ControllerStats::default().acceptance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn crpd_charges_inflate_split_admissions() {
+        use spms_overhead::CrpdCostModel;
+        // Two 60% tasks force the third to split; under the heavy CRPD
+        // model each later piece absorbs one migration charge, and the
+        // decision reports the total inflation.
+        let model = CrpdCostModel::heavy();
+        let charge = model.migration_charge(&task(2, 6, 10));
+        let config = OnlineConfig::builder()
+            .cores(2)
+            .cost_model(CostModelSpec::Crpd(model))
+            .build();
+        let mut c = AdmissionController::new(config).unwrap();
+        arrive(&mut c, task(0, 6, 10));
+        arrive(&mut c, task(1, 6, 10));
+        let kind = arrive(&mut c, task(2, 6, 10));
+        let DecisionKind::Admitted {
+            path: DecisionPath::FastSplit,
+            migrations: 0,
+            inflation,
+        } = kind
+        else {
+            panic!("expected a charged fast-split admission, got {kind:?}");
+        };
+        assert!(
+            inflation >= charge,
+            "each hop must cost at least one charge"
+        );
+        assert_eq!(
+            inflation.as_nanos() % charge.as_nanos(),
+            0,
+            "inflation must be a whole number of per-hop charges"
+        );
+        assert_eq!(c.stats().inflation_charged_ns, inflation.as_nanos());
+        assert!(c.partition().is_schedulable(c.config().test));
+    }
+
+    #[test]
+    fn an_unaffordable_charge_rejects_what_free_migration_admits() {
+        use spms_overhead::{CrpdCostModel, WorkingSetAttribution};
+        // A 64 MiB working set reloads in tens of milliseconds — longer
+        // than the 10 ms deadlines — so no split piece or relocation can
+        // absorb the charge. The same trace admits under ZeroCost.
+        let mut huge = CrpdCostModel::heavy();
+        huge.attribution = WorkingSetAttribution::Uniform {
+            bytes: 64 * 1024 * 1024,
+        };
+        let charged = OnlineConfig::builder()
+            .cores(2)
+            .fallback(false)
+            .cost_model(CostModelSpec::Crpd(huge))
+            .build();
+        let free = OnlineConfig::builder().cores(2).fallback(false).build();
+        let trace = [task(0, 6, 10), task(1, 6, 10), task(2, 6, 10)];
+        let mut charged_c = AdmissionController::new(charged).unwrap();
+        let mut free_c = AdmissionController::new(free).unwrap();
+        let charged_all: Vec<DecisionKind> = trace
+            .iter()
+            .map(|t| arrive(&mut charged_c, t.clone()))
+            .collect();
+        let free_all: Vec<DecisionKind> = trace
+            .iter()
+            .map(|t| arrive(&mut free_c, t.clone()))
+            .collect();
+        let charged_last = *charged_all.last().unwrap();
+        let free_last = *free_all.last().unwrap();
+        assert!(matches!(
+            free_last,
+            DecisionKind::Admitted {
+                path: DecisionPath::FastSplit,
+                ..
+            }
+        ));
+        assert_eq!(
+            charged_last,
+            DecisionKind::Rejected {
+                reason: RejectionReason::NoFeasiblePlacement
+            }
+        );
+        // The rejected arrival left no inflated residue behind.
+        assert_eq!(charged_c.stats().inflation_charged_ns, 0);
+        assert!(charged_c
+            .partition()
+            .is_schedulable(charged_c.config().test));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_methods_still_match_the_builder() {
+        // The shims stay until the next breaking release; they must keep
+        // producing exactly the config the builder produces.
+        let via_builder = OnlineConfig::builder()
+            .cores(3)
+            .test(UniprocessorTest::ResponseTime)
+            .min_split_budget(Time::from_millis(1))
+            .max_repair_moves(5)
+            .fallback(false)
+            .rta_cache(false)
+            .journal(false)
+            .probe_warm_start(false)
+            .repair_ranking(RepairRanking::Utilization)
+            .build();
+        let via_shims = OnlineConfig::new(3)
+            .with_test(UniprocessorTest::ResponseTime)
+            .with_min_split_budget(Time::from_millis(1))
+            .with_max_repair_moves(5)
+            .with_fallback(false)
+            .with_rta_cache(false)
+            .with_journal(false)
+            .with_probe_warm_start(false)
+            .with_repair_ranking(RepairRanking::Utilization);
+        assert_eq!(via_builder, via_shims);
+    }
+
+    #[test]
+    fn decision_log_format_is_pinned() {
+        // The serialized decision log is an interchange format (digested by
+        // `spms online --trace`, diffed by CI): zero-inflation admissions
+        // must keep the exact pre-cost-model shape, charged ones append the
+        // `inflation` entry, and old logs read back with zero inflation.
+        let zero = Decision {
+            event_index: 0,
+            task: TaskId(7),
+            kind: DecisionKind::Admitted {
+                path: DecisionPath::FastWhole,
+                migrations: 0,
+                inflation: Time::ZERO,
+            },
+        };
+        assert_eq!(
+            serde_json::to_string(&zero).unwrap(),
+            r#"{"event_index":0,"task":7,"kind":{"Admitted":{"path":"FastWhole","migrations":0}}}"#
+        );
+        let charged = DecisionKind::Admitted {
+            path: DecisionPath::Repair,
+            migrations: 2,
+            inflation: Time::from_nanos(1500),
+        };
+        assert_eq!(
+            serde_json::to_string(&charged).unwrap(),
+            r#"{"Admitted":{"path":"Repair","migrations":2,"inflation":1500}}"#
+        );
+        for kind in [
+            charged,
+            DecisionKind::Rejected {
+                reason: RejectionReason::NoFeasiblePlacement,
+            },
+            DecisionKind::Departed,
+            DecisionKind::DepartUnknown,
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(serde_json::from_str::<DecisionKind>(&json).unwrap(), kind);
+        }
+        let legacy = r#"{"Admitted":{"path":"FastSplit","migrations":1}}"#;
+        assert_eq!(
+            serde_json::from_str::<DecisionKind>(legacy).unwrap(),
+            DecisionKind::Admitted {
+                path: DecisionPath::FastSplit,
+                migrations: 1,
+                inflation: Time::ZERO
+            }
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! The workload-event stream the admission controller consumes.
+//! The workload-event stream the admission controller consumes, and the
+//! JSON-lines trace format it is recorded in.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use spms_task::{Task, TaskId, Time};
@@ -42,6 +45,62 @@ pub struct TimedEvent {
     pub event: WorkloadEvent,
 }
 
+/// Why a JSON-lines workload trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A non-empty line was neither a [`TimedEvent`] nor a bare
+    /// [`WorkloadEvent`].
+    MalformedLine {
+        /// 1-based line number in the trace source.
+        line: usize,
+        /// What the parser objected to.
+        message: String,
+    },
+    /// The trace contained no events at all.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MalformedLine { line, message } => {
+                write!(f, "trace line {line}: not a workload event ({message})")
+            }
+            TraceError::Empty => write!(f, "trace contains no events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSON-lines workload trace: each non-empty line is either a
+/// [`TimedEvent`] (as written by `spms soak --dump-trace`) or a bare
+/// [`WorkloadEvent`]. Timestamps are dropped — replays feed the events in
+/// recorded order. Blank lines are skipped; anything else malformed is a
+/// typed [`TraceError`] naming the offending line.
+pub fn parse_trace(source: &str) -> Result<Vec<WorkloadEvent>, TraceError> {
+    let mut events = Vec::new();
+    for (index, line) in source.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = serde_json::from_str::<TimedEvent>(line)
+            .map(|timed| timed.event)
+            .or_else(|_| serde_json::from_str::<WorkloadEvent>(line))
+            .map_err(|e| TraceError::MalformedLine {
+                line: index + 1,
+                message: e.to_string(),
+            })?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +115,40 @@ mod tests {
         let depart = WorkloadEvent::Depart(TaskId(7));
         assert!(!depart.is_arrival());
         assert_eq!(depart.task_id(), TaskId(7));
+    }
+
+    #[test]
+    fn traces_parse_timed_and_bare_lines() {
+        let t = Task::new(1, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let timed = serde_json::to_string(&TimedEvent {
+            at: Time::from_millis(5),
+            event: WorkloadEvent::Arrive(t.clone()),
+        })
+        .unwrap();
+        let bare = serde_json::to_string(&WorkloadEvent::Depart(TaskId(1))).unwrap();
+        let source = format!("{timed}\n\n   \n{bare}\n");
+        let events = parse_trace(&source).unwrap();
+        assert_eq!(
+            events,
+            vec![WorkloadEvent::Arrive(t), WorkloadEvent::Depart(TaskId(1))]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let bare = serde_json::to_string(&WorkloadEvent::Depart(TaskId(1))).unwrap();
+        let source = format!("{bare}\n{bare}\n{{\"nonsense\": true}}\n");
+        match parse_trace(&source) {
+            Err(TraceError::MalformedLine { line: 3, .. }) => {}
+            other => panic!("expected a line-3 parse error, got {other:?}"),
+        }
+        let rendered = parse_trace(&source).unwrap_err().to_string();
+        assert!(rendered.contains("line 3"), "message was: {rendered}");
+    }
+
+    #[test]
+    fn empty_traces_are_a_typed_error() {
+        assert_eq!(parse_trace(""), Err(TraceError::Empty));
+        assert_eq!(parse_trace("\n  \n"), Err(TraceError::Empty));
     }
 }

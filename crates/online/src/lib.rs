@@ -61,9 +61,9 @@ mod service;
 pub use churn::ChurnGenerator;
 pub use controller::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
-    OnlineError, RejectionReason, RepairRanking,
+    OnlineConfigBuilder, OnlineError, RejectionReason, RepairRanking,
 };
-pub use event::{TimedEvent, WorkloadEvent};
+pub use event::{parse_trace, TimedEvent, TraceError, WorkloadEvent};
 pub use event_loop::{EngineEvent, EventLoop, EventLoopConfig};
 pub use replay::{run_trace, ReplayConfig, ReplayOutcome};
 pub use service::{AdmissionShard, ServiceStats, ShardedAdmission};

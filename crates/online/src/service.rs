@@ -31,7 +31,8 @@ use serde::{Deserialize, Serialize};
 use spms_core::{
     rebalance_partitions, shard_core_counts, IncrementalPlacer, Partition, ShardRouter,
 };
-use spms_task::{Task, TaskId};
+use spms_overhead::{CostModel, CostModelSpec};
+use spms_task::{Task, TaskId, Time};
 
 use crate::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
@@ -76,6 +77,12 @@ pub trait AdmissionShard {
     fn note_admitted(&mut self, task: Task);
     /// The placer whose policy governs this shard's placements.
     fn placer(&self) -> &IncrementalPlacer;
+
+    /// The migration cost model this shard charges (the rebalancer charges
+    /// cross-shard moves with the same model). Free by default.
+    fn cost_model(&self) -> CostModelSpec {
+        CostModelSpec::Zero
+    }
 
     /// Spare capacity of this shard: cores minus admitted utilization,
     /// clamped at zero.
@@ -255,11 +262,17 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         for shard_idx in order {
             let shard_decision = self.shards[shard_idx].decide(&event);
             match shard_decision.kind {
-                DecisionKind::Admitted { path, migrations } => {
+                DecisionKind::Admitted {
+                    path,
+                    migrations,
+                    inflation,
+                } => {
                     self.resident.insert(task.id(), shard_idx);
                     let s = &mut self.stats.decisions;
                     s.admitted += 1;
                     s.migrations_caused += migrations as u64;
+                    s.inflation_charged_ns =
+                        s.inflation_charged_ns.saturating_add(inflation.as_nanos());
                     match path {
                         DecisionPath::FastWhole => s.fast_whole += 1,
                         DecisionPath::FastSplit => s.fast_split += 1,
@@ -323,18 +336,31 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             .collect();
         let lookup = |id: TaskId| admitted.get(&id).cloned();
         let placer = self.shards[0].placer().clone();
+        // Every shard runs the same configuration, so shard 0's cost model
+        // speaks for the fleet: a stolen task must stay schedulable on the
+        // receiver with one migration charge folded into its WCET.
+        let cost_model = self.shards[0].cost_model();
         let moves = {
+            let charge_model = cost_model.clone();
+            let charge_of = move |t: &Task| charge_model.migration_charge(t);
             let mut partitions: Vec<&mut Partition> =
                 self.shards.iter_mut().map(S::partition_mut).collect();
-            rebalance_partitions(&mut partitions, &placer, &lookup, max_moves)
+            rebalance_partitions(&mut partitions, &placer, &lookup, &charge_of, max_moves)
         };
+        let mut inflation = Time::ZERO;
         for mv in &moves {
             let task = self.shards[mv.from]
                 .forget_admitted(mv.task)
                 .expect("rebalanced task must be admitted on its donor shard");
+            inflation += cost_model.migration_charge(&task);
             self.shards[mv.to].note_admitted(task);
             self.resident.insert(mv.task, mv.to);
         }
+        self.stats.decisions.inflation_charged_ns = self
+            .stats
+            .decisions
+            .inflation_charged_ns
+            .saturating_add(inflation.as_nanos());
         self.stats.rebalance_moves += moves.len() as u64;
         debug_assert!(self
             .shards

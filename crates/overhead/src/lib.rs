@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cost_model;
 mod function_costs;
 mod queue_ops;
 mod stats;
 
+pub use cost_model::{CostModel, CostModelSpec, CrpdCostModel, WorkingSetAttribution, ZeroCost};
 pub use function_costs::{FunctionCostReport, FunctionCosts};
 pub use queue_ops::{
     Locality, MeasurementConfig, QueueOp, QueueOpBenchmark, QueueOpMeasurement, Table1,

@@ -17,10 +17,12 @@
 use spms::analysis::OverheadModel;
 use spms::experiments::{
     AcceptanceRatioExperiment, CacheCrossoverExperiment, ChurnExperiment, CoreCountSweepExperiment,
-    GlobalComparisonExperiment, NullProgress, OverheadSensitivityExperiment, PreemptionAnatomy,
-    ProgressSink, RtaCacheBenchmark, RuntimeCostExperiment, SoakExperiment, StderrProgress,
+    GlobalComparisonExperiment, NullProgress, OverheadExperiment, OverheadSensitivityExperiment,
+    PreemptionAnatomy, ProgressSink, ReportFormat, ReportSink, RtaCacheBenchmark,
+    RuntimeCostExperiment, SoakExperiment, StderrProgress,
 };
-use spms::online::{OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent};
+use spms::online::{parse_trace, OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent};
+use spms::overhead::{CostModelSpec, CrpdCostModel};
 use spms::task::Time;
 use std::io::IsTerminal;
 use std::process::ExitCode;
@@ -103,13 +105,17 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             0 replays synchronous-periodic) [default: 0]
     --overhead <zero|n4|n64>  Overhead model folded into the admission analysis
                             [default: zero]
+    --cost-model <zero|crpd>  Migration cost model the controller charges:
+                            every split piece and repair relocation inflates
+                            the task's analysis WCET by the model's per-job
+                            migration charge [default: zero]
     --trace <FILE>          Replay a recorded event log instead of sweeping:
                             one JSON event per line, either timed
                             ({\"at\":..,\"event\":..}, as written by
                             `spms soak --dump-trace`) or a bare
                             arrive/depart event. Only --cores, --shards,
-                            --repair-moves, --overhead, --format and
-                            --quiet apply in trace mode.
+                            --repair-moves, --overhead, --cost-model,
+                            --format and --quiet apply in trace mode.
     --shards <N>            Admission shards for --trace replay; 1 replays
                             the decision stream byte-identically to the
                             single controller [default: 1]
@@ -142,6 +148,8 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     --utilization <U>       Target normalized utilization [default: 0.6]
     --repair-moves <K>      Max already-placed tasks relocated per admission
                             (0 disables bounded repair) [default: 2]
+    --cost-model <zero|crpd>  Migration cost model every shard charges on
+                            splits, repairs and rebalance moves [default: zero]
     --rebalance-ms <N>      Simulated milliseconds between work-stealing
                             rebalance ticks; 0 disables [default: 250]
     --rebalance-moves <K>   Max cross-shard migrations per rebalance tick
@@ -159,6 +167,22 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     (--sets-per-point sets the churn traces generated per shard count;
      the `timing` array in the output is wall-clock measurement data and
      is the only part that varies run-to-run)
+",
+    ),
+    (
+        "overhead",
+        "Admission capacity under real CRPD migration charges: zero vs light vs heavy (E15)",
+        "    --cores <N>             Number of processors [default: 4]
+    --events <N>            Arrive/depart events per churn trace [default: 120]
+    --points <a,b,..>       Target normalized-utilization sweep points
+                            [default: 0.6,0.75,0.9]
+    --repair-moves <K>      Max already-placed tasks relocated per admission
+                            [default: 2]
+    --replay-ms <N>         Simulated milliseconds per admitted-epoch replay;
+                            0 disables replay [default: 50]
+    (--sets-per-point sets the churn traces generated per sweep point;
+     the same traces are decided under the zero, crpd-light and crpd-heavy
+     cost models, so the acceptance columns are directly comparable)
 ",
     ),
 ];
@@ -322,21 +346,22 @@ struct CommonFlags {
     threads: usize,
     seed: u64,
     sets_per_point: Option<usize>,
-    format: OutputFormat,
+    format: ReportFormat,
     quiet: bool,
 }
 
 impl CommonFlags {
     fn take(flags: &mut Flags) -> CliResult<CommonFlags> {
-        let format = match flags.take("--format").as_deref() {
-            None | Some("markdown") => OutputFormat::Markdown,
-            Some("csv") => OutputFormat::Csv,
-            Some("json") => OutputFormat::Json,
-            Some(other) => {
-                return usage_error(format!(
-                    "--format expects markdown, csv or json, got `{other}`"
-                ))
-            }
+        let format = match flags.take("--format") {
+            None => ReportFormat::Markdown,
+            Some(raw) => match ReportFormat::parse(&raw) {
+                Some(format) => format,
+                None => {
+                    return usage_error(format!(
+                        "--format expects markdown, csv or json, got `{raw}`"
+                    ))
+                }
+            },
         };
         Ok(CommonFlags {
             threads: flags.take_usize("--threads")?.unwrap_or(1),
@@ -358,23 +383,6 @@ impl CommonFlags {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum OutputFormat {
-    Markdown,
-    Csv,
-    Json,
-}
-
-/// Wraps a serialized `results` payload in the envelope the CI benchmark
-/// artifacts expect: which experiment ran and under which reproducibility
-/// knobs.
-fn json_envelope(experiment: &str, common: &CommonFlags, results_json: &str) -> String {
-    format!(
-        "{{\"experiment\":\"{experiment}\",\"seed\":{},\"threads\":{},\"results\":{results_json}}}",
-        common.seed, common.threads
-    )
-}
-
 fn take_overhead(flags: &mut Flags, default: OverheadModel) -> CliResult<OverheadModel> {
     match flags.take("--overhead").as_deref() {
         None => Ok(default),
@@ -385,6 +393,8 @@ fn take_overhead(flags: &mut Flags, default: OverheadModel) -> CliResult<Overhea
     }
 }
 
+/// Formats results through the shared [`ReportSink`]: markdown, CSV or the
+/// JSON envelope the CI benchmark artifacts diff.
 fn render<T: serde::Serialize>(
     experiment: &str,
     common: &CommonFlags,
@@ -392,15 +402,22 @@ fn render<T: serde::Serialize>(
     markdown: impl FnOnce() -> String,
     csv: impl FnOnce() -> String,
 ) -> CliResult<String> {
-    Ok(match common.format {
-        OutputFormat::Markdown => markdown(),
-        OutputFormat::Csv => csv(),
-        OutputFormat::Json => {
-            let payload = serde_json::to_string(results)
-                .map_err(|e| UsageError(format!("serializing results failed: {e}")))?;
-            json_envelope(experiment, common, &payload)
-        }
-    })
+    ReportSink::new(experiment, common.format)
+        .seed(common.seed)
+        .threads(common.threads)
+        .render(results, markdown, csv)
+        .map_err(|e| UsageError(e.to_string()))
+}
+
+/// Parses the `--cost-model` flag: `zero` charges nothing (the default);
+/// `crpd` charges the mixed hash-spread CRPD model, so each task's
+/// migration price follows its attributed working set.
+fn take_cost_model(flags: &mut Flags) -> CliResult<CostModelSpec> {
+    match flags.take("--cost-model").as_deref() {
+        None | Some("zero") => Ok(CostModelSpec::Zero),
+        Some("crpd") => Ok(CostModelSpec::Crpd(CrpdCostModel::mixed())),
+        Some(other) => usage_error(format!("--cost-model expects zero or crpd, got `{other}`")),
+    }
 }
 
 fn run_acceptance(mut flags: Flags) -> CliResult<String> {
@@ -630,6 +647,7 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
         experiment = experiment.release_jitter(Time::from_micros(us));
     }
     experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
+    experiment = experiment.cost_model(take_cost_model(&mut flags)?);
     flags.expect_empty("online")?;
     let results = experiment.run_with_progress(common.progress("online").as_ref());
     render(
@@ -653,15 +671,16 @@ struct TraceReplayReport {
     departures: u64,
     overflow_admissions: u64,
     acceptance_ratio: f64,
+    inflation_charged_ns: u64,
     decisions_digest: u64,
 }
 
 impl TraceReplayReport {
     fn render_markdown(&self) -> String {
         format!(
-            "| shards | events | arrivals | admitted | rejected | departures | overflow | acceptance | decisions digest |\n\
-             |---|---|---|---|---|---|---|---|---|\n\
-             | {} | {} | {} | {} | {} | {} | {} | {:.4} | {:#018x} |\n",
+            "| shards | events | arrivals | admitted | rejected | departures | overflow | acceptance | inflate µs | decisions digest |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n\
+             | {} | {} | {} | {} | {} | {} | {} | {:.4} | {} | {:#018x} |\n",
             self.shards,
             self.events,
             self.arrivals,
@@ -670,14 +689,15 @@ impl TraceReplayReport {
             self.departures,
             self.overflow_admissions,
             self.acceptance_ratio,
+            self.inflation_charged_ns / 1_000,
             self.decisions_digest,
         )
     }
 
     fn render_csv(&self) -> String {
         format!(
-            "shards,events,arrivals,admitted,rejected,departures,overflow_admissions,acceptance_ratio,decisions_digest\n\
-             {},{},{},{},{},{},{},{:.4},{:#018x}\n",
+            "shards,events,arrivals,admitted,rejected,departures,overflow_admissions,acceptance_ratio,inflation_charged_ns,decisions_digest\n\
+             {},{},{},{},{},{},{},{:.4},{},{:#018x}\n",
             self.shards,
             self.events,
             self.arrivals,
@@ -686,6 +706,7 @@ impl TraceReplayReport {
             self.departures,
             self.overflow_admissions,
             self.acceptance_ratio,
+            self.inflation_charged_ns,
             self.decisions_digest,
         )
     }
@@ -701,34 +722,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         .fold(OFFSET, |acc, b| (acc ^ u64::from(*b)).wrapping_mul(PRIME))
 }
 
-/// Parses a JSON-lines event log: each non-empty line is either a
-/// [`TimedEvent`] (as written by `spms soak --dump-trace`) or a bare
-/// [`WorkloadEvent`]. Timestamps are dropped — the replay feeds the service
-/// in recorded order.
+/// Reads a JSON-lines event log, delegating the parsing (and its typed,
+/// line-numbered errors) to [`spms::online::parse_trace`].
 fn read_trace(path: &str) -> CliResult<Vec<WorkloadEvent>> {
     let raw = std::fs::read_to_string(path)
         .map_err(|e| UsageError(format!("reading trace `{path}` failed: {e}")))?;
-    let mut events = Vec::new();
-    for (index, line) in raw.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let event = serde_json::from_str::<TimedEvent>(line)
-            .map(|timed| timed.event)
-            .or_else(|_| serde_json::from_str::<WorkloadEvent>(line))
-            .map_err(|_| {
-                UsageError(format!(
-                    "trace `{path}` line {}: not a workload event",
-                    index + 1
-                ))
-            })?;
-        events.push(event);
-    }
-    if events.is_empty() {
-        return usage_error(format!("trace `{path}` contains no events"));
-    }
-    Ok(events)
+    parse_trace(&raw).map_err(|e| UsageError(format!("trace `{path}`: {e}")))
 }
 
 /// Writes a captured processed-event log as a JSON-lines trace file.
@@ -770,12 +769,16 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
     let shards = flags.take_usize("--shards")?.unwrap_or(1);
     let repair_moves = flags.take_usize("--repair-moves")?.unwrap_or(2);
     let overhead = take_overhead(&mut flags, OverheadModel::zero())?;
+    let cost_model = take_cost_model(&mut flags)?;
     flags.expect_empty("online")?;
 
     let events = read_trace(path)?;
-    let config = OnlineConfig::new(cores)
-        .with_max_repair_moves(repair_moves)
-        .with_overhead(overhead);
+    let config = OnlineConfig::builder()
+        .cores(cores)
+        .max_repair_moves(repair_moves)
+        .overhead(overhead)
+        .cost_model(cost_model)
+        .build();
     let mut service =
         ShardedAdmission::new(config, shards).map_err(|e| UsageError(e.to_string()))?;
     service.handle_all(&events);
@@ -791,6 +794,7 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
         departures: stats.decisions.departures,
         overflow_admissions: stats.overflow_admissions,
         acceptance_ratio: stats.decisions.acceptance_ratio(),
+        inflation_charged_ns: stats.decisions.inflation_charged_ns,
         decisions_digest: fnv1a(log.as_bytes()),
     };
     render(
@@ -834,6 +838,7 @@ fn run_soak(mut flags: Flags) -> CliResult<String> {
     if let Some(moves) = flags.take_usize("--repair-moves")? {
         experiment = experiment.max_repair_moves(moves);
     }
+    experiment = experiment.cost_model(take_cost_model(&mut flags)?);
     if let Some(ms) = flags.take_u64("--rebalance-ms")? {
         experiment = experiment.rebalance_period((ms > 0).then(|| Time::from_millis(ms)));
     }
@@ -904,6 +909,46 @@ fn run_rtabench(mut flags: Flags) -> CliResult<String> {
     )
 }
 
+fn run_overhead(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = OverheadExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(traces) = common.sets_per_point {
+        experiment = experiment.traces_per_point(traces);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        if cores == 0 {
+            return usage_error("--cores must be at least 1");
+        }
+        experiment = experiment.cores(cores);
+    }
+    if let Some(events) = flags.take_usize("--events")? {
+        if events == 0 {
+            return usage_error("--events must be at least 1");
+        }
+        experiment = experiment.events_per_trace(events);
+    }
+    if let Some(points) = flags.take_list("--points")? {
+        experiment = experiment.utilization_points(points);
+    }
+    if let Some(moves) = flags.take_usize("--repair-moves")? {
+        experiment = experiment.max_repair_moves(moves);
+    }
+    if let Some(ms) = flags.take_u64("--replay-ms")? {
+        experiment = experiment.replay_duration((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    flags.expect_empty("overhead")?;
+    let results = experiment.run_with_progress(common.progress("overhead").as_ref());
+    render(
+        "overhead",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
 fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
     match command {
         "acceptance" => run_acceptance(flags),
@@ -916,6 +961,7 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
         "online" => run_online(flags),
         "rtabench" => run_rtabench(flags),
         "soak" => run_soak(flags),
+        "overhead" => run_overhead(flags),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
