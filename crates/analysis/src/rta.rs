@@ -31,15 +31,11 @@
 //! (crate::CachedCoreAnalysis) exploits this to re-converge invalidated
 //! priority levels in a handful of iterations after an insertion.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use spms_task::{Priority, Task, Time};
+use spms_telemetry::{scoped, HotCounter};
 
 /// Defensive bound on fixed-point iterations; see [`cap_exhaustions`].
 const MAX_ITERATIONS: usize = 10_000;
-
-/// How often the defensive iteration cap was exhausted (process-wide).
-static CAP_EXHAUSTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of times the defensive iteration cap was exhausted since process
 /// start (or the last [`reset_cap_exhaustions`]).
@@ -51,31 +47,28 @@ static CAP_EXHAUSTIONS: AtomicU64 = AtomicU64::new(0);
 /// A non-zero counter therefore flags configurations (extreme period ratios,
 /// enormous deadlines) whose rejections are *time-outs*, not proofs — which
 /// would otherwise be indistinguishable from genuine deadline misses.
+///
+/// This is a thin shim over the telemetry crate's
+/// [`HotCounter::RtaCapExhaustions`] scoped counter, which admission
+/// engines also fold into their metrics registry per decision (as
+/// `spms_mech_rta_cap_exhaustions_total`).
 pub fn cap_exhaustions() -> u64 {
-    CAP_EXHAUSTIONS.load(Ordering::Relaxed)
+    scoped::global_value(HotCounter::RtaCapExhaustions)
 }
 
 /// Resets the [`cap_exhaustions`] counter (test support).
 pub fn reset_cap_exhaustions() {
-    CAP_EXHAUSTIONS.store(0, Ordering::Relaxed);
-}
-
-std::thread_local! {
-    /// Per-thread twin of [`CAP_EXHAUSTIONS`], for deterministic
-    /// attribution: a parallel sweep cell runs entirely on one worker
-    /// thread, so the delta of this counter around the cell is exactly the
-    /// cell's own exhaustion count — independent of what other threads do
-    /// concurrently (the process-wide counter cannot be attributed).
-    static THREAD_CAP_EXHAUSTIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    scoped::reset_global(HotCounter::RtaCapExhaustions);
 }
 
 /// Number of times the defensive iteration cap was exhausted **on the
 /// calling thread** since it started. Experiment drivers snapshot this
 /// around each grid cell to report a deterministic `rta_cap_exhaustions`
 /// column regardless of the worker-thread count; see [`cap_exhaustions`]
-/// for what an exhaustion means.
+/// for what an exhaustion means. Shim over the scoped counter's
+/// thread-local twin.
 pub fn thread_cap_exhaustions() -> u64 {
-    THREAD_CAP_EXHAUSTIONS.with(|c| c.get())
+    scoped::thread_value(HotCounter::RtaCapExhaustions)
 }
 
 /// The effective priority used by the per-core analysis: the task's assigned
@@ -118,8 +111,7 @@ pub(crate) fn converge(
     }
     // The cap is a time-out, not a proof: make it visible instead of
     // blending into ordinary deadline misses.
-    THREAD_CAP_EXHAUSTIONS.with(|c| c.set(c.get() + 1));
-    if CAP_EXHAUSTIONS.fetch_add(1, Ordering::Relaxed) == 0 {
+    if scoped::bump(HotCounter::RtaCapExhaustions) == 0 {
         eprintln!(
             "spms-analysis: RTA iteration cap ({MAX_ITERATIONS}) exhausted without convergence; \
              reporting unschedulable (further exhaustions counted in rta::cap_exhaustions())"

@@ -39,6 +39,7 @@
 use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, OverheadModel, ProbeWarmth, UniprocessorTest};
 use spms_task::{Task, TaskId, Time};
+use spms_telemetry::{scoped, HotCounter};
 
 use crate::{CoreId, Partition, PlacedTask, SplitInfo, SubtaskKind};
 
@@ -369,8 +370,10 @@ impl IncrementalPlacer {
         let Some(analysis_task) = self.whole_analysis_task(task) else {
             return WholeProbe::Blocked { blocker: None };
         };
+        scoped::bump(HotCounter::WholeProbes);
         if self.test == UniprocessorTest::ResponseTime {
             if let Some(cache) = partition.cached_core(core) {
+                scoped::bump(HotCounter::CacheProbeHits);
                 return match cache.probe_candidate(
                     &analysis_task,
                     outranked_by_whole(&analysis_task),
@@ -381,6 +384,7 @@ impl IncrementalPlacer {
                 };
             }
         }
+        scoped::bump(HotCounter::CacheProbeMisses);
         let tasks = normalized_candidate_tasks(partition.core(core), analysis_task, false);
         if self.test != UniprocessorTest::ResponseTime {
             return if self.test.accepts(&tasks) {
@@ -428,8 +432,10 @@ impl IncrementalPlacer {
         let Some(analysis_task) = self.whole_analysis_task(task) else {
             return false;
         };
+        scoped::bump(HotCounter::WholeProbes);
         if self.test == UniprocessorTest::ResponseTime {
             if let Some(cache) = partition.cached_core(core) {
+                scoped::bump(HotCounter::CacheProbeHits);
                 return cache.accepts_candidate_without(
                     &analysis_task,
                     removed,
@@ -438,6 +444,7 @@ impl IncrementalPlacer {
                 );
             }
         }
+        scoped::bump(HotCounter::CacheProbeMisses);
         let bin: Vec<PlacedTask> = partition
             .core(core)
             .iter()
@@ -531,8 +538,14 @@ impl IncrementalPlacer {
         candidate: &Task,
         candidate_is_split: bool,
     ) -> bool {
+        scoped::bump(if candidate_is_split {
+            HotCounter::SplitProbes
+        } else {
+            HotCounter::WholeProbes
+        });
         if self.test == UniprocessorTest::ResponseTime {
             if let Some(cache) = partition.cached_core(core) {
+                scoped::bump(HotCounter::CacheProbeHits);
                 if candidate_is_split {
                     // Promoted pieces keep their reserved level: they peer
                     // with (hypothetical) same-level pieces and outrank
@@ -547,6 +560,7 @@ impl IncrementalPlacer {
                     .accepts_candidate(candidate, outranked_by_whole(candidate), |_| false);
             }
         }
+        scoped::bump(HotCounter::CacheProbeMisses);
         let tasks =
             normalized_candidate_tasks(partition.core(core), candidate.clone(), candidate_is_split);
         self.test.accepts(&tasks)
@@ -589,7 +603,11 @@ impl IncrementalPlacer {
         crate::split_budget::max_accepted_budget(self.min_split_budget, max_budget, |budget| {
             match crate::split_budget::body_piece(template, budget, overhead) {
                 Some(piece) => match warm_cache {
-                    Some(cache) => cache.accepts_prioritised_warm(&piece, &mut warmth),
+                    Some(cache) => {
+                        scoped::bump(HotCounter::SplitProbes);
+                        scoped::bump(HotCounter::CacheProbeHits);
+                        cache.accepts_prioritised_warm(&piece, &mut warmth)
+                    }
                     None => self.core_accepts(partition, core, &piece, true),
                 },
                 None => false,

@@ -5,17 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, CachedCoreAnalysis, RefreshMode, RefreshUndo, UniprocessorTest};
 use spms_task::{Priority, Task, TaskId, Time};
-
-std::thread_local! {
-    /// Per-thread count of [`Partition`] clones, incremented by every
-    /// `Partition::clone()` on the calling thread. The online admission
-    /// cascade's rollback paths are journal-based and must not clone
-    /// partitions; benches and tests read this counter around a decision
-    /// stream to prove the hot path stayed clone-free (thread-local so
-    /// concurrent sweep workers cannot perturb each other's readings; see
-    /// [`Partition::clone_count`]).
-    static PARTITION_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
-}
+use spms_telemetry::{scoped, HotCounter};
 
 /// Priority level reserved for promoted body subtasks: a body piece runs
 /// above everything else on its core so it completes within its budget.
@@ -306,7 +296,7 @@ pub struct Partition {
 /// snapshotting.
 impl Clone for Partition {
     fn clone(&self) -> Self {
-        PARTITION_CLONES.with(|c| c.set(c.get() + 1));
+        scoped::bump(HotCounter::PartitionClones);
         Partition {
             cores: self.cores.clone(),
             cache: self.cache.clone(),
@@ -359,15 +349,18 @@ impl Partition {
     /// must not clone partitions; benches and regression tests read this
     /// counter around a decision stream to assert the repair/split hot
     /// path stayed clone-free. Thread-local so concurrent sweep workers
-    /// cannot perturb each other's readings.
+    /// cannot perturb each other's readings. Shim over the telemetry
+    /// crate's [`HotCounter::PartitionClones`] scoped counter, which
+    /// admission engines also fold into their registry per decision (as
+    /// `spms_mech_partition_clones_total`).
     pub fn clone_count() -> u64 {
-        PARTITION_CLONES.with(|c| c.get())
+        scoped::thread_value(HotCounter::PartitionClones)
     }
 
     /// Resets the calling thread's [`clone_count`](Self::clone_count)
     /// (bench/test support).
     pub fn reset_clone_count() {
-        PARTITION_CLONES.with(|c| c.set(0));
+        scoped::reset_thread(HotCounter::PartitionClones);
     }
 
     /// Attaches a mutation journal (initially idle: nothing is recorded
@@ -394,6 +387,7 @@ impl Partition {
     pub fn journal_begin(&mut self) -> JournalMark {
         match &mut self.journal {
             Some(journal) => {
+                scoped::bump(HotCounter::JournalBegins);
                 journal.depth += 1;
                 JournalMark(journal.ops.len())
             }
@@ -416,6 +410,7 @@ impl Partition {
             Some(journal) => std::mem::take(&mut journal.ops),
             None => return,
         };
+        scoped::bump(HotCounter::JournalRewinds);
         debug_assert!(
             mark.0 <= ops.len(),
             "rewind to a stale journal mark (taken before a cleared scope?)"

@@ -93,15 +93,17 @@ pub use figure1::{PreemptionAnatomy, PreemptionAnatomyReport};
 pub use global_comparison::{
     ComparisonPoint, ComparisonSeries, GlobalComparisonExperiment, GlobalComparisonResults,
 };
-pub use online_churn::{ChurnExperiment, ChurnPoint, ChurnResults};
-pub use overhead_sweep::{OverheadExperiment, OverheadPoint, OverheadResults, OverheadScenario};
+pub use online_churn::{ChurnExperiment, ChurnPoint, ChurnResults, ChurnRun};
+pub use overhead_sweep::{
+    OverheadExperiment, OverheadPoint, OverheadResults, OverheadRun, OverheadScenario,
+};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use report::{ReportError, ReportFormat, ReportSink};
 pub use rta_cache::{RtaCacheBenchmark, RtaCachePoint, RtaCacheResults, RtaCacheTiming};
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
 pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};
-pub use soak::{SoakExperiment, SoakPoint, SoakResults, SoakTiming};
+pub use soak::{SoakExperiment, SoakPoint, SoakResults, SoakRun, SoakTiming};
 
 /// Whether a sweep-axis value matches a query within the tolerance used by
 /// the `*_at()` result lookups (1e-9 — utilization points and overhead

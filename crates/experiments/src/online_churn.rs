@@ -18,6 +18,7 @@ use spms_online::{
 };
 use spms_overhead::CostModelSpec;
 use spms_task::Time;
+use spms_telemetry::Registry;
 
 use crate::progress::{NullProgress, ProgressSink};
 use crate::runner::SweepRunner;
@@ -54,6 +55,18 @@ pub struct ChurnPoint {
     /// rejection, not a proof — a non-zero count flags configurations whose
     /// rejections deserve scrutiny (see `spms_analysis::rta::cap_exhaustions`).
     pub rta_cap_exhaustions: u64,
+}
+
+/// Everything a churn sweep produces: the serializable [`ChurnResults`]
+/// artifact plus the run-wide telemetry registry (per-cell controller
+/// registries merged in grid order, so the deterministic section is
+/// identical for every `--threads` value).
+#[derive(Debug, Clone)]
+pub struct ChurnRun {
+    /// The serializable sweep artifact.
+    pub results: ChurnResults,
+    /// Every grid cell's controller registry, merged in grid order.
+    pub metrics: Registry,
 }
 
 /// Results of an online-churn sweep.
@@ -272,6 +285,12 @@ impl ChurnExperiment {
 
     /// [`run`](Self::run) with per-cell completion reported to `progress`.
     pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> ChurnResults {
+        self.run_full_with_progress(progress).results
+    }
+
+    /// The full sweep: results plus the merged telemetry registry the
+    /// CLI's `--metrics` flag writes.
+    pub fn run_full_with_progress(&self, progress: &dyn ProgressSink) -> ChurnRun {
         let grid = SweepRunner::new()
             .threads(self.threads)
             .run_grid_with_progress(
@@ -314,26 +333,39 @@ impl ChurnExperiment {
                     let exhaustions_before = rta::thread_cap_exhaustions();
                     let (_, replay_outcome) = run_trace(&mut controller, &events, replay.as_ref());
                     let cap_exhaustions = rta::thread_cap_exhaustions() - exhaustions_before;
-                    Some((*controller.stats(), replay_outcome, cap_exhaustions))
+                    let registry = controller.metrics().registry().clone();
+                    Some((
+                        *controller.stats(),
+                        replay_outcome,
+                        cap_exhaustions,
+                        registry,
+                    ))
                 },
             );
         let points = self
             .utilization_points
             .iter()
-            .zip(grid)
-            .map(|(&target, traces)| aggregate_point(target, &traces))
+            .zip(&grid)
+            .map(|(&target, traces)| aggregate_point(target, traces))
             .collect();
-        ChurnResults { points }
+        let mut metrics = Registry::new();
+        for cell in grid.iter().flatten() {
+            metrics.merge(&cell.3);
+        }
+        ChurnRun {
+            results: ChurnResults { points },
+            metrics,
+        }
     }
 }
 
-/// Folds one point's per-trace `(stats, replay, cap-exhaustion)` triples
-/// into a [`ChurnPoint`] (always on the merged, ordered results — never
-/// inside workers).
-fn aggregate_point(
-    target: f64,
-    traces: &[(spms_online::ControllerStats, ReplayOutcome, u64)],
-) -> ChurnPoint {
+/// One grid cell's outcome: controller stats, replay tallies, the cell's
+/// RTA cap-exhaustion delta, and its telemetry registry.
+type ChurnCell = (spms_online::ControllerStats, ReplayOutcome, u64, Registry);
+
+/// Folds one point's per-trace cell outcomes into a [`ChurnPoint`]
+/// (always on the merged, ordered results — never inside workers).
+fn aggregate_point(target: f64, traces: &[ChurnCell]) -> ChurnPoint {
     let mut arrivals = 0u64;
     let mut admitted = 0u64;
     let mut fast = 0u64;
@@ -343,7 +375,7 @@ fn aggregate_point(
     let mut inflation_ns = 0u64;
     let mut cap_exhaustions = 0u64;
     let mut replay = ReplayOutcome::default();
-    for (stats, outcome, exhaustions) in traces {
+    for (stats, outcome, exhaustions, _) in traces {
         arrivals += stats.arrivals;
         admitted += stats.admitted;
         fast += stats.fast_whole + stats.fast_split;

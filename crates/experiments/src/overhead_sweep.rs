@@ -21,6 +21,7 @@ use spms_online::{
 };
 use spms_overhead::{CostModelSpec, CrpdCostModel};
 use spms_task::Time;
+use spms_telemetry::Registry;
 
 use crate::progress::{NullProgress, ProgressSink};
 use crate::runner::{derive_seed, SweepRunner};
@@ -68,6 +69,18 @@ pub struct OverheadPoint {
     pub replayed_epochs: u64,
     /// Deadline misses across all replayed epochs (must stay 0).
     pub replay_misses: u64,
+}
+
+/// Everything an overhead sweep produces: the serializable
+/// [`OverheadResults`] artifact plus the run-wide telemetry registry
+/// (per-cell controller registries merged in grid order, so the
+/// deterministic section is identical for every `--threads` value).
+#[derive(Debug, Clone)]
+pub struct OverheadRun {
+    /// The serializable sweep artifact.
+    pub results: OverheadResults,
+    /// Every grid cell's controller registry, merged in grid order.
+    pub metrics: Registry,
 }
 
 /// Results of an overhead-cost sweep.
@@ -251,6 +264,12 @@ impl OverheadExperiment {
 
     /// [`run`](Self::run) with per-cell completion reported to `progress`.
     pub fn run_with_progress(&self, progress: &dyn ProgressSink) -> OverheadResults {
+        self.run_full_with_progress(progress).results
+    }
+
+    /// The full sweep: results plus the merged telemetry registry the
+    /// CLI's `--metrics` flag writes.
+    pub fn run_full_with_progress(&self, progress: &dyn ProgressSink) -> OverheadRun {
         let utils = self.utilization_points.len();
         let grid = SweepRunner::new()
             .threads(self.threads)
@@ -290,33 +309,40 @@ impl OverheadExperiment {
                     let mut controller = AdmissionController::new(config).ok()?;
                     let replay = self.replay_duration.map(ReplayConfig::new);
                     let (_, replay_outcome) = run_trace(&mut controller, &events, replay.as_ref());
-                    Some((*controller.stats(), replay_outcome))
+                    let registry = controller.metrics().registry().clone();
+                    Some((*controller.stats(), replay_outcome, registry))
                 },
             );
         let points = self
             .scenarios
             .iter()
             .flat_map(|s| self.utilization_points.iter().map(move |&u| (s, u)))
-            .zip(grid)
-            .map(|((scenario, target), traces)| aggregate_point(&scenario.label, target, &traces))
+            .zip(&grid)
+            .map(|((scenario, target), traces)| aggregate_point(&scenario.label, target, traces))
             .collect();
-        OverheadResults { points }
+        let mut metrics = Registry::new();
+        for cell in grid.iter().flatten() {
+            metrics.merge(&cell.2);
+        }
+        OverheadRun {
+            results: OverheadResults { points },
+            metrics,
+        }
     }
 }
 
-/// Folds one point's per-trace `(stats, replay)` pairs into an
-/// [`OverheadPoint`].
-fn aggregate_point(
-    scenario: &str,
-    target: f64,
-    traces: &[(spms_online::ControllerStats, ReplayOutcome)],
-) -> OverheadPoint {
+/// One grid cell's outcome: controller stats, replay tallies, and the
+/// cell's telemetry registry.
+type OverheadCell = (spms_online::ControllerStats, ReplayOutcome, Registry);
+
+/// Folds one point's per-trace cell outcomes into an [`OverheadPoint`].
+fn aggregate_point(scenario: &str, target: f64, traces: &[OverheadCell]) -> OverheadPoint {
     let mut arrivals = 0u64;
     let mut admitted = 0u64;
     let mut splits = 0u64;
     let mut inflation_ns = 0u64;
     let mut replay = ReplayOutcome::default();
-    for (stats, outcome) in traces {
+    for (stats, outcome, _) in traces {
         arrivals += stats.arrivals;
         admitted += stats.admitted;
         splits += stats.fast_split;

@@ -34,6 +34,7 @@ use spms_online::{
 };
 use spms_overhead::CostModelSpec;
 use spms_task::Time;
+use spms_telemetry::{Histogram, MetricClass, Registry};
 
 use crate::progress::{NullProgress, ProgressSink};
 use crate::runner::{derive_seed, SweepRunner};
@@ -56,7 +57,8 @@ struct SoakTrace {
     events_digest: u64,
     decisions_digest: u64,
     elapsed: Duration,
-    latencies: Vec<Duration>,
+    latency: Histogram,
+    metrics: Registry,
     captured: Option<Vec<TimedEvent>>,
 }
 
@@ -116,6 +118,22 @@ pub struct SoakTiming {
     pub p999_us: f64,
     /// Total wall-clock milliseconds deciding this point's traces.
     pub elapsed_ms: u64,
+}
+
+/// Everything a soak run produces: the serializable [`SoakResults`]
+/// artifact plus the live telemetry registries, which stay outside the
+/// artifact so the JSON envelope is unchanged and metric exposition is an
+/// explicit opt-in (`--metrics`).
+#[derive(Debug, Clone)]
+pub struct SoakRun {
+    /// The serializable sweep artifact.
+    pub results: SoakResults,
+    /// Processed event log of the first grid cell, when capture was on.
+    pub captured_trace: Option<Vec<TimedEvent>>,
+    /// Merged registry per shard count, in configuration order.
+    pub point_metrics: Vec<Registry>,
+    /// All point registries merged into one run-wide registry.
+    pub metrics: Registry,
 }
 
 /// Results of a soak sweep.
@@ -362,6 +380,16 @@ impl SoakExperiment {
         &self,
         progress: &dyn ProgressSink,
     ) -> (SoakResults, Option<Vec<TimedEvent>>) {
+        let run = self.run_full_with_progress(progress);
+        (run.results, run.captured_trace)
+    }
+
+    /// The full soak run: results, the optionally captured trace, and the
+    /// merged metric registries ([`crate::metrics`]-style telemetry the
+    /// CLI's `--metrics` flag writes). Registries merge per-cell engines
+    /// in grid order, so the deterministic section is identical for every
+    /// `--threads` value.
+    pub fn run_full_with_progress(&self, progress: &dyn ProgressSink) -> SoakRun {
         let grid = SweepRunner::new()
             .threads(self.threads)
             .run_grid_with_progress(
@@ -447,7 +475,8 @@ impl SoakExperiment {
                         events_digest,
                         decisions_digest,
                         elapsed,
-                        latencies: engine.decision_latencies().to_vec(),
+                        latency: engine.decision_latency_histogram().clone(),
+                        metrics: engine.merged_metrics_registry(),
                         captured,
                     })
                 },
@@ -455,6 +484,7 @@ impl SoakExperiment {
 
         let mut points = Vec::with_capacity(self.shard_counts.len());
         let mut timing = Vec::with_capacity(self.shard_counts.len());
+        let mut point_metrics = Vec::with_capacity(self.shard_counts.len());
         let mut captured_trace = None;
         let mut total_misses = 0u64;
         for (&shards, traces) in self.shard_counts.iter().zip(&grid) {
@@ -476,7 +506,8 @@ impl SoakExperiment {
                 decisions_digest: FNV_OFFSET,
             };
             let mut elapsed = Duration::ZERO;
-            let mut latencies: Vec<Duration> = Vec::new();
+            let mut latency = Histogram::new();
+            let mut registry = Registry::new();
             for outcome in traces {
                 point.events_processed += outcome.events_processed;
                 point.arrivals += outcome.arrivals;
@@ -494,7 +525,8 @@ impl SoakExperiment {
                 point.decisions_digest =
                     fnv1a_combine(point.decisions_digest, outcome.decisions_digest);
                 elapsed += outcome.elapsed;
-                latencies.extend_from_slice(&outcome.latencies);
+                latency.merge(&outcome.latency);
+                registry.merge(&outcome.metrics);
             }
             for outcome in traces {
                 if let Some(log) = &outcome.captured {
@@ -502,44 +534,44 @@ impl SoakExperiment {
                 }
             }
             total_misses += point.replay_misses;
-            latencies.sort_unstable();
-            let us = |q: f64| percentile(&latencies, q).as_secs_f64() * 1e6;
+            let us = |q: f64| latency.value_at_quantile(q) as f64 / 1000.0;
+            let decisions_per_sec = if elapsed.as_secs_f64() > 0.0 {
+                point.events_processed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            };
+            let rate_gauge = registry.gauge("spms_timing_decisions_per_sec", MetricClass::Timing);
+            registry.set_gauge(rate_gauge, decisions_per_sec as u64);
             timing.push(SoakTiming {
                 shards,
-                decisions_per_sec: if elapsed.as_secs_f64() > 0.0 {
-                    point.events_processed as f64 / elapsed.as_secs_f64()
-                } else {
-                    0.0
-                },
+                decisions_per_sec,
                 p50_us: us(0.50),
                 p99_us: us(0.99),
                 p999_us: us(0.999),
                 elapsed_ms: elapsed.as_millis() as u64,
             });
             points.push(point);
+            point_metrics.push(registry);
         }
         let invariant = points
             .windows(2)
             .all(|w| w[0].events_digest == w[1].events_digest);
-        (
-            SoakResults {
+        let mut metrics = Registry::new();
+        for registry in &point_metrics {
+            metrics.merge(registry);
+        }
+        SoakRun {
+            results: SoakResults {
                 points,
                 event_stream_shard_invariant: invariant,
                 replay_misses: total_misses,
                 timing,
             },
             captured_trace,
-        )
+            point_metrics,
+            metrics,
+        }
     }
-}
-
-/// Nearest-rank percentile of a sorted latency vector.
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

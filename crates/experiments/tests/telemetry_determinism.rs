@@ -1,0 +1,145 @@
+//! Property-based contracts of the telemetry layer (ISSUE 8):
+//!
+//! * the **deterministic section** (`spms_*` outcome plus `spms_mech_*`
+//!   mechanism metrics) of a soak run is byte-identical across
+//!   `--threads {1,2}` on the same trace grid;
+//! * the **outcome section** (`spms_*` only) is additionally byte-identical
+//!   across shard counts whenever the decision streams agree — and on a
+//!   pinned gentle-load grid they do agree, unconditionally;
+//! * timing-stripped snapshots **round-trip** both exposition formats
+//!   (Prometheus text and JSON) without loss.
+//!
+//! The vendored proptest runner is deterministically seeded, so these
+//! cases reproduce identically on every run.
+
+use proptest::prelude::*;
+use spms_experiments::{NullProgress, SoakExperiment, SoakRun};
+use spms_telemetry::{Snapshot, SnapshotFilter};
+
+/// A small soak grid exercising the full service path (sharding,
+/// rebalancing, replay) in a few hundred milliseconds.
+fn soak(seed: u64, utilization: f64, events: usize) -> SoakExperiment {
+    SoakExperiment::new()
+        .cores(4)
+        .events_per_trace(events)
+        .traces_per_point(2)
+        .target_utilization(utilization)
+        .seed(seed)
+}
+
+fn run(experiment: &SoakExperiment) -> SoakRun {
+    experiment.run_full_with_progress(&NullProgress)
+}
+
+/// The deterministic section rendered as Prometheus text — the byte string
+/// the invariants below compare.
+fn deterministic_text(run: &SoakRun) -> String {
+    run.metrics
+        .snapshot(SnapshotFilter::Deterministic)
+        .render_prometheus()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Worker threads only change who decides a grid cell, never what the
+    /// merged registries contain: the deterministic section is
+    /// byte-identical for `--threads 1` and `--threads 2`, per point and
+    /// run-wide.
+    #[test]
+    fn deterministic_section_is_thread_invariant(
+        seed in 0u64..1_000,
+        utilization in 0.35f64..0.75,
+        events in 80usize..240,
+    ) {
+        let serial = run(&soak(seed, utilization, events).threads(1));
+        let parallel = run(&soak(seed, utilization, events).threads(2));
+        prop_assert_eq!(deterministic_text(&serial), deterministic_text(&parallel));
+        prop_assert_eq!(serial.point_metrics.len(), parallel.point_metrics.len());
+        for (a, b) in serial.point_metrics.iter().zip(&parallel.point_metrics) {
+            prop_assert_eq!(
+                a.snapshot(SnapshotFilter::Deterministic).render_prometheus(),
+                b.snapshot(SnapshotFilter::Deterministic).render_prometheus()
+            );
+        }
+    }
+
+    /// Whenever two shard counts produce the same decision stream (their
+    /// digests agree), their outcome sections are byte-identical too: the
+    /// `spms_*` metrics are derived from final decisions alone, never from
+    /// shard layout.
+    #[test]
+    fn outcome_section_is_shard_invariant_when_decisions_agree(
+        seed in 0u64..1_000,
+        utilization in 0.3f64..0.6,
+    ) {
+        let run = run(&soak(seed, utilization, 160).shard_counts(vec![1, 2]));
+        let points = run.results.points();
+        prop_assert_eq!(points.len(), 2);
+        if points[0].decisions_digest == points[1].decisions_digest {
+            prop_assert_eq!(
+                run.point_metrics[0].snapshot(SnapshotFilter::ShardInvariant).render_prometheus(),
+                run.point_metrics[1].snapshot(SnapshotFilter::ShardInvariant).render_prometheus()
+            );
+        }
+    }
+
+    /// A timing-stripped snapshot survives `render_prometheus` →
+    /// `from_prometheus` → `render_prometheus` byte-exactly, and the JSON
+    /// round trip reproduces the snapshot value-for-value (buckets
+    /// included — JSON is the lossless format).
+    #[test]
+    fn stripped_snapshots_round_trip_both_formats(
+        seed in 0u64..1_000,
+        utilization in 0.35f64..0.75,
+    ) {
+        let run = run(&soak(seed, utilization, 120));
+        for filter in [SnapshotFilter::Deterministic, SnapshotFilter::ShardInvariant] {
+            let snapshot = run.metrics.snapshot(filter);
+            let text = snapshot.render_prometheus();
+            let reparsed = Snapshot::from_prometheus(&text).expect("own output parses");
+            prop_assert_eq!(&reparsed.render_prometheus(), &text);
+
+            let json = serde_json::to_string(&snapshot).expect("snapshots serialize");
+            let back: Snapshot = serde_json::from_str(&json).expect("snapshots deserialize");
+            prop_assert_eq!(back, snapshot);
+        }
+    }
+}
+
+/// The unconditional pin: on this gentle-load grid the 1-shard and 2-shard
+/// services decide identical streams, so the outcome sections must match
+/// byte-for-byte — the same configuration CI's bench-smoke diff relies on.
+#[test]
+fn pinned_gentle_grid_is_shard_invariant_unconditionally() {
+    let run = run(&soak(2011, 0.4, 300).shard_counts(vec![1, 2]));
+    let points = run.results.points();
+    assert_eq!(
+        points[0].decisions_digest, points[1].decisions_digest,
+        "the pinned grid no longer decides identical streams"
+    );
+    assert_eq!(
+        run.point_metrics[0]
+            .snapshot(SnapshotFilter::ShardInvariant)
+            .render_prometheus(),
+        run.point_metrics[1]
+            .snapshot(SnapshotFilter::ShardInvariant)
+            .render_prometheus()
+    );
+}
+
+/// The full snapshot (timing included) also round-trips JSON losslessly —
+/// histogram buckets and all — so `--metrics-format json` archives are
+/// faithful.
+#[test]
+fn full_snapshot_round_trips_json_with_buckets() {
+    let run = run(&soak(7, 0.5, 120));
+    let snapshot = run.metrics.snapshot(SnapshotFilter::Full);
+    let json = serde_json::to_string(&snapshot).expect("snapshots serialize");
+    let back: Snapshot = serde_json::from_str(&json).expect("snapshots deserialize");
+    assert_eq!(back, snapshot);
+    assert!(
+        snapshot.render_prometheus().contains("spms_timing_"),
+        "the full snapshot should include the timing section"
+    );
+}

@@ -40,14 +40,17 @@
 //! ([`OnlineConfig::repair_ranking`], slack-guided by default).
 //!
 //! Every decision is recorded with its path, the number of already-placed
-//! tasks it migrated, and (for rejections) a typed reason. Wall-clock
-//! decision latencies are measured but kept out of every serializable
-//! result, so reports stay byte-identical across runs; benches read them
-//! through [`AdmissionController::decision_latencies`].
+//! tasks it migrated, and (for rejections) a typed reason. The controller
+//! also carries an [`EngineMetrics`] bundle (see [`crate::metrics`]):
+//! outcome and cascade-stage counters in the deterministic registry
+//! section, per-decision [`StageTrace`](spms_telemetry::StageTrace)s in a
+//! bounded ring, and wall-clock latencies in bounded histograms in the
+//! strippable timing section — never in any serializable result, so
+//! reports stay byte-identical across runs.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
@@ -57,7 +60,9 @@ use spms_core::{
 };
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, TaskSet, Time};
+use spms_telemetry::{scoped, Histogram};
 
+use crate::metrics::EngineMetrics;
 use crate::WorkloadEvent;
 
 /// Errors constructing an [`AdmissionController`].
@@ -588,7 +593,7 @@ pub struct AdmissionController {
     partition: Partition,
     admitted: BTreeMap<TaskId, Task>,
     decisions: Vec<Decision>,
-    latencies: Vec<Duration>,
+    metrics: EngineMetrics,
     stats: ControllerStats,
     next_event: usize,
 }
@@ -624,7 +629,7 @@ impl AdmissionController {
             config,
             admitted: BTreeMap::new(),
             decisions: Vec::new(),
-            latencies: Vec::new(),
+            metrics: EngineMetrics::default(),
             stats: ControllerStats::default(),
             next_event: 0,
         })
@@ -676,11 +681,24 @@ impl AdmissionController {
         &self.stats
     }
 
-    /// Wall-clock latency of each decision, parallel to
-    /// [`decisions`](Self::decisions). Never serialized: latencies vary
-    /// run-to-run, and every serializable report must stay deterministic.
-    pub fn decision_latencies(&self) -> &[Duration] {
-        &self.latencies
+    /// This controller's telemetry: the metrics registry, the bounded
+    /// stage-trace ring, and the rebalance history (unused by a solo
+    /// controller). See [`crate::metrics`] for the determinism contract.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Mutable telemetry access (drivers use it to set throughput gauges).
+    pub fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    /// Wall-clock decision latencies as a bounded histogram (the timing
+    /// section of the registry — one sample per handled event). Never
+    /// serialized into reports: latencies vary run-to-run, and every
+    /// serializable report must stay deterministic.
+    pub fn decision_latency_histogram(&self) -> &Histogram {
+        self.metrics.decision_latency()
     }
 
     /// Handles one workload event and returns the decision made.
@@ -693,6 +711,7 @@ impl AdmissionController {
     /// the task).
     pub fn handle_event(&mut self, event: &WorkloadEvent) -> Decision {
         let started = Instant::now();
+        let hot = scoped::thread_snapshot();
         let task_id = event.task_id();
         let kind = match event {
             WorkloadEvent::Arrive(task) => self.arrive(task),
@@ -705,7 +724,12 @@ impl AdmissionController {
         };
         self.next_event += 1;
         self.decisions.push(decision);
-        self.latencies.push(started.elapsed());
+        self.metrics.finish_decision(
+            u64::from(task_id.0),
+            &kind,
+            started.elapsed().as_nanos() as u64,
+            &hot.since(),
+        );
         debug_assert_eq!(self.partition.validate(), Ok(()));
         decision
     }
@@ -734,16 +758,23 @@ impl AdmissionController {
             return self.reject(RejectionReason::OverheadUnabsorbable);
         }
 
+        // Each cascade stage runs under a timer; `record_stage` counts the
+        // attempt/success (mechanism section), records the stage latency
+        // (timing section), and appends a span to this decision's trace.
         // A whole placement crosses no core boundary at run time, so the
         // fast-whole path is charge-free under every cost model.
+        let stage = Instant::now();
         if let Some(plan) = self.placer.plan_whole(&self.partition, task, &[]) {
             self.placer.commit(&mut self.partition, task, plan);
+            self.record_stage(DecisionPath::FastWhole, true, stage);
             self.stats.fast_whole += 1;
             return self.admit(task, DecisionPath::FastWhole, 0, Time::ZERO);
         }
+        self.record_stage(DecisionPath::FastWhole, false, stage);
         // A split chain hops one core boundary per piece after the first,
         // every job: each later piece's analysis WCET absorbs one charge,
         // and the split is admitted only if it stays schedulable inflated.
+        let stage = Instant::now();
         let charge = self.migration_charge(task);
         if let Some(plan) = self
             .placer
@@ -751,17 +782,25 @@ impl AdmissionController {
         {
             let inflation = plan_inflation(&plan, charge);
             self.placer.commit(&mut self.partition, task, plan);
+            self.record_stage(DecisionPath::FastSplit, true, stage);
             self.stats.fast_split += 1;
             return self.admit(task, DecisionPath::FastSplit, 0, inflation);
         }
-        if let Some((moves, inflation)) = self.try_repair(task) {
+        self.record_stage(DecisionPath::FastSplit, false, stage);
+        let stage = Instant::now();
+        let repaired = self.try_repair(task);
+        self.record_stage(DecisionPath::Repair, repaired.is_some(), stage);
+        if let Some((moves, inflation)) = repaired {
             self.stats.repairs += 1;
             return self.admit(task, DecisionPath::Repair, moves, inflation);
         }
         // The fallback adopts a from-scratch offline partition; its moves
         // are a one-time reshuffle, not recurring per-job hops, so they are
         // deliberately uncharged (see the module docs).
-        if let Some(moves) = self.try_fallback(task) {
+        let stage = Instant::now();
+        let fallback = self.try_fallback(task);
+        self.record_stage(DecisionPath::FullRepartition, fallback.is_some(), stage);
+        if let Some(moves) = fallback {
             self.stats.full_repartitions += 1;
             return self.admit(task, DecisionPath::FullRepartition, moves, Time::ZERO);
         }
@@ -773,6 +812,16 @@ impl AdmissionController {
     /// repeated relocations never compound charges.
     fn migration_charge(&self, task: &Task) -> Time {
         self.config.cost_model.migration_charge(task)
+    }
+
+    /// Closes one cascade stage's telemetry: attempt/success counters, the
+    /// stage latency histogram, and a span in the open decision's trace.
+    /// Stages short-circuited by their own config knob (`max_repair_moves
+    /// == 0`, `allow_fallback == false`) still count as reached-and-failed
+    /// attempts — the count stays deterministic per configuration.
+    fn record_stage(&mut self, stage: DecisionPath, success: bool, started: Instant) {
+        self.metrics
+            .record_stage(stage, success, started.elapsed().as_nanos() as u64);
     }
 
     fn admit(
@@ -1238,6 +1287,10 @@ impl crate::AdmissionShard for AdmissionController {
 
     fn cost_model(&self) -> CostModelSpec {
         self.config.cost_model.clone()
+    }
+
+    fn metrics_registry(&self) -> Option<&spms_telemetry::Registry> {
+        Some(self.metrics.registry())
     }
 }
 
@@ -1811,7 +1864,43 @@ mod tests {
         let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
         arrive(&mut c, task(0, 1, 10));
         c.handle(WorkloadEvent::Depart(TaskId(0)));
-        assert_eq!(c.decision_latencies().len(), c.decisions().len());
+        assert_eq!(
+            c.decision_latency_histogram().count() as usize,
+            c.decisions().len()
+        );
+    }
+
+    #[test]
+    fn metrics_mirror_outcomes_stages_and_traces() {
+        let mut c = AdmissionController::new(OnlineConfig::new(2)).unwrap();
+        arrive(&mut c, task(0, 4, 10)); // fast-whole
+        arrive(&mut c, task(0, 4, 10)); // duplicate rejection
+        c.handle(WorkloadEvent::Depart(TaskId(0)));
+        c.handle(WorkloadEvent::Depart(TaskId(9))); // unknown departure
+        let r = c.metrics().registry();
+        assert_eq!(r.counter_by_name("spms_events_total"), Some(4));
+        assert_eq!(r.counter_by_name("spms_arrivals_total"), Some(2));
+        assert_eq!(r.counter_by_name("spms_admitted_fast_whole_total"), Some(1));
+        assert_eq!(r.counter_by_name("spms_rejected_duplicate_total"), Some(1));
+        assert_eq!(r.counter_by_name("spms_departures_total"), Some(1));
+        assert_eq!(r.counter_by_name("spms_unknown_departures_total"), Some(1));
+        // Only the admitted arrival reached the cascade; the duplicate was
+        // rejected before stage one.
+        assert_eq!(
+            r.counter_by_name("spms_mech_stage_fast_whole_attempts_total"),
+            Some(1)
+        );
+        assert_eq!(
+            r.counter_by_name("spms_mech_stage_fast_whole_successes_total"),
+            Some(1)
+        );
+        // The fast-whole probe is visible in the folded hot counters.
+        assert!(r.counter_by_name("spms_mech_whole_probes_total").unwrap() >= 1);
+        // Every event left a trace, the admission's carrying one span.
+        assert_eq!(c.metrics().traces().len(), 4);
+        let first = c.metrics().traces().iter().next().unwrap();
+        assert_eq!(first.label, "admitted_fast_whole");
+        assert_eq!(first.spans.len(), 1);
     }
 
     #[test]

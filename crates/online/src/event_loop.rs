@@ -29,8 +29,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spms_task::{TaskId, Time};
+use spms_telemetry::{Snapshot, SnapshotFilter};
 
 use crate::{AdmissionShard, Decision, ShardedAdmission, TimedEvent, WorkloadEvent};
+
+/// How many per-tick rebalance snapshots the loop retains when
+/// [`EventLoopConfig::snapshot_on_rebalance`] is set.
+pub const TICK_SNAPSHOT_CAPACITY: usize = 64;
 
 /// One event the loop can process.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +92,12 @@ pub struct EventLoopConfig {
     pub rebalance_period: Option<Time>,
     /// Migration budget of each rebalance tick.
     pub rebalance_max_moves: usize,
+    /// When set, every rebalance tick captures a deterministic-section
+    /// snapshot of the engine's merged metrics registry into a bounded
+    /// log ([`EventLoop::tick_snapshots`], last
+    /// [`TICK_SNAPSHOT_CAPACITY`] ticks) — the periodic-snapshot hook
+    /// soak reports read.
+    pub snapshot_on_rebalance: bool,
 }
 
 impl Default for EventLoopConfig {
@@ -96,6 +107,7 @@ impl Default for EventLoopConfig {
             lease: None,
             rebalance_period: None,
             rebalance_max_moves: 4,
+            snapshot_on_rebalance: false,
         }
     }
 }
@@ -126,6 +138,12 @@ impl EventLoopConfig {
         self.rebalance_max_moves = moves;
         self
     }
+
+    /// Enables or disables per-tick metric snapshots (builder style).
+    pub fn with_rebalance_snapshots(mut self, enabled: bool) -> Self {
+        self.snapshot_on_rebalance = enabled;
+        self
+    }
 }
 
 /// The timestamped event loop. See the [module docs](self) for ordering
@@ -138,6 +156,7 @@ pub struct EventLoop {
     pending_workload: usize,
     now: Time,
     log: Vec<TimedEvent>,
+    tick_snapshots: Vec<(Time, Snapshot)>,
 }
 
 impl EventLoop {
@@ -150,6 +169,7 @@ impl EventLoop {
             pending_workload: 0,
             now: Time::ZERO,
             log: Vec::new(),
+            tick_snapshots: Vec::new(),
         }
     }
 
@@ -195,6 +215,14 @@ impl EventLoop {
     /// trace) without cloning it.
     pub fn take_event_log(&mut self) -> Vec<TimedEvent> {
         std::mem::take(&mut self.log)
+    }
+
+    /// The per-tick deterministic metric snapshots captured when
+    /// [`EventLoopConfig::snapshot_on_rebalance`] is set: `(tick time,
+    /// snapshot)`, oldest first, bounded to the last
+    /// [`TICK_SNAPSHOT_CAPACITY`] ticks.
+    pub fn tick_snapshots(&self) -> &[(Time, Snapshot)] {
+        &self.tick_snapshots
     }
 
     /// Runs until the heap is empty, dispatching every event to `engine`.
@@ -246,6 +274,15 @@ impl EventLoop {
                     }
                     EngineEvent::RebalanceTick => {
                         engine.rebalance(self.config.rebalance_max_moves);
+                        if self.config.snapshot_on_rebalance {
+                            if self.tick_snapshots.len() == TICK_SNAPSHOT_CAPACITY {
+                                self.tick_snapshots.remove(0);
+                            }
+                            let snapshot = engine
+                                .merged_metrics_registry()
+                                .snapshot(SnapshotFilter::Deterministic);
+                            self.tick_snapshots.push((at, snapshot));
+                        }
                         if self.pending_workload > 0 {
                             if let Some(period) = self.config.rebalance_period {
                                 self.schedule(at + period, EngineEvent::RebalanceTick);
@@ -354,6 +391,64 @@ mod tests {
         assert!(engine.stats().rebalance_ticks > 0);
         // The loop terminated (we are here) even though ticks reschedule
         // themselves: they stop once the workload drains.
+        // Every tick is visible in the metrics, no-op or not.
+        let merged = engine.merged_metrics_registry();
+        assert_eq!(
+            merged.counter_by_name("spms_mech_rebalance_ticks_total"),
+            Some(engine.stats().rebalance_ticks)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_mech_rebalance_moves_total"),
+            Some(engine.stats().rebalance_moves)
+        );
+        assert_eq!(
+            engine.metrics().rebalance_history().count() as u64,
+            engine
+                .stats()
+                .rebalance_ticks
+                .min(crate::metrics::REBALANCE_HISTORY_CAPACITY as u64)
+        );
+    }
+
+    #[test]
+    fn rebalance_ticks_capture_periodic_snapshots_when_enabled() {
+        let config = EventLoopConfig::new(1)
+            .with_rebalance_period(Some(Time::from_millis(20)))
+            .with_rebalance_snapshots(true);
+        let (event_loop, engine) = run_trace(2, 13, config);
+        let ticks = engine.stats().rebalance_ticks as usize;
+        assert!(ticks > 0);
+        assert_eq!(
+            event_loop.tick_snapshots().len(),
+            ticks.min(TICK_SNAPSHOT_CAPACITY)
+        );
+        // Snapshots are deterministic-section only and cumulative: the
+        // retained window covers the *last* ticks, so the k-th retained
+        // snapshot's tick counter reads dropped + k + 1.
+        let dropped = ticks - event_loop.tick_snapshots().len();
+        for (i, (at, snapshot)) in event_loop.tick_snapshots().iter().enumerate() {
+            assert!(*at > Time::ZERO);
+            assert!(snapshot
+                .entries
+                .iter()
+                .all(|e| !e.name.starts_with("spms_timing_")));
+            let ticks_entry = snapshot
+                .entries
+                .iter()
+                .find(|e| e.name == "spms_mech_rebalance_ticks_total")
+                .expect("tick counter present");
+            assert_eq!(
+                ticks_entry.value,
+                spms_telemetry::SnapshotValue::Counter((dropped + i) as u64 + 1)
+            );
+        }
+        // Without the flag, no snapshots accrue.
+        let (quiet, _) = run_trace(
+            2,
+            13,
+            EventLoopConfig::new(1).with_rebalance_period(Some(Time::from_millis(20))),
+        );
+        assert!(quiet.tick_snapshots().is_empty());
     }
 
     #[test]

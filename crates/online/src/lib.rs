@@ -26,7 +26,11 @@
 //!   placement and periodic work-stealing rebalance,
 //! * [`EventLoop`] — the timestamped event heap driving the service
 //!   (arrivals, departures, deadline expirations, rebalance ticks) with a
-//!   seeded same-timestamp tie-shuffle for reproducible runs.
+//!   seeded same-timestamp tie-shuffle for reproducible runs,
+//! * [`EngineMetrics`] — the telemetry bundle every engine carries: a
+//!   deterministic [`spms_telemetry::Registry`] (outcome and mechanism
+//!   counters plus strippable timing histograms), per-decision cascade
+//!   stage traces in a bounded ring, and the rebalance tick history.
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@ mod churn;
 mod controller;
 mod event;
 mod event_loop;
+pub mod metrics;
 pub mod replay;
 mod service;
 
@@ -64,6 +69,7 @@ pub use controller::{
     OnlineConfigBuilder, OnlineError, RejectionReason, RepairRanking,
 };
 pub use event::{parse_trace, TimedEvent, TraceError, WorkloadEvent};
-pub use event_loop::{EngineEvent, EventLoop, EventLoopConfig};
+pub use event_loop::{EngineEvent, EventLoop, EventLoopConfig, TICK_SNAPSHOT_CAPACITY};
+pub use metrics::{EngineMetrics, RebalanceTick, DEFAULT_TRACE_RING_CAPACITY};
 pub use replay::{run_trace, ReplayConfig, ReplayOutcome};
 pub use service::{AdmissionShard, ServiceStats, ShardedAdmission};

@@ -25,7 +25,7 @@
 //! `shard_equivalence` test suite).
 
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use spms_core::{
@@ -33,7 +33,9 @@ use spms_core::{
 };
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, Time};
+use spms_telemetry::{scoped, Histogram, MetricClass, Registry};
 
+use crate::metrics::EngineMetrics;
 use crate::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
     OnlineError, RejectionReason, WorkloadEvent,
@@ -78,6 +80,16 @@ pub trait AdmissionShard {
     /// The placer whose policy governs this shard's placements.
     fn placer(&self) -> &IncrementalPlacer;
 
+    /// The shard's metrics registry, if it keeps one. The service folds
+    /// the mechanism and timing sections of every shard registry into its
+    /// [merged view](ShardedAdmission::merged_metrics_registry); outcome
+    /// counters stay with the service's own final-decision stream (a
+    /// shard's outcome counters describe per-shard `decide` attempts,
+    /// which overflow retries would double-count).
+    fn metrics_registry(&self) -> Option<&Registry> {
+        None
+    }
+
     /// The migration cost model this shard charges (the rebalancer charges
     /// cross-shard moves with the same model). Free by default.
     fn cost_model(&self) -> CostModelSpec {
@@ -117,7 +129,7 @@ pub struct ShardedAdmission<S: AdmissionShard = AdmissionController> {
     router: ShardRouter,
     resident: BTreeMap<TaskId, usize>,
     decisions: Vec<Decision>,
-    latencies: Vec<Duration>,
+    metrics: EngineMetrics,
     stats: ServiceStats,
     next_event: usize,
 }
@@ -167,7 +179,10 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             router,
             resident: BTreeMap::new(),
             decisions: Vec::new(),
-            latencies: Vec::new(),
+            // The service keeps no stage traces of its own (ring capacity
+            // 0): per-decision cascade traces live in the shard that ran
+            // the cascade.
+            metrics: EngineMetrics::new(0),
             stats: ServiceStats::default(),
             next_event: 0,
         }
@@ -208,11 +223,43 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         &self.decisions
     }
 
-    /// Wall-clock latency of each service decision, parallel to
-    /// [`decisions`](Self::decisions). Never serialized (latencies vary
-    /// run-to-run; serializable reports must stay deterministic).
-    pub fn decision_latencies(&self) -> &[Duration] {
-        &self.latencies
+    /// The service's own telemetry: outcome counters over the final
+    /// decision stream, overflow/rebalance mechanism counters, and the
+    /// service-level decision latency histogram. Shard-level mechanism
+    /// and timing data is *not* in here — use
+    /// [`merged_metrics_registry`](Self::merged_metrics_registry).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Mutable telemetry access (drivers use it to set throughput gauges).
+    pub fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    /// Wall-clock service-decision latencies as a bounded histogram (one
+    /// sample per handled event, timing section of the registry). Never
+    /// serialized (latencies vary run-to-run; serializable reports must
+    /// stay deterministic).
+    pub fn decision_latency_histogram(&self) -> &Histogram {
+        self.metrics.decision_latency()
+    }
+
+    /// The service registry with every shard's mechanism and timing
+    /// sections folded in ([`Registry::merge_where`], shard-index order).
+    /// Outcome counters come exclusively from the service's final-decision
+    /// stream: a shard's outcome counters describe per-shard `decide`
+    /// attempts, and a home rejection retried on an overflow shard would
+    /// double-count. With one shard this registry's deterministic section
+    /// is byte-identical to the legacy controller's on the same events.
+    pub fn merged_metrics_registry(&self) -> Registry {
+        let mut merged = self.metrics.registry().clone();
+        for shard in &self.shards {
+            if let Some(registry) = shard.metrics_registry() {
+                merged.merge_where(registry, |class| class != MetricClass::Outcome);
+            }
+        }
+        merged
     }
 
     /// Aggregate counters.
@@ -237,7 +284,9 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         };
         self.next_event += 1;
         self.decisions.push(decision);
-        self.latencies.push(started.elapsed());
+        self.metrics.record_outcome(&kind);
+        self.metrics
+            .record_decision_latency(started.elapsed().as_nanos() as u64);
         decision
     }
 
@@ -281,6 +330,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                     }
                     if shard_idx != home {
                         self.stats.overflow_admissions += 1;
+                        self.metrics.record_overflow_admission();
                     }
                     return shard_decision.kind;
                 }
@@ -326,8 +376,12 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     pub fn rebalance(&mut self, max_moves: usize) -> usize {
         self.stats.rebalance_ticks += 1;
         if self.shards.len() < 2 || max_moves == 0 {
+            self.metrics.record_rebalance_tick(0);
             return 0;
         }
+        // The rebalancer's planning probes run outside any shard's decide
+        // scope; attribute their hot-counter activity to the service.
+        let hot = scoped::thread_snapshot();
         let admitted: BTreeMap<TaskId, Task> = self
             .resident
             .iter()
@@ -362,6 +416,8 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             .inflation_charged_ns
             .saturating_add(inflation.as_nanos());
         self.stats.rebalance_moves += moves.len() as u64;
+        self.metrics.record_rebalance_tick(moves.len() as u64);
+        self.metrics.fold_hot(&hot.since());
         debug_assert!(self
             .shards
             .iter()
@@ -373,6 +429,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     /// deadline expiration synthesizes a departure).
     pub(crate) fn record_lease_expiration(&mut self) {
         self.stats.lease_expirations += 1;
+        self.metrics.record_lease_expiration();
     }
 }
 
@@ -555,5 +612,73 @@ mod tests {
         assert_eq!(service_decisions, legacy_decisions);
         assert_eq!(svc.stats().decisions, *legacy.stats());
         assert_eq!(svc.stats().overflow_admissions, 0);
+        // The deterministic metric section agrees byte for byte: outcomes
+        // from identical decision streams, mechanism counters from the
+        // identical cascade the single shard ran (every engine registers
+        // the full metric name set, so the service's untouched overflow
+        // and rebalance counters sit at zero on both sides).
+        let deterministic = |r: &Registry| {
+            r.snapshot(spms_telemetry::SnapshotFilter::Deterministic)
+                .render_prometheus()
+        };
+        assert_eq!(
+            deterministic(&svc.merged_metrics_registry()),
+            deterministic(legacy.metrics().registry())
+        );
+    }
+
+    #[test]
+    fn service_metrics_track_overflow_and_rebalance() {
+        let mut svc = service(2, 2);
+        let router = ShardRouter::new(2);
+        let mut ids = vec![];
+        let mut id = 0u32;
+        while ids.len() < 4 {
+            if router.home_shard(TaskId(id)) == 0 {
+                ids.push(id);
+            }
+            id += 1;
+        }
+        for id in &ids {
+            assert!(svc
+                .handle_event(&WorkloadEvent::Arrive(task(*id, 2, 10)))
+                .is_admission());
+        }
+        let moved = svc.rebalance(8);
+        assert!(moved > 0);
+        let merged = svc.merged_metrics_registry();
+        assert_eq!(
+            merged.counter_by_name("spms_mech_rebalance_ticks_total"),
+            Some(1)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_mech_rebalance_moves_total"),
+            Some(moved as u64)
+        );
+        assert_eq!(
+            merged.gauge_by_name("spms_mech_rebalance_last_moves"),
+            Some(moved as u64)
+        );
+        let history: Vec<_> = svc.metrics().rebalance_history().copied().collect();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].moves, moved as u64);
+        // Outcome counters follow the service's final decisions, not the
+        // per-shard decide attempts.
+        assert_eq!(
+            merged.counter_by_name("spms_arrivals_total"),
+            Some(ids.len() as u64)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_admitted_total"),
+            Some(ids.len() as u64)
+        );
+        // Shard mechanism activity (first-fit probes) made it into the
+        // merged view.
+        assert!(
+            merged
+                .counter_by_name("spms_mech_whole_probes_total")
+                .unwrap()
+                >= 1
+        );
     }
 }

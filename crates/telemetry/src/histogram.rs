@@ -1,0 +1,268 @@
+//! Fixed power-of-two-bucket histograms.
+//!
+//! A [`Histogram`] spreads `u64` samples (nanoseconds, in practice) over 65
+//! buckets: bucket 0 holds the value 0 and bucket `i ≥ 1` holds the values
+//! in `[2^(i-1), 2^i - 1]`. The layout is fixed at compile time, so
+//! recording is O(1), memory is O(buckets) regardless of how many samples
+//! arrive, and two histograms merge bucket-wise without rebinning.
+//!
+//! Quantiles are resolved by nearest rank over the cumulative bucket
+//! counts and reported as the matched bucket's upper bound — a
+//! conservative (never under-reporting) estimate with at most 2× relative
+//! error, which is plenty for the latency percentile columns the
+//! experiment reports carry.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Number of buckets: one for zero plus one per power of two up to `u64::MAX`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A fixed-layout power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index`.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_many(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_many(&mut self, value: u64, n: u64) {
+        self.counts[Histogram::bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (nearest rank), for `q` in `[0, 1]`. Returns 0 for an empty
+    /// histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(index);
+            }
+        }
+        Histogram::bucket_upper_bound(BUCKET_COUNT - 1)
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs, in index
+    /// order — the sparse form the snapshot serialization uses.
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its sparse-bucket form.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a bucket index is out of range or the total disagrees
+    /// with `count`.
+    pub fn from_sparse(count: u64, sum: u64, buckets: &[(u32, u64)]) -> Result<Self, Error> {
+        let mut histogram = Histogram::new();
+        let mut total = 0u64;
+        for &(index, bucket_count) in buckets {
+            let slot = histogram
+                .counts
+                .get_mut(index as usize)
+                .ok_or_else(|| Error::custom(format!("histogram bucket {index} out of range")))?;
+            *slot += bucket_count;
+            total += bucket_count;
+        }
+        if total != count {
+            return Err(Error::custom(format!(
+                "histogram bucket counts sum to {total}, expected {count}"
+            )));
+        }
+        histogram.count = count;
+        histogram.sum = sum;
+        Ok(histogram)
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum".to_string(), Value::U64(self.sum)),
+            (
+                "buckets".to_string(),
+                Value::Seq(
+                    self.sparse_buckets()
+                        .into_iter()
+                        .map(|(i, c)| Value::Seq(vec![Value::U64(u64::from(i)), Value::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let count = u64::from_value(value.field("count")?)?;
+        let sum = u64::from_value(value.field("sum")?)?;
+        let buckets = <Vec<(u32, u64)>>::from_value(value.field("buckets")?)?;
+        Histogram::from_sparse(count, sum, &buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        // Rank 3 of 5 at q=0.5 is the sample 3, whose bucket [2, 3] tops
+        // out at 3.
+        assert_eq!(h.value_at_quantile(0.5), 3);
+        // The max sample 1000 sits in [512, 1023].
+        assert_eq!(h.value_at_quantile(1.0), 1023);
+        assert!(h.value_at_quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 117);
+        assert_eq!(a.sparse_buckets(), vec![(3, 3), (7, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn sparse_form_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 17, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_sparse(h.count(), h.sum(), &h.sparse_buckets()).unwrap();
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.record_many(9, 3);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn from_sparse_rejects_inconsistent_totals() {
+        assert!(Histogram::from_sparse(2, 0, &[(1, 1)]).is_err());
+        assert!(Histogram::from_sparse(1, 0, &[(65, 1)]).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic metrics registry, scoped hot-path counters, and stage
+//! tracing for the spms admission engine.
+//!
+//! The crate has four pieces, designed around one contract — *measurement
+//! must never perturb the experiment's determinism story*:
+//!
+//! * [`Registry`] — named counters, gauges, and power-of-two-bucket
+//!   [`Histogram`]s, each tagged with a [`MetricClass`] its name prefix
+//!   encodes. The **deterministic section** (`spms_*` outcome and
+//!   `spms_mech_*` mechanism metrics) is byte-identical across
+//!   `--threads`; the outcome subset is additionally byte-identical
+//!   across shard counts whenever the final decision streams agree. The
+//!   **timing section** (`spms_timing_*`) holds every wall-clock figure
+//!   and strips as one unit.
+//! * [`Snapshot`] — a sorted, filtered view of a registry with
+//!   Prometheus-text and JSON exposition (and parsers for both, so
+//!   round-trips are testable).
+//! * [`scoped`] — a fixed set of process-global + thread-local twin
+//!   counters for deep library code that cannot reach an engine's
+//!   registry; engines fold per-thread deltas back into their registry
+//!   per decision.
+//! * [`TraceRing`] — bounded per-decision [`StageTrace`] storage.
+//!
+//! Registries are plain owned values: no global registry exists, engines
+//! embed one and experiment drivers merge them in grid order, which is
+//! what makes the determinism section hold under `--threads N` by
+//! construction.
+
+pub mod histogram;
+pub mod registry;
+pub mod scoped;
+pub mod snapshot;
+pub mod trace;
+
+pub use histogram::{Histogram, BUCKET_COUNT};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricClass, Registry, SnapshotFilter};
+pub use scoped::{HotCounter, HotDeltas, HOT_COUNTERS, HOT_COUNTER_COUNT};
+pub use snapshot::{
+    ExpositionError, HistogramSummary, Snapshot, SnapshotEntry, SnapshotValue, QUANTILES,
+};
+pub use trace::{SpanOutcome, StageSpan, StageTrace, TraceRing};

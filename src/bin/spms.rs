@@ -24,6 +24,7 @@ use spms::experiments::{
 use spms::online::{parse_trace, OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent};
 use spms::overhead::{CostModelSpec, CrpdCostModel};
 use spms::task::Time;
+use spms::telemetry::{Registry, Snapshot, SnapshotFilter};
 use std::io::IsTerminal;
 use std::process::ExitCode;
 
@@ -115,10 +116,16 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             `spms soak --dump-trace`) or a bare
                             arrive/depart event. Only --cores, --shards,
                             --repair-moves, --overhead, --cost-model,
-                            --format and --quiet apply in trace mode.
+                            --metrics, --format and --quiet apply in
+                            trace mode.
     --shards <N>            Admission shards for --trace replay; 1 replays
                             the decision stream byte-identically to the
                             single controller [default: 1]
+    --metrics <FILE>        Write a telemetry snapshot of the run (merged
+                            across grid cells in grid order, so the
+                            deterministic spms_*/spms_mech_* sections are
+                            identical for every --threads value)
+    --metrics-format <F>    Snapshot exposition: prom or json [default: prom]
     (--sets-per-point sets the churn traces generated per sweep point)
 ",
     ),
@@ -164,9 +171,16 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     --dump-trace <FILE>     Write the first trace's processed event log as a
                             JSON-lines file replayable by
                             `spms online --trace`
+    --metrics <FILE>        Write a telemetry snapshot of the run (merged
+                            across shard counts and traces in grid order;
+                            the spms_* outcome section is also identical
+                            across shard counts whenever the decision
+                            streams agree)
+    --metrics-format <F>    Snapshot exposition: prom or json [default: prom]
     (--sets-per-point sets the churn traces generated per shard count;
-     the `timing` array in the output is wall-clock measurement data and
-     is the only part that varies run-to-run)
+     the `timing` array in the output and the spms_timing_* metric
+     section are wall-clock measurement data and are the only parts that
+     vary run-to-run)
 ",
     ),
     (
@@ -180,6 +194,11 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             [default: 2]
     --replay-ms <N>         Simulated milliseconds per admitted-epoch replay;
                             0 disables replay [default: 50]
+    --metrics <FILE>        Write a telemetry snapshot of the run (merged
+                            across grid cells in grid order, so the
+                            deterministic spms_*/spms_mech_* sections are
+                            identical for every --threads value)
+    --metrics-format <F>    Snapshot exposition: prom or json [default: prom]
     (--sets-per-point sets the churn traces generated per sweep point;
      the same traces are decided under the zero, crpd-light and crpd-heavy
      cost models, so the acceptance columns are directly comparable)
@@ -407,6 +426,55 @@ fn render<T: serde::Serialize>(
         .threads(common.threads)
         .render(results, markdown, csv)
         .map_err(|e| UsageError(e.to_string()))
+}
+
+/// The `--metrics-format` exposition formats.
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Prometheus,
+    Json,
+}
+
+/// Parses the `--metrics <FILE>` / `--metrics-format <prom|json>` pair
+/// shared by the `online`, `soak` and `overhead` subcommands.
+fn take_metrics(flags: &mut Flags) -> CliResult<Option<(String, MetricsFormat)>> {
+    let path = flags.take("--metrics");
+    let format_raw = flags.take("--metrics-format");
+    let Some(path) = path else {
+        return match format_raw {
+            None => Ok(None),
+            Some(_) => usage_error("--metrics-format requires --metrics"),
+        };
+    };
+    let format = match format_raw.as_deref() {
+        None | Some("prom") => MetricsFormat::Prometheus,
+        Some("json") => MetricsFormat::Json,
+        Some(other) => {
+            return usage_error(format!(
+                "--metrics-format expects prom or json, got `{other}`"
+            ))
+        }
+    };
+    Ok(Some((path, format)))
+}
+
+/// Writes a full registry snapshot to `path`. The Prometheus writer
+/// re-parses its own output first, so a malformed exposition fails the run
+/// instead of poisoning a scrape endpoint or a CI diff.
+fn write_metrics(path: &str, format: MetricsFormat, registry: &Registry) -> CliResult<()> {
+    let snapshot = registry.snapshot(SnapshotFilter::Full);
+    let text = match format {
+        MetricsFormat::Prometheus => {
+            let text = snapshot.render_prometheus();
+            Snapshot::from_prometheus(&text)
+                .map_err(|e| UsageError(format!("rendered metrics failed to re-parse: {e}")))?;
+            text
+        }
+        MetricsFormat::Json => serde_json::to_string(&snapshot)
+            .map_err(|e| UsageError(format!("serializing metrics failed: {e}")))?,
+    };
+    std::fs::write(path, text)
+        .map_err(|e| UsageError(format!("writing metrics `{path}` failed: {e}")))
 }
 
 /// Parses the `--cost-model` flag: `zero` charges nothing (the default);
@@ -648,8 +716,13 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
     }
     experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
     experiment = experiment.cost_model(take_cost_model(&mut flags)?);
+    let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("online")?;
-    let results = experiment.run_with_progress(common.progress("online").as_ref());
+    let run = experiment.run_full_with_progress(common.progress("online").as_ref());
+    if let Some((path, format)) = &metrics {
+        write_metrics(path, *format, &run.metrics)?;
+    }
+    let results = run.results;
     render(
         "online",
         &common,
@@ -770,6 +843,7 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
     let repair_moves = flags.take_usize("--repair-moves")?.unwrap_or(2);
     let overhead = take_overhead(&mut flags, OverheadModel::zero())?;
     let cost_model = take_cost_model(&mut flags)?;
+    let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("online")?;
 
     let events = read_trace(path)?;
@@ -782,6 +856,9 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
     let mut service =
         ShardedAdmission::new(config, shards).map_err(|e| UsageError(e.to_string()))?;
     service.handle_all(&events);
+    if let Some((path, format)) = &metrics {
+        write_metrics(path, *format, &service.merged_metrics_registry())?;
+    }
     let stats = *service.stats();
     let log = serde_json::to_string(&service.decisions().to_vec())
         .map_err(|e| UsageError(format!("serializing decisions failed: {e}")))?;
@@ -855,14 +932,19 @@ fn run_soak(mut flags: Flags) -> CliResult<String> {
     if dump_trace.is_some() {
         experiment = experiment.capture_trace(true);
     }
+    let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("soak")?;
-    let (results, captured) =
-        experiment.run_captured_with_progress(common.progress("soak").as_ref());
+    let run = experiment.run_full_with_progress(common.progress("soak").as_ref());
     if let Some(path) = &dump_trace {
-        let trace = captured
+        let trace = run
+            .captured_trace
             .ok_or_else(|| UsageError("no trace captured: the first grid cell failed".into()))?;
         write_trace(path, &trace)?;
     }
+    if let Some((path, format)) = &metrics {
+        write_metrics(path, *format, &run.metrics)?;
+    }
+    let results = run.results;
     render(
         "soak",
         &common,
@@ -938,8 +1020,13 @@ fn run_overhead(mut flags: Flags) -> CliResult<String> {
     if let Some(ms) = flags.take_u64("--replay-ms")? {
         experiment = experiment.replay_duration((ms > 0).then(|| Time::from_millis(ms)));
     }
+    let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("overhead")?;
-    let results = experiment.run_with_progress(common.progress("overhead").as_ref());
+    let run = experiment.run_full_with_progress(common.progress("overhead").as_ref());
+    if let Some((path, format)) = &metrics {
+        write_metrics(path, *format, &run.metrics)?;
+    }
+    let results = run.results;
     render(
         "overhead",
         &common,

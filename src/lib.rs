@@ -55,3 +55,4 @@ pub use spms_overhead as overhead;
 pub use spms_queues as queues;
 pub use spms_sim as sim;
 pub use spms_task as task;
+pub use spms_telemetry as telemetry;

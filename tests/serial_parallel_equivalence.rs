@@ -147,6 +147,62 @@ fn online_rejects_degenerate_configurations() {
 }
 
 #[test]
+fn metrics_flag_writes_both_expositions() {
+    let dir = std::env::temp_dir();
+    let prom = dir.join(format!("spms_metrics_{}.prom", std::process::id()));
+    let json = dir.join(format!("spms_metrics_{}.json", std::process::id()));
+
+    spms(&[
+        "soak",
+        "--cores",
+        "4",
+        "--events",
+        "120",
+        "--sets-per-point",
+        "1",
+        "--metrics",
+        prom.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    let text = std::fs::read_to_string(&prom).expect("prom metrics written");
+    assert!(text.contains("# TYPE spms_admitted_total counter"));
+    assert!(text.contains("spms_mech_rebalance_ticks_total"));
+    assert!(text.contains("spms_timing_decision_latency_ns"));
+
+    spms(&[
+        "online",
+        "--events",
+        "30",
+        "--sets-per-point",
+        "1",
+        "--points",
+        "0.6",
+        "--metrics",
+        json.to_str().unwrap(),
+        "--metrics-format",
+        "json",
+        "--format",
+        "json",
+    ]);
+    let text = std::fs::read_to_string(&json).expect("json metrics written");
+    assert!(text.contains("\"spms_admitted_total\""));
+
+    let _ = std::fs::remove_file(prom);
+    let _ = std::fs::remove_file(json);
+}
+
+#[test]
+fn metrics_format_without_metrics_is_rejected() {
+    let output = Command::new(env!("CARGO_BIN_EXE_spms"))
+        .args(["soak", "--events", "30", "--metrics-format", "json"])
+        .output()
+        .expect("spms binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--metrics-format requires"));
+}
+
+#[test]
 fn usage_errors_exit_with_code_2() {
     let output = Command::new(env!("CARGO_BIN_EXE_spms"))
         .args(["acceptance", "--no-such-flag", "1"])
