@@ -591,6 +591,21 @@ impl IncrementalPlacer {
         charge: Time,
     ) -> Time {
         let overhead = self.body_piece_overhead(piece_index) + piece_charge(piece_index, charge);
+        self.max_body_budget_with_overhead(partition, core, template, max_budget, overhead)
+    }
+
+    /// [`max_body_budget`](Self::max_body_budget) with the piece's analysis
+    /// overhead already resolved — the form the cross-shard planner uses,
+    /// whose charging rule (every cross-shard piece absorbs one charge)
+    /// differs from the intra-shard chain rule.
+    fn max_body_budget_with_overhead(
+        &self,
+        partition: &Partition,
+        core: CoreId,
+        template: &Task,
+        max_budget: Time,
+        overhead: Time,
+    ) -> Time {
         // Every probe of this search hits the same core with the same
         // template at a different budget: thread one warm-start state
         // through them so each probe resumes from the last accepted
@@ -613,6 +628,73 @@ impl IncrementalPlacer {
                 None => false,
             }
         })
+    }
+
+    /// Plans the **body half** of a shard-spanning split on this (donor)
+    /// partition: the largest admissible single body piece, carved on the
+    /// core with the most clamped spare capacity (ties by index), exactly
+    /// as the intra-shard split pass ranks candidates. Unlike chain index
+    /// 0 of a local split, a cross-shard body is reached by a
+    /// shard-boundary migration every job, so it absorbs one per-migration
+    /// `charge` on top of its first-piece overhead. Returns the hosting
+    /// core, the analysis piece (promoted to body priority, `C = D`), and
+    /// the pure execution budget it covers. Does not modify the partition.
+    pub fn plan_remote_body(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        charge: Time,
+    ) -> Option<(CoreId, Task, Time)> {
+        let overhead = self.overhead.first_piece_inflation() + charge;
+        let deadline_room = task.deadline().saturating_sub(overhead);
+        let max_budget = task
+            .wcet()
+            .saturating_sub(Time::from_nanos(1))
+            .min(deadline_room);
+        if max_budget < self.min_split_budget {
+            return None;
+        }
+        let mut candidates: Vec<CoreId> = (0..partition.core_count())
+            .map(CoreId)
+            .filter(|c| !partition.core_has_body(*c))
+            .collect();
+        candidates.sort_by(|a, b| {
+            partition
+                .spare_utilization(*b)
+                .partial_cmp(&partition.spare_utilization(*a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for core in candidates {
+            let budget =
+                self.max_body_budget_with_overhead(partition, core, task, max_budget, overhead);
+            if budget >= self.min_split_budget && !budget.is_zero() {
+                let piece = crate::split_budget::body_piece(task, budget, overhead)?;
+                return Some((core, piece, budget));
+            }
+        }
+        None
+    }
+
+    /// Plans the **tail half** of a shard-spanning split on this (receiver)
+    /// partition: the remaining `budget` of pure execution, released
+    /// `offset` after the parent (the donor body's analysis WCET), landing
+    /// on the first core without a tail that accepts the piece. Like every
+    /// cross-shard piece it absorbs one per-migration `charge`. Returns the
+    /// hosting core and the analysis piece. Does not modify the partition.
+    pub fn plan_remote_tail(
+        &self,
+        partition: &Partition,
+        task: &Task,
+        budget: Time,
+        offset: Time,
+        charge: Time,
+    ) -> Option<(CoreId, Task)> {
+        let tail = self.make_tail_piece(task, budget, offset, charge)?;
+        let core = (0..partition.core_count()).map(CoreId).find(|c| {
+            !partition.core_has_tail(*c) && self.core_accepts(partition, *c, &tail, true)
+        })?;
+        Some((core, tail))
     }
 
     /// The tail piece of a split chain with `budget` pure execution left,

@@ -60,6 +60,7 @@ mod partitioner;
 mod placement;
 mod shard;
 mod split_budget;
+mod txn;
 
 pub use dmpm::SemiPartitionedDmPm;
 pub use edf_partitioned::PartitionedEdf;
@@ -72,4 +73,7 @@ pub use placement::{
     CoreId, JournalMark, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY,
     TAIL_PRIORITY, WHOLE_PRIORITY_BASE,
 };
-pub use shard::{rebalance_partitions, shard_core_counts, RebalanceMove, ShardRouter};
+pub use shard::{
+    rebalance_partitions, shard_core_counts, stitch_partitions, RebalanceMove, ShardRouter,
+};
+pub use txn::{PlanTxn, Savepoint};

@@ -286,6 +286,10 @@ pub struct Partition {
     cores: Vec<Vec<PlacedTask>>,
     cache: Option<Vec<CoreCacheSlot>>,
     journal: Option<Journal>,
+    /// Whether split chains may end at a shard boundary: a body piece with
+    /// `next_core: None` whose later pieces live in *another* shard's
+    /// partition. Off by default; the cross-shard split planner opts in.
+    partial_chains: bool,
 }
 
 /// Clones the placements and the attached analysis cache. The mutation
@@ -301,6 +305,7 @@ impl Clone for Partition {
             cores: self.cores.clone(),
             cache: self.cache.clone(),
             journal: self.journal.as_ref().map(|_| Journal::default()),
+            partial_chains: self.partial_chains,
         }
     }
 }
@@ -329,6 +334,7 @@ impl Deserialize for Partition {
             cores: Vec::<Vec<PlacedTask>>::from_value(value.field("cores")?)?,
             cache: None,
             journal: None,
+            partial_chains: false,
         })
     }
 }
@@ -340,7 +346,25 @@ impl Partition {
             cores: vec![Vec::new(); cores],
             cache: None,
             journal: None,
+            partial_chains: false,
         }
+    }
+
+    /// Opts this partition into *partial split chains*: a body piece may
+    /// carry `next_core: None` when the later pieces of its chain live in
+    /// another shard's partition. [`validate`](Self::validate) then checks
+    /// each local run of a chain (contiguous piece indices, consistent
+    /// piece counts, boundary bodies unlinked) instead of requiring the
+    /// whole chain locally. The flag travels with `Clone` but — like the
+    /// cache and journal — does not serialize and does not affect equality.
+    pub fn allow_partial_chains(&mut self) {
+        self.partial_chains = true;
+    }
+
+    /// Whether partial split chains are allowed (see
+    /// [`allow_partial_chains`](Self::allow_partial_chains)).
+    pub fn partial_chains_allowed(&self) -> bool {
+        self.partial_chains
     }
 
     /// Count of `Partition::clone()` calls **on the calling thread** since
@@ -862,6 +886,10 @@ impl Partition {
         }
         for (parent, mut pieces) in chains {
             pieces.sort_by_key(|(_, p)| p.split.as_ref().expect("split piece").part_index);
+            if self.partial_chains {
+                Self::validate_partial_chain(parent, &pieces)?;
+                continue;
+            }
             let count = pieces.len();
             if count < 2 {
                 return Err(format!("split task {parent} has only {count} piece(s)"));
@@ -914,6 +942,79 @@ impl Partition {
                     ));
                 }
                 let _ = core;
+            }
+        }
+        Ok(())
+    }
+
+    /// Partial-chain validation: the locally hosted pieces of one split
+    /// chain must form a contiguous run of piece indices with consistent
+    /// piece counts, correct body/tail kinds for their *global* position,
+    /// intra-run `next_core` links pointing at the actual hosting cores,
+    /// boundary bodies unlinked (`next_core: None` — the next piece is
+    /// remote), non-decreasing release offsets, and a shard-local
+    /// `first_core` agreeing on the first local piece's core.
+    fn validate_partial_chain(
+        parent: TaskId,
+        pieces: &[(CoreId, &PlacedTask)],
+    ) -> Result<(), String> {
+        let first = pieces[0].1.split.as_ref().expect("split piece");
+        let count = first.part_count;
+        let base_index = first.part_index;
+        if count < 2 {
+            return Err(format!("split task {parent} reports {count} piece(s)"));
+        }
+        let mut offset = Time::ZERO;
+        for (pos, (_, placed)) in pieces.iter().enumerate() {
+            let info = placed.split.as_ref().expect("split piece");
+            if info.part_index != base_index + pos {
+                return Err(format!(
+                    "split task {parent} has non-contiguous local piece indices"
+                ));
+            }
+            if info.part_count != count {
+                return Err(format!(
+                    "split task {parent} local piece {pos} reports {} pieces, expected {count}",
+                    info.part_count
+                ));
+            }
+            if info.part_index >= count {
+                return Err(format!(
+                    "split task {parent} local piece {pos} has index {} out of {count}",
+                    info.part_index
+                ));
+            }
+            if info.release_offset < offset {
+                return Err(format!(
+                    "split task {parent} local piece {pos} has decreasing release offset"
+                ));
+            }
+            offset = info.release_offset;
+            let is_global_last = info.part_index == count - 1;
+            match (is_global_last, info.kind) {
+                (true, SubtaskKind::Tail) | (false, SubtaskKind::Body) => {}
+                _ => {
+                    return Err(format!(
+                        "split task {parent} local piece {pos} has the wrong kind for its position"
+                    ))
+                }
+            }
+            if let Some(next_core) = info.next_core {
+                let next_piece_core = pieces.get(pos + 1).map(|(c, _)| *c);
+                if next_piece_core != Some(next_core) {
+                    return Err(format!(
+                        "split task {parent} local piece {pos} points to {next_core} but the next local piece is on {next_piece_core:?}"
+                    ));
+                }
+            } else if pos + 1 < pieces.len() {
+                return Err(format!(
+                    "split task {parent} local body piece {pos} is unlinked but the next piece is local"
+                ));
+            }
+            if info.first_core != pieces[0].0 {
+                return Err(format!(
+                    "split task {parent} local piece {pos} disagrees about the first local core"
+                ));
             }
         }
         Ok(())

@@ -12,11 +12,16 @@
 //!   home shard rejects an arrival,
 //! * [`rebalance_partitions`] — the periodic work-stealing pass that moves
 //!   whole-placed tasks from the most-loaded shard to the most-spare one,
-//!   each attempt wrapped in a journal rollback scope on the donor so a
-//!   receiver-side rejection leaves both shards untouched.
+//!   each attempt wrapped in a [`PlanTxn`] scope on the donor so a
+//!   receiver-side rejection leaves both shards untouched,
+//! * [`stitch_partitions`] — the inverse of sharding: a fleet-global
+//!   [`Partition`] with every shard's cores concatenated and cross-shard
+//!   split chains relinked, so a sharded deployment (including shard-spanning
+//!   splits) can be replayed through the single-machine simulator.
 
 use crate::incremental::IncrementalPlacer;
 use crate::placement::{CoreId, Partition};
+use crate::txn::PlanTxn;
 use spms_task::{Task, TaskId, Time};
 
 /// FNV-1a offset basis (64-bit).
@@ -145,13 +150,14 @@ fn shard_spare(partition: &Partition) -> f64 {
 /// their placements encode cross-core precedence that a whole-placement
 /// steal cannot preserve.
 ///
-/// Each attempt removes the candidate from the donor inside a journal
-/// rollback scope, then plans a whole placement on the receiver; if the
-/// receiver's RTA rejects the task the donor is rewound bit-identically
-/// and the next candidate is tried. Donors without an attached journal
-/// fall back to planning on the receiver *before* removing, which needs no
-/// rollback but plans against slightly staler receiver state (the outcome
-/// is identical because donor and receiver are distinct partitions).
+/// Each attempt removes the candidate from the donor inside a [`PlanTxn`]
+/// scope, then plans a whole placement on the receiver; if the receiver's
+/// RTA rejects the task the transaction aborts and the donor is rewound
+/// bit-identically before the next candidate is tried. Donors without an
+/// attached journal fall back to planning on the receiver *before*
+/// removing, which needs no rollback scope at all but plans against
+/// slightly staler receiver state (the outcome is identical because donor
+/// and receiver are distinct partitions).
 ///
 /// `lookup` maps a parent id back to the original (un-inflated) task; ids
 /// it cannot resolve are skipped. `charge_of` is the per-migration WCET
@@ -220,17 +226,17 @@ pub fn rebalance_partitions(
         for (id, task) in candidates {
             let charge = charge_of(&task);
             let migrated = if shards[donor].journal_enabled() {
-                let mark = shards[donor].journal_begin();
+                let mut txn = PlanTxn::new();
+                txn.begin(&mut *shards[donor]);
                 shards[donor].remove_parent(id);
                 match placer.plan_whole_charged(shards[receiver], &task, &[], charge) {
                     Some(plan) => {
                         placer.commit(shards[receiver], &task, plan);
-                        shards[donor].journal_end();
+                        txn.commit(std::slice::from_mut(&mut shards[donor]));
                         true
                     }
                     None => {
-                        shards[donor].rewind(mark);
-                        shards[donor].journal_end();
+                        txn.abort(std::slice::from_mut(&mut shards[donor]));
                         false
                     }
                 }
@@ -258,6 +264,73 @@ pub fn rebalance_partitions(
         return moves;
     }
     moves
+}
+
+/// Stitches a sharded deployment back into one fleet-global [`Partition`]:
+/// shard `s`'s cores occupy the global id range starting at the sum of the
+/// earlier shards' core counts, and split chains that span shards (boundary
+/// pieces carry `next_core: None` with a shard-local `first_core`) are
+/// relinked with global core ids so the stitched partition passes the full
+/// chain validation and can be replayed through the simulator.
+///
+/// The stitched partition carries no journal or analysis cache; per-core
+/// placement order and priorities are preserved verbatim, so every core
+/// schedules exactly as it did on its shard.
+///
+/// # Panics
+///
+/// Panics if the shards do not jointly hold every piece of each split chain
+/// (a chain's `part_count` exceeds the pieces found fleet-wide).
+pub fn stitch_partitions(shards: &[&Partition]) -> Partition {
+    use std::collections::BTreeMap;
+
+    let total: usize = shards.iter().map(|p| p.core_count()).sum();
+    let mut offsets = Vec::with_capacity(shards.len());
+    let mut base = 0usize;
+    for p in shards {
+        offsets.push(base);
+        base += p.core_count();
+    }
+
+    // Global chain map: parent -> part_index -> global core, so boundary
+    // pieces can be relinked across shard seams.
+    let mut chains: BTreeMap<TaskId, BTreeMap<usize, CoreId>> = BTreeMap::new();
+    for (s, p) in shards.iter().enumerate() {
+        for (core, placed) in p.iter() {
+            if let Some(info) = &placed.split {
+                chains
+                    .entry(placed.parent)
+                    .or_default()
+                    .insert(info.part_index, CoreId(core.0 + offsets[s]));
+            }
+        }
+    }
+
+    let mut stitched = Partition::new(total);
+    for (s, p) in shards.iter().enumerate() {
+        for (core, placed) in p.iter() {
+            let mut placed = placed.clone();
+            let parent = placed.parent;
+            if let Some(info) = placed.split.as_mut() {
+                let chain = &chains[&parent];
+                info.first_core = *chain
+                    .get(&0)
+                    .unwrap_or_else(|| panic!("split task {parent} is missing its first piece"));
+                info.next_core = if info.part_index + 1 < info.part_count {
+                    Some(*chain.get(&(info.part_index + 1)).unwrap_or_else(|| {
+                        panic!(
+                            "split task {parent} is missing piece {}",
+                            info.part_index + 1
+                        )
+                    }))
+                } else {
+                    None
+                };
+            }
+            stitched.place(CoreId(core.0 + offsets[s]), placed);
+        }
+    }
+    stitched
 }
 
 #[cfg(test)]
@@ -393,6 +466,87 @@ mod tests {
         let free = rebalance_partitions(&mut shards, &placer, &lookup, &|_| Time::ZERO, 4);
         assert_eq!(free.len(), 1, "the free move fits");
         assert_eq!(receiver.placements_of(TaskId(1)).len(), 1);
+    }
+
+    #[test]
+    fn stitch_concatenates_shard_cores() {
+        let a = shard_with(2, &[task(0, 2, 10), task(1, 3, 10)]);
+        let b = shard_with(1, &[task(2, 4, 10)]);
+        let stitched = stitch_partitions(&[&a, &b]);
+        assert_eq!(stitched.core_count(), 3);
+        assert_eq!(
+            stitched.placement_count(),
+            a.placement_count() + b.placement_count()
+        );
+        // Shard b's task lives past shard a's core range.
+        let placements = stitched.placements_of(TaskId(2));
+        assert_eq!(placements.len(), 1);
+        assert_eq!(placements[0].0, CoreId(2));
+        stitched.validate().expect("stitched partition is valid");
+    }
+
+    #[test]
+    fn stitch_relinks_cross_shard_chains() {
+        use crate::placement::{PlacedTask, SplitInfo, SubtaskKind};
+
+        // Shard 0 hosts the body piece, shard 1 the tail; at the shard
+        // boundary the body is unlinked and each side's first_core is local.
+        let mut donor = Partition::new(1);
+        donor.allow_partial_chains();
+        donor.place(
+            CoreId(0),
+            PlacedTask {
+                task: task(7, 5, 20),
+                execution: Time::from_millis(5),
+                parent: TaskId(7),
+                split: Some(SplitInfo {
+                    part_index: 0,
+                    part_count: 2,
+                    kind: SubtaskKind::Body,
+                    release_offset: Time::ZERO,
+                    next_core: None,
+                    first_core: CoreId(0),
+                }),
+            },
+        );
+        let mut receiver = Partition::new(1);
+        receiver.allow_partial_chains();
+        receiver.place(
+            CoreId(0),
+            PlacedTask {
+                task: task(7, 4, 20),
+                execution: Time::from_millis(4),
+                parent: TaskId(7),
+                split: Some(SplitInfo {
+                    part_index: 1,
+                    part_count: 2,
+                    kind: SubtaskKind::Tail,
+                    release_offset: Time::from_millis(5),
+                    next_core: None,
+                    first_core: CoreId(0),
+                }),
+            },
+        );
+        donor.validate().expect("partial donor chain is valid");
+        receiver
+            .validate()
+            .expect("partial receiver chain is valid");
+
+        let stitched = stitch_partitions(&[&donor, &receiver]);
+        // The stitched partition uses the *full* chain validation: the body
+        // must now link to the tail's global core and both pieces must agree
+        // on the global first core.
+        stitched.validate().expect("stitched chain is complete");
+        let pieces = stitched.placements_of(TaskId(7));
+        assert_eq!(pieces.len(), 2);
+        let body = pieces[0].1.split.as_ref().unwrap();
+        let tail = pieces[1].1.split.as_ref().unwrap();
+        assert_eq!(pieces[0].0, CoreId(0));
+        assert_eq!(pieces[1].0, CoreId(1));
+        assert_eq!(body.next_core, Some(CoreId(1)));
+        assert_eq!(tail.next_core, None);
+        assert_eq!(body.first_core, CoreId(0));
+        assert_eq!(tail.first_core, CoreId(0));
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Multi-partition planning transactions.
+//!
+//! A [`PlanTxn`] owns one speculative rollback scope per participating
+//! [`Partition`] — the admission cascade's repair attempts open one scope
+//! on the controller's own partition, while the cross-shard split planner
+//! opens one scope on *each* shard it speculates on. The transaction is
+//! two-phase: every participant must accept its pieces before any scope
+//! commits, and an abort rewinds the scopes in LIFO order (last partition
+//! begun is restored first), so nested single-partition transactions keep
+//! the plain journal semantics bit-identically.
+//!
+//! Each scope picks the cheapest sound rollback mechanism per partition:
+//! a journal scope ([`Partition::journal_begin`], rewind in O(moves)) when
+//! the partition carries a mutation journal, and a full snapshot clone
+//! (O(tasks), the pre-journal behaviour kept for benchmarking) otherwise.
+//! [`Savepoint`] is the nested flavour — a rollback point *inside* an open
+//! scope (one speculative relocation within a repair attempt) that can be
+//! restored without closing the enclosing scope.
+
+use crate::placement::{JournalMark, Partition};
+
+/// A nested rollback point inside an open [`PlanTxn`] scope (or on its
+/// own, outside any transaction): either a journal mark on a
+/// journal-carrying partition or a full snapshot clone. Restoring it
+/// rewinds the partition without closing any enclosing journal scope.
+#[derive(Debug)]
+pub enum Savepoint {
+    /// A position in the partition's mutation journal.
+    Journal(JournalMark),
+    /// A full snapshot of the partition (no journal attached).
+    Snapshot(Box<Partition>),
+}
+
+impl Savepoint {
+    /// Captures the partition's current state: a journal mark when a
+    /// mutation journal is attached (free), a snapshot clone otherwise.
+    pub fn capture(partition: &Partition) -> Savepoint {
+        if partition.journal_enabled() {
+            Savepoint::Journal(partition.journal_mark())
+        } else {
+            Savepoint::Snapshot(Box::new(partition.clone()))
+        }
+    }
+
+    /// Restores the partition to the captured state. Journal marks rewind
+    /// in O(recorded moves) and leave every enclosing scope open; snapshots
+    /// replace the partition wholesale.
+    pub fn restore(self, partition: &mut Partition) {
+        match self {
+            Savepoint::Journal(mark) => partition.rewind(mark),
+            Savepoint::Snapshot(snapshot) => *partition = *snapshot,
+        }
+    }
+}
+
+/// A planning transaction over one or several partitions. See the
+/// [module docs](self) for the two-phase protocol.
+///
+/// Scopes are indexed by begin order: [`begin`](Self::begin) on the i-th
+/// partition returns scope index `i`, and [`commit`](Self::commit) /
+/// [`abort`](Self::abort) take the same partitions *in the same order*.
+#[derive(Debug, Default)]
+pub struct PlanTxn {
+    scopes: Vec<Savepoint>,
+}
+
+impl PlanTxn {
+    /// An empty transaction with no open scopes.
+    pub fn new() -> Self {
+        PlanTxn { scopes: Vec::new() }
+    }
+
+    /// Opens a speculative scope on one partition and returns its scope
+    /// index. On a journal-carrying partition this opens a journal scope
+    /// (mutations record undo entries until commit or abort); otherwise it
+    /// snapshots the partition.
+    pub fn begin(&mut self, partition: &mut Partition) -> usize {
+        let scope = if partition.journal_enabled() {
+            Savepoint::Journal(partition.journal_begin())
+        } else {
+            Savepoint::Snapshot(Box::new(partition.clone()))
+        };
+        self.scopes.push(scope);
+        self.scopes.len() - 1
+    }
+
+    /// Number of open scopes.
+    pub fn len(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Whether the transaction has no open scopes.
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// Commits every scope: the speculative mutations become final.
+    /// `partitions` must be the partitions passed to [`begin`](Self::begin),
+    /// in begin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` has fewer entries than open scopes.
+    pub fn commit(self, partitions: &mut [&mut Partition]) {
+        for (idx, scope) in self.scopes.into_iter().enumerate() {
+            if let Savepoint::Journal(_) = scope {
+                partitions[idx].journal_end();
+            }
+        }
+    }
+
+    /// Aborts every scope in LIFO order (the last partition begun is
+    /// restored first), leaving every participant bit-identical to its
+    /// state at `begin` — placements, priorities and attached analysis
+    /// caches. `partitions` must be the partitions passed to
+    /// [`begin`](Self::begin), in begin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` has fewer entries than open scopes.
+    pub fn abort(self, partitions: &mut [&mut Partition]) {
+        for (idx, scope) in self.scopes.into_iter().enumerate().rev() {
+            match scope {
+                Savepoint::Journal(mark) => {
+                    partitions[idx].rewind(mark);
+                    partitions[idx].journal_end();
+                }
+                Savepoint::Snapshot(snapshot) => *partitions[idx] = *snapshot,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{CoreId, PlacedTask};
+    use spms_task::{Task, TaskId, Time};
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> Task {
+        Task::new(id, Time::from_millis(wcet_ms), Time::from_millis(period_ms)).unwrap()
+    }
+
+    fn journaled(cores: usize) -> Partition {
+        let mut p = Partition::new(cores);
+        p.enable_analysis_cache();
+        p.enable_journal();
+        p
+    }
+
+    fn place_whole(p: &mut Partition, core: usize, t: Task) {
+        p.place(CoreId(core), PlacedTask::whole(t));
+        p.renormalize_core_priorities(CoreId(core));
+    }
+
+    fn assert_fully_equal(a: &Partition, b: &Partition) {
+        assert_eq!(a, b);
+        for core in 0..a.core_count() {
+            assert_eq!(
+                a.cached_core(CoreId(core)),
+                b.cached_core(CoreId(core)),
+                "cache state diverged on core {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_restores_every_participant() {
+        let mut a = journaled(1);
+        let mut b = journaled(1);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        place_whole(&mut b, 0, task(1, 2, 10));
+        let snap_a = a.clone();
+        let snap_b = b.clone();
+        let mut txn = PlanTxn::new();
+        assert_eq!(txn.begin(&mut a), 0);
+        assert_eq!(txn.begin(&mut b), 1);
+        place_whole(&mut a, 0, task(2, 1, 10));
+        place_whole(&mut b, 0, task(3, 1, 10));
+        txn.abort(&mut [&mut a, &mut b]);
+        assert_fully_equal(&a, &snap_a);
+        assert_fully_equal(&b, &snap_b);
+    }
+
+    #[test]
+    fn commit_keeps_every_participant() {
+        let mut a = journaled(1);
+        let mut b = journaled(1);
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        txn.begin(&mut b);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        place_whole(&mut b, 0, task(1, 1, 10));
+        txn.commit(&mut [&mut a, &mut b]);
+        assert_eq!(a.placement_count(), 1);
+        assert_eq!(b.placement_count(), 1);
+        // After the commit, the scopes are closed: the undo log is cleared
+        // and the journal position is back at a fresh journal's origin.
+        let fresh = journaled(1);
+        assert_eq!(a.journal_mark(), fresh.journal_mark());
+    }
+
+    #[test]
+    fn snapshot_scope_on_journal_free_partitions() {
+        let mut a = Partition::new(1);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        let snap = a.clone();
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        place_whole(&mut a, 0, task(1, 1, 10));
+        txn.abort(&mut [&mut a]);
+        assert_eq!(a, snap);
+    }
+
+    #[test]
+    fn nested_savepoint_restores_inside_an_open_scope() {
+        let mut a = journaled(1);
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        let committed = a.clone();
+        let inner = Savepoint::capture(&a);
+        place_whole(&mut a, 0, task(1, 2, 10));
+        inner.restore(&mut a);
+        assert_fully_equal(&a, &committed);
+        // The outer scope is still open and still rewinds everything.
+        txn.abort(&mut [&mut a]);
+        assert_eq!(a.placement_count(), 0);
+    }
+
+    #[test]
+    fn mixed_journal_and_snapshot_participants_abort_together() {
+        let mut j = journaled(1);
+        let mut s = Partition::new(1);
+        place_whole(&mut s, 0, task(5, 1, 10));
+        let snap_j = j.clone();
+        let snap_s = s.clone();
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut j);
+        txn.begin(&mut s);
+        place_whole(&mut j, 0, task(0, 1, 10));
+        s.remove_parent(TaskId(5));
+        txn.abort(&mut [&mut j, &mut s]);
+        assert_fully_equal(&j, &snap_j);
+        assert_eq!(s, snap_s);
+    }
+}

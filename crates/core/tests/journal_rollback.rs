@@ -15,7 +15,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use spms_core::{CoreId, Partition, PlacedTask};
+use spms_core::{CoreId, Partition, PlacedTask, PlanTxn};
 use spms_task::{Task, Time};
 
 /// A compact task spec: `(wcet_us, extra_period_us)`; periods are
@@ -180,5 +180,99 @@ proptest! {
             partition
         };
         assert_fully_equal(&build(true), &build(false));
+    }
+
+    /// A multi-partition [`PlanTxn`] abort restores *every* participant —
+    /// placements, priorities and RTA caches — bit-identically, whether a
+    /// participant rolls back via its journal or via a snapshot clone
+    /// (the journal-free fallback). This is the two-phase contract the
+    /// cross-shard split planner leans on.
+    #[test]
+    fn plan_txn_abort_restores_both_partitions(
+        cores_a in 1usize..4,
+        cores_b in 1usize..4,
+        journal_b in any::<bool>(),
+        prefix_a in vec(op(), 0..8),
+        prefix_b in vec(op(), 0..8),
+        spec_a in vec(op(), 1..10),
+        spec_b in vec(op(), 1..10),
+    ) {
+        let mut next_id = 0u32;
+        let mut build = |cores: usize, journal: bool, prefix: &[Op]| {
+            let mut partition = Partition::new(cores);
+            partition.enable_analysis_cache();
+            if journal {
+                partition.enable_journal();
+            }
+            for op in prefix {
+                apply(&mut partition, op, &mut next_id);
+            }
+            partition
+        };
+        let mut a = build(cores_a, true, &prefix_a);
+        let mut b = build(cores_b, journal_b, &prefix_b);
+        let snapshot_a = a.clone();
+        let snapshot_b = b.clone();
+
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        txn.begin(&mut b);
+        for op in &spec_a {
+            apply(&mut a, op, &mut next_id);
+        }
+        for op in &spec_b {
+            apply(&mut b, op, &mut next_id);
+        }
+        txn.abort(&mut [&mut a, &mut b]);
+
+        assert_fully_equal(&a, &snapshot_a);
+        assert_fully_equal(&b, &snapshot_b);
+        prop_assert_eq!(a.validate(), Ok(()));
+        prop_assert_eq!(b.validate(), Ok(()));
+    }
+
+    /// Committing a multi-partition transaction keeps the speculated work
+    /// on every participant and leaves journaled participants ready for
+    /// the next scope (a later single-partition abort still rewinds only
+    /// its own scope).
+    #[test]
+    fn plan_txn_commit_keeps_both_and_later_scopes_stay_isolated(
+        cores_a in 1usize..4,
+        cores_b in 1usize..4,
+        spec_a in vec(op(), 1..8),
+        spec_b in vec(op(), 1..8),
+        later in vec(op(), 1..8),
+    ) {
+        let mut next_id = 0u32;
+        let mut a = Partition::new(cores_a);
+        let mut b = Partition::new(cores_b);
+        a.enable_analysis_cache();
+        b.enable_analysis_cache();
+        a.enable_journal();
+        b.enable_journal();
+
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        txn.begin(&mut b);
+        for op in &spec_a {
+            apply(&mut a, op, &mut next_id);
+        }
+        for op in &spec_b {
+            apply(&mut b, op, &mut next_id);
+        }
+        txn.commit(&mut [&mut a, &mut b]);
+        let committed_a = a.clone();
+
+        // A later aborted scope on `a` alone must not disturb the
+        // committed cross-partition work.
+        let mut solo = PlanTxn::new();
+        solo.begin(&mut a);
+        for op in &later {
+            apply(&mut a, op, &mut next_id);
+        }
+        solo.abort(std::slice::from_mut(&mut &mut a));
+        assert_fully_equal(&a, &committed_a);
+        prop_assert_eq!(a.validate(), Ok(()));
+        prop_assert_eq!(b.validate(), Ok(()));
     }
 }

@@ -103,7 +103,7 @@ pub use rta_cache::{RtaCacheBenchmark, RtaCachePoint, RtaCacheResults, RtaCacheT
 pub use runner::{derive_seed, GridCell, SweepRunner};
 pub use runtime_costs::{RuntimeCostExperiment, RuntimeCostResults, RuntimeCostSample};
 pub use sensitivity::{OverheadSensitivityExperiment, SensitivityPoint, SensitivityResults};
-pub use soak::{SoakExperiment, SoakPoint, SoakResults, SoakRun, SoakTiming};
+pub use soak::{CrossShardComparison, SoakExperiment, SoakPoint, SoakResults, SoakRun, SoakTiming};
 
 /// Whether a sweep-axis value matches a query within the tolerance used by
 /// the `*_at()` result lookups (1e-9 — utilization points and overhead

@@ -14,7 +14,8 @@
 use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, OverheadModel};
 use spms_online::{
-    run_trace, AdmissionController, ChurnGenerator, OnlineConfig, ReplayConfig, ReplayOutcome,
+    run_trace, AdmissionController, ChurnFamily, ChurnGenerator, OnlineConfig, ReplayConfig,
+    ReplayOutcome,
 };
 use spms_overhead::CostModelSpec;
 use spms_task::Time;
@@ -157,6 +158,7 @@ pub struct ChurnExperiment {
     cost_model: CostModelSpec,
     mean_interarrival: Option<Time>,
     lifetime_range: Option<(Time, Time)>,
+    churn_family: ChurnFamily,
     replay_duration: Option<Time>,
     release_jitter: Time,
     seed: u64,
@@ -175,6 +177,7 @@ impl Default for ChurnExperiment {
             cost_model: CostModelSpec::Zero,
             mean_interarrival: None,
             lifetime_range: None,
+            churn_family: ChurnFamily::Poisson,
             replay_duration: Some(Time::from_millis(50)),
             release_jitter: Time::ZERO,
             seed: 0,
@@ -250,6 +253,14 @@ impl ChurnExperiment {
         self
     }
 
+    /// Selects the churn-process family driving every trace (Poisson by
+    /// default; `Bursty` modulates arrivals through a two-state Markov
+    /// chain at the same long-run rate).
+    pub fn churn_family(mut self, family: ChurnFamily) -> Self {
+        self.churn_family = family;
+        self
+    }
+
     /// Sets the per-epoch replay duration; `None` disables replay.
     pub fn replay_duration(mut self, duration: Option<Time>) -> Self {
         self.replay_duration = duration;
@@ -304,6 +315,7 @@ impl ChurnExperiment {
                         .cores(self.cores)
                         .target_normalized_utilization(target)
                         .events(self.events_per_trace)
+                        .family(self.churn_family)
                         .seed(cell.seed);
                     if let Some(mean) = self.mean_interarrival {
                         generator = generator.mean_interarrival(mean);
@@ -535,6 +547,20 @@ mod tests {
         assert!(
             charged_something,
             "the high-load point should split at least once and be charged"
+        );
+    }
+
+    #[test]
+    fn bursty_sweeps_are_deterministic_and_distinct_from_poisson() {
+        let bursty = || quick().churn_family(ChurnFamily::Bursty);
+        let results = bursty().run();
+        assert_eq!(results, bursty().run());
+        assert_eq!(results, bursty().threads(4).run());
+        assert_eq!(results.total_replay_misses(), 0);
+        assert_ne!(
+            results,
+            quick().run(),
+            "bursty and Poisson sweeps must not coincide"
         );
     }
 

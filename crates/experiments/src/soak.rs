@@ -18,25 +18,46 @@
 //!   observe zero deadline misses (`replay_misses`).
 //!
 //! Decision outcomes legitimately differ *between* shard counts: splitting
-//! the core set constrains placement (a 2-shard service cannot split a
-//! task across the shard boundary), which is exactly the capacity cost the
-//! sweep quantifies. Wall-clock throughput/latency columns live in the
-//! `timing` array — the one non-deterministic object in the output, so CI
-//! diffs strip exactly that.
+//! the core set constrains placement (a walled 2-shard service cannot
+//! split a task across the shard boundary), which is exactly the capacity
+//! cost the sweep quantifies. Wall-clock throughput/latency columns live
+//! in the `timing` array — the one non-deterministic object in the output,
+//! so CI diffs strip exactly that.
+//!
+//! Two optional scenario columns ride on the same traces:
+//!
+//! * [`cross_shard`](SoakExperiment::cross_shard) reruns every multi-shard
+//!   point with the cross-shard split planner enabled and reports the
+//!   acceptance it recovers over the walled baseline
+//!   ([`SoakResults::cross_shard`]); sampled replays then run against the
+//!   [`stitch_partitions`]-reassembled global partition, because a
+//!   cross-shard chain is only complete fleet-wide;
+//! * [`leased_scenario`](SoakExperiment::leased_scenario) reruns every
+//!   point with an admission lease armed and renewal heartbeats injected
+//!   at half the lease ([`SoakResults::leased_points`]). Lease-synthesized
+//!   departures depend on admission outcomes, so the leased per-shard-count
+//!   event digests **legitimately diverge** — they are reported per point
+//!   and deliberately excluded from `event_stream_shard_invariant`.
+//!
+//! The churn process itself is selectable via
+//! [`churn_family`](SoakExperiment::churn_family): the default Poisson
+//! process or the bursty Markov-modulated variant.
 
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use spms_core::{stitch_partitions, Partition};
 use spms_online::{
+    inject_renewals,
     replay::{replay_epoch, ReplayConfig, ReplayOutcome},
-    ChurnGenerator, Decision, EventLoop, EventLoopConfig, OnlineConfig, ShardedAdmission,
-    TimedEvent,
+    ChurnFamily, ChurnGenerator, Decision, EventLoop, EventLoopConfig, OnlineConfig,
+    ShardedAdmission, TimedEvent,
 };
 use spms_overhead::CostModelSpec;
 use spms_task::Time;
 use spms_telemetry::{Histogram, MetricClass, Registry};
 
-use crate::progress::{NullProgress, ProgressSink};
+use crate::progress::{NullProgress, ProgressSink, ShiftedProgress};
 use crate::runner::{derive_seed, SweepRunner};
 
 /// Per-trace outcome: deterministic engine counters plus the wall-clock
@@ -52,6 +73,8 @@ struct SoakTrace {
     rebalance_ticks: u64,
     rebalance_moves: u64,
     lease_expirations: u64,
+    lease_renewals: u64,
+    cross_shard_admissions: u64,
     inflation_charged_ns: u64,
     replay: ReplayOutcome,
     events_digest: u64,
@@ -86,6 +109,13 @@ pub struct SoakPoint {
     pub rebalance_moves: u64,
     /// Departures synthesized by lease expiry.
     pub lease_expirations: u64,
+    /// Lease renewals applied by the event loop (0 unless the trace
+    /// carries `Renew` heartbeats — i.e. on every column but the leased
+    /// scenario).
+    pub lease_renewals: u64,
+    /// Admissions placed by the cross-shard split planner (always 0 on the
+    /// walled baseline points; non-zero only inside cross-shard reruns).
+    pub cross_shard_admissions: u64,
     /// Nanoseconds of migration-cost WCET inflation charged across every
     /// admission and rebalance move (0 under the free cost model).
     pub inflation_charged_ns: u64,
@@ -120,6 +150,28 @@ pub struct SoakTiming {
     pub elapsed_ms: u64,
 }
 
+/// Walled-vs-cross-shard acceptance at one multi-shard point: the same
+/// traces run twice, once with the planner off (the baseline `points`
+/// entry) and once with it on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossShardComparison {
+    /// Number of admission shards.
+    pub shards: usize,
+    /// Arrivals admitted by the walled baseline run.
+    pub admitted_walled: u64,
+    /// Arrivals admitted with the cross-shard split planner enabled.
+    pub admitted_cross: u64,
+    /// `admitted_cross - admitted_walled`: the acceptance the planner
+    /// recovered (signed — an early boundary split can in principle crowd
+    /// out later arrivals).
+    pub recovered: i64,
+    /// Admissions that actually went through the cross-shard planner.
+    pub cross_shard_admissions: u64,
+    /// Deadline misses across the cross-shard run's sampled replays of the
+    /// stitched global partition (must stay 0).
+    pub replay_misses: u64,
+}
+
 /// Everything a soak run produces: the serializable [`SoakResults`]
 /// artifact plus the live telemetry registries, which stay outside the
 /// artifact so the JSON envelope is unchanged and metric exposition is an
@@ -144,9 +196,18 @@ pub struct SoakResults {
     /// (always true with leases off; leases make expirations depend on
     /// admission outcomes, which may differ between shard layouts).
     pub event_stream_shard_invariant: bool,
-    /// Total deadline misses across every sampled replay of every point
-    /// (must stay 0).
+    /// Total deadline misses across every sampled replay of every point —
+    /// including the cross-shard and leased scenario reruns (must stay 0).
     pub replay_misses: u64,
+    /// Recovered-acceptance comparison per multi-shard point; empty unless
+    /// the cross-shard scenario was enabled.
+    pub cross_shard: Vec<CrossShardComparison>,
+    /// Lease-scenario reruns of every point (lease armed, renewal
+    /// heartbeats injected at half the lease); empty unless the leased
+    /// scenario was enabled. Their per-shard-count event digests
+    /// **legitimately diverge**: lease-synthesized departures depend on
+    /// admission outcomes, which differ between shard layouts.
+    pub leased_points: Vec<SoakPoint>,
     /// Wall-clock measurements per shard count (non-deterministic).
     pub timing: Vec<SoakTiming>,
 }
@@ -184,6 +245,44 @@ impl SoakResults {
             "\nevent stream shard-invariant: {}\nreplay misses: {}\n",
             self.event_stream_shard_invariant, self.replay_misses,
         ));
+        if !self.cross_shard.is_empty() {
+            out.push_str(
+                "\n| shards | admitted (walled) | admitted (cross-shard) | recovered | cross-shard admissions | replay misses |\n\
+                 |---|---|---|---|---|---|\n",
+            );
+            for c in &self.cross_shard {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:+} | {} | {} |\n",
+                    c.shards,
+                    c.admitted_walled,
+                    c.admitted_cross,
+                    c.recovered,
+                    c.cross_shard_admissions,
+                    c.replay_misses,
+                ));
+            }
+        }
+        if !self.leased_points.is_empty() {
+            out.push_str(
+                "\n| shards (leased) | events | admitted | renewals | expirations | events digest |\n\
+                 |---|---|---|---|---|---|\n",
+            );
+            for p in &self.leased_points {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {:#018x} |\n",
+                    p.shards,
+                    p.events_processed,
+                    p.admitted,
+                    p.lease_renewals,
+                    p.lease_expirations,
+                    p.events_digest,
+                ));
+            }
+            out.push_str(
+                "\nleased event digests legitimately diverge across shard counts: \
+                 lease expirations depend on admission outcomes.\n",
+            );
+        }
         out.push_str(
             "\n| shards | decisions/sec | p50 µs | p99 µs | p999 µs | elapsed ms |\n\
              |---|---|---|---|---|---|\n",
@@ -237,6 +336,9 @@ pub struct SoakExperiment {
     lease: Option<Time>,
     replay_sample_every: usize,
     capture_trace: bool,
+    churn_family: ChurnFamily,
+    cross_shard: bool,
+    leased_scenario: Option<Time>,
     seed: u64,
     threads: usize,
 }
@@ -256,6 +358,9 @@ impl Default for SoakExperiment {
             lease: None,
             replay_sample_every: 0,
             capture_trace: false,
+            churn_family: ChurnFamily::Poisson,
+            cross_shard: false,
+            leased_scenario: None,
             seed: 0,
             threads: 1,
         }
@@ -347,6 +452,32 @@ impl SoakExperiment {
         self
     }
 
+    /// Selects the churn-process family driving every trace (Poisson by
+    /// default; `Bursty` modulates arrivals through a two-state Markov
+    /// chain at the same long-run rate).
+    pub fn churn_family(mut self, family: ChurnFamily) -> Self {
+        self.churn_family = family;
+        self
+    }
+
+    /// Enables the cross-shard scenario: every multi-shard point is rerun
+    /// on the same traces with the cross-shard split planner enabled, and
+    /// the recovered acceptance lands in [`SoakResults::cross_shard`].
+    pub fn cross_shard(mut self, enabled: bool) -> Self {
+        self.cross_shard = enabled;
+        self
+    }
+
+    /// Enables the leased scenario: every point is rerun with this
+    /// admission lease armed and renewal heartbeats injected into the
+    /// trace at half the lease, landing in [`SoakResults::leased_points`].
+    /// Unlike [`lease`](Self::lease) this never touches the baseline
+    /// points, so `event_stream_shard_invariant` keeps its meaning.
+    pub fn leased_scenario(mut self, lease: Option<Time>) -> Self {
+        self.leased_scenario = lease;
+        self
+    }
+
     /// Sets the RNG root seed for trace generation and tie-shuffling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -390,97 +521,41 @@ impl SoakExperiment {
     /// in grid order, so the deterministic section is identical for every
     /// `--threads` value.
     pub fn run_full_with_progress(&self, progress: &dyn ProgressSink) -> SoakRun {
-        let grid = SweepRunner::new()
-            .threads(self.threads)
-            .run_grid_with_progress(
-                self.seed,
-                self.shard_counts.len(),
-                self.traces_per_point,
-                progress,
-                |cell| {
-                    let shards = self.shard_counts[cell.point_idx];
-                    // Trace seeds depend on the set index only: every
-                    // shard count consumes the same traces, so their
-                    // events digests are comparable.
-                    let trace_seed = derive_seed(self.seed, 0, cell.set_idx);
-                    let trace = ChurnGenerator::new()
-                        .cores(self.cores)
-                        .target_normalized_utilization(self.target_utilization)
-                        .events(self.events_per_trace)
-                        .seed(trace_seed)
-                        .generate_timed()
-                        .ok()?;
-                    let config = OnlineConfig::builder()
-                        .cores(self.cores)
-                        .max_repair_moves(self.max_repair_moves)
-                        .cost_model(self.cost_model.clone())
-                        .build();
-                    let mut engine = ShardedAdmission::new(config, shards).ok()?;
-                    let mut event_loop = EventLoop::new(
-                        EventLoopConfig::new(trace_seed)
-                            .with_lease(self.lease)
-                            .with_rebalance_period(self.rebalance_period)
-                            .with_rebalance_max_moves(self.rebalance_max_moves),
-                    );
-                    event_loop.load_trace(&trace);
+        let cross_counts: Vec<usize> = if self.cross_shard {
+            self.shard_counts
+                .iter()
+                .copied()
+                .filter(|&s| s > 1)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let leased_counts: Vec<usize> = if self.leased_scenario.is_some() {
+            self.shard_counts.clone()
+        } else {
+            Vec::new()
+        };
+        let base_cells = self.shard_counts.len() * self.traces_per_point;
+        let cross_cells = cross_counts.len() * self.traces_per_point;
+        let grand_total = base_cells + cross_cells + leased_counts.len() * self.traces_per_point;
+        let runner = SweepRunner::new().threads(self.threads);
 
-                    let sample_every = self.replay_sample_every;
-                    let mut replay = ReplayOutcome::default();
-                    let mut admissions = 0usize;
-                    let started = Instant::now();
-                    event_loop.run_with(&mut engine, |engine, decision: &Decision| {
-                        if sample_every == 0 || !decision.is_admission() {
-                            return;
-                        }
-                        admissions += 1;
-                        if !admissions.is_multiple_of(sample_every) {
-                            return;
-                        }
-                        let shard = engine
-                            .resident_shard(decision.task)
-                            .expect("an admitted task is resident");
-                        let partition = engine.shards()[shard].partition();
-                        let horizon = Time::from_millis(50);
-                        replay.absorb(replay_epoch(partition, &ReplayConfig::new(horizon)));
-                    });
-                    let elapsed = started.elapsed();
-
-                    let stats = *engine.stats();
-                    let captured = (self.capture_trace && cell.point_idx == 0 && cell.set_idx == 0)
-                        .then(|| event_loop.take_event_log());
-                    let events_digest = fnv1a(
-                        serde_json::to_string(
-                            captured.as_deref().unwrap_or(event_loop.event_log()),
-                        )
-                        .expect("event logs always serialize")
-                        .as_bytes(),
-                    );
-                    let decisions_digest = fnv1a(
-                        serde_json::to_string(&engine.decisions().to_vec())
-                            .expect("decision logs always serialize")
-                            .as_bytes(),
-                    );
-                    Some(SoakTrace {
-                        events_processed: engine.decisions().len() as u64,
-                        arrivals: stats.decisions.arrivals,
-                        admitted: stats.decisions.admitted,
-                        rejected: stats.decisions.rejected,
-                        departures: stats.decisions.departures,
-                        overflow_admissions: stats.overflow_admissions,
-                        rebalance_ticks: stats.rebalance_ticks,
-                        rebalance_moves: stats.rebalance_moves,
-                        lease_expirations: stats.lease_expirations,
-                        inflation_charged_ns: stats.decisions.inflation_charged_ns,
-                        replay,
-                        events_digest,
-                        decisions_digest,
-                        elapsed,
-                        latency: engine.decision_latency_histogram().clone(),
-                        metrics: engine.merged_metrics_registry(),
-                        captured,
-                    })
-                },
-            );
+        let base_progress = ShiftedProgress::new(progress, 0, grand_total);
+        let grid = runner.run_grid_with_progress(
+            self.seed,
+            self.shard_counts.len(),
+            self.traces_per_point,
+            &base_progress,
+            |cell| {
+                let shards = self.shard_counts[cell.point_idx];
+                // Trace seeds depend on the set index only: every shard
+                // count (and every scenario rerun below) consumes the same
+                // traces, so their digests and admissions are comparable.
+                let trace_seed = derive_seed(self.seed, 0, cell.set_idx);
+                let capture = self.capture_trace && cell.point_idx == 0 && cell.set_idx == 0;
+                self.soak_cell(trace_seed, shards, false, self.lease, None, capture)
+            },
+        );
 
         let mut points = Vec::with_capacity(self.shard_counts.len());
         let mut timing = Vec::with_capacity(self.shard_counts.len());
@@ -488,46 +563,7 @@ impl SoakExperiment {
         let mut captured_trace = None;
         let mut total_misses = 0u64;
         for (&shards, traces) in self.shard_counts.iter().zip(&grid) {
-            let mut point = SoakPoint {
-                shards,
-                events_processed: 0,
-                arrivals: 0,
-                admitted: 0,
-                rejected: 0,
-                departures: 0,
-                overflow_admissions: 0,
-                rebalance_ticks: 0,
-                rebalance_moves: 0,
-                lease_expirations: 0,
-                inflation_charged_ns: 0,
-                replayed_epochs: 0,
-                replay_misses: 0,
-                events_digest: FNV_OFFSET,
-                decisions_digest: FNV_OFFSET,
-            };
-            let mut elapsed = Duration::ZERO;
-            let mut latency = Histogram::new();
-            let mut registry = Registry::new();
-            for outcome in traces {
-                point.events_processed += outcome.events_processed;
-                point.arrivals += outcome.arrivals;
-                point.admitted += outcome.admitted;
-                point.rejected += outcome.rejected;
-                point.departures += outcome.departures;
-                point.overflow_admissions += outcome.overflow_admissions;
-                point.rebalance_ticks += outcome.rebalance_ticks;
-                point.rebalance_moves += outcome.rebalance_moves;
-                point.lease_expirations += outcome.lease_expirations;
-                point.inflation_charged_ns += outcome.inflation_charged_ns;
-                point.replayed_epochs += outcome.replay.epochs;
-                point.replay_misses += outcome.replay.deadline_misses;
-                point.events_digest = fnv1a_combine(point.events_digest, outcome.events_digest);
-                point.decisions_digest =
-                    fnv1a_combine(point.decisions_digest, outcome.decisions_digest);
-                elapsed += outcome.elapsed;
-                latency.merge(&outcome.latency);
-                registry.merge(&outcome.metrics);
-            }
+            let (point, elapsed, latency, mut registry) = Self::fold_point(shards, traces);
             for outcome in traces {
                 if let Some(log) = &outcome.captured {
                     captured_trace.get_or_insert_with(|| log.clone());
@@ -556,6 +592,74 @@ impl SoakExperiment {
         let invariant = points
             .windows(2)
             .all(|w| w[0].events_digest == w[1].events_digest);
+
+        // Cross-shard scenario: rerun every multi-shard point on the very
+        // same traces with the planner enabled and compare acceptance
+        // against the walled baseline above.
+        let mut cross_comparisons = Vec::with_capacity(cross_counts.len());
+        if !cross_counts.is_empty() {
+            let cross_progress = ShiftedProgress::new(progress, base_cells, grand_total);
+            let cross_grid = runner.run_grid_with_progress(
+                self.seed,
+                cross_counts.len(),
+                self.traces_per_point,
+                &cross_progress,
+                |cell| {
+                    let shards = cross_counts[cell.point_idx];
+                    let trace_seed = derive_seed(self.seed, 0, cell.set_idx);
+                    self.soak_cell(trace_seed, shards, true, self.lease, None, false)
+                },
+            );
+            for (&shards, traces) in cross_counts.iter().zip(&cross_grid) {
+                let (cross_point, ..) = Self::fold_point(shards, traces);
+                let walled = points
+                    .iter()
+                    .find(|p| p.shards == shards)
+                    .map_or(0, |p| p.admitted);
+                total_misses += cross_point.replay_misses;
+                cross_comparisons.push(CrossShardComparison {
+                    shards,
+                    admitted_walled: walled,
+                    admitted_cross: cross_point.admitted,
+                    recovered: cross_point.admitted as i64 - walled as i64,
+                    cross_shard_admissions: cross_point.cross_shard_admissions,
+                    replay_misses: cross_point.replay_misses,
+                });
+            }
+        }
+
+        // Leased scenario: the same traces with renewal heartbeats
+        // injected at half the lease, run with the lease armed.
+        let mut leased_points = Vec::with_capacity(leased_counts.len());
+        if let Some(lease) = self.leased_scenario {
+            let renew_every = Time::from_nanos((lease.as_nanos() / 2).max(1));
+            let leased_progress =
+                ShiftedProgress::new(progress, base_cells + cross_cells, grand_total);
+            let leased_grid = runner.run_grid_with_progress(
+                self.seed,
+                leased_counts.len(),
+                self.traces_per_point,
+                &leased_progress,
+                |cell| {
+                    let shards = leased_counts[cell.point_idx];
+                    let trace_seed = derive_seed(self.seed, 0, cell.set_idx);
+                    self.soak_cell(
+                        trace_seed,
+                        shards,
+                        false,
+                        Some(lease),
+                        Some(renew_every),
+                        false,
+                    )
+                },
+            );
+            for (&shards, traces) in leased_counts.iter().zip(&leased_grid) {
+                let (point, ..) = Self::fold_point(shards, traces);
+                total_misses += point.replay_misses;
+                leased_points.push(point);
+            }
+        }
+
         let mut metrics = Registry::new();
         for registry in &point_metrics {
             metrics.merge(registry);
@@ -565,12 +669,171 @@ impl SoakExperiment {
                 points,
                 event_stream_shard_invariant: invariant,
                 replay_misses: total_misses,
+                cross_shard: cross_comparisons,
+                leased_points,
                 timing,
             },
             captured_trace,
             point_metrics,
             metrics,
         }
+    }
+
+    /// Generates and runs one grid cell: one churn trace against one
+    /// engine configuration. `cross_shard` throws the split-planner flag
+    /// (and switches sampled replays to the stitched global partition,
+    /// since a cross-shard chain is only complete fleet-wide);
+    /// `lease`/`renew_every` configure the lease scenario; `capture` keeps
+    /// the processed event log.
+    fn soak_cell(
+        &self,
+        trace_seed: u64,
+        shards: usize,
+        cross_shard: bool,
+        lease: Option<Time>,
+        renew_every: Option<Time>,
+        capture: bool,
+    ) -> Option<SoakTrace> {
+        let mut trace = ChurnGenerator::new()
+            .cores(self.cores)
+            .target_normalized_utilization(self.target_utilization)
+            .events(self.events_per_trace)
+            .family(self.churn_family)
+            .seed(trace_seed)
+            .generate_timed()
+            .ok()?;
+        if let Some(every) = renew_every {
+            trace = inject_renewals(&trace, every);
+        }
+        let config = OnlineConfig::builder()
+            .cores(self.cores)
+            .max_repair_moves(self.max_repair_moves)
+            .cost_model(self.cost_model.clone())
+            .cross_shard_split(cross_shard)
+            .build();
+        let mut engine = ShardedAdmission::new(config, shards).ok()?;
+        let mut event_loop = EventLoop::new(
+            EventLoopConfig::new(trace_seed)
+                .with_lease(lease)
+                .with_rebalance_period(self.rebalance_period)
+                .with_rebalance_max_moves(self.rebalance_max_moves),
+        );
+        event_loop.load_trace(&trace);
+
+        let sample_every = self.replay_sample_every;
+        let mut replay = ReplayOutcome::default();
+        let mut admissions = 0usize;
+        let started = Instant::now();
+        event_loop.run_with(&mut engine, |engine, decision: &Decision| {
+            if sample_every == 0 || !decision.is_admission() {
+                return;
+            }
+            admissions += 1;
+            if !admissions.is_multiple_of(sample_every) {
+                return;
+            }
+            let horizon = Time::from_millis(50);
+            if cross_shard {
+                let parts: Vec<&Partition> =
+                    engine.shards().iter().map(|s| s.partition()).collect();
+                let stitched = stitch_partitions(&parts);
+                replay.absorb(replay_epoch(&stitched, &ReplayConfig::new(horizon)));
+            } else {
+                let shard = engine
+                    .resident_shard(decision.task)
+                    .expect("an admitted task is resident");
+                let partition = engine.shards()[shard].partition();
+                replay.absorb(replay_epoch(partition, &ReplayConfig::new(horizon)));
+            }
+        });
+        let elapsed = started.elapsed();
+
+        let stats = *engine.stats();
+        let captured = capture.then(|| event_loop.take_event_log());
+        let events_digest = fnv1a(
+            serde_json::to_string(captured.as_deref().unwrap_or(event_loop.event_log()))
+                .expect("event logs always serialize")
+                .as_bytes(),
+        );
+        let decisions_digest = fnv1a(
+            serde_json::to_string(&engine.decisions().to_vec())
+                .expect("decision logs always serialize")
+                .as_bytes(),
+        );
+        Some(SoakTrace {
+            events_processed: engine.decisions().len() as u64,
+            arrivals: stats.decisions.arrivals,
+            admitted: stats.decisions.admitted,
+            rejected: stats.decisions.rejected,
+            departures: stats.decisions.departures,
+            overflow_admissions: stats.overflow_admissions,
+            rebalance_ticks: stats.rebalance_ticks,
+            rebalance_moves: stats.rebalance_moves,
+            lease_expirations: stats.lease_expirations,
+            lease_renewals: event_loop.lease_renewals(),
+            cross_shard_admissions: stats.cross_shard_admissions,
+            inflation_charged_ns: stats.decisions.inflation_charged_ns,
+            replay,
+            events_digest,
+            decisions_digest,
+            elapsed,
+            latency: engine.decision_latency_histogram().clone(),
+            metrics: engine.merged_metrics_registry(),
+            captured,
+        })
+    }
+
+    /// Folds one point's per-trace outcomes into the deterministic
+    /// [`SoakPoint`] plus the merged wall-clock and telemetry state.
+    fn fold_point(
+        shards: usize,
+        traces: &[SoakTrace],
+    ) -> (SoakPoint, Duration, Histogram, Registry) {
+        let mut point = SoakPoint {
+            shards,
+            events_processed: 0,
+            arrivals: 0,
+            admitted: 0,
+            rejected: 0,
+            departures: 0,
+            overflow_admissions: 0,
+            rebalance_ticks: 0,
+            rebalance_moves: 0,
+            lease_expirations: 0,
+            lease_renewals: 0,
+            cross_shard_admissions: 0,
+            inflation_charged_ns: 0,
+            replayed_epochs: 0,
+            replay_misses: 0,
+            events_digest: FNV_OFFSET,
+            decisions_digest: FNV_OFFSET,
+        };
+        let mut elapsed = Duration::ZERO;
+        let mut latency = Histogram::new();
+        let mut registry = Registry::new();
+        for outcome in traces {
+            point.events_processed += outcome.events_processed;
+            point.arrivals += outcome.arrivals;
+            point.admitted += outcome.admitted;
+            point.rejected += outcome.rejected;
+            point.departures += outcome.departures;
+            point.overflow_admissions += outcome.overflow_admissions;
+            point.rebalance_ticks += outcome.rebalance_ticks;
+            point.rebalance_moves += outcome.rebalance_moves;
+            point.lease_expirations += outcome.lease_expirations;
+            point.lease_renewals += outcome.lease_renewals;
+            point.cross_shard_admissions += outcome.cross_shard_admissions;
+            point.inflation_charged_ns += outcome.inflation_charged_ns;
+            point.replayed_epochs += outcome.replay.epochs;
+            point.replay_misses += outcome.replay.deadline_misses;
+            point.events_digest = fnv1a_combine(point.events_digest, outcome.events_digest);
+            point.decisions_digest =
+                fnv1a_combine(point.decisions_digest, outcome.decisions_digest);
+            elapsed += outcome.elapsed;
+            latency.merge(&outcome.latency);
+            registry.merge(&outcome.metrics);
+        }
+        (point, elapsed, latency, registry)
     }
 }
 
@@ -681,6 +944,100 @@ mod tests {
             a.points().iter().any(|p| p.inflation_charged_ns > 0),
             "a high-load charged soak should split or rebalance at least once"
         );
+    }
+
+    #[test]
+    fn cross_shard_soak_recovers_walled_rejections() {
+        let config = || {
+            quick()
+                .target_utilization(0.85)
+                .traces_per_point(3)
+                .cross_shard(true)
+        };
+        let run = config().run();
+        // Baseline points stay walled — the scenario never touches them.
+        for p in run.points() {
+            assert_eq!(p.cross_shard_admissions, 0);
+        }
+        assert_eq!(run.cross_shard.len(), 1, "one multi-shard point");
+        let c = &run.cross_shard[0];
+        assert_eq!(c.shards, 2);
+        assert!(
+            c.cross_shard_admissions > 0,
+            "a high-load 2-shard soak must exercise the planner"
+        );
+        assert!(
+            c.admitted_cross > c.admitted_walled,
+            "cross-shard splitting must recover acceptance: {} vs {}",
+            c.admitted_cross,
+            c.admitted_walled
+        );
+        assert_eq!(
+            c.recovered,
+            c.admitted_cross as i64 - c.admitted_walled as i64
+        );
+        assert_eq!(c.replay_misses, 0, "stitched replays must not miss");
+        assert_eq!(run.replay_misses, 0);
+        // The whole scenario is deterministic and thread-invariant.
+        let again = config().threads(4).run();
+        assert_eq!(run.cross_shard, again.cross_shard);
+        assert_eq!(run.points(), again.points());
+        let md = run.render_markdown();
+        assert!(md.contains("admitted (cross-shard)"));
+    }
+
+    #[test]
+    fn bursty_traffic_keeps_the_soak_deterministic() {
+        let bursty = || {
+            quick()
+                .target_utilization(0.85)
+                .churn_family(ChurnFamily::Bursty)
+                .cross_shard(true)
+        };
+        let a = bursty().run();
+        let b = bursty().threads(4).run();
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.cross_shard, b.cross_shard);
+        assert_eq!(a.replay_misses, 0);
+        // The bursty family really reshapes the trace.
+        assert_ne!(
+            a.points()[0].events_digest,
+            quick().target_utilization(0.85).run().points()[0].events_digest,
+            "bursty and Poisson soaks must not share a trace"
+        );
+    }
+
+    #[test]
+    fn leased_scenario_reports_renewals_and_leaves_the_baseline_invariant() {
+        let run = quick().leased_scenario(Some(Time::from_millis(20))).run();
+        assert_eq!(run.leased_points.len(), 2);
+        for p in &run.leased_points {
+            assert!(p.lease_renewals > 0, "heartbeats must be injected");
+        }
+        // The baseline points never see the lease…
+        assert!(run.event_stream_shard_invariant);
+        for p in run.points() {
+            assert_eq!(p.lease_renewals, 0);
+            assert_eq!(p.lease_expirations, 0);
+        }
+        // …and the leased column documents its divergence.
+        let md = run.render_markdown();
+        assert!(md.contains("shards (leased)"));
+        assert!(md.contains("legitimately diverge"));
+        let b = quick().leased_scenario(Some(Time::from_millis(20))).run();
+        assert_eq!(run.leased_points, b.leased_points);
+    }
+
+    #[test]
+    fn scenario_columns_are_absent_by_default() {
+        let run = quick().run();
+        assert!(run.cross_shard.is_empty());
+        assert!(run.leased_points.is_empty());
+        let json = serde_json::to_string(&run).expect("results serialize");
+        assert!(json.contains("\"cross_shard\":[]"));
+        let md = run.render_markdown();
+        assert!(!md.contains("admitted (cross-shard)"));
+        assert!(!md.contains("shards (leased)"));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! generator models the standard open-system churn process:
 //!
 //! * arrivals form a Poisson process (exponential inter-arrival times with
-//!   a configurable mean),
+//!   a configurable mean) — or, under [`ChurnFamily::Bursty`], a
+//!   Markov-modulated Poisson process whose hidden ON/OFF state
+//!   compresses or stretches the inter-arrival mean (see
+//!   [`ChurnFamily`]),
 //! * each task lives for a log-uniformly distributed lifetime, then
 //!   departs,
 //! * per-task utilizations are drawn around `target / E[population]`, where
@@ -30,6 +33,49 @@ use spms_task::{Task, TaskError, TaskId, Time};
 
 use crate::{TimedEvent, WorkloadEvent};
 
+/// The arrival-process family a [`ChurnGenerator`] draws from.
+///
+/// `Poisson` is the classic open-system model. `Bursty` layers a hidden
+/// two-state Markov chain on top: before each arrival one uniform draw
+/// decides the next ON/OFF state, and the exponential inter-arrival mean
+/// is divided by the burst acceleration while ON and stretched while OFF
+/// (the stretch is derived from the stationary ON share so the *long-run*
+/// arrival rate matches the Poisson family's). The Poisson branch makes
+/// no extra RNG draws, so `Poisson` traces are byte-identical to those of
+/// generators predating this enum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnFamily {
+    /// Memoryless Poisson arrivals (the default).
+    #[default]
+    Poisson,
+    /// Markov-modulated Poisson arrivals: ON phases pack arrivals close
+    /// together, OFF phases thin them out.
+    Bursty,
+}
+
+impl std::str::FromStr for ChurnFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "poisson" => Ok(ChurnFamily::Poisson),
+            "bursty" => Ok(ChurnFamily::Bursty),
+            other => Err(format!(
+                "unknown churn family `{other}` (expected `poisson` or `bursty`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ChurnFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChurnFamily::Poisson => "poisson",
+            ChurnFamily::Bursty => "bursty",
+        })
+    }
+}
+
 /// Seedable generator of churn traces. See the [module docs](self) for the
 /// stochastic model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +91,10 @@ pub struct ChurnGenerator {
     utilization_spread: f64,
     max_task_utilization: f64,
     seed: u64,
+    family: ChurnFamily,
+    burst_acceleration: f64,
+    burst_entry_probability: f64,
+    burst_exit_probability: f64,
 }
 
 impl Default for ChurnGenerator {
@@ -61,6 +111,10 @@ impl Default for ChurnGenerator {
             utilization_spread: 0.5,
             max_task_utilization: 1.0,
             seed: 0,
+            family: ChurnFamily::Poisson,
+            burst_acceleration: 4.0,
+            burst_entry_probability: 0.35,
+            burst_exit_probability: 0.15,
         }
     }
 }
@@ -133,6 +187,25 @@ impl ChurnGenerator {
         self
     }
 
+    /// Sets the arrival-process family (default [`ChurnFamily::Poisson`]).
+    pub fn family(mut self, family: ChurnFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Tunes the bursty family: `acceleration` divides the inter-arrival
+    /// mean during ON phases (must exceed 1), `entry`/`exit` are the
+    /// per-arrival OFF→ON and ON→OFF transition probabilities (each in
+    /// `(0, 1)`). The OFF-phase stretch is derived so the long-run
+    /// arrival rate stays that of the Poisson family. Ignored under
+    /// [`ChurnFamily::Poisson`].
+    pub fn burst_profile(mut self, acceleration: f64, entry: f64, exit: f64) -> Self {
+        self.burst_acceleration = acceleration;
+        self.burst_entry_probability = entry;
+        self.burst_exit_probability = exit;
+        self
+    }
+
     /// Expected steady-state population by Little's law.
     fn expected_population(&self) -> f64 {
         let mean_lifetime = log_uniform_mean(self.lifetime_min, self.lifetime_max);
@@ -178,8 +251,35 @@ impl ChurnGenerator {
         let mut clock = 0.0f64;
         let mut next_id: u32 = 0;
 
+        // Bursty modulation state. The OFF-phase stretch is derived from
+        // the stationary ON share so the long-run arrival rate matches
+        // the plain Poisson family's.
+        let mut burst_on = false;
+        let on_share = self.burst_entry_probability
+            / (self.burst_entry_probability + self.burst_exit_probability);
+        let off_stretch = (1.0 - on_share / self.burst_acceleration) / (1.0 - on_share);
+
         while events.len() < self.events {
-            let interarrival = exponential(&mut rng, self.mean_interarrival.as_secs_f64());
+            let mean = self.mean_interarrival.as_secs_f64();
+            let interarrival = match self.family {
+                // No extra draws: Poisson traces stay byte-identical to
+                // pre-family generators.
+                ChurnFamily::Poisson => exponential(&mut rng, mean),
+                ChurnFamily::Bursty => {
+                    let flip: f64 = rng.gen();
+                    burst_on = if burst_on {
+                        flip >= self.burst_exit_probability
+                    } else {
+                        flip < self.burst_entry_probability
+                    };
+                    let scale = if burst_on {
+                        1.0 / self.burst_acceleration
+                    } else {
+                        off_stretch
+                    };
+                    exponential(&mut rng, mean * scale)
+                }
+            };
             let arrival_time = clock + interarrival;
             // Emit every departure due before the next arrival.
             while events.len() < self.events {
@@ -283,8 +383,68 @@ impl ChurnGenerator {
                 return Err(invalid(format!("invalid {name} range [{min}, {max}]")));
             }
         }
+        if self.family == ChurnFamily::Bursty {
+            if !self.burst_acceleration.is_finite() || self.burst_acceleration <= 1.0 {
+                return Err(invalid(format!(
+                    "burst acceleration must be finite and exceed 1, got {}",
+                    self.burst_acceleration
+                )));
+            }
+            for (name, p) in [
+                ("entry", self.burst_entry_probability),
+                ("exit", self.burst_exit_probability),
+            ] {
+                if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+                    return Err(invalid(format!(
+                        "burst {name} probability must be in (0, 1), got {p}"
+                    )));
+                }
+            }
+        }
         Ok(())
     }
+}
+
+/// Inserts lease-renewal heartbeats into a timed trace: every arrival
+/// that stays resident longer than `every` emits a
+/// [`WorkloadEvent::Renew`] at each multiple of `every` after its arrival
+/// and strictly before its departure (or, for tasks that never depart
+/// in-trace, before the final trace timestamp). The result is sorted by
+/// timestamp with renewals ordered after same-instant trace events —
+/// fully deterministic, no RNG involved.
+///
+/// Feeding the renewed trace to an [`EventLoop`](crate::EventLoop) with a
+/// lease of `every` (or slightly more) keeps admitted tasks alive for
+/// their full trace lifetime, while un-renewed leases still expire.
+pub fn inject_renewals(trace: &[TimedEvent], every: Time) -> Vec<TimedEvent> {
+    if every.is_zero() || trace.is_empty() {
+        return trace.to_vec();
+    }
+    let horizon = trace.iter().map(|t| t.at).max().unwrap_or(Time::ZERO);
+    let mut departs: std::collections::BTreeMap<TaskId, Time> = std::collections::BTreeMap::new();
+    for timed in trace {
+        if let WorkloadEvent::Depart(id) = timed.event {
+            departs.entry(id).or_insert(timed.at);
+        }
+    }
+    let mut out = trace.to_vec();
+    for timed in trace {
+        if let WorkloadEvent::Arrive(task) = &timed.event {
+            let until = departs.get(&task.id()).copied().unwrap_or(horizon);
+            let mut at = timed.at + every;
+            while at < until {
+                out.push(TimedEvent {
+                    at,
+                    event: WorkloadEvent::Renew(task.id()),
+                });
+                at += every;
+            }
+        }
+    }
+    // Stable: same-instant originals keep their order and precede the
+    // renewals generated for that instant.
+    out.sort_by_key(|t| t.at);
+    out
 }
 
 /// An exponential sample with the given mean (inverse-CDF method).
@@ -353,6 +513,7 @@ mod tests {
                 WorkloadEvent::Depart(id) => {
                     assert!(alive.remove(id), "departure of unknown task {id}");
                 }
+                WorkloadEvent::Renew(id) => panic!("generator never emits renewals, got {id}"),
             }
         }
     }
@@ -390,6 +551,7 @@ mod tests {
                 WorkloadEvent::Depart(id) => {
                     alive.remove(id);
                 }
+                WorkloadEvent::Renew(_) => {}
             }
             samples.push(alive.values().sum::<f64>());
         }
@@ -424,6 +586,172 @@ mod tests {
                 .generate()
                 .is_err());
         }
+    }
+
+    #[test]
+    fn explicit_poisson_family_matches_the_default() {
+        // The family knob must not perturb the Poisson draw order: a
+        // generator explicitly set to Poisson (with arbitrary burst
+        // parameters, which Poisson ignores) reproduces the default
+        // trace byte-for-byte.
+        let default_trace = ChurnGenerator::new()
+            .events(80)
+            .seed(21)
+            .generate_timed()
+            .unwrap();
+        let explicit = ChurnGenerator::new()
+            .events(80)
+            .seed(21)
+            .family(ChurnFamily::Poisson)
+            .burst_profile(8.0, 0.5, 0.5)
+            .generate_timed()
+            .unwrap();
+        assert_eq!(default_trace, explicit);
+    }
+
+    #[test]
+    fn bursty_traces_are_deterministic_and_differ_from_poisson() {
+        let bursty = ChurnGenerator::new()
+            .events(120)
+            .seed(21)
+            .family(ChurnFamily::Bursty);
+        assert_eq!(
+            bursty.generate_timed().unwrap(),
+            bursty.generate_timed().unwrap(),
+            "equal seeds must reproduce bursty traces byte-identically"
+        );
+        let poisson = ChurnGenerator::new()
+            .events(120)
+            .seed(21)
+            .generate_timed()
+            .unwrap();
+        assert_ne!(
+            bursty.generate_timed().unwrap(),
+            poisson,
+            "modulation must change the timeline"
+        );
+    }
+
+    #[test]
+    fn bursty_long_run_rate_tracks_poisson() {
+        // The OFF stretch is derived so the stationary arrival rate
+        // matches the memoryless family: over a long trace the last
+        // arrival times should agree within a factor of two.
+        let horizon = |family: ChurnFamily| {
+            let trace = ChurnGenerator::new()
+                .events(600)
+                .seed(3)
+                .family(family)
+                .generate_timed()
+                .unwrap();
+            trace
+                .iter()
+                .filter(|t| t.event.is_arrival())
+                .map(|t| t.at)
+                .max()
+                .unwrap()
+                .as_secs_f64()
+        };
+        let p = horizon(ChurnFamily::Poisson);
+        let b = horizon(ChurnFamily::Bursty);
+        assert!(
+            (0.5..=2.0).contains(&(b / p)),
+            "bursty horizon {b} drifted from poisson horizon {p}"
+        );
+    }
+
+    #[test]
+    fn bursty_burstiness_raises_interarrival_variance() {
+        let arrivals = |family: ChurnFamily| -> Vec<f64> {
+            ChurnGenerator::new()
+                .events(400)
+                .seed(9)
+                .family(family)
+                .generate_timed()
+                .unwrap()
+                .into_iter()
+                .filter(|t| t.event.is_arrival())
+                .map(|t| t.at.as_secs_f64())
+                .collect()
+        };
+        let cv2 = |times: &[f64]| {
+            let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(&arrivals(ChurnFamily::Poisson));
+        let bursty = cv2(&arrivals(ChurnFamily::Bursty));
+        assert!(
+            bursty > poisson,
+            "bursty CV² {bursty} should exceed poisson CV² {poisson}"
+        );
+    }
+
+    #[test]
+    fn bursty_parameters_are_validated_and_parse() {
+        let bad = |g: ChurnGenerator| g.family(ChurnFamily::Bursty).generate().is_err();
+        assert!(bad(ChurnGenerator::new().burst_profile(1.0, 0.3, 0.3)));
+        assert!(bad(ChurnGenerator::new().burst_profile(f64::NAN, 0.3, 0.3)));
+        assert!(bad(ChurnGenerator::new().burst_profile(4.0, 0.0, 0.3)));
+        assert!(bad(ChurnGenerator::new().burst_profile(4.0, 0.3, 1.0)));
+        // Poisson ignores (and so tolerates) nonsense burst parameters.
+        assert!(ChurnGenerator::new()
+            .burst_profile(0.0, 9.0, -1.0)
+            .generate()
+            .is_ok());
+        assert_eq!("bursty".parse::<ChurnFamily>(), Ok(ChurnFamily::Bursty));
+        assert_eq!("Poisson".parse::<ChurnFamily>(), Ok(ChurnFamily::Poisson));
+        assert!("storm".parse::<ChurnFamily>().is_err());
+        assert_eq!(ChurnFamily::Bursty.to_string(), "bursty");
+    }
+
+    #[test]
+    fn injected_renewals_heartbeat_between_arrival_and_departure() {
+        let trace = ChurnGenerator::new()
+            .events(60)
+            .lifetime_range(Time::from_millis(50), Time::from_millis(400))
+            .seed(19)
+            .generate_timed()
+            .unwrap();
+        let every = Time::from_millis(40);
+        let renewed = inject_renewals(&trace, every);
+        assert!(
+            renewed.iter().any(|t| t.event.is_renewal()),
+            "lifetimes above 40 ms must produce heartbeats"
+        );
+        assert!(
+            renewed.windows(2).all(|w| w[0].at <= w[1].at),
+            "renewed trace must stay time-sorted"
+        );
+        // Originals survive untouched, renewals fall strictly inside
+        // their task's residency window.
+        let originals: Vec<_> = renewed
+            .iter()
+            .filter(|t| !t.event.is_renewal())
+            .cloned()
+            .collect();
+        assert_eq!(originals, trace);
+        for timed in renewed.iter().filter(|t| t.event.is_renewal()) {
+            let id = timed.event.task_id();
+            let arrive = trace
+                .iter()
+                .find(|t| t.event.is_arrival() && t.event.task_id() == id)
+                .expect("renewal of an arrived task")
+                .at;
+            let depart = trace
+                .iter()
+                .find(|t| matches!(t.event, WorkloadEvent::Depart(d) if d == id))
+                .map(|t| t.at);
+            assert!(timed.at > arrive);
+            if let Some(depart) = depart {
+                assert!(timed.at < depart, "renewal after departure of {id}");
+            }
+        }
+        // Determinism and edge cases.
+        assert_eq!(renewed, inject_renewals(&trace, every));
+        assert_eq!(inject_renewals(&trace, Time::ZERO), trace);
+        assert_eq!(inject_renewals(&[], every), Vec::<TimedEvent>::new());
     }
 
     #[test]

@@ -48,15 +48,15 @@
 //! strippable timing section — never in any serializable result, so
 //! reports stay byte-identical across runs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use spms_analysis::{OverheadModel, UniprocessorTest};
 use spms_core::{
-    CoreId, IncrementalPlacer, JournalMark, Partition, PartitionOutcome, Partitioner,
-    PlacementPlan, SemiPartitionedFpTs, WholeProbe,
+    CoreId, IncrementalPlacer, Partition, PartitionOutcome, Partitioner, PlacementPlan, PlanTxn,
+    Savepoint, SemiPartitionedFpTs, WholeProbe,
 };
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, TaskSet, Time};
@@ -143,6 +143,15 @@ pub struct OnlineConfig {
     /// [`CostModelSpec::Zero`] charges nothing and reproduces the
     /// pre-cost-model decisions bit for bit.
     pub cost_model: CostModelSpec,
+    /// Whether this controller's partition may host *partial* split chains
+    /// — body/tail pieces whose siblings live on another shard, placed by
+    /// the sharded service's cross-shard planner. Off (the default) the
+    /// cascade is byte-identical to the walled-shard behaviour; on, the
+    /// partition validates boundary pieces with shard-local chain rules and
+    /// the full-repartition fallback is withheld while any remote piece is
+    /// resident (a from-scratch repartition of one shard cannot re-place
+    /// the remote siblings).
+    pub cross_shard_split: bool,
 }
 
 /// Victim-ranking policy of the bounded-repair pass.
@@ -185,6 +194,7 @@ impl Default for OnlineConfig {
             probe_warm_start: true,
             repair_ranking: RepairRanking::Slack,
             cost_model: CostModelSpec::Zero,
+            cross_shard_split: false,
         }
     }
 }
@@ -349,6 +359,13 @@ impl OnlineConfigBuilder {
         self
     }
 
+    /// Allows partial split chains on this controller's partition so the
+    /// sharded service's cross-shard planner can place boundary pieces.
+    pub fn cross_shard_split(mut self, enabled: bool) -> Self {
+        self.config.cross_shard_split = enabled;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> OnlineConfig {
         self.config
@@ -366,6 +383,10 @@ pub enum DecisionPath {
     Repair,
     /// The offline algorithm repartitioned the whole admitted set.
     FullRepartition,
+    /// The sharded service split the task across two shards: the body on
+    /// the highest-spare donor, the tail on the runner-up receiver. Never
+    /// produced by a solo controller's cascade.
+    CrossShardSplit,
 }
 
 impl fmt::Display for DecisionPath {
@@ -375,6 +396,7 @@ impl fmt::Display for DecisionPath {
             DecisionPath::FastSplit => "fast-split",
             DecisionPath::Repair => "repair",
             DecisionPath::FullRepartition => "full-repartition",
+            DecisionPath::CrossShardSplit => "cross-shard-split",
         };
         write!(f, "{name}")
     }
@@ -433,6 +455,10 @@ pub enum DecisionKind {
     Departed,
     /// A departure for a task that was never admitted (no-op).
     DepartUnknown,
+    /// A lease renewal was noted (no-op for the partition). Leases are
+    /// interpreted by the [`EventLoop`](crate::EventLoop); a controller
+    /// replaying a leased trace only acknowledges the event.
+    RenewNoted,
 }
 
 // Hand-rolled (de)serialization so zero charges stay invisible: a ZeroCost
@@ -465,6 +491,7 @@ impl Serialize for DecisionKind {
             )]),
             DecisionKind::Departed => Value::Str(String::from("Departed")),
             DecisionKind::DepartUnknown => Value::Str(String::from("DepartUnknown")),
+            DecisionKind::RenewNoted => Value::Str(String::from("RenewNoted")),
         }
     }
 }
@@ -476,6 +503,7 @@ impl Deserialize for DecisionKind {
             Value::Str(name) => match name.as_str() {
                 "Departed" => Ok(DecisionKind::Departed),
                 "DepartUnknown" => Ok(DecisionKind::DepartUnknown),
+                "RenewNoted" => Ok(DecisionKind::RenewNoted),
                 other => Err(serde::Error::custom(format!(
                     "unknown variant `{other}` of DecisionKind"
                 ))),
@@ -592,6 +620,12 @@ pub struct AdmissionController {
     placer: IncrementalPlacer,
     partition: Partition,
     admitted: BTreeMap<TaskId, Task>,
+    /// Parents with at least one piece on *another* shard, placed by the
+    /// sharded service's cross-shard planner. Their local pieces must never
+    /// be relocated by repair and block the full-repartition fallback: both
+    /// reason only about this shard's partition and would orphan the remote
+    /// siblings. Always empty when `cross_shard_split` is off.
+    remote_parents: BTreeSet<TaskId>,
     decisions: Vec<Decision>,
     metrics: EngineMetrics,
     stats: ControllerStats,
@@ -623,11 +657,15 @@ impl AdmissionController {
         if config.use_journal {
             partition.enable_journal();
         }
+        if config.cross_shard_split {
+            partition.allow_partial_chains();
+        }
         Ok(AdmissionController {
             partition,
             placer,
             config,
             admitted: BTreeMap::new(),
+            remote_parents: BTreeSet::new(),
             decisions: Vec::new(),
             metrics: EngineMetrics::default(),
             stats: ControllerStats::default(),
@@ -716,6 +754,9 @@ impl AdmissionController {
         let kind = match event {
             WorkloadEvent::Arrive(task) => self.arrive(task),
             WorkloadEvent::Depart(id) => self.depart(*id),
+            // Leases are the event loop's concern; a controller fed a
+            // leased trace just acknowledges the renewal.
+            WorkloadEvent::Renew(_) => DecisionKind::RenewNoted,
         };
         let decision = Decision {
             event_index: self.next_event,
@@ -955,13 +996,19 @@ impl AdmissionController {
 
     /// Largest utilization first (freeing the most capacity per move), ties
     /// broken by id for determinism. Split parents are never victims here —
-    /// the historical PR 3 policy.
+    /// the historical PR 3 policy. Parents with remote pieces are never
+    /// victims either: relocating the local piece would orphan siblings on
+    /// other shards.
     fn pick_victim_by_utilization(&self, target: CoreId, immovable: &[TaskId]) -> Option<TaskId> {
         let mut candidates: Vec<(f64, TaskId)> = self
             .partition
             .core(target)
             .iter()
-            .filter(|p| !p.is_split() && !immovable.contains(&p.parent))
+            .filter(|p| {
+                !p.is_split()
+                    && !immovable.contains(&p.parent)
+                    && !self.remote_parents.contains(&p.parent)
+            })
             .map(|p| (p.task.utilization(), p.parent))
             .collect();
         candidates.sort_by(|a, b| {
@@ -991,7 +1038,9 @@ impl AdmissionController {
                 .partition
                 .core(target)
                 .iter()
-                .filter(|p| !immovable.contains(&p.parent))
+                .filter(|p| {
+                    !immovable.contains(&p.parent) && !self.remote_parents.contains(&p.parent)
+                })
                 .map(|p| (p.task.utilization(), p.parent))
                 .collect();
             c.sort_by(|a, b| {
@@ -1122,51 +1171,43 @@ impl AdmissionController {
     // ------------------------------------------------------------------
     // rollback plumbing
     // ------------------------------------------------------------------
+    //
+    // Repair scopes run on the shared [`PlanTxn`] abstraction from
+    // `spms-core` — the same transaction type the sharded service spans
+    // across several partitions for cross-shard split planning. A solo
+    // controller always opens single-scope transactions on its own
+    // partition, which [`PlanTxn`] dispatches exactly as the old plumbing
+    // did: a journal scope when the partition carries a mutation journal
+    // (`use_journal`, which is precisely when the journal is attached in
+    // [`new`](Self::new)), a snapshot clone otherwise.
 
     /// Opens a speculative scope around one repair attempt.
-    fn begin_rollback(&mut self) -> Rollback {
-        if self.config.use_journal {
-            Rollback::Journal(self.partition.journal_begin())
-        } else {
-            Rollback::Snapshot(Box::new(self.partition.clone()))
-        }
+    fn begin_rollback(&mut self) -> PlanTxn {
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut self.partition);
+        txn
     }
 
     /// Keeps the speculative mutations (the attempt succeeded).
-    fn commit_rollback(&mut self, rollback: Rollback) {
-        if let Rollback::Journal(_) = rollback {
-            self.partition.journal_end();
-        }
+    fn commit_rollback(&mut self, txn: PlanTxn) {
+        txn.commit(std::slice::from_mut(&mut &mut self.partition));
     }
 
     /// Discards the speculative mutations (the attempt failed).
-    fn abort_rollback(&mut self, rollback: Rollback) {
-        match rollback {
-            Rollback::Journal(mark) => {
-                self.partition.rewind(mark);
-                self.partition.journal_end();
-            }
-            Rollback::Snapshot(snapshot) => self.partition = *snapshot,
-        }
+    fn abort_rollback(&mut self, txn: PlanTxn) {
+        txn.abort(std::slice::from_mut(&mut &mut self.partition));
     }
 
     /// A nested rollback point *inside* an open repair scope (one
     /// speculative relocation). With the journal this is just a mark — the
     /// outer scope keeps recording.
-    fn inner_rollback_point(&mut self) -> Rollback {
-        if self.config.use_journal {
-            Rollback::Journal(self.partition.journal_mark())
-        } else {
-            Rollback::Snapshot(Box::new(self.partition.clone()))
-        }
+    fn inner_rollback_point(&mut self) -> Savepoint {
+        Savepoint::capture(&self.partition)
     }
 
     /// Restores a nested rollback point without closing the outer scope.
-    fn restore_inner(&mut self, inner: Rollback) {
-        match inner {
-            Rollback::Journal(mark) => self.partition.rewind(mark),
-            Rollback::Snapshot(snapshot) => self.partition = *snapshot,
-        }
+    fn restore_inner(&mut self, inner: Savepoint) {
+        inner.restore(&mut self.partition);
     }
 
     // ------------------------------------------------------------------
@@ -1178,6 +1219,13 @@ impl AdmissionController {
     /// already-admitted tasks whose placement changed.
     fn try_fallback(&mut self, task: &Task) -> Option<usize> {
         if !self.config.allow_fallback {
+            return None;
+        }
+        // A from-scratch repartition of this shard cannot re-place pieces
+        // whose siblings live on other shards: while any cross-shard parent
+        // is resident the fallback is withheld (the admitted map holds only
+        // the piece-shaped remote fragments, not the original tasks).
+        if !self.remote_parents.is_empty() {
             return None;
         }
         let mut all = self.admitted_tasks();
@@ -1208,6 +1256,9 @@ impl AdmissionController {
                 if self.config.use_journal {
                     new.enable_journal();
                 }
+                if self.config.cross_shard_split {
+                    new.allow_partial_chains();
+                }
                 self.partition = new;
                 Some(migrations)
             }
@@ -1234,6 +1285,7 @@ impl AdmissionController {
             self.stats.unknown_departures += 1;
             return DecisionKind::DepartUnknown;
         }
+        self.remote_parents.remove(&id);
         let removed = self.partition.remove_parent(id);
         debug_assert!(removed > 0, "admitted task {id} had no placements");
         self.stats.departures += 1;
@@ -1281,6 +1333,11 @@ impl crate::AdmissionShard for AdmissionController {
         self.admitted.insert(task.id(), task);
     }
 
+    fn note_remote_admitted(&mut self, piece: Task) {
+        self.remote_parents.insert(piece.id());
+        self.admitted.insert(piece.id(), piece);
+    }
+
     fn placer(&self) -> &IncrementalPlacer {
         &self.placer
     }
@@ -1292,14 +1349,6 @@ impl crate::AdmissionShard for AdmissionController {
     fn metrics_registry(&self) -> Option<&spms_telemetry::Registry> {
         Some(self.metrics.registry())
     }
-}
-
-/// How one speculative repair scope will be rolled back: a journal mark
-/// (rewind in O(moves)) or a full snapshot clone (O(tasks), the PR 3
-/// behaviour kept for benchmarking via [`OnlineConfig::use_journal`]).
-enum Rollback {
-    Journal(JournalMark),
-    Snapshot(Box<Partition>),
 }
 
 /// Total WCET inflation a committed plan carries for one per-migration

@@ -14,6 +14,13 @@ pub enum WorkloadEvent {
     Arrive(Task),
     /// A previously admitted task departs and releases its capacity.
     Depart(TaskId),
+    /// A resident task renews its admission lease. Leases live in the
+    /// [`EventLoop`](crate::EventLoop): a renewal pushes the task's
+    /// pending deadline expiration out by one lease period. The event
+    /// never reaches the admission cascade — a bare controller records it
+    /// as a [`DecisionKind::RenewNoted`](crate::DecisionKind::RenewNoted)
+    /// no-op so leased traces stay replayable.
+    Renew(TaskId),
 }
 
 impl WorkloadEvent {
@@ -22,12 +29,18 @@ impl WorkloadEvent {
         match self {
             WorkloadEvent::Arrive(task) => task.id(),
             WorkloadEvent::Depart(id) => *id,
+            WorkloadEvent::Renew(id) => *id,
         }
     }
 
     /// Whether this is an arrival.
     pub fn is_arrival(&self) -> bool {
         matches!(self, WorkloadEvent::Arrive(_))
+    }
+
+    /// Whether this is a lease renewal.
+    pub fn is_renewal(&self) -> bool {
+        matches!(self, WorkloadEvent::Renew(_))
     }
 }
 
@@ -115,6 +128,25 @@ mod tests {
         let depart = WorkloadEvent::Depart(TaskId(7));
         assert!(!depart.is_arrival());
         assert_eq!(depart.task_id(), TaskId(7));
+        let renew = WorkloadEvent::Renew(TaskId(5));
+        assert!(!renew.is_arrival());
+        assert!(renew.is_renewal());
+        assert_eq!(renew.task_id(), TaskId(5));
+    }
+
+    #[test]
+    fn renewals_round_trip_through_traces() {
+        let renew = serde_json::to_string(&WorkloadEvent::Renew(TaskId(4))).unwrap();
+        let bare = serde_json::to_string(&WorkloadEvent::Depart(TaskId(1))).unwrap();
+        let source = format!("{renew}\n{bare}\n");
+        let events = parse_trace(&source).unwrap();
+        assert_eq!(
+            events,
+            vec![
+                WorkloadEvent::Renew(TaskId(4)),
+                WorkloadEvent::Depart(TaskId(1))
+            ]
+        );
     }
 
     #[test]

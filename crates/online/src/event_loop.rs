@@ -18,12 +18,23 @@
 //! which arrivals were admitted, which may legitimately differ between
 //! shard layouts.
 //!
+//! **Lease renewals.** A [`WorkloadEvent::Renew`] in the trace extends a
+//! resident task's lease: the loop records the new deadline and schedules
+//! a fresh [`EngineEvent::DeadlineExpire`]. Expirations carry no
+//! cancellation handle, so stale heap entries are screened on pop — an
+//! expiration only synthesizes a departure when its timestamp matches the
+//! task's *live* deadline and the task is still resident. Renewals are
+//! lease bookkeeping: they are logged but never dispatched to the
+//! admission engine.
+//!
 //! The loop records every workload event it dispatches (including
-//! synthesized lease departures) as a [`TimedEvent`] log. Feeding that
-//! log to a fresh single controller reproduces a 1-shard run's decision
-//! log byte-identically — the `shard_equivalence` suite enforces it.
+//! synthesized lease departures and noted renewals) as a [`TimedEvent`]
+//! log. Feeding that log to a fresh single controller reproduces a
+//! 1-shard run's decision log byte-identically — the `shard_equivalence`
+//! suite enforces it. (Renewals replay as
+//! [`RenewNoted`](crate::DecisionKind::RenewNoted) no-ops.)
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -157,6 +168,12 @@ pub struct EventLoop {
     now: Time,
     log: Vec<TimedEvent>,
     tick_snapshots: Vec<(Time, Snapshot)>,
+    /// Live lease deadline per admitted task. Renewals move the entry
+    /// forward; a popped [`EngineEvent::DeadlineExpire`] only fires when
+    /// its timestamp still matches (stale entries from before a renewal
+    /// are ignored).
+    lease_deadlines: BTreeMap<TaskId, Time>,
+    lease_renewals: u64,
 }
 
 impl EventLoop {
@@ -170,6 +187,8 @@ impl EventLoop {
             now: Time::ZERO,
             log: Vec::new(),
             tick_snapshots: Vec::new(),
+            lease_deadlines: BTreeMap::new(),
+            lease_renewals: 0,
         }
     }
 
@@ -225,6 +244,13 @@ impl EventLoop {
         &self.tick_snapshots
     }
 
+    /// How many lease renewals the loop honored (resident task, leases
+    /// enabled). Renewals in a lease-free run are logged but extend
+    /// nothing.
+    pub fn lease_renewals(&self) -> u64 {
+        self.lease_renewals
+    }
+
     /// Runs until the heap is empty, dispatching every event to `engine`.
     pub fn run<S: AdmissionShard>(&mut self, engine: &mut ShardedAdmission<S>) {
         self.run_with(engine, |_, _| {});
@@ -262,12 +288,20 @@ impl EventLoop {
             self.now = at;
             for scheduled in batch.drain(..) {
                 match scheduled.event {
+                    EngineEvent::Workload(WorkloadEvent::Renew(id)) => {
+                        self.pending_workload -= 1;
+                        self.renew(engine, at, id);
+                    }
                     EngineEvent::Workload(event) => {
                         self.pending_workload -= 1;
                         self.dispatch(engine, at, event, &mut observer);
                     }
                     EngineEvent::DeadlineExpire(id) => {
-                        if engine.resident_shard(id).is_some() {
+                        // A renewal may have pushed the live deadline past
+                        // this entry; only the current one fires.
+                        if self.lease_deadlines.get(&id) == Some(&at)
+                            && engine.resident_shard(id).is_some()
+                        {
                             engine.record_lease_expiration();
                             self.dispatch(engine, at, WorkloadEvent::Depart(id), &mut observer);
                         }
@@ -304,11 +338,36 @@ impl EventLoop {
         let decision = engine.handle_event(&event);
         if decision.is_admission() {
             if let Some(lease) = self.config.lease {
-                self.schedule(at + lease, EngineEvent::DeadlineExpire(event.task_id()));
+                let due = at + lease;
+                self.lease_deadlines.insert(event.task_id(), due);
+                self.schedule(due, EngineEvent::DeadlineExpire(event.task_id()));
             }
+        } else if matches!(event, WorkloadEvent::Depart(_)) {
+            // Explicit (or synthesized) departures retire the lease.
+            self.lease_deadlines.remove(&event.task_id());
         }
         self.log.push(TimedEvent { at, event });
         observer(engine, &decision);
+    }
+
+    /// Handles a [`WorkloadEvent::Renew`]: extends the task's live lease
+    /// deadline and schedules the matching expiration. Renewals never
+    /// reach the engine — they are logged as processed and counted, but
+    /// make no admission decision. Renewals of non-resident tasks (or in
+    /// lease-free runs) extend nothing.
+    fn renew<S: AdmissionShard>(&mut self, engine: &ShardedAdmission<S>, at: Time, id: TaskId) {
+        if let Some(lease) = self.config.lease {
+            if engine.resident_shard(id).is_some() && self.lease_deadlines.contains_key(&id) {
+                let due = at + lease;
+                self.lease_deadlines.insert(id, due);
+                self.schedule(due, EngineEvent::DeadlineExpire(id));
+                self.lease_renewals += 1;
+            }
+        }
+        self.log.push(TimedEvent {
+            at,
+            event: WorkloadEvent::Renew(id),
+        });
     }
 }
 
@@ -380,6 +439,101 @@ mod tests {
         assert!(departs >= synthesized);
         // Processed count matches the engine's decision log 1:1.
         assert_eq!(event_loop.event_log().len(), engine.decisions().len());
+    }
+
+    #[test]
+    fn renewals_extend_leases_and_stale_expirations_are_screened() {
+        // One task, lease 50 ms, a renewal at 30 ms: the original
+        // expiration at 50 ms is stale (the live deadline moved to
+        // 80 ms) and must not fire; the renewed one at 80 ms must.
+        let t = spms_task::Task::new(0, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let mut engine = ShardedAdmission::new(OnlineConfig::new(2), 1).unwrap();
+        let mut event_loop =
+            EventLoop::new(EventLoopConfig::new(0).with_lease(Some(Time::from_millis(50))));
+        event_loop.schedule(
+            Time::ZERO,
+            EngineEvent::Workload(WorkloadEvent::Arrive(t.clone())),
+        );
+        event_loop.schedule(
+            Time::from_millis(30),
+            EngineEvent::Workload(WorkloadEvent::Renew(t.id())),
+        );
+        event_loop.run(&mut engine);
+        assert_eq!(event_loop.lease_renewals(), 1);
+        assert_eq!(engine.stats().lease_expirations, 1);
+        assert_eq!(
+            engine.admitted_count(),
+            0,
+            "the renewed lease still ran out"
+        );
+        let log: Vec<(Time, bool, bool)> = event_loop
+            .event_log()
+            .iter()
+            .map(|e| (e.at, e.event.is_arrival(), e.event.is_renewal()))
+            .collect();
+        assert_eq!(
+            log,
+            vec![
+                (Time::ZERO, true, false),
+                (Time::from_millis(30), false, true),
+                // The synthesized departure fires at the *renewed*
+                // deadline, not the stale 50 ms one.
+                (Time::from_millis(80), false, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn renewal_heartbeats_suppress_lease_expirations() {
+        let trace = crate::ChurnGenerator::new()
+            .cores(4)
+            .events(150)
+            .seed(11)
+            .generate_timed()
+            .unwrap();
+        let lease = Time::from_millis(50);
+        let run = |trace: &[TimedEvent]| {
+            let mut engine = ShardedAdmission::new(OnlineConfig::new(4), 2).unwrap();
+            let mut event_loop = EventLoop::new(EventLoopConfig::new(3).with_lease(Some(lease)));
+            event_loop.load_trace(trace);
+            event_loop.run(&mut engine);
+            (event_loop, engine)
+        };
+        let (_, walled) = run(&trace);
+        let renewed_trace = crate::inject_renewals(&trace, Time::from_millis(40));
+        let (renewed_loop, renewed) = run(&renewed_trace);
+        assert!(walled.stats().lease_expirations > 0);
+        assert!(renewed_loop.lease_renewals() > 0);
+        assert!(
+            renewed.stats().lease_expirations < walled.stats().lease_expirations,
+            "heartbeats must keep residents alive past the bare lease ({} !< {})",
+            renewed.stats().lease_expirations,
+            walled.stats().lease_expirations
+        );
+        // Every trace event (renewals included) is logged as processed;
+        // synthesized lease departures only add to that.
+        assert!(renewed_loop.event_log().len() >= renewed_trace.len());
+    }
+
+    #[test]
+    fn renewals_without_leases_are_logged_noops() {
+        let t = spms_task::Task::new(0, Time::from_millis(1), Time::from_millis(10)).unwrap();
+        let mut engine = ShardedAdmission::new(OnlineConfig::new(2), 1).unwrap();
+        let mut event_loop = EventLoop::new(EventLoopConfig::new(0));
+        event_loop.schedule(
+            Time::ZERO,
+            EngineEvent::Workload(WorkloadEvent::Arrive(t.clone())),
+        );
+        event_loop.schedule(
+            Time::from_millis(5),
+            EngineEvent::Workload(WorkloadEvent::Renew(t.id())),
+        );
+        event_loop.run(&mut engine);
+        assert_eq!(event_loop.lease_renewals(), 0);
+        assert_eq!(event_loop.event_log().len(), 2);
+        assert_eq!(engine.admitted_count(), 1, "no lease, no expiration");
+        // The renewal never reached the engine: one decision only.
+        assert_eq!(engine.decisions().len(), 1);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!   first-fit placement, FP-TS-style splitting of the arrival, bounded
 //!   repair (relocating at most `k` placed tasks), and a full offline
 //!   repartition as the last resort,
-//! * [`ChurnGenerator`] — seeded Poisson arrivals with log-uniform
-//!   lifetimes targeting a configurable offered load,
+//! * [`ChurnGenerator`] — seeded Poisson or Markov-modulated bursty
+//!   arrivals ([`ChurnFamily`]) with log-uniform lifetimes targeting a
+//!   configurable offered load,
 //! * [`replay`](mod@replay) — feeds each admitted epoch through the
 //!   `spms-sim` discrete-event simulator to confirm zero deadline misses,
 //! * [`ShardedAdmission`] / [`AdmissionShard`] — the fleet-scale service:
@@ -63,7 +64,7 @@ pub mod metrics;
 pub mod replay;
 mod service;
 
-pub use churn::ChurnGenerator;
+pub use churn::{inject_renewals, ChurnFamily, ChurnGenerator};
 pub use controller::{
     AdmissionController, ControllerStats, Decision, DecisionKind, DecisionPath, OnlineConfig,
     OnlineConfigBuilder, OnlineError, RejectionReason, RepairRanking,

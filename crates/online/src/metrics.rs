@@ -50,12 +50,14 @@ pub struct RebalanceTick {
 }
 
 /// The cascade stages, in attempt order (identical to [`DecisionPath`],
-/// which doubles as the stage identifier).
-const STAGES: [DecisionPath; 4] = [
+/// which doubles as the stage identifier). The cross-shard split stage
+/// runs in the sharded service, after every shard's own cascade failed.
+const STAGES: [DecisionPath; 5] = [
     DecisionPath::FastWhole,
     DecisionPath::FastSplit,
     DecisionPath::Repair,
     DecisionPath::FullRepartition,
+    DecisionPath::CrossShardSplit,
 ];
 
 fn stage_index(path: DecisionPath) -> usize {
@@ -64,6 +66,7 @@ fn stage_index(path: DecisionPath) -> usize {
         DecisionPath::FastSplit => 1,
         DecisionPath::Repair => 2,
         DecisionPath::FullRepartition => 3,
+        DecisionPath::CrossShardSplit => 4,
     }
 }
 
@@ -74,6 +77,7 @@ pub fn stage_name(path: DecisionPath) -> &'static str {
         DecisionPath::FastSplit => "fast_split",
         DecisionPath::Repair => "repair",
         DecisionPath::FullRepartition => "full_repartition",
+        DecisionPath::CrossShardSplit => "cross_shard_split",
     }
 }
 
@@ -85,6 +89,7 @@ pub fn decision_label(kind: &DecisionKind) -> &'static str {
             DecisionPath::FastSplit => "admitted_fast_split",
             DecisionPath::Repair => "admitted_repair",
             DecisionPath::FullRepartition => "admitted_full_repartition",
+            DecisionPath::CrossShardSplit => "admitted_cross_shard_split",
         },
         DecisionKind::Rejected { reason } => match reason {
             RejectionReason::DuplicateTask => "rejected_duplicate",
@@ -94,6 +99,7 @@ pub fn decision_label(kind: &DecisionKind) -> &'static str {
         },
         DecisionKind::Departed => "departed",
         DecisionKind::DepartUnknown => "depart_unknown",
+        DecisionKind::RenewNoted => "renew_noted",
     }
 }
 
@@ -105,7 +111,7 @@ struct Ids {
     departures: CounterId,
     unknown_departures: CounterId,
     admitted: CounterId,
-    admitted_by_path: [CounterId; 4],
+    admitted_by_path: [CounterId; 5],
     rejected: CounterId,
     rejected_duplicate: CounterId,
     rejected_overload: CounterId,
@@ -115,16 +121,20 @@ struct Ids {
     inflation_ns: CounterId,
     lease_expirations: CounterId,
     // Mechanism.
-    stage_attempts: [CounterId; 4],
-    stage_successes: [CounterId; 4],
+    stage_attempts: [CounterId; 5],
+    stage_successes: [CounterId; 5],
     hot: [CounterId; spms_telemetry::HOT_COUNTER_COUNT],
     overflow_admissions: CounterId,
+    cross_shard_attempts: CounterId,
+    cross_shard_admissions: CounterId,
+    cross_shard_aborts: CounterId,
+    cross_shard_pieces: CounterId,
     rebalance_ticks: CounterId,
     rebalance_moves: CounterId,
     rebalance_last_moves: GaugeId,
     // Timing.
     decision_latency: HistogramId,
-    stage_latency: [HistogramId; 4],
+    stage_latency: [HistogramId; 5],
     decisions_per_sec: GaugeId,
 }
 
@@ -182,6 +192,10 @@ impl EngineMetrics {
             hot: HOT_COUNTERS
                 .map(|counter| registry.counter(counter.metric_name(), MetricClass::Mechanism)),
             overflow_admissions: mech(&mut registry, "spms_mech_overflow_admissions_total"),
+            cross_shard_attempts: mech(&mut registry, "spms_mech_cross_shard_attempts_total"),
+            cross_shard_admissions: mech(&mut registry, "spms_mech_cross_shard_admissions_total"),
+            cross_shard_aborts: mech(&mut registry, "spms_mech_cross_shard_aborts_total"),
+            cross_shard_pieces: mech(&mut registry, "spms_mech_cross_shard_pieces_total"),
             rebalance_ticks: mech(&mut registry, "spms_mech_rebalance_ticks_total"),
             rebalance_moves: mech(&mut registry, "spms_mech_rebalance_moves_total"),
             rebalance_last_moves: registry
@@ -308,6 +322,10 @@ impl EngineMetrics {
             DecisionKind::DepartUnknown => {
                 self.registry.inc(self.ids.unknown_departures);
             }
+            // Lease renewals are event-loop bookkeeping; no dedicated
+            // outcome counter so the outcome section's name set stays
+            // exactly what it was before leases existed.
+            DecisionKind::RenewNoted => {}
         }
     }
 
@@ -323,6 +341,25 @@ impl EngineMetrics {
     /// Counts an admission that landed off its home shard.
     pub fn record_overflow_admission(&mut self) {
         self.registry.inc(self.ids.overflow_admissions);
+    }
+
+    /// Counts one cross-shard planning attempt (the service's planner ran,
+    /// whatever the outcome).
+    pub fn record_cross_shard_attempt(&mut self) {
+        self.registry.inc(self.ids.cross_shard_attempts);
+    }
+
+    /// Counts one committed cross-shard split and the `pieces` it placed
+    /// across shards.
+    pub fn record_cross_shard_admission(&mut self, pieces: u64) {
+        self.registry.inc(self.ids.cross_shard_admissions);
+        self.registry.add(self.ids.cross_shard_pieces, pieces);
+    }
+
+    /// Counts one aborted cross-shard plan (some participant refused its
+    /// piece; every shard was rewound).
+    pub fn record_cross_shard_abort(&mut self) {
+        self.registry.inc(self.ids.cross_shard_aborts);
     }
 
     /// Records one rebalance tick (no-op ticks included): bumps the tick

@@ -29,7 +29,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use spms_core::{
-    rebalance_partitions, shard_core_counts, IncrementalPlacer, Partition, ShardRouter,
+    rebalance_partitions, shard_core_counts, CoreId, IncrementalPlacer, Partition, PlacedTask,
+    PlanTxn, ShardRouter, SplitInfo, SubtaskKind,
 };
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, Time};
@@ -101,6 +102,54 @@ pub trait AdmissionShard {
     fn spare_utilization(&self) -> f64 {
         (self.core_count() as f64 - self.admitted_utilization()).max(0.0)
     }
+
+    // --------------------------------------------------------------
+    // cross-shard split planning (piece-level entry points)
+    // --------------------------------------------------------------
+
+    /// Plans the *body* piece of a shard-spanning split on this shard:
+    /// binary-searches the largest schedulable body budget over this
+    /// shard's cores (most-spare first), with `charge` — the cross-shard
+    /// migration cost — folded into the piece's analysis WCET. Pure: the
+    /// partition is not mutated. Returns the hosting core, the analysis
+    /// piece and the chosen runtime budget.
+    fn plan_remote_body(&self, task: &Task, charge: Time) -> Option<(CoreId, Task, Time)> {
+        self.placer()
+            .plan_remote_body(self.partition(), task, charge)
+    }
+
+    /// Plans the *tail* piece of a shard-spanning split on this shard:
+    /// `budget` is the execution left after the remote body, `offset` the
+    /// tail's release offset (the body's analysis WCET), `charge` the
+    /// cross-shard migration cost folded into the tail's WCET. Pure.
+    fn plan_remote_tail(
+        &self,
+        task: &Task,
+        budget: Time,
+        offset: Time,
+        charge: Time,
+    ) -> Option<(CoreId, Task)> {
+        self.placer()
+            .plan_remote_tail(self.partition(), task, budget, offset, charge)
+    }
+
+    /// Places one planned cross-shard piece on this shard's partition and
+    /// renormalizes the core's priorities. The caller wraps donor and
+    /// receiver in one [`PlanTxn`] so a refused piece rewinds every
+    /// participant.
+    fn commit_remote_piece(&mut self, core: CoreId, placed: PlacedTask) {
+        self.partition_mut().place(core, placed);
+        self.partition_mut().renormalize_core_priorities(core);
+    }
+
+    /// Registers a cross-shard *piece* in this shard's admission
+    /// bookkeeping (the piece-shaped analysis task, so the shard's
+    /// utilization accounting reflects only its local share). Shards that
+    /// track remote parents separately override this to also pin the
+    /// parent against local repair relocation.
+    fn note_remote_admitted(&mut self, piece: Task) {
+        self.note_admitted(piece);
+    }
 }
 
 /// Aggregate counters of a [`ShardedAdmission`] service.
@@ -119,6 +168,9 @@ pub struct ServiceStats {
     /// Departures synthesized by lease expiry (event-loop deadline
     /// expirations, not part of the workload trace).
     pub lease_expirations: u64,
+    /// Admissions placed by the cross-shard split planner (body on one
+    /// shard, tail on another) after every shard's own cascade rejected.
+    pub cross_shard_admissions: u64,
 }
 
 /// A sharded admission service over N independent [`AdmissionShard`]s.
@@ -127,7 +179,15 @@ pub struct ServiceStats {
 pub struct ShardedAdmission<S: AdmissionShard = AdmissionController> {
     shards: Vec<S>,
     router: ShardRouter,
-    resident: BTreeMap<TaskId, usize>,
+    /// Shards currently holding each task, primary (body/home) shard
+    /// first. Whole admissions occupy exactly one shard; a cross-shard
+    /// split lists the donor (body) then the receiver (tail), and a
+    /// departure fans out to every listed shard.
+    resident: BTreeMap<TaskId, Vec<usize>>,
+    /// Whether the cross-shard split planner runs when every shard's own
+    /// cascade rejected an arrival. Requires at least two shards and
+    /// shards whose partitions accept partial chains.
+    cross_shard: bool,
     decisions: Vec<Decision>,
     metrics: EngineMetrics,
     stats: ServiceStats,
@@ -152,6 +212,7 @@ impl ShardedAdmission<AdmissionController> {
                 cores: config.cores,
             });
         }
+        let cross_shard = config.cross_shard_split && shard_count > 1;
         let shards = shard_core_counts(config.cores, shard_count)
             .into_iter()
             .map(|cores| {
@@ -161,7 +222,9 @@ impl ShardedAdmission<AdmissionController> {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedAdmission::from_shards(shards))
+        let mut service = ShardedAdmission::from_shards(shards);
+        service.cross_shard = cross_shard;
+        Ok(service)
     }
 }
 
@@ -178,6 +241,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             shards,
             router,
             resident: BTreeMap::new(),
+            cross_shard: false,
             decisions: Vec::new(),
             // The service keeps no stage traces of its own (ring capacity
             // 0): per-decision cascade traces live in the shard that ran
@@ -198,9 +262,27 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         &self.shards
     }
 
-    /// The shard a task currently lives on.
+    /// Whether the cross-shard split planner is enabled.
+    pub fn cross_shard_enabled(&self) -> bool {
+        self.cross_shard
+    }
+
+    /// Enables or disables the cross-shard split planner (builder-less
+    /// services built via [`from_shards`](Self::from_shards); shards must
+    /// allow partial chains on their partitions when enabling).
+    pub fn set_cross_shard_split(&mut self, enabled: bool) {
+        self.cross_shard = enabled && self.shards.len() > 1;
+    }
+
+    /// The *primary* shard a task currently lives on: the only shard for
+    /// a whole admission, the body (donor) shard for a cross-shard split.
     pub fn resident_shard(&self, id: TaskId) -> Option<usize> {
-        self.resident.get(&id).copied()
+        self.resident.get(&id).and_then(|v| v.first().copied())
+    }
+
+    /// Every shard currently holding a piece of the task, primary first.
+    pub fn resident_shards(&self, id: TaskId) -> &[usize] {
+        self.resident.get(&id).map_or(&[], Vec::as_slice)
     }
 
     /// Number of currently admitted tasks across all shards.
@@ -276,6 +358,9 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         let kind = match event {
             WorkloadEvent::Arrive(task) => self.arrive(task),
             WorkloadEvent::Depart(id) => self.depart(*id),
+            // Leases live in the event loop; the service only
+            // acknowledges renewals that reach it via a replayed trace.
+            WorkloadEvent::Renew(_) => DecisionKind::RenewNoted,
         };
         let decision = Decision {
             event_index: self.next_event,
@@ -284,9 +369,15 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         };
         self.next_event += 1;
         self.decisions.push(decision);
-        self.metrics.record_outcome(&kind);
-        self.metrics
-            .record_decision_latency(started.elapsed().as_nanos() as u64);
+        // `finish_decision` also drains the stage spans the cross-shard
+        // planner may have opened (the ring has capacity 0, so nothing is
+        // retained — per-decision traces live in the shards).
+        self.metrics.finish_decision(
+            u64::from(decision.task.0),
+            &kind,
+            started.elapsed().as_nanos() as u64,
+            &Default::default(),
+        );
         decision
     }
 
@@ -316,7 +407,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                     migrations,
                     inflation,
                 } => {
-                    self.resident.insert(task.id(), shard_idx);
+                    self.resident.insert(task.id(), vec![shard_idx]);
                     let s = &mut self.stats.decisions;
                     s.admitted += 1;
                     s.migrations_caused += migrations as u64;
@@ -327,6 +418,9 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                         DecisionPath::FastSplit => s.fast_split += 1,
                         DecisionPath::Repair => s.repairs += 1,
                         DecisionPath::FullRepartition => s.full_repartitions += 1,
+                        DecisionPath::CrossShardSplit => {
+                            unreachable!("a shard's own cascade cannot span shards")
+                        }
                     }
                     if shard_idx != home {
                         self.stats.overflow_admissions += 1;
@@ -341,9 +435,25 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                         first_rejection = Some(reason);
                     }
                 }
-                DecisionKind::Departed | DecisionKind::DepartUnknown => {
-                    unreachable!("an arrival cannot produce a departure decision")
+                DecisionKind::Departed | DecisionKind::DepartUnknown | DecisionKind::RenewNoted => {
+                    unreachable!("an arrival cannot produce a departure or renewal decision")
                 }
+            }
+        }
+        // Every shard rejected the task whole-or-split within its own
+        // walls. The cross-shard planner gets the last word: split the
+        // task across the two roomiest shards under one multi-partition
+        // planning transaction.
+        if self.cross_shard && self.shards.len() >= 2 {
+            let stage = Instant::now();
+            let planned = self.try_cross_shard(task);
+            self.metrics.record_stage(
+                DecisionPath::CrossShardSplit,
+                planned.is_some(),
+                stage.elapsed().as_nanos() as u64,
+            );
+            if let Some(kind) = planned {
+                return kind;
             }
         }
         self.stats.decisions.rejected += 1;
@@ -352,13 +462,113 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         }
     }
 
+    /// Plans and (two-phase) commits a shard-spanning split: the body on
+    /// the highest-spare donor shard, the tail on the runner-up receiver,
+    /// with the cost model's migration charge folded into *both* pieces'
+    /// analysis WCETs. Planning is pure; the commit opens one [`PlanTxn`]
+    /// scope per participant and aborts — rewinding both partitions
+    /// bit-identically — unless both shards accept their pieces.
+    fn try_cross_shard(&mut self, task: &Task) -> Option<DecisionKind> {
+        self.metrics.record_cross_shard_attempt();
+        // Donor = most spare, receiver = runner-up; ties break on the
+        // lower shard index, keeping the choice deterministic.
+        let spare = self.spare_utilizations();
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by(|a, b| {
+            spare[*b]
+                .partial_cmp(&spare[*a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        let (donor, receiver) = (order[0], order[1]);
+        // Every shard runs the same configuration, so shard 0's cost
+        // model speaks for the fleet (as in `rebalance`).
+        let charge = self.shards[0].cost_model().migration_charge(task);
+        // Phase 1 — pure planning on both participants.
+        let (body_core, body_piece, budget) = self.shards[donor].plan_remote_body(task, charge)?;
+        let offset = body_piece.wcet();
+        let remaining = task.wcet().saturating_sub(budget);
+        let (tail_core, tail_piece) =
+            self.shards[receiver].plan_remote_tail(task, remaining, offset, charge)?;
+        // Phase 2 — place both pieces under one planning transaction.
+        let body_placed = PlacedTask {
+            task: body_piece.clone(),
+            execution: budget,
+            parent: task.id(),
+            split: Some(SplitInfo {
+                part_index: 0,
+                part_count: 2,
+                kind: SubtaskKind::Body,
+                release_offset: Time::ZERO,
+                next_core: None, // the next piece lives on another shard
+                first_core: body_core,
+            }),
+        };
+        let tail_placed = PlacedTask {
+            task: tail_piece.clone(),
+            execution: remaining,
+            parent: task.id(),
+            split: Some(SplitInfo {
+                part_index: 1,
+                part_count: 2,
+                kind: SubtaskKind::Tail,
+                release_offset: offset,
+                next_core: None,
+                first_core: tail_core, // shard-local: the tail is its shard's first piece
+            }),
+        };
+        let committed = {
+            let (donor_shard, receiver_shard) = two_shards_mut(&mut self.shards, donor, receiver);
+            let mut txn = PlanTxn::new();
+            txn.begin(donor_shard.partition_mut());
+            txn.begin(receiver_shard.partition_mut());
+            donor_shard.commit_remote_piece(body_core, body_placed);
+            receiver_shard.commit_remote_piece(tail_core, tail_placed);
+            let accepted = donor_shard.partition().validate().is_ok()
+                && receiver_shard.partition().validate().is_ok();
+            if accepted {
+                txn.commit(&mut [donor_shard.partition_mut(), receiver_shard.partition_mut()]);
+                donor_shard.note_remote_admitted(body_piece);
+                receiver_shard.note_remote_admitted(tail_piece);
+            } else {
+                txn.abort(&mut [donor_shard.partition_mut(), receiver_shard.partition_mut()]);
+            }
+            accepted
+        };
+        if !committed {
+            self.metrics.record_cross_shard_abort();
+            return None;
+        }
+        self.resident.insert(task.id(), vec![donor, receiver]);
+        self.metrics.record_cross_shard_admission(2);
+        self.stats.cross_shard_admissions += 1;
+        let inflation = charge * 2;
+        let s = &mut self.stats.decisions;
+        s.admitted += 1;
+        s.migrations_caused += 1;
+        s.inflation_charged_ns = s.inflation_charged_ns.saturating_add(inflation.as_nanos());
+        Some(DecisionKind::Admitted {
+            path: DecisionPath::CrossShardSplit,
+            migrations: 1,
+            inflation,
+        })
+    }
+
     fn depart(&mut self, id: TaskId) -> DecisionKind {
         match self.resident.remove(&id) {
-            Some(shard_idx) => {
-                let shard_decision = self.shards[shard_idx].decide(&WorkloadEvent::Depart(id));
-                debug_assert_eq!(shard_decision.kind, DecisionKind::Departed);
+            Some(holders) => {
+                // A cross-shard split resides on several shards: the
+                // departure fans out to every holder so each drops its
+                // piece(s). The primary shard's decision speaks for the
+                // service.
+                let mut kind = None;
+                for shard_idx in holders {
+                    let shard_decision = self.shards[shard_idx].decide(&WorkloadEvent::Depart(id));
+                    debug_assert_eq!(shard_decision.kind, DecisionKind::Departed);
+                    kind.get_or_insert(shard_decision.kind);
+                }
                 self.stats.decisions.departures += 1;
-                shard_decision.kind
+                kind.expect("resident map never holds an empty shard list")
             }
             None => {
                 self.stats.decisions.unknown_departures += 1;
@@ -385,7 +595,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         let admitted: BTreeMap<TaskId, Task> = self
             .resident
             .iter()
-            .filter_map(|(id, shard)| self.shards[*shard].lookup_admitted(*id))
+            .filter_map(|(id, holders)| self.shards[holders[0]].lookup_admitted(*id))
             .map(|task| (task.id(), task))
             .collect();
         let lookup = |id: TaskId| admitted.get(&id).cloned();
@@ -408,7 +618,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                 .expect("rebalanced task must be admitted on its donor shard");
             inflation += cost_model.migration_charge(&task);
             self.shards[mv.to].note_admitted(task);
-            self.resident.insert(mv.task, mv.to);
+            self.resident.insert(mv.task, vec![mv.to]);
         }
         self.stats.decisions.inflation_charged_ns = self
             .stats
@@ -430,6 +640,18 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     pub(crate) fn record_lease_expiration(&mut self) {
         self.stats.lease_expirations += 1;
         self.metrics.record_lease_expiration();
+    }
+}
+
+/// Simultaneous mutable borrows of two distinct shards.
+fn two_shards_mut<S>(shards: &mut [S], a: usize, b: usize) -> (&mut S, &mut S) {
+    debug_assert_ne!(a, b, "cross-shard planning needs two distinct shards");
+    if a < b {
+        let (left, right) = shards.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = shards.split_at_mut(a);
+        (&mut right[0], &mut left[b])
     }
 }
 
@@ -679,6 +901,210 @@ mod tests {
                 .counter_by_name("spms_mech_whole_probes_total")
                 .unwrap()
                 >= 1
+        );
+    }
+
+    /// The smallest id whose home shard (out of 2) is `home`.
+    fn id_homed_on(home: usize) -> u32 {
+        let router = ShardRouter::new(2);
+        (0u32..)
+            .find(|id| router.home_shard(TaskId(*id)) == home)
+            .unwrap()
+    }
+
+    /// Two 1-core shards loaded so a walled service must reject an
+    /// 11 ms / 20 ms arrival everywhere, while the cross-shard planner
+    /// can place a 5 ms body on shard 0 and the 6 ms tail on shard 1
+    /// (tail deadline 15 ms; shard 1's resident still meets R = 14 ≤ 16).
+    fn loaded_pair(cross_shard: bool) -> (ShardedAdmission, Task) {
+        let mut config = OnlineConfig::new(2);
+        config.cross_shard_split = cross_shard;
+        let mut svc = ShardedAdmission::new(config, 2).unwrap();
+        let donor_resident = task(id_homed_on(0), 5, 10);
+        let receiver_resident = task(id_homed_on(1), 8, 16);
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(donor_resident))
+            .is_admission());
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(receiver_resident))
+            .is_admission());
+        let arrival = task(1000, 11, 20);
+        (svc, arrival)
+    }
+
+    #[test]
+    fn cross_shard_split_recovers_a_walled_rejection() {
+        // Walled: the arrival fits no single 1-core shard, whole or split.
+        let (mut walled, arrival) = loaded_pair(false);
+        let d = walled.handle_event(&WorkloadEvent::Arrive(arrival.clone()));
+        assert!(
+            !d.is_admission(),
+            "walled service must reject: {:?}",
+            d.kind
+        );
+
+        // Cross-shard: body on the donor, tail on the receiver.
+        let (mut svc, arrival) = loaded_pair(true);
+        assert!(svc.cross_shard_enabled());
+        let d = svc.handle_event(&WorkloadEvent::Arrive(arrival.clone()));
+        assert_eq!(
+            d.kind,
+            DecisionKind::Admitted {
+                path: DecisionPath::CrossShardSplit,
+                migrations: 1,
+                inflation: Time::ZERO,
+            }
+        );
+        assert_eq!(svc.resident_shards(arrival.id()), &[0, 1]);
+        assert_eq!(svc.stats().cross_shard_admissions, 1);
+        for shard in svc.shards() {
+            assert_eq!(shard.partition().validate(), Ok(()));
+            assert!(shard.is_admitted(arrival.id()));
+        }
+        let merged = svc.merged_metrics_registry();
+        assert_eq!(
+            merged.counter_by_name("spms_mech_cross_shard_attempts_total"),
+            Some(1)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_mech_cross_shard_admissions_total"),
+            Some(1)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_mech_cross_shard_pieces_total"),
+            Some(2)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_admitted_cross_shard_split_total"),
+            Some(1)
+        );
+
+        // Stitching the shard partitions relinks the chain into a fully
+        // valid global placement.
+        let partitions: Vec<_> = svc.shards().iter().map(|s| s.partition()).collect();
+        let stitched = spms_core::stitch_partitions(&partitions);
+        assert_eq!(stitched.validate(), Ok(()));
+        assert_eq!(stitched.placements_of(arrival.id()).len(), 2);
+    }
+
+    #[test]
+    fn failed_cross_shard_plans_leave_both_shards_untouched() {
+        // Receiver loaded to 14/16: the 6 ms tail (deadline 15) would
+        // push its resident to R = 20 > 16, so phase-1 planning fails
+        // and nothing may change on either shard.
+        let mut config = OnlineConfig::new(2);
+        config.cross_shard_split = true;
+        let mut svc = ShardedAdmission::new(config, 2).unwrap();
+        let donor_resident = task(id_homed_on(0), 5, 10);
+        let receiver_resident = task(id_homed_on(1), 14, 16);
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(donor_resident))
+            .is_admission());
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(receiver_resident))
+            .is_admission());
+        let before: Vec<_> = svc.shards().iter().map(|s| s.partition().clone()).collect();
+        let d = svc.handle_event(&WorkloadEvent::Arrive(task(1000, 11, 20)));
+        assert!(!d.is_admission());
+        let after: Vec<_> = svc.shards().iter().map(|s| s.partition().clone()).collect();
+        assert_eq!(before, after, "a failed plan must not leak state");
+        let merged = svc.merged_metrics_registry();
+        assert_eq!(
+            merged.counter_by_name("spms_mech_cross_shard_attempts_total"),
+            Some(1)
+        );
+        assert_eq!(
+            merged.counter_by_name("spms_mech_cross_shard_admissions_total"),
+            Some(0)
+        );
+        assert_eq!(svc.resident_shard(TaskId(1000)), None);
+    }
+
+    #[test]
+    fn departures_fan_out_to_every_shard_holding_a_piece() {
+        let (mut svc, arrival) = loaded_pair(true);
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(arrival.clone()))
+            .is_admission());
+        assert_eq!(svc.resident_shards(arrival.id()).len(), 2);
+
+        // A duplicate arrival while the task is split across shards is
+        // screened at the service before any shard sees it.
+        let d = svc.handle_event(&WorkloadEvent::Arrive(arrival.clone()));
+        assert_eq!(
+            d.kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::DuplicateTask
+            }
+        );
+
+        // One departure clears every piece on every shard.
+        let d = svc.handle_event(&WorkloadEvent::Depart(arrival.id()));
+        assert_eq!(d.kind, DecisionKind::Departed);
+        assert_eq!(svc.resident_shards(arrival.id()), &[] as &[usize]);
+        for shard in svc.shards() {
+            assert!(!shard.is_admitted(arrival.id()));
+            assert!(shard.partition().placements_of(arrival.id()).is_empty());
+            assert_eq!(shard.partition().validate(), Ok(()));
+        }
+        assert_eq!(svc.stats().decisions.departures, 1);
+
+        // The second departure is unknown — exactly once, not once per
+        // shard that used to hold a piece.
+        let d = svc.handle_event(&WorkloadEvent::Depart(arrival.id()));
+        assert_eq!(d.kind, DecisionKind::DepartUnknown);
+        assert_eq!(svc.stats().decisions.unknown_departures, 1);
+    }
+
+    #[test]
+    fn depart_after_rebalance_follows_the_moved_residency() {
+        // The depart-after-rebalance race: a task admitted on its home
+        // shard, then work-stolen to the other, must depart exactly once
+        // from wherever it now lives — and only there.
+        let mut config = OnlineConfig::new(2);
+        config.cross_shard_split = true;
+        let mut svc = ShardedAdmission::new(config, 2).unwrap();
+        let router = ShardRouter::new(2);
+        let mut ids = vec![];
+        let mut id = 0u32;
+        while ids.len() < 4 {
+            if router.home_shard(TaskId(id)) == 0 {
+                ids.push(id);
+            }
+            id += 1;
+        }
+        for id in &ids {
+            assert!(svc
+                .handle_event(&WorkloadEvent::Arrive(task(*id, 2, 10)))
+                .is_admission());
+        }
+        let moved = svc.rebalance(8);
+        assert!(moved > 0);
+        let migrant = *ids
+            .iter()
+            .find(|id| svc.resident_shard(TaskId(**id)) == Some(1))
+            .expect("rebalance moved something to shard 1");
+        // Residency is single-shard again after the move.
+        assert_eq!(svc.resident_shards(TaskId(migrant)), &[1]);
+        // A duplicate arrival of the migrant is still screened.
+        let d = svc.handle_event(&WorkloadEvent::Arrive(task(migrant, 2, 10)));
+        assert_eq!(
+            d.kind,
+            DecisionKind::Rejected {
+                reason: RejectionReason::DuplicateTask
+            }
+        );
+        assert_eq!(
+            svc.handle_event(&WorkloadEvent::Depart(TaskId(migrant)))
+                .kind,
+            DecisionKind::Departed
+        );
+        assert!(!svc.shards()[0].is_admitted(TaskId(migrant)));
+        assert!(!svc.shards()[1].is_admitted(TaskId(migrant)));
+        assert_eq!(
+            svc.handle_event(&WorkloadEvent::Depart(TaskId(migrant)))
+                .kind,
+            DecisionKind::DepartUnknown
         );
     }
 }

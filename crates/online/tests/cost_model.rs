@@ -46,6 +46,7 @@ fn legacy_line(d: &spms_online::Decision) -> String {
         }
         DecisionKind::Departed => String::from(r#""Departed""#),
         DecisionKind::DepartUnknown => String::from(r#""DepartUnknown""#),
+        DecisionKind::RenewNoted => String::from(r#""RenewNoted""#),
     };
     format!(
         r#"{{"event_index":{},"task":{},"kind":{kind}}}"#,

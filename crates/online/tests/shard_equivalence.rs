@@ -13,15 +13,19 @@
 //! * **1-shard legacy equivalence** — a single-shard service is the old
 //!   [`AdmissionController`] in every observable way: feeding the
 //!   processed event log straight into a legacy controller reproduces the
-//!   engine's decision log and counters exactly.
+//!   engine's decision log and counters exactly;
+//! * **cross-shard-off grammar pin** — with the cross-shard split
+//!   planner disabled (the default), every decision-log line stays in
+//!   the pre-cross-shard JSON grammar (reconstructed by hand below) and
+//!   the telemetry outcome section carries no cross-shard activity.
 //!
 //! The vendored proptest runner is deterministically seeded, so these
 //! cases reproduce identically on every run.
 
 use proptest::prelude::*;
 use spms_online::{
-    AdmissionController, ChurnGenerator, EventLoop, EventLoopConfig, OnlineConfig,
-    ShardedAdmission, TimedEvent,
+    AdmissionController, ChurnGenerator, Decision, DecisionKind, EventLoop, EventLoopConfig,
+    OnlineConfig, ShardedAdmission, TimedEvent,
 };
 use spms_task::Time;
 
@@ -59,6 +63,34 @@ fn run_engine(trace: &[TimedEvent], seed: u64, shards: usize) -> (ShardedAdmissi
 
 fn json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("logs serialize")
+}
+
+/// Reconstructs one decision line in the grammar that predates the
+/// cross-shard planner and lease renewals: the only admission paths are
+/// the four single-shard cascade stages, `Admitted` carries `path` and
+/// `migrations` (inflation is absent under the default zero cost model),
+/// and no `RenewNoted` entries exist. Any flag-off log line escaping this
+/// reconstruction is a byte-level regression.
+fn pre_cross_shard_line(d: &Decision) -> String {
+    let kind = match d.kind {
+        DecisionKind::Admitted {
+            path, migrations, ..
+        } => {
+            let path = format!("{path:?}");
+            assert_ne!(path, "CrossShardSplit", "flag-off run split across shards");
+            format!(r#"{{"Admitted":{{"path":"{path}","migrations":{migrations}}}}}"#)
+        }
+        DecisionKind::Rejected { reason } => {
+            format!(r#"{{"Rejected":{{"reason":"{reason:?}"}}}}"#)
+        }
+        DecisionKind::Departed => String::from(r#""Departed""#),
+        DecisionKind::DepartUnknown => String::from(r#""DepartUnknown""#),
+        DecisionKind::RenewNoted => panic!("lease-free run noted a renewal"),
+    };
+    format!(
+        r#"{{"event_index":{},"task":{},"kind":{kind}}}"#,
+        d.event_index, d.task.0
+    )
 }
 
 proptest! {
@@ -125,5 +157,35 @@ proptest! {
             engine.stats().overflow_admissions, 0,
             "a single shard has nowhere to overflow"
         );
+    }
+
+    /// (d) Cross-shard split disabled (the default): the decision log is
+    /// byte-identical to the hand-reconstructed pre-cross-shard grammar,
+    /// and the deterministic telemetry's cross-shard mechanism counters
+    /// never move — the refactor onto planning transactions must be
+    /// invisible until the flag is thrown.
+    #[test]
+    fn disabled_cross_shard_runs_stay_in_the_legacy_grammar(
+        (target, seed, events, shards) in engine_config()
+    ) {
+        let trace = trace(target, seed, events);
+        let (engine, _) = run_engine(&trace, seed, shards);
+        prop_assert!(!engine.cross_shard_enabled());
+        for d in engine.decisions() {
+            prop_assert_eq!(json(d), pre_cross_shard_line(d));
+        }
+        let rendered = engine
+            .merged_metrics_registry()
+            .snapshot(spms_telemetry::SnapshotFilter::Deterministic)
+            .render_prometheus();
+        for line in rendered.lines() {
+            if line.contains("cross_shard") && !line.starts_with('#') {
+                prop_assert!(
+                    line.ends_with(" 0"),
+                    "flag-off run moved a cross-shard counter: {}",
+                    line
+                );
+            }
+        }
     }
 }

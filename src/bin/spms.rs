@@ -21,7 +21,9 @@ use spms::experiments::{
     PreemptionAnatomy, ProgressSink, ReportFormat, ReportSink, RtaCacheBenchmark,
     RuntimeCostExperiment, SoakExperiment, StderrProgress,
 };
-use spms::online::{parse_trace, OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent};
+use spms::online::{
+    parse_trace, ChurnFamily, OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent,
+};
 use spms::overhead::{CostModelSpec, CrpdCostModel};
 use spms::task::Time;
 use spms::telemetry::{Registry, Snapshot, SnapshotFilter};
@@ -110,17 +112,25 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             every split piece and repair relocation inflates
                             the task's analysis WCET by the model's per-job
                             migration charge [default: zero]
+    --churn <poisson|bursty>  Churn-process family driving the traces:
+                            memoryless Poisson arrivals or the bursty
+                            Markov-modulated variant at the same long-run
+                            rate [default: poisson]
     --trace <FILE>          Replay a recorded event log instead of sweeping:
                             one JSON event per line, either timed
                             ({\"at\":..,\"event\":..}, as written by
                             `spms soak --dump-trace`) or a bare
                             arrive/depart event. Only --cores, --shards,
-                            --repair-moves, --overhead, --cost-model,
-                            --metrics, --format and --quiet apply in
-                            trace mode.
+                            --cross-shard-split, --repair-moves,
+                            --overhead, --cost-model, --metrics, --format
+                            and --quiet apply in trace mode.
     --shards <N>            Admission shards for --trace replay; 1 replays
                             the decision stream byte-identically to the
                             single controller [default: 1]
+    --cross-shard-split     Let --trace replay split an otherwise-rejected
+                            task across two shards (body on the
+                            highest-spare shard, tail on the runner-up);
+                            requires --shards of at least 2
     --metrics <FILE>        Write a telemetry snapshot of the run (merged
                             across grid cells in grid order, so the
                             deterministic spms_*/spms_mech_* sections are
@@ -166,8 +176,23 @@ const COMMANDS: &[(&str, &str, &str)] = &[
                             depend on admissions, so the cross-shard-count
                             stream invariant may not hold); 0 disables
                             [default: 0]
+    --leased-scenario-ms <N>  Add a leased scenario column: rerun every
+                            point with this lease armed and renewal
+                            heartbeats injected at half the lease. Unlike
+                            --lease-ms the baseline points stay lease-free;
+                            the leased per-shard-count digests legitimately
+                            diverge. 0 disables [default: 0]
+    --cross-shard-split     Add a cross-shard column: rerun every
+                            multi-shard point with the cross-shard split
+                            planner enabled and report the acceptance it
+                            recovers over the walled baseline
+    --churn <poisson|bursty>  Churn-process family driving the traces:
+                            memoryless Poisson arrivals or the bursty
+                            Markov-modulated variant at the same long-run
+                            rate [default: poisson]
     --replay-every <N>      Replay every Nth admission's shard through the
-                            simulator; 0 disables [default: 0]
+                            simulator (the stitched global partition on
+                            cross-shard reruns); 0 disables [default: 0]
     --dump-trace <FILE>     Write the first trace's processed event log as a
                             JSON-lines file replayable by
                             `spms online --trace`
@@ -275,20 +300,32 @@ fn usage_error<T>(message: impl Into<String>) -> CliResult<T> {
     Err(UsageError(message.into()))
 }
 
+/// Value-free boolean switches (besides the global `--quiet`): listed here
+/// so the parser knows not to consume the next argument as their value.
+const SWITCHES: &[&str] = &["--cross-shard-split"];
+
 /// Parsed command line: `--key value` pairs plus boolean switches.
 struct Flags {
     pairs: Vec<(String, String)>,
+    switches: Vec<String>,
     quiet: bool,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> CliResult<Flags> {
         let mut pairs = Vec::new();
+        let mut switches: Vec<String> = Vec::new();
         let mut quiet = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--quiet" => quiet = true,
+                key if SWITCHES.contains(&key) => {
+                    if switches.iter().any(|existing| existing == key) {
+                        return usage_error(format!("{key} given more than once"));
+                    }
+                    switches.push(key.to_string());
+                }
                 key if key.starts_with("--") => {
                     let Some(value) = iter.next() else {
                         return usage_error(format!("{key} requires a value"));
@@ -301,13 +338,29 @@ impl Flags {
                 other => return usage_error(format!("unexpected argument `{other}`")),
             }
         }
-        Ok(Flags { pairs, quiet })
+        Ok(Flags {
+            pairs,
+            switches,
+            quiet,
+        })
     }
 
     /// Removes and returns the value of `key`, if present.
     fn take(&mut self, key: &str) -> Option<String> {
         let index = self.pairs.iter().position(|(k, _)| k == key)?;
         Some(self.pairs.remove(index).1)
+    }
+
+    /// Removes a boolean switch, returning whether it was given.
+    fn take_switch(&mut self, key: &str) -> bool {
+        let index = self.switches.iter().position(|k| k == key);
+        match index {
+            Some(index) => {
+                self.switches.remove(index);
+                true
+            }
+            None => false,
+        }
     }
 
     fn take_usize(&mut self, key: &str) -> CliResult<Option<usize>> {
@@ -353,6 +406,9 @@ impl Flags {
 
     /// Errors if any flag was not consumed by the subcommand.
     fn expect_empty(&self, command: &str) -> CliResult<()> {
+        if let Some(key) = self.switches.first() {
+            return usage_error(format!("`spms {command}` does not support {key}"));
+        }
         match self.pairs.first() {
             None => Ok(()),
             Some((key, _)) => usage_error(format!("`spms {command}` does not support {key}")),
@@ -485,6 +541,18 @@ fn take_cost_model(flags: &mut Flags) -> CliResult<CostModelSpec> {
         None | Some("zero") => Ok(CostModelSpec::Zero),
         Some("crpd") => Ok(CostModelSpec::Crpd(CrpdCostModel::mixed())),
         Some(other) => usage_error(format!("--cost-model expects zero or crpd, got `{other}`")),
+    }
+}
+
+/// Parses the `--churn` flag shared by `online` and `soak`: `poisson`
+/// (the default) or `bursty` (Markov-modulated arrivals at the same
+/// long-run rate).
+fn take_churn(flags: &mut Flags) -> CliResult<ChurnFamily> {
+    match flags.take("--churn") {
+        None => Ok(ChurnFamily::Poisson),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e: String| UsageError(format!("--churn: {e}"))),
     }
 }
 
@@ -716,6 +784,7 @@ fn run_online(mut flags: Flags) -> CliResult<String> {
     }
     experiment = experiment.overhead(take_overhead(&mut flags, OverheadModel::zero())?);
     experiment = experiment.cost_model(take_cost_model(&mut flags)?);
+    experiment = experiment.churn_family(take_churn(&mut flags)?);
     let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("online")?;
     let run = experiment.run_full_with_progress(common.progress("online").as_ref());
@@ -832,6 +901,7 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
             "--events",
             "--replay-ms",
             "--jitter-us",
+            "--churn",
         ],
     )?;
     let common = CommonFlags::take(&mut flags)?;
@@ -841,6 +911,10 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
     }
     let shards = flags.take_usize("--shards")?.unwrap_or(1);
     let repair_moves = flags.take_usize("--repair-moves")?.unwrap_or(2);
+    let cross_shard_split = flags.take_switch("--cross-shard-split");
+    if cross_shard_split && shards < 2 {
+        return usage_error("--cross-shard-split requires --shards of at least 2");
+    }
     let overhead = take_overhead(&mut flags, OverheadModel::zero())?;
     let cost_model = take_cost_model(&mut flags)?;
     let metrics = take_metrics(&mut flags)?;
@@ -852,6 +926,7 @@ fn run_online_trace(path: &str, mut flags: Flags) -> CliResult<String> {
         .max_repair_moves(repair_moves)
         .overhead(overhead)
         .cost_model(cost_model)
+        .cross_shard_split(cross_shard_split)
         .build();
     let mut service =
         ShardedAdmission::new(config, shards).map_err(|e| UsageError(e.to_string()))?;
@@ -925,6 +1000,11 @@ fn run_soak(mut flags: Flags) -> CliResult<String> {
     if let Some(ms) = flags.take_u64("--lease-ms")? {
         experiment = experiment.lease((ms > 0).then(|| Time::from_millis(ms)));
     }
+    if let Some(ms) = flags.take_u64("--leased-scenario-ms")? {
+        experiment = experiment.leased_scenario((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    experiment = experiment.cross_shard(flags.take_switch("--cross-shard-split"));
+    experiment = experiment.churn_family(take_churn(&mut flags)?);
     if let Some(every) = flags.take_usize("--replay-every")? {
         experiment = experiment.replay_sample_every(every);
     }
