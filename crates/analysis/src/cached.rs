@@ -61,6 +61,12 @@ pub struct CachedCoreAnalysis {
     /// Sorted by [`sort_key`]; every `response` is converged (the cache has
     /// no stale state between method calls).
     entries: Vec<Entry>,
+    /// Set by the fault-injection hook
+    /// [`corrupt_first_response`](Self::corrupt_first_response): at least
+    /// one memoized response is known-divergent from scratch, so the
+    /// debug-build convergence guard must not fire until a self-audit
+    /// ([`audit`](Self::audit)) repairs or acquits the core.
+    corrupted: bool,
 }
 
 impl CachedCoreAnalysis {
@@ -318,12 +324,67 @@ impl CachedCoreAnalysis {
         old
     }
 
+    /// Fault-injection hook: nudges the first strictly-positive memoized
+    /// response time *down* by one nanosecond and marks the core corrupted,
+    /// so a later [`audit`](Self::audit) provably detects the divergence.
+    ///
+    /// The downward direction is deliberate. Memoized responses double as
+    /// warm starts for the monotone RTA recurrence, and a warm start *below*
+    /// the least fixed point still converges to the true fixed point — so a
+    /// corrupted-but-unaudited core can mis-rank repair victims (slack looks
+    /// one nanosecond larger) but can never admit an unschedulable task.
+    /// Returns `false` (and flips nothing) when no entry has a positive
+    /// converged response.
+    pub fn corrupt_first_response(&mut self) -> bool {
+        let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.response.is_some_and(|r| r > Time::ZERO))
+        else {
+            return false;
+        };
+        let flipped = entry
+            .response
+            .expect("filtered on is_some above")
+            .saturating_sub(Time::from_nanos(1));
+        entry.response = Some(flipped);
+        self.corrupted = true;
+        true
+    }
+
+    /// Whether the fault-injection hook has flipped a response on this core
+    /// since the last repairing or acquitting [`audit`](Self::audit).
+    pub fn corruption_marked(&self) -> bool {
+        self.corrupted
+    }
+
+    /// Self-audit: re-derives the core's analysis from scratch and compares
+    /// it against the memo. Returns `true` when the memo is bit-identical
+    /// (the corruption mark, if any, is cleared — the core is acquitted);
+    /// on a mismatch the whole memo is quarantined and rebuilt from scratch
+    /// and `false` is returned.
+    pub fn audit(&mut self) -> bool {
+        let tasks: Vec<Task> = self.tasks().cloned().collect();
+        if self.analysis() == rta::analyse_core(&tasks) {
+            self.corrupted = false;
+            true
+        } else {
+            *self = CachedCoreAnalysis::from_tasks(&tasks);
+            false
+        }
+    }
+
     /// Debug-build guard: after any refresh the cache must be bit-identical
     /// to a from-scratch analysis (the property tests run in debug mode, so
-    /// an unsound reuse or warm start fails loudly there).
+    /// an unsound reuse or warm start fails loudly there). Suspended while
+    /// an injected corruption is pending its audit — the divergence is the
+    /// point of the fault, not an incremental-maintenance bug.
     fn debug_assert_converged(&self) {
         #[cfg(debug_assertions)]
         {
+            if self.corrupted {
+                return;
+            }
             let tasks: Vec<Task> = self.tasks().cloned().collect();
             debug_assert_eq!(
                 self.analysis(),
@@ -872,6 +933,28 @@ mod tests {
     fn assert_matches_scratch(cache: &CachedCoreAnalysis) {
         let tasks: Vec<Task> = cache.tasks().cloned().collect();
         assert_eq!(cache.analysis(), rta::analyse_core(&tasks));
+    }
+
+    #[test]
+    fn corrupt_then_audit_detects_and_rebuilds() {
+        let mut cache = CachedCoreAnalysis::from_tasks(&[task(0, 1, 4, 2), task(1, 2, 10, 3)]);
+        assert!(!cache.corruption_marked());
+        assert!(cache.corrupt_first_response());
+        assert!(cache.corruption_marked());
+        // The audit notices the flipped memo, quarantines it, and rebuilds
+        // from scratch.
+        assert!(!cache.audit());
+        assert!(!cache.corruption_marked());
+        assert_matches_scratch(&cache);
+        // A second audit on the repaired cache acquits it.
+        assert!(cache.audit());
+    }
+
+    #[test]
+    fn corrupt_first_response_needs_a_positive_converged_response() {
+        let mut empty = CachedCoreAnalysis::new();
+        assert!(!empty.corrupt_first_response());
+        assert!(!empty.corruption_marked());
     }
 
     #[test]

@@ -110,13 +110,17 @@ pub(crate) fn converge(
         r = next;
     }
     // The cap is a time-out, not a proof: make it visible instead of
-    // blending into ordinary deadline misses.
-    if scoped::bump(HotCounter::RtaCapExhaustions) == 0 {
-        eprintln!(
+    // blending into ordinary deadline misses. Library code never writes to
+    // stderr behind the CLI's back — the warning goes to the process-global
+    // once-per-run store, which the CLI drains and prints after the run.
+    scoped::bump(HotCounter::RtaCapExhaustions);
+    spms_telemetry::warn_once(
+        "rta_iteration_cap",
+        format!(
             "spms-analysis: RTA iteration cap ({MAX_ITERATIONS}) exhausted without convergence; \
              reporting unschedulable (further exhaustions counted in rta::cap_exhaustions())"
-        );
-    }
+        ),
+    );
     None
 }
 
@@ -371,6 +375,16 @@ mod tests {
         let victim = Task::new(2, Time::from_nanos(1), Time::from_millis(1)).unwrap();
         assert_eq!(response_time(&victim, &hp), None);
         assert_eq!(cap_exhaustions(), 1);
+
+        // The exhaustion also lands in the once-per-run warning store
+        // (instead of an eprintln behind the CLI's back); the stored
+        // message names the cap.
+        let warned: Vec<_> = spms_telemetry::drain_warnings()
+            .into_iter()
+            .filter(|w| w.key == "rta_iteration_cap")
+            .collect();
+        assert_eq!(warned.len(), 1);
+        assert!(warned[0].message.contains("iteration cap"));
 
         // Thread-local twin, exercised in the same test function so its
         // spawned thread's *global* increment cannot race the exact

@@ -70,8 +70,8 @@ pub use incremental::{whole_outranks_or_ties, IncrementalPlacer, PlacementPlan, 
 pub use partitioned::{BinPackingHeuristic, PartitionedFixedPriority, TaskOrdering};
 pub use partitioner::{PartitionOutcome, Partitioner};
 pub use placement::{
-    CoreId, JournalMark, Partition, PlacedTask, SplitInfo, SubtaskKind, BODY_PRIORITY,
-    TAIL_PRIORITY, WHOLE_PRIORITY_BASE,
+    CacheAuditVerdict, CoreId, JournalMark, Partition, PlacedTask, SplitInfo, SubtaskKind,
+    BODY_PRIORITY, TAIL_PRIORITY, WHOLE_PRIORITY_BASE,
 };
 pub use shard::{
     rebalance_partitions, shard_core_counts, stitch_partitions, RebalanceMove, ShardRouter,

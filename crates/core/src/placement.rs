@@ -1,6 +1,8 @@
 //! The result of a partitioning run: which (sub)task runs on which core.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use spms_analysis::{rta, CachedCoreAnalysis, RefreshMode, RefreshUndo, UniprocessorTest};
@@ -244,6 +246,22 @@ struct Journal {
     /// Number of open rollback scopes; recording stops and the log clears
     /// only when the outermost scope ends.
     depth: usize,
+    /// One entry per open scope, innermost last. Each carries the scope's
+    /// start position and an abandonment token shared with whoever opened
+    /// the scope (a [`PlanTxn`](crate::PlanTxn) holds the other end): a
+    /// scope whose token was flipped without a matching
+    /// [`Partition::journal_end`] is auto-aborted at the partition's next
+    /// journal interaction. See
+    /// [`Partition::reconcile_abandoned_scopes`].
+    open: Vec<OpenScope>,
+}
+
+/// One open rollback scope: its journal start position plus the shared
+/// abandonment token (see [`Journal::open`]).
+#[derive(Debug)]
+struct OpenScope {
+    mark: usize,
+    abandoned: Arc<AtomicBool>,
 }
 
 /// A position in a partition's mutation journal, returned by
@@ -252,6 +270,16 @@ struct Journal {
 /// undoes everything recorded after it, including inner scopes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalMark(usize);
+
+/// Outcome of [`Partition::audit_cached_core`]: was the memoized per-core
+/// analysis still bit-equal to a from-scratch re-derivation?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAuditVerdict {
+    /// The memo matched the scratch analysis.
+    Clean,
+    /// The memo diverged and was rebuilt from scratch.
+    Repaired,
+}
 
 /// A complete mapping of a task set onto `m` cores.
 ///
@@ -409,13 +437,67 @@ impl Partition {
     /// mark to [`rewind`](Self::rewind) to. No-op mark when no journal is
     /// attached.
     pub fn journal_begin(&mut self) -> JournalMark {
+        self.reconcile_abandoned_scopes();
         match &mut self.journal {
             Some(journal) => {
                 scoped::bump(HotCounter::JournalBegins);
                 journal.depth += 1;
+                journal.open.push(OpenScope {
+                    mark: journal.ops.len(),
+                    abandoned: Arc::new(AtomicBool::new(false)),
+                });
                 JournalMark(journal.ops.len())
             }
             None => JournalMark(0),
+        }
+    }
+
+    /// The abandonment token of the innermost open rollback scope, shared
+    /// with the scope's owner so a dropped-without-close owner (an early
+    /// return or unwinding [`PlanTxn`](crate::PlanTxn)) can flag the scope
+    /// for auto-abort. `None` when no journal is attached or no scope is
+    /// open.
+    pub(crate) fn current_scope_guard(&self) -> Option<Arc<AtomicBool>> {
+        self.journal
+            .as_ref()?
+            .open
+            .last()
+            .map(|scope| Arc::clone(&scope.abandoned))
+    }
+
+    /// Auto-aborts every innermost open scope whose owner flagged it
+    /// abandoned (a [`PlanTxn`](crate::PlanTxn) dropped without `commit()`
+    /// or `abort()`, e.g. on an early-return or panic path): the scope is
+    /// rewound to its begin position and closed, exactly as an explicit
+    /// abort would have. Runs automatically at the start of every journal
+    /// interaction and recording mutator, so an abandoned transaction can
+    /// never leak journal marks or leave speculative mutations behind once
+    /// the partition is touched again. Returns the number of scopes
+    /// auto-aborted (almost always 0).
+    pub fn reconcile_abandoned_scopes(&mut self) -> usize {
+        let mut closed = 0;
+        loop {
+            let Some(journal) = &self.journal else {
+                return closed;
+            };
+            let Some(top) = journal.open.last() else {
+                return closed;
+            };
+            if !top.abandoned.load(Ordering::Relaxed) {
+                return closed;
+            }
+            // An enclosing rewind may already have dropped past the
+            // abandoned scope's start; clamp so the rewind below only ever
+            // undoes what is still recorded.
+            let mark = top.mark.min(journal.ops.len());
+            self.rewind(JournalMark(mark));
+            let journal = self.journal.as_mut().expect("journal checked above");
+            journal.open.pop();
+            journal.depth = journal.depth.saturating_sub(1);
+            if journal.depth == 0 {
+                journal.ops.clear();
+            }
+            closed += 1;
         }
     }
 
@@ -456,10 +538,13 @@ impl Partition {
     pub fn journal_end(&mut self) {
         if let Some(journal) = &mut self.journal {
             journal.depth = journal.depth.saturating_sub(1);
+            journal.open.pop();
             if journal.depth == 0 {
                 journal.ops.clear();
             }
         }
+        // Closing a live scope may expose an abandoned one underneath.
+        self.reconcile_abandoned_scopes();
     }
 
     /// Applies one undo entry. The undo writes fields directly (never
@@ -567,6 +652,61 @@ impl Partition {
         (slot.staleness == CacheStaleness::Fresh).then_some(&slot.analysis)
     }
 
+    /// Fault-injection hook: flips one memoized response time on `core`'s
+    /// converged cache slot (see
+    /// [`CachedCoreAnalysis::corrupt_first_response`] for the direction and
+    /// why it is sound). Returns `false` when no cache is attached, the
+    /// slot is stale, or the core has no positive converged response to
+    /// flip.
+    pub fn corrupt_cached_response(&mut self, core: CoreId) -> bool {
+        let Some(slots) = &mut self.cache else {
+            return false;
+        };
+        let Some(slot) = slots.get_mut(core.0) else {
+            return false;
+        };
+        if slot.staleness != CacheStaleness::Fresh {
+            return false;
+        }
+        slot.analysis.corrupt_first_response()
+    }
+
+    /// Self-audit of one core's attached analysis cache: re-derives the
+    /// core's analysis from scratch and compares it against the memo. A
+    /// clean core returns [`CacheAuditVerdict::Clean`]; a divergent memo
+    /// (an injected corruption, or an incremental-maintenance bug) is
+    /// quarantined and rebuilt from scratch, returning
+    /// [`CacheAuditVerdict::Repaired`]. Returns `None` when there is
+    /// nothing to audit: no cache attached, core id out of range, or the
+    /// slot stale (it will be rebuilt at its next renormalization sync
+    /// anyway).
+    ///
+    /// Must not run inside an open journal scope — the rebuild is not
+    /// journaled, so a later [`rewind`](Self::rewind) could not restore
+    /// the pre-audit memo (debug builds assert this).
+    pub fn audit_cached_core(&mut self, core: CoreId) -> Option<CacheAuditVerdict> {
+        debug_assert!(
+            !self.recording(),
+            "audit_cached_core inside an open journal scope cannot be rewound"
+        );
+        let fresh = {
+            let slots = self.cache.as_ref()?;
+            let slot = slots.get(core.0)?;
+            slot.staleness == CacheStaleness::Fresh
+        };
+        if !fresh {
+            return None;
+        }
+        let clean = self.cache.as_mut().expect("checked above")[core.0]
+            .analysis
+            .audit();
+        Some(if clean {
+            CacheAuditVerdict::Clean
+        } else {
+            CacheAuditVerdict::Repaired
+        })
+    }
+
     /// Number of processors.
     pub fn core_count(&self) -> usize {
         self.cores.len()
@@ -592,6 +732,7 @@ impl Partition {
     ///
     /// Panics if the core id is out of range.
     pub fn place(&mut self, core: CoreId, placed: PlacedTask) {
+        self.reconcile_abandoned_scopes();
         if self.recording() {
             let prev_staleness = self.cache.as_ref().map(|s| s[core.0].staleness);
             self.record(JournalOp::Place {
@@ -743,6 +884,7 @@ impl Partition {
     /// tasks only ever shrinks per-core demand, so a schedulable partition
     /// stays schedulable.
     pub fn remove_parent(&mut self, parent: TaskId) -> usize {
+        self.reconcile_abandoned_scopes();
         let recording = self.recording();
         let mut removed = 0;
         let mut touched = Vec::new();

@@ -16,6 +16,26 @@
 //! [`Savepoint`] is the nested flavour — a rollback point *inside* an open
 //! scope (one speculative relocation within a repair attempt) that can be
 //! restored without closing the enclosing scope.
+//!
+//! # Drop safety
+//!
+//! A transaction that is dropped without [`commit`](PlanTxn::commit) or
+//! [`abort`](PlanTxn::abort) — an early `return` or a panic unwinding
+//! through a planning routine — must not leave its journal scopes open:
+//! the partitions would keep recording undo entries forever and a later
+//! outer rewind would silently swallow the leaked speculation. `Drop`
+//! cannot reach the participants (the transaction borrows them only
+//! transiently), so it instead flips a per-scope abandonment token shared
+//! with each partition's journal. The partition notices the flipped token
+//! at its *next* journal interaction and rewinds + closes the abandoned
+//! scope lazily (see [`Partition::reconcile_abandoned_scopes`]). Snapshot
+//! scopes hold the rollback state inside the transaction itself and the
+//! partition is unreachable from `Drop`, so they cannot be auto-restored —
+//! journal-carrying partitions (every online-controller shard) get the
+//! full guarantee.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::placement::{JournalMark, Partition};
 
@@ -59,15 +79,23 @@ impl Savepoint {
 /// Scopes are indexed by begin order: [`begin`](Self::begin) on the i-th
 /// partition returns scope index `i`, and [`commit`](Self::commit) /
 /// [`abort`](Self::abort) take the same partitions *in the same order*.
+///
+/// Dropping a transaction without committing or aborting marks every
+/// journal scope abandoned; the owning partitions rewind and close them at
+/// their next journal interaction (see the [module docs](self)).
 #[derive(Debug, Default)]
 pub struct PlanTxn {
     scopes: Vec<Savepoint>,
+    /// One entry per scope, parallel to `scopes`: the abandonment token
+    /// shared with the partition's journal for journal scopes, `None` for
+    /// snapshot scopes (which `Drop` cannot restore).
+    guards: Vec<Option<Arc<AtomicBool>>>,
 }
 
 impl PlanTxn {
     /// An empty transaction with no open scopes.
     pub fn new() -> Self {
-        PlanTxn { scopes: Vec::new() }
+        PlanTxn::default()
     }
 
     /// Opens a speculative scope on one partition and returns its scope
@@ -75,12 +103,14 @@ impl PlanTxn {
     /// (mutations record undo entries until commit or abort); otherwise it
     /// snapshots the partition.
     pub fn begin(&mut self, partition: &mut Partition) -> usize {
-        let scope = if partition.journal_enabled() {
-            Savepoint::Journal(partition.journal_begin())
+        let (scope, guard) = if partition.journal_enabled() {
+            let mark = partition.journal_begin();
+            (Savepoint::Journal(mark), partition.current_scope_guard())
         } else {
-            Savepoint::Snapshot(Box::new(partition.clone()))
+            (Savepoint::Snapshot(Box::new(partition.clone())), None)
         };
         self.scopes.push(scope);
+        self.guards.push(guard);
         self.scopes.len() - 1
     }
 
@@ -101,8 +131,10 @@ impl PlanTxn {
     /// # Panics
     ///
     /// Panics if `partitions` has fewer entries than open scopes.
-    pub fn commit(self, partitions: &mut [&mut Partition]) {
-        for (idx, scope) in self.scopes.into_iter().enumerate() {
+    pub fn commit(mut self, partitions: &mut [&mut Partition]) {
+        let scopes = std::mem::take(&mut self.scopes);
+        self.guards.clear(); // resolved explicitly: Drop must not mark them
+        for (idx, scope) in scopes.into_iter().enumerate() {
             if let Savepoint::Journal(_) = scope {
                 partitions[idx].journal_end();
             }
@@ -118,8 +150,10 @@ impl PlanTxn {
     /// # Panics
     ///
     /// Panics if `partitions` has fewer entries than open scopes.
-    pub fn abort(self, partitions: &mut [&mut Partition]) {
-        for (idx, scope) in self.scopes.into_iter().enumerate().rev() {
+    pub fn abort(mut self, partitions: &mut [&mut Partition]) {
+        let scopes = std::mem::take(&mut self.scopes);
+        self.guards.clear(); // resolved explicitly: Drop must not mark them
+        for (idx, scope) in scopes.into_iter().enumerate().rev() {
             match scope {
                 Savepoint::Journal(mark) => {
                     partitions[idx].rewind(mark);
@@ -127,6 +161,19 @@ impl PlanTxn {
                 }
                 Savepoint::Snapshot(snapshot) => *partitions[idx] = *snapshot,
             }
+        }
+    }
+}
+
+impl Drop for PlanTxn {
+    fn drop(&mut self) {
+        // Commit and abort consume the guards, so reaching here with live
+        // tokens means the transaction leaked — an early return or a panic
+        // unwinding through planning code. Flip each token; the owning
+        // partition rewinds and closes the scope at its next journal
+        // interaction.
+        for guard in self.guards.drain(..).flatten() {
+            guard.store(true, Ordering::Relaxed);
         }
     }
 }
@@ -226,6 +273,54 @@ mod tests {
         // The outer scope is still open and still rewinds everything.
         txn.abort(&mut [&mut a]);
         assert_eq!(a.placement_count(), 0);
+    }
+
+    #[test]
+    fn dropped_txn_auto_aborts_at_next_journal_interaction() {
+        let mut a = journaled(1);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        let snap = a.clone();
+        {
+            let mut txn = PlanTxn::new();
+            txn.begin(&mut a);
+            place_whole(&mut a, 0, task(1, 1, 10));
+            // txn dropped here without commit or abort.
+        }
+        // The leak is reconciled lazily: the speculative placement is still
+        // visible until the partition's next journal interaction.
+        assert_eq!(a.reconcile_abandoned_scopes(), 1);
+        assert_fully_equal(&a, &snap);
+        // The scope is fully closed: a fresh scope commits cleanly.
+        let mut txn = PlanTxn::new();
+        txn.begin(&mut a);
+        place_whole(&mut a, 0, task(2, 1, 10));
+        txn.commit(&mut [&mut a]);
+        assert_eq!(a.placement_count(), 2);
+    }
+
+    #[test]
+    fn panic_through_open_txn_rolls_back_without_poisoning() {
+        let mut a = journaled(1);
+        place_whole(&mut a, 0, task(0, 1, 10));
+        let snap = a.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut txn = PlanTxn::new();
+            txn.begin(&mut a);
+            place_whole(&mut a, 0, task(1, 1, 10));
+            panic!("planning blew up mid-scope");
+        }));
+        assert!(result.is_err());
+        // The next mutation implicitly reconciles the abandoned scope
+        // first, so the panicking speculation never mixes with new work.
+        place_whole(&mut a, 0, task(2, 1, 10));
+        assert_eq!(a.placement_count(), 2);
+        assert!(!a.placements_of(TaskId(2)).is_empty());
+        assert!(a.placements_of(TaskId(1)).is_empty());
+        // Rolling back to before the post-panic placement matches the
+        // pre-panic snapshot exactly.
+        a.remove_parent(TaskId(2));
+        a.renormalize_core_priorities(CoreId(0));
+        assert_fully_equal(&a, &snap);
     }
 
     #[test]

@@ -72,6 +72,7 @@
 mod acceptance;
 mod algorithms;
 mod cache_crossover;
+mod chaos;
 mod core_sweep;
 mod figure1;
 mod global_comparison;
@@ -88,6 +89,7 @@ mod soak;
 pub use acceptance::{AcceptancePoint, AcceptanceRatioExperiment, AcceptanceRatioResults};
 pub use algorithms::AlgorithmKind;
 pub use cache_crossover::{CacheCrossoverExperiment, CacheCrossoverResults, CrossoverPoint};
+pub use chaos::{ChaosExperiment, ChaosPoint, ChaosResults};
 pub use core_sweep::{CoreCountSweepExperiment, CoreSweepPoint, CoreSweepResults};
 pub use figure1::{PreemptionAnatomy, PreemptionAnatomyReport};
 pub use global_comparison::{

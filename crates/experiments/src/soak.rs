@@ -47,10 +47,11 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use spms_core::{stitch_partitions, Partition};
+use spms_faults::{FaultPlan, FaultSpec};
 use spms_online::{
     inject_renewals,
     replay::{replay_epoch, ReplayConfig, ReplayOutcome},
-    ChurnFamily, ChurnGenerator, Decision, EventLoop, EventLoopConfig, OnlineConfig,
+    ChurnFamily, ChurnGenerator, Decision, EventLoop, EventLoopConfig, FaultStats, OnlineConfig,
     ShardedAdmission, TimedEvent,
 };
 use spms_overhead::CostModelSpec;
@@ -83,6 +84,7 @@ struct SoakTrace {
     latency: Histogram,
     metrics: Registry,
     captured: Option<Vec<TimedEvent>>,
+    fault: FaultStats,
 }
 
 /// Aggregated deterministic behaviour at one shard count.
@@ -186,6 +188,11 @@ pub struct SoakRun {
     pub point_metrics: Vec<Registry>,
     /// All point registries merged into one run-wide registry.
     pub metrics: Registry,
+    /// Fault-injection and recovery counters per shard count (all zero
+    /// unless a fault plan was loaded). Kept out of [`SoakResults`] so
+    /// the fault-free soak artifact stays byte-identical; the chaos
+    /// harness serializes these in its own report.
+    pub fault_stats: Vec<FaultStats>,
 }
 
 /// Results of a soak sweep.
@@ -339,6 +346,8 @@ pub struct SoakExperiment {
     churn_family: ChurnFamily,
     cross_shard: bool,
     leased_scenario: Option<Time>,
+    faults: Option<FaultPlan>,
+    audit_period: Option<Time>,
     seed: u64,
     threads: usize,
 }
@@ -361,6 +370,8 @@ impl Default for SoakExperiment {
             churn_family: ChurnFamily::Poisson,
             cross_shard: false,
             leased_scenario: None,
+            faults: None,
+            audit_period: None,
             seed: 0,
             threads: 1,
         }
@@ -478,6 +489,24 @@ impl SoakExperiment {
         self
     }
 
+    /// Loads a fault plan into every grid cell: the same seeded faults
+    /// (crashes, stalls, corruptions, cost spikes) fire at the same
+    /// scenario times in every cell, exercising shard failover and
+    /// recovery replay. `None` (the default) injects nothing and leaves
+    /// every deterministic output byte-identical to a fault-free build.
+    pub fn faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Arms the periodic self-audit: every `period` of scenario time one
+    /// cached core's memoized RTA is re-verified against a scratch
+    /// recomputation (and rebuilt on mismatch).
+    pub fn audit_period(mut self, period: Option<Time>) -> Self {
+        self.audit_period = period;
+        self
+    }
+
     /// Sets the RNG root seed for trace generation and tie-shuffling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -490,6 +519,36 @@ impl SoakExperiment {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Last timestamp (ms) of the first grid cell's churn trace — the
+    /// scenario horizon spec-generated fault plans are drawn against,
+    /// clamped to at least one second. Mirrors the cell's generator
+    /// configuration exactly (same derived seed, same knobs), so
+    /// spec-drawn faults land inside the busy part of the run.
+    pub fn measured_horizon_ms(&self) -> u64 {
+        let trace = ChurnGenerator::new()
+            .cores(self.cores)
+            .target_normalized_utilization(self.target_utilization)
+            .events(self.events_per_trace)
+            .family(self.churn_family)
+            .seed(derive_seed(self.seed, 0, 0))
+            .generate_timed()
+            .unwrap_or_default();
+        trace
+            .last()
+            .map(|timed| timed.at.as_nanos() / 1_000_000)
+            .unwrap_or(0)
+            .max(1_000)
+    }
+
+    /// Expands a [`FaultSpec`] into a concrete plan against the measured
+    /// horizon, drawing shard indices up to the largest shard count in
+    /// the sweep (cells with fewer shards ignore out-of-range targets).
+    pub fn plan_faults(&self, spec: &FaultSpec) -> FaultPlan {
+        let shards = self.shard_counts.iter().copied().max().unwrap_or(1);
+        let cores_per_shard = (self.cores / shards.max(1)).max(1);
+        spec.plan(self.measured_horizon_ms(), shards, cores_per_shard)
     }
 
     /// Runs the soak sweep.
@@ -562,8 +621,10 @@ impl SoakExperiment {
         let mut point_metrics = Vec::with_capacity(self.shard_counts.len());
         let mut captured_trace = None;
         let mut total_misses = 0u64;
+        let mut fault_stats = Vec::with_capacity(self.shard_counts.len());
         for (&shards, traces) in self.shard_counts.iter().zip(&grid) {
-            let (point, elapsed, latency, mut registry) = Self::fold_point(shards, traces);
+            let (point, elapsed, latency, mut registry, fault) = Self::fold_point(shards, traces);
+            fault_stats.push(fault);
             for outcome in traces {
                 if let Some(log) = &outcome.captured {
                     captured_trace.get_or_insert_with(|| log.clone());
@@ -676,6 +737,7 @@ impl SoakExperiment {
             captured_trace,
             point_metrics,
             metrics,
+            fault_stats,
         }
     }
 
@@ -716,9 +778,13 @@ impl SoakExperiment {
             EventLoopConfig::new(trace_seed)
                 .with_lease(lease)
                 .with_rebalance_period(self.rebalance_period)
-                .with_rebalance_max_moves(self.rebalance_max_moves),
+                .with_rebalance_max_moves(self.rebalance_max_moves)
+                .with_audit_period(self.audit_period),
         );
         event_loop.load_trace(&trace);
+        if let Some(plan) = &self.faults {
+            event_loop.load_faults(plan);
+        }
 
         let sample_every = self.replay_sample_every;
         let mut replay = ReplayOutcome::default();
@@ -780,6 +846,7 @@ impl SoakExperiment {
             latency: engine.decision_latency_histogram().clone(),
             metrics: engine.merged_metrics_registry(),
             captured,
+            fault: *engine.fault_stats(),
         })
     }
 
@@ -788,7 +855,7 @@ impl SoakExperiment {
     fn fold_point(
         shards: usize,
         traces: &[SoakTrace],
-    ) -> (SoakPoint, Duration, Histogram, Registry) {
+    ) -> (SoakPoint, Duration, Histogram, Registry, FaultStats) {
         let mut point = SoakPoint {
             shards,
             events_processed: 0,
@@ -811,7 +878,9 @@ impl SoakExperiment {
         let mut elapsed = Duration::ZERO;
         let mut latency = Histogram::new();
         let mut registry = Registry::new();
+        let mut fault = FaultStats::default();
         for outcome in traces {
+            fault.absorb(&outcome.fault);
             point.events_processed += outcome.events_processed;
             point.arrivals += outcome.arrivals;
             point.admitted += outcome.admitted;
@@ -833,7 +902,7 @@ impl SoakExperiment {
             latency.merge(&outcome.latency);
             registry.merge(&outcome.metrics);
         }
-        (point, elapsed, latency, registry)
+        (point, elapsed, latency, registry, fault)
     }
 }
 

@@ -60,7 +60,7 @@ use spms_core::{
 };
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, TaskSet, Time};
-use spms_telemetry::{scoped, Histogram};
+use spms_telemetry::{scoped, Histogram, HotCounter};
 
 use crate::metrics::EngineMetrics;
 use crate::WorkloadEvent;
@@ -152,6 +152,40 @@ pub struct OnlineConfig {
     /// resident (a from-scratch repartition of one shard cannot re-place
     /// the remote siblings).
     pub cross_shard_split: bool,
+    /// Graceful-degradation ladder: when set, per-arrival probe counts
+    /// above the policy's budget shed the expensive cascade stages (full
+    /// repartition first, then bounded repair), re-arming after a calm
+    /// streak. `None` (the default) never sheds and reproduces the
+    /// ladder-free decisions bit for bit.
+    pub degrade: Option<DegradePolicy>,
+}
+
+/// Knobs of the graceful-degradation ladder.
+///
+/// The overload signal is the *probe count* of each arrival decision
+/// (whole + split RTA probes, the cascade's unit of work) — an integer
+/// that is a pure function of the decision stream, never wall-clock, so
+/// the ladder's behaviour is deterministic across threads and machines.
+/// An arrival that spends more than `probe_budget` probes escalates the
+/// controller one degrade level (1 = the full-repartition fallback is
+/// withheld, 2 = bounded repair is withheld too); `hysteresis`
+/// consecutive within-budget arrivals walk it back one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Probes one arrival decision may spend before the controller
+    /// escalates one degrade level.
+    pub probe_budget: u64,
+    /// Consecutive within-budget arrivals required to recover one level.
+    pub hysteresis: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            probe_budget: 512,
+            hysteresis: 8,
+        }
+    }
 }
 
 /// Victim-ranking policy of the bounded-repair pass.
@@ -195,6 +229,7 @@ impl Default for OnlineConfig {
             repair_ranking: RepairRanking::Slack,
             cost_model: CostModelSpec::Zero,
             cross_shard_split: false,
+            degrade: None,
         }
     }
 }
@@ -366,6 +401,12 @@ impl OnlineConfigBuilder {
         self
     }
 
+    /// Installs (or removes) the graceful-degradation ladder.
+    pub fn degrade(mut self, policy: Option<DegradePolicy>) -> Self {
+        self.config.degrade = policy;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> OnlineConfig {
         self.config
@@ -459,6 +500,11 @@ pub enum DecisionKind {
     /// interpreted by the [`EventLoop`](crate::EventLoop); a controller
     /// replaying a leased trace only acknowledges the event.
     RenewNoted,
+    /// A resident task drained off a crashed shard could not be re-placed
+    /// on any survivor (whole, split, or via the cross-shard planner) and
+    /// was evicted. Only shard-failure recovery produces this; it never
+    /// appears in a fault-free run.
+    EvictedOnFailure,
 }
 
 // Hand-rolled (de)serialization so zero charges stay invisible: a ZeroCost
@@ -492,6 +538,7 @@ impl Serialize for DecisionKind {
             DecisionKind::Departed => Value::Str(String::from("Departed")),
             DecisionKind::DepartUnknown => Value::Str(String::from("DepartUnknown")),
             DecisionKind::RenewNoted => Value::Str(String::from("RenewNoted")),
+            DecisionKind::EvictedOnFailure => Value::Str(String::from("EvictedOnFailure")),
         }
     }
 }
@@ -504,6 +551,7 @@ impl Deserialize for DecisionKind {
                 "Departed" => Ok(DecisionKind::Departed),
                 "DepartUnknown" => Ok(DecisionKind::DepartUnknown),
                 "RenewNoted" => Ok(DecisionKind::RenewNoted),
+                "EvictedOnFailure" => Ok(DecisionKind::EvictedOnFailure),
                 other => Err(serde::Error::custom(format!(
                     "unknown variant `{other}` of DecisionKind"
                 ))),
@@ -630,6 +678,13 @@ pub struct AdmissionController {
     metrics: EngineMetrics,
     stats: ControllerStats,
     next_event: usize,
+    /// Current rung of the graceful-degradation ladder (0 = full cascade,
+    /// 1 = full repartition withheld, 2 = bounded repair withheld too).
+    /// Always 0 when [`OnlineConfig::degrade`] is `None`.
+    degrade_level: u8,
+    /// Consecutive within-budget arrivals since the last escalation —
+    /// the hysteresis counter that walks the ladder back down.
+    calm_streak: u32,
 }
 
 impl AdmissionController {
@@ -670,6 +725,8 @@ impl AdmissionController {
             metrics: EngineMetrics::default(),
             stats: ControllerStats::default(),
             next_event: 0,
+            degrade_level: 0,
+            calm_streak: 0,
         })
     }
 
@@ -765,14 +822,54 @@ impl AdmissionController {
         };
         self.next_event += 1;
         self.decisions.push(decision);
+        let deltas = hot.since();
+        // Only arrivals drive the degrade ladder: their probe count is the
+        // cascade's unit of work, while departures and renewals are cheap
+        // bookkeeping that says nothing about admission pressure.
+        if matches!(event, WorkloadEvent::Arrive(_)) {
+            let probes = deltas.get(HotCounter::WholeProbes) + deltas.get(HotCounter::SplitProbes);
+            self.update_degrade(probes);
+        }
         self.metrics.finish_decision(
             u64::from(task_id.0),
             &kind,
             started.elapsed().as_nanos() as u64,
-            &hot.since(),
+            &deltas,
         );
         debug_assert_eq!(self.partition.validate(), Ok(()));
         decision
+    }
+
+    /// Current rung of the graceful-degradation ladder (0 when no
+    /// [`DegradePolicy`] is configured).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade_level
+    }
+
+    /// One ladder update after an arrival that spent `probes` RTA probes:
+    /// over budget escalates a rung (and resets the calm streak), a
+    /// within-budget arrival extends the streak and recovers a rung after
+    /// `hysteresis` consecutive calm arrivals.
+    fn update_degrade(&mut self, probes: u64) {
+        let Some(policy) = self.config.degrade else {
+            return;
+        };
+        if probes > policy.probe_budget {
+            self.calm_streak = 0;
+            if self.degrade_level < 2 {
+                self.degrade_level += 1;
+                self.metrics
+                    .record_degrade_transition(u64::from(self.degrade_level), true);
+            }
+        } else if self.degrade_level > 0 {
+            self.calm_streak += 1;
+            if self.calm_streak >= policy.hysteresis {
+                self.calm_streak = 0;
+                self.degrade_level -= 1;
+                self.metrics
+                    .record_degrade_transition(u64::from(self.degrade_level), false);
+            }
+        }
     }
 
     /// Handles a whole event stream, returning the per-event decisions.
@@ -828,22 +925,34 @@ impl AdmissionController {
             return self.admit(task, DecisionPath::FastSplit, 0, inflation);
         }
         self.record_stage(DecisionPath::FastSplit, false, stage);
-        let stage = Instant::now();
-        let repaired = self.try_repair(task);
-        self.record_stage(DecisionPath::Repair, repaired.is_some(), stage);
-        if let Some((moves, inflation)) = repaired {
-            self.stats.repairs += 1;
-            return self.admit(task, DecisionPath::Repair, moves, inflation);
+        // The degrade ladder sheds the expensive stages under sustained
+        // overload: level ≥ 2 withholds bounded repair, level ≥ 1 the
+        // full-repartition fallback. Shed stages never run, so they count
+        // on the shed counter, not as stage attempts.
+        if self.degrade_level < 2 {
+            let stage = Instant::now();
+            let repaired = self.try_repair(task);
+            self.record_stage(DecisionPath::Repair, repaired.is_some(), stage);
+            if let Some((moves, inflation)) = repaired {
+                self.stats.repairs += 1;
+                return self.admit(task, DecisionPath::Repair, moves, inflation);
+            }
+        } else {
+            self.metrics.record_degrade_shed_stage();
         }
         // The fallback adopts a from-scratch offline partition; its moves
         // are a one-time reshuffle, not recurring per-job hops, so they are
         // deliberately uncharged (see the module docs).
-        let stage = Instant::now();
-        let fallback = self.try_fallback(task);
-        self.record_stage(DecisionPath::FullRepartition, fallback.is_some(), stage);
-        if let Some(moves) = fallback {
-            self.stats.full_repartitions += 1;
-            return self.admit(task, DecisionPath::FullRepartition, moves, Time::ZERO);
+        if self.degrade_level < 1 {
+            let stage = Instant::now();
+            let fallback = self.try_fallback(task);
+            self.record_stage(DecisionPath::FullRepartition, fallback.is_some(), stage);
+            if let Some(moves) = fallback {
+                self.stats.full_repartitions += 1;
+                return self.admit(task, DecisionPath::FullRepartition, moves, Time::ZERO);
+            }
+        } else {
+            self.metrics.record_degrade_shed_stage();
         }
         self.reject(RejectionReason::NoFeasiblePlacement)
     }

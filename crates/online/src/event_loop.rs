@@ -39,6 +39,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use spms_faults::{FaultKind, FaultPlan};
 use spms_task::{TaskId, Time};
 use spms_telemetry::{Snapshot, SnapshotFilter};
 
@@ -47,6 +48,11 @@ use crate::{AdmissionShard, Decision, ShardedAdmission, TimedEvent, WorkloadEven
 /// How many per-tick rebalance snapshots the loop retains when
 /// [`EventLoopConfig::snapshot_on_rebalance`] is set.
 pub const TICK_SNAPSHOT_CAPACITY: usize = 64;
+
+/// Largest left-shift the zero-move rebalance backoff applies to the
+/// tick period (2³ = 8× stretch) when
+/// [`EventLoopConfig::rebalance_backoff`] is enabled.
+pub const MAX_REBALANCE_BACKOFF_SHIFT: u32 = 3;
 
 /// One event the loop can process.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +64,14 @@ pub enum EngineEvent {
     DeadlineExpire(TaskId),
     /// Run one work-stealing rebalance pass over the shards.
     RebalanceTick,
+    /// Inject one fault into the engine
+    /// ([`ShardedAdmission::apply_fault`]).
+    Fault(FaultKind),
+    /// A timed fault's effect ends ([`ShardedAdmission::end_fault`]).
+    FaultEnd(FaultKind),
+    /// Run one self-audit pass ([`ShardedAdmission::audit_tick`]),
+    /// re-verifying one cached core against a scratch recomputation.
+    AuditTick,
 }
 
 /// Heap entry: a scheduled event with its timestamp and insertion
@@ -109,6 +123,15 @@ pub struct EventLoopConfig {
     /// [`TICK_SNAPSHOT_CAPACITY`] ticks) — the periodic-snapshot hook
     /// soak reports read.
     pub snapshot_on_rebalance: bool,
+    /// When set, a self-audit tick fires every `period` while workload
+    /// events remain pending, re-verifying one cached core per tick.
+    pub audit_period: Option<Time>,
+    /// When set, consecutive zero-move rebalance ticks exponentially
+    /// stretch the self-rescheduled tick interval (doubling per idle
+    /// tick, capped at 2^[`MAX_REBALANCE_BACKOFF_SHIFT`]×); any tick that
+    /// moves a task resets the interval to
+    /// [`rebalance_period`](Self::rebalance_period).
+    pub rebalance_backoff: bool,
 }
 
 impl Default for EventLoopConfig {
@@ -119,6 +142,8 @@ impl Default for EventLoopConfig {
             rebalance_period: None,
             rebalance_max_moves: 4,
             snapshot_on_rebalance: false,
+            audit_period: None,
+            rebalance_backoff: false,
         }
     }
 }
@@ -155,6 +180,18 @@ impl EventLoopConfig {
         self.snapshot_on_rebalance = enabled;
         self
     }
+
+    /// Sets the self-audit period (builder style).
+    pub fn with_audit_period(mut self, period: Option<Time>) -> Self {
+        self.audit_period = period;
+        self
+    }
+
+    /// Enables or disables zero-move rebalance backoff (builder style).
+    pub fn with_rebalance_backoff(mut self, enabled: bool) -> Self {
+        self.rebalance_backoff = enabled;
+        self
+    }
 }
 
 /// The timestamped event loop. See the [module docs](self) for ordering
@@ -174,6 +211,10 @@ pub struct EventLoop {
     /// are ignored).
     lease_deadlines: BTreeMap<TaskId, Time>,
     lease_renewals: u64,
+    /// Consecutive zero-move rebalance ticks, clamped at
+    /// [`MAX_REBALANCE_BACKOFF_SHIFT`]; drives the backoff stretch when
+    /// [`EventLoopConfig::rebalance_backoff`] is set.
+    rebalance_zero_streak: u32,
 }
 
 impl EventLoop {
@@ -189,6 +230,7 @@ impl EventLoop {
             tick_snapshots: Vec::new(),
             lease_deadlines: BTreeMap::new(),
             lease_renewals: 0,
+            rebalance_zero_streak: 0,
         }
     }
 
@@ -214,6 +256,25 @@ impl EventLoop {
     pub fn load_trace(&mut self, trace: &[TimedEvent]) {
         for timed in trace {
             self.schedule(timed.at, EngineEvent::Workload(timed.event.clone()));
+        }
+    }
+
+    /// Schedules a fault plan: each fault fires at its `at_ms`, and timed
+    /// faults (stalls, crashes, spikes) schedule their matching
+    /// [`EngineEvent::FaultEnd`] at `at_ms + duration`. Fault events do
+    /// not count as pending workload — a plan alone never keeps the
+    /// rebalance/audit ticks alive.
+    pub fn load_faults(&mut self, plan: &FaultPlan) {
+        for event in plan.events() {
+            let at = Time::from_millis(event.at_ms);
+            self.schedule(at, EngineEvent::Fault(event.kind));
+            let duration = event.kind.duration_ms();
+            if duration > 0 {
+                self.schedule(
+                    at + Time::from_millis(duration),
+                    EngineEvent::FaultEnd(event.kind),
+                );
+            }
         }
     }
 
@@ -270,6 +331,11 @@ impl EventLoop {
                 self.schedule(self.now + period, EngineEvent::RebalanceTick);
             }
         }
+        if let Some(period) = self.config.audit_period {
+            if self.pending_workload > 0 {
+                self.schedule(self.now + period, EngineEvent::AuditTick);
+            }
+        }
         let mut batch: Vec<Scheduled> = Vec::new();
         while let Some(first) = self.heap.pop() {
             let at = first.at;
@@ -307,7 +373,15 @@ impl EventLoop {
                         }
                     }
                     EngineEvent::RebalanceTick => {
-                        engine.rebalance(self.config.rebalance_max_moves);
+                        let moves = engine.rebalance(self.config.rebalance_max_moves);
+                        if self.config.rebalance_backoff {
+                            if moves == 0 {
+                                self.rebalance_zero_streak = (self.rebalance_zero_streak + 1)
+                                    .min(MAX_REBALANCE_BACKOFF_SHIFT);
+                            } else {
+                                self.rebalance_zero_streak = 0;
+                            }
+                        }
                         if self.config.snapshot_on_rebalance {
                             if self.tick_snapshots.len() == TICK_SNAPSHOT_CAPACITY {
                                 self.tick_snapshots.remove(0);
@@ -319,7 +393,21 @@ impl EventLoop {
                         }
                         if self.pending_workload > 0 {
                             if let Some(period) = self.config.rebalance_period {
-                                self.schedule(at + period, EngineEvent::RebalanceTick);
+                                // Idle ticks stretch the interval
+                                // exponentially (streak 0 ⇒ shift 0 ⇒ the
+                                // plain period).
+                                let stretched = period * (1u64 << self.rebalance_zero_streak);
+                                self.schedule(at + stretched, EngineEvent::RebalanceTick);
+                            }
+                        }
+                    }
+                    EngineEvent::Fault(kind) => engine.apply_fault(&kind),
+                    EngineEvent::FaultEnd(kind) => engine.end_fault(&kind),
+                    EngineEvent::AuditTick => {
+                        engine.audit_tick();
+                        if self.pending_workload > 0 {
+                            if let Some(period) = self.config.audit_period {
+                                self.schedule(at + period, EngineEvent::AuditTick);
                             }
                         }
                     }
@@ -636,5 +724,141 @@ mod tests {
             (0..64).any(|seed| order_for(seed) != baseline),
             "some seed must flip the tie order"
         );
+    }
+
+    #[test]
+    fn zero_move_rebalance_ticks_back_off_exponentially() {
+        // A single-shard service can never move a task, so every tick is
+        // a zero-move tick: with backoff enabled the self-rescheduled
+        // interval doubles per idle tick, clamped at 2^3 = 8x the base
+        // period. Snapshot timestamps expose the actual tick schedule.
+        let period = Time::from_millis(10);
+        let run = |backoff: bool| {
+            let mut engine = ShardedAdmission::new(OnlineConfig::new(2), 1).unwrap();
+            let mut event_loop = EventLoop::new(
+                EventLoopConfig::new(0)
+                    .with_rebalance_period(Some(period))
+                    .with_rebalance_snapshots(true)
+                    .with_rebalance_backoff(backoff),
+            );
+            for i in 0..31u32 {
+                event_loop.schedule(
+                    Time::from_millis(u64::from(i) * 10),
+                    EngineEvent::Workload(WorkloadEvent::Arrive(
+                        spms_task::Task::new(i, Time::from_millis(1), Time::from_millis(1000))
+                            .unwrap(),
+                    )),
+                );
+            }
+            event_loop.run(&mut engine);
+            let ticks: Vec<u64> = event_loop
+                .tick_snapshots()
+                .iter()
+                .map(|(at, _)| at.as_nanos() / 1_000_000)
+                .collect();
+            ticks
+        };
+        // Idle streak 1, 2, 3, then clamped: gaps 2x, 4x, 8x, 8x, ...
+        assert_eq!(run(true), vec![10, 30, 70, 150, 230, 310]);
+        // Without backoff the schedule stays on the plain period.
+        let plain = run(false);
+        assert_eq!(plain.first(), Some(&10));
+        assert!(plain.windows(2).all(|w| w[1] - w[0] == 10));
+    }
+
+    #[test]
+    fn a_rebalance_move_resets_the_backoff_streak() {
+        // Pile every task onto shard 0 (home-shard routing by parity of
+        // the id hash is irrelevant: we pick ids homed on shard 0), let
+        // idle ticks stretch the interval, then check that a tick which
+        // does move a task snaps the schedule back to the base period.
+        // Driving a mid-run imbalance deterministically through the
+        // public API is awkward, so this asserts the reset property at
+        // the unit level instead: a non-zero move count resets the
+        // streak the next tick uses.
+        let period = Time::from_millis(10);
+        let mut engine = ShardedAdmission::new(OnlineConfig::new(4), 2).unwrap();
+        let router = spms_core::ShardRouter::new(2);
+        // Four tasks homed on shard 0 arriving up front, nothing after:
+        // the first tick can steal one to shard 1, later ticks cannot.
+        let mut scheduled = 0u64;
+        let mut id = 0u32;
+        let mut event_loop = EventLoop::new(
+            EventLoopConfig::new(0)
+                .with_rebalance_period(Some(period))
+                .with_rebalance_max_moves(1)
+                .with_rebalance_snapshots(true)
+                .with_rebalance_backoff(true),
+        );
+        while scheduled < 4 {
+            if router.home_shard(TaskId(id)) == 0 {
+                event_loop.schedule(
+                    Time::ZERO,
+                    EngineEvent::Workload(WorkloadEvent::Arrive(
+                        spms_task::Task::new(id, Time::from_millis(2), Time::from_millis(10))
+                            .unwrap(),
+                    )),
+                );
+                scheduled += 1;
+            }
+            id += 1;
+        }
+        // Keep the loop alive long enough for several ticks.
+        event_loop.schedule(
+            Time::from_millis(100),
+            EngineEvent::Workload(WorkloadEvent::Arrive(
+                spms_task::Task::new(1000, Time::from_millis(1), Time::from_millis(1000)).unwrap(),
+            )),
+        );
+        event_loop.run(&mut engine);
+        let ticks: Vec<u64> = event_loop
+            .tick_snapshots()
+            .iter()
+            .map(|(at, _)| at.as_nanos() / 1_000_000)
+            .collect();
+        assert!(engine.stats().rebalance_moves > 0, "early ticks must steal");
+        // Ticks at 10 and 20 ms each steal a task (budget 1 per tick), so
+        // the schedule stays on the plain period; the tick at 30 ms finds
+        // the shards balanced and the first idle tick doubles the gap.
+        assert!(ticks.len() >= 4);
+        assert_eq!(&ticks[..4], &[10, 20, 30, 50]);
+    }
+
+    #[test]
+    fn loaded_faults_fire_and_timed_faults_end() {
+        use spms_faults::{FaultEvent, FaultPlan};
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at_ms: 20,
+            kind: FaultKind::ShardStall { shard: 0, ms: 30 },
+        });
+        plan.push(FaultEvent {
+            at_ms: 25,
+            kind: FaultKind::CostSpike { factor: 4, ms: 10 },
+        });
+        let mut engine = ShardedAdmission::new(OnlineConfig::new(4), 2).unwrap();
+        let mut event_loop = EventLoop::new(EventLoopConfig::new(0));
+        event_loop.load_faults(&plan);
+        // Faults alone are not pending workload; add real arrivals that
+        // straddle the fault windows.
+        for (i, at) in [0u64, 30, 80].iter().enumerate() {
+            event_loop.schedule(
+                Time::from_millis(*at),
+                EngineEvent::Workload(WorkloadEvent::Arrive(
+                    spms_task::Task::new(i as u32, Time::from_millis(1), Time::from_millis(100))
+                        .unwrap(),
+                )),
+            );
+        }
+        event_loop.run(&mut engine);
+        assert_eq!(engine.fault_stats().injections, 2);
+        assert_eq!(engine.fault_stats().stalls, 1);
+        assert_eq!(engine.fault_stats().cost_spikes, 1);
+        // Both timed faults ended before the loop drained.
+        assert_eq!(engine.cost_spike_factor(), 1);
+        assert!(engine
+            .shard_health()
+            .iter()
+            .all(|h| *h == crate::ShardHealth::Healthy));
     }
 }

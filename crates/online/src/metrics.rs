@@ -100,6 +100,7 @@ pub fn decision_label(kind: &DecisionKind) -> &'static str {
         DecisionKind::Departed => "departed",
         DecisionKind::DepartUnknown => "depart_unknown",
         DecisionKind::RenewNoted => "renew_noted",
+        DecisionKind::EvictedOnFailure => "evicted_on_failure",
     }
 }
 
@@ -132,6 +133,22 @@ struct Ids {
     rebalance_ticks: CounterId,
     rebalance_moves: CounterId,
     rebalance_last_moves: GaugeId,
+    fault_injections: CounterId,
+    fault_crashes: CounterId,
+    fault_stalls: CounterId,
+    fault_corruptions: CounterId,
+    fault_cost_spikes: CounterId,
+    fault_drained: CounterId,
+    fault_recoveries: CounterId,
+    fault_evictions: CounterId,
+    fault_rejoins: CounterId,
+    degrade_level: GaugeId,
+    degrade_escalations: CounterId,
+    degrade_recoveries: CounterId,
+    degrade_shed_stages: CounterId,
+    audit_checks: CounterId,
+    audit_violations: CounterId,
+    audit_repairs: CounterId,
     // Timing.
     decision_latency: HistogramId,
     stage_latency: [HistogramId; 5],
@@ -200,6 +217,22 @@ impl EngineMetrics {
             rebalance_moves: mech(&mut registry, "spms_mech_rebalance_moves_total"),
             rebalance_last_moves: registry
                 .gauge("spms_mech_rebalance_last_moves", MetricClass::Mechanism),
+            fault_injections: mech(&mut registry, "spms_mech_fault_injections_total"),
+            fault_crashes: mech(&mut registry, "spms_mech_fault_crashes_total"),
+            fault_stalls: mech(&mut registry, "spms_mech_fault_stalls_total"),
+            fault_corruptions: mech(&mut registry, "spms_mech_fault_corruptions_total"),
+            fault_cost_spikes: mech(&mut registry, "spms_mech_fault_cost_spikes_total"),
+            fault_drained: mech(&mut registry, "spms_mech_fault_drained_total"),
+            fault_recoveries: mech(&mut registry, "spms_mech_fault_recoveries_total"),
+            fault_evictions: mech(&mut registry, "spms_mech_fault_evictions_total"),
+            fault_rejoins: mech(&mut registry, "spms_mech_fault_rejoins_total"),
+            degrade_level: registry.gauge("spms_mech_degrade_level", MetricClass::Mechanism),
+            degrade_escalations: mech(&mut registry, "spms_mech_degrade_escalations_total"),
+            degrade_recoveries: mech(&mut registry, "spms_mech_degrade_recoveries_total"),
+            degrade_shed_stages: mech(&mut registry, "spms_mech_degrade_shed_stages_total"),
+            audit_checks: mech(&mut registry, "spms_mech_audit_checks_total"),
+            audit_violations: mech(&mut registry, "spms_mech_audit_violations_total"),
+            audit_repairs: mech(&mut registry, "spms_mech_audit_repairs_total"),
             decision_latency: registry
                 .histogram("spms_timing_decision_latency_ns", MetricClass::Timing),
             stage_latency: STAGES.map(|stage| {
@@ -326,6 +359,11 @@ impl EngineMetrics {
             // outcome counter so the outcome section's name set stays
             // exactly what it was before leases existed.
             DecisionKind::RenewNoted => {}
+            // Failover evictions follow the RenewNoted precedent: the
+            // outcome name set stays byte-identical to fault-free runs,
+            // and the eviction count lives on the mechanism side
+            // (`spms_mech_fault_evictions_total`).
+            DecisionKind::EvictedOnFailure => {}
         }
     }
 
@@ -395,6 +433,76 @@ impl EngineMetrics {
     /// Counts a lease-expiry departure synthesized by the event loop.
     pub fn record_lease_expiration(&mut self) {
         self.registry.inc(self.ids.lease_expirations);
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection, failover, degrade ladder, self-audit
+    // ------------------------------------------------------------------
+
+    /// Counts one injected fault by its [`FaultKind::label`] (see
+    /// `spms-faults`); unknown labels still count as injections.
+    pub fn record_fault_injection(&mut self, label: &str) {
+        self.registry.inc(self.ids.fault_injections);
+        let per_kind = match label {
+            "shard_crash" => Some(self.ids.fault_crashes),
+            "shard_stall" => Some(self.ids.fault_stalls),
+            "cache_corruption" => Some(self.ids.fault_corruptions),
+            "cost_spike" => Some(self.ids.fault_cost_spikes),
+            _ => None,
+        };
+        if let Some(id) = per_kind {
+            self.registry.inc(id);
+        }
+    }
+
+    /// Counts the tasks drained off a crashed shard.
+    pub fn record_fault_drained(&mut self, tasks: u64) {
+        self.registry.add(self.ids.fault_drained, tasks);
+    }
+
+    /// Counts one drained task re-admitted onto a surviving shard.
+    pub fn record_fault_recovery(&mut self) {
+        self.registry.inc(self.ids.fault_recoveries);
+    }
+
+    /// Counts one drained task no survivor could take
+    /// ([`DecisionKind::EvictedOnFailure`]).
+    pub fn record_fault_eviction(&mut self) {
+        self.registry.inc(self.ids.fault_evictions);
+    }
+
+    /// Counts one crashed shard rejoining the placement rotation.
+    pub fn record_fault_rejoin(&mut self) {
+        self.registry.inc(self.ids.fault_rejoins);
+    }
+
+    /// Sets the degrade-level gauge and counts the transition that moved
+    /// it (`escalated` — up one rung — or a hysteresis recovery down one).
+    pub fn record_degrade_transition(&mut self, level: u64, escalated: bool) {
+        self.registry.set_gauge(self.ids.degrade_level, level);
+        self.registry.inc(if escalated {
+            self.ids.degrade_escalations
+        } else {
+            self.ids.degrade_recoveries
+        });
+    }
+
+    /// Counts one cascade stage withheld by the active degrade level.
+    pub fn record_degrade_shed_stage(&mut self) {
+        self.registry.inc(self.ids.degrade_shed_stages);
+    }
+
+    /// Counts one self-audit pass over a core's cached analysis. A
+    /// `repaired` audit found a divergent memo (counted as a violation)
+    /// and rebuilt it from scratch (counted as a repair) — so
+    /// `violations - repairs` is the unrepaired backlog, which must stay
+    /// zero.
+    pub fn record_audit_check(&mut self, repaired: bool) {
+        self.registry.inc(self.ids.audit_checks);
+        if repaired {
+            self.registry.inc(self.ids.audit_violations);
+            self.registry.inc(self.ids.audit_repairs);
+        }
     }
 
     /// Sets the decisions/sec throughput gauge (timing section; set by

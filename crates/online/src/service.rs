@@ -29,9 +29,10 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use spms_core::{
-    rebalance_partitions, shard_core_counts, CoreId, IncrementalPlacer, Partition, PlacedTask,
-    PlanTxn, ShardRouter, SplitInfo, SubtaskKind,
+    rebalance_partitions, shard_core_counts, CacheAuditVerdict, CoreId, IncrementalPlacer,
+    Partition, PlacedTask, PlanTxn, ShardRouter, SplitInfo, SubtaskKind,
 };
+use spms_faults::FaultKind;
 use spms_overhead::{CostModel, CostModelSpec};
 use spms_task::{Task, TaskId, Time};
 use spms_telemetry::{scoped, Histogram, MetricClass, Registry};
@@ -173,6 +174,94 @@ pub struct ServiceStats {
     pub cross_shard_admissions: u64,
 }
 
+/// Lifecycle state of one shard under fault injection. Every shard is
+/// `Healthy` until a [`FaultKind`] targets it; with no faults loaded the
+/// state never changes and the service behaves bit-identically to a
+/// fault-free build.
+///
+/// Transitions: `Healthy → Stalled` (stall; reverts on the fault's end),
+/// `Healthy → Down` (crash; residency drained onto survivors),
+/// `Down → Rejoining` (the down interval elapsed; the shard rebuilt
+/// itself from the residency map — empty, since the crash drained it),
+/// `Rejoining → Healthy` (the router offered it work again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardHealth {
+    /// In the placement rotation, holding its residents.
+    Healthy,
+    /// Frozen: keeps its residents but takes no new placements.
+    Stalled,
+    /// Crashed: drained, out of the rotation entirely.
+    Down,
+    /// Back up and placement-eligible; flips to `Healthy` at the next
+    /// arrival the router routes past it.
+    Rejoining,
+}
+
+impl ShardHealth {
+    /// Whether the placement router may offer this shard new work.
+    pub fn accepts_placements(self) -> bool {
+        matches!(self, ShardHealth::Healthy | ShardHealth::Rejoining)
+    }
+}
+
+/// Fault-injection and recovery counters of a [`ShardedAdmission`]
+/// service. Kept separate from [`ServiceStats`] so fault-free reports
+/// stay byte-identical (`ServiceStats` is embedded in serialized soak
+/// reports; this struct is only serialized by the chaos harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected, all kinds.
+    pub injections: u64,
+    /// Shard crashes applied.
+    pub crashes: u64,
+    /// Shard stalls applied.
+    pub stalls: u64,
+    /// Cache corruptions applied.
+    pub corruptions: u64,
+    /// Cost spikes applied.
+    pub cost_spikes: u64,
+    /// Tasks drained off crashed shards.
+    pub drained: u64,
+    /// Drained tasks re-admitted onto surviving shards.
+    pub recoveries: u64,
+    /// Drained tasks no survivor could host ([`DecisionKind::EvictedOnFailure`]).
+    pub evictions: u64,
+    /// Crashed shards that rejoined the rotation.
+    pub rejoins: u64,
+    /// Self-audit passes run (one cached core re-verified per pass).
+    pub audit_checks: u64,
+    /// Audits that caught a cache/scratch mismatch.
+    pub audit_violations: u64,
+    /// Mismatched caches rebuilt from scratch (always equals
+    /// `audit_violations`: detection and repair are one step).
+    pub audit_repairs: u64,
+}
+
+impl FaultStats {
+    /// Accumulates another engine's counters into this one (experiment
+    /// drivers folding per-trace engines into a per-point summary).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injections += other.injections;
+        self.crashes += other.crashes;
+        self.stalls += other.stalls;
+        self.corruptions += other.corruptions;
+        self.cost_spikes += other.cost_spikes;
+        self.drained += other.drained;
+        self.recoveries += other.recoveries;
+        self.evictions += other.evictions;
+        self.rejoins += other.rejoins;
+        self.audit_checks += other.audit_checks;
+        self.audit_violations += other.audit_violations;
+        self.audit_repairs += other.audit_repairs;
+    }
+
+    /// Audit violations the run failed to repair (must stay 0: detection
+    /// and rebuild are one step, so anything else is a harness bug).
+    pub fn audit_violations_unrepaired(&self) -> u64 {
+        self.audit_violations.saturating_sub(self.audit_repairs)
+    }
+}
+
 /// A sharded admission service over N independent [`AdmissionShard`]s.
 /// See the [module docs](self) for the routing and rebalancing policy.
 #[derive(Debug, Clone)]
@@ -192,6 +281,21 @@ pub struct ShardedAdmission<S: AdmissionShard = AdmissionController> {
     metrics: EngineMetrics,
     stats: ServiceStats,
     next_event: usize,
+    /// Per-shard lifecycle state, shard-index order. All `Healthy` until
+    /// a fault targets a shard; see [`ShardHealth`].
+    health: Vec<ShardHealth>,
+    /// Original (unsplit) parameters of cross-shard-split tasks. A whole
+    /// admission's original is recoverable from its shard's bookkeeping
+    /// (`lookup_admitted`), but a split shard stores only its own
+    /// piece-shaped analysis task — crash recovery needs the real task to
+    /// re-admit, so the service pins it here until departure.
+    split_originals: BTreeMap<TaskId, Task>,
+    fault_stats: FaultStats,
+    /// Multiplier on the cross-shard migration charge (1 = no spike).
+    cost_spike_factor: u32,
+    /// Round-robin cursor over the flattened (shard, core) space for
+    /// [`audit_tick`](Self::audit_tick).
+    audit_cursor: usize,
 }
 
 impl ShardedAdmission<AdmissionController> {
@@ -237,6 +341,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     pub fn from_shards(shards: Vec<S>) -> Self {
         assert!(!shards.is_empty(), "service needs at least one shard");
         let router = ShardRouter::new(shards.len());
+        let health = vec![ShardHealth::Healthy; shards.len()];
         ShardedAdmission {
             shards,
             router,
@@ -249,6 +354,11 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             metrics: EngineMetrics::new(0),
             stats: ServiceStats::default(),
             next_event: 0,
+            health,
+            split_originals: BTreeMap::new(),
+            fault_stats: FaultStats::default(),
+            cost_spike_factor: 1,
+            audit_cursor: 0,
         }
     }
 
@@ -388,6 +498,10 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
 
     fn arrive(&mut self, task: &Task) -> DecisionKind {
         self.stats.decisions.arrivals += 1;
+        // Any routed arrival completes pending rejoins: a Rejoining shard
+        // is already placement-eligible, the state only records that the
+        // router has not looked at it since it came back.
+        self.complete_rejoins();
         if self.resident.contains_key(&task.id()) {
             self.stats.decisions.rejected += 1;
             return DecisionKind::Rejected {
@@ -395,8 +509,12 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             };
         }
         let spare = self.spare_utilizations();
-        let order = self.router.placement_order(task.id(), &spare);
-        let home = order[0];
+        let mut order = self.router.placement_order(task.id(), &spare);
+        // Stalled and down shards are out of the rotation. With every
+        // shard healthy (the fault-free case) this retains everything and
+        // the order — and therefore the decision log — is unchanged.
+        order.retain(|&idx| self.health[idx].accepts_placements());
+        let home = self.router.home_shard(task.id());
         let event = WorkloadEvent::Arrive(task.clone());
         let mut first_rejection: Option<RejectionReason> = None;
         for shard_idx in order {
@@ -435,8 +553,11 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
                         first_rejection = Some(reason);
                     }
                 }
-                DecisionKind::Departed | DecisionKind::DepartUnknown | DecisionKind::RenewNoted => {
-                    unreachable!("an arrival cannot produce a departure or renewal decision")
+                DecisionKind::Departed
+                | DecisionKind::DepartUnknown
+                | DecisionKind::RenewNoted
+                | DecisionKind::EvictedOnFailure => {
+                    unreachable!("an arrival cannot produce a departure, renewal, or eviction")
                 }
             }
         }
@@ -471,9 +592,16 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     fn try_cross_shard(&mut self, task: &Task) -> Option<DecisionKind> {
         self.metrics.record_cross_shard_attempt();
         // Donor = most spare, receiver = runner-up; ties break on the
-        // lower shard index, keeping the choice deterministic.
+        // lower shard index, keeping the choice deterministic. Stalled
+        // and down shards cannot host a piece (a drained shard would
+        // otherwise look maximally spare).
         let spare = self.spare_utilizations();
-        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        let mut order: Vec<usize> = (0..self.shards.len())
+            .filter(|&idx| self.health[idx].accepts_placements())
+            .collect();
+        if order.len() < 2 {
+            return None;
+        }
         order.sort_by(|a, b| {
             spare[*b]
                 .partial_cmp(&spare[*a])
@@ -482,8 +610,10 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         });
         let (donor, receiver) = (order[0], order[1]);
         // Every shard runs the same configuration, so shard 0's cost
-        // model speaks for the fleet (as in `rebalance`).
-        let charge = self.shards[0].cost_model().migration_charge(task);
+        // model speaks for the fleet (as in `rebalance`). An active cost
+        // spike multiplies the charge (factor 1 when no spike is live).
+        let charge =
+            self.shards[0].cost_model().migration_charge(task) * u64::from(self.cost_spike_factor);
         // Phase 1 — pure planning on both participants.
         let (body_core, body_piece, budget) = self.shards[donor].plan_remote_body(task, charge)?;
         let offset = body_piece.wcet();
@@ -540,6 +670,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
             return None;
         }
         self.resident.insert(task.id(), vec![donor, receiver]);
+        self.split_originals.insert(task.id(), task.clone());
         self.metrics.record_cross_shard_admission(2);
         self.stats.cross_shard_admissions += 1;
         let inflation = charge * 2;
@@ -555,6 +686,7 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     }
 
     fn depart(&mut self, id: TaskId) -> DecisionKind {
+        self.split_originals.remove(&id);
         match self.resident.remove(&id) {
             Some(holders) => {
                 // A cross-shard split resides on several shards: the
@@ -585,7 +717,12 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     /// no-op.
     pub fn rebalance(&mut self, max_moves: usize) -> usize {
         self.stats.rebalance_ticks += 1;
-        if self.shards.len() < 2 || max_moves == 0 {
+        // Only placement-eligible shards participate; with every shard
+        // healthy this is the identity over all shard indices.
+        let eligible: Vec<usize> = (0..self.shards.len())
+            .filter(|&idx| self.health[idx].accepts_placements())
+            .collect();
+        if eligible.len() < 2 || max_moves == 0 {
             self.metrics.record_rebalance_tick(0);
             return 0;
         }
@@ -607,18 +744,28 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
         let moves = {
             let charge_model = cost_model.clone();
             let charge_of = move |t: &Task| charge_model.migration_charge(t);
-            let mut partitions: Vec<&mut Partition> =
-                self.shards.iter_mut().map(S::partition_mut).collect();
+            // Move indices returned by the rebalancer are positions in
+            // this (eligible-only) slice; map them back through
+            // `eligible` below.
+            let health = &self.health;
+            let mut partitions: Vec<&mut Partition> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .filter(|(idx, _)| health[*idx].accepts_placements())
+                .map(|(_, shard)| shard.partition_mut())
+                .collect();
             rebalance_partitions(&mut partitions, &placer, &lookup, &charge_of, max_moves)
         };
         let mut inflation = Time::ZERO;
         for mv in &moves {
-            let task = self.shards[mv.from]
+            let (from, to) = (eligible[mv.from], eligible[mv.to]);
+            let task = self.shards[from]
                 .forget_admitted(mv.task)
                 .expect("rebalanced task must be admitted on its donor shard");
             inflation += cost_model.migration_charge(&task);
-            self.shards[mv.to].note_admitted(task);
-            self.resident.insert(mv.task, vec![mv.to]);
+            self.shards[to].note_admitted(task);
+            self.resident.insert(mv.task, vec![to]);
         }
         self.stats.decisions.inflation_charged_ns = self
             .stats
@@ -640,6 +787,247 @@ impl<S: AdmissionShard> ShardedAdmission<S> {
     pub(crate) fn record_lease_expiration(&mut self) {
         self.stats.lease_expirations += 1;
         self.metrics.record_lease_expiration();
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection, failover, and self-audit
+    // ------------------------------------------------------------------
+
+    /// Per-shard lifecycle state, shard-index order.
+    pub fn shard_health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Fault-injection and recovery counters.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// The live cross-shard cost multiplier (1 = no spike active).
+    pub fn cost_spike_factor(&self) -> u32 {
+        self.cost_spike_factor
+    }
+
+    /// Applies one injected fault. Crashes drain and re-admit (see
+    /// [`ShardHealth`]); stalls and spikes flip state that
+    /// [`end_fault`](Self::end_fault) reverts; corruption flips one
+    /// memoized response time for a later [`audit_tick`](Self::audit_tick)
+    /// to catch. Out-of-range shard indices are ignored (a scripted plan
+    /// may target a larger fleet than this run's).
+    pub fn apply_fault(&mut self, kind: &FaultKind) {
+        self.fault_stats.injections += 1;
+        self.metrics.record_fault_injection(kind.label());
+        match *kind {
+            FaultKind::ShardCrash { shard, .. } => {
+                self.fault_stats.crashes += 1;
+                self.crash_shard(shard);
+            }
+            FaultKind::ShardStall { shard, .. } => {
+                self.fault_stats.stalls += 1;
+                if shard < self.shards.len() && self.health[shard].accepts_placements() {
+                    self.health[shard] = ShardHealth::Stalled;
+                }
+            }
+            FaultKind::CacheCorruption { shard, core } => {
+                self.fault_stats.corruptions += 1;
+                if shard < self.shards.len() {
+                    // Best effort to make the fault land: if the named
+                    // core has no fresh memo to corrupt, walk the shard's
+                    // other cores until one does.
+                    let partition = self.shards[shard].partition_mut();
+                    let cores = partition.core_count();
+                    let _ = (0..cores)
+                        .map(|offset| CoreId((core + offset) % cores.max(1)))
+                        .any(|c| partition.corrupt_cached_response(c));
+                }
+            }
+            FaultKind::CostSpike { factor, .. } => {
+                self.fault_stats.cost_spikes += 1;
+                self.cost_spike_factor = factor.max(1);
+            }
+        }
+    }
+
+    /// Ends a timed fault: a stalled shard returns to the rotation, a
+    /// crashed shard rejoins (empty — the crash drained it), a cost spike
+    /// collapses back to factor 1. Corruption has no timed end; audits
+    /// repair it.
+    pub fn end_fault(&mut self, kind: &FaultKind) {
+        match *kind {
+            FaultKind::ShardCrash { shard, .. } => {
+                if shard < self.shards.len() && self.health[shard] == ShardHealth::Down {
+                    self.rejoin_shard(shard);
+                }
+            }
+            FaultKind::ShardStall { shard, .. } => {
+                if shard < self.shards.len() && self.health[shard] == ShardHealth::Stalled {
+                    self.health[shard] = ShardHealth::Healthy;
+                }
+            }
+            FaultKind::CacheCorruption { .. } => {}
+            FaultKind::CostSpike { .. } => {
+                self.cost_spike_factor = 1;
+            }
+        }
+    }
+
+    /// One self-audit pass: re-verifies the cached RTA of the next core
+    /// in a round-robin over every live shard's cores against a scratch
+    /// recomputation, rebuilding the memo in place on mismatch
+    /// ([`CacheAuditVerdict::Repaired`]). Returns `None` when no live
+    /// core was auditable (no cache attached, or the memo was stale).
+    pub fn audit_tick(&mut self) -> Option<CacheAuditVerdict> {
+        let total: usize = self.shards.iter().map(S::core_count).sum();
+        if total == 0 {
+            return None;
+        }
+        for _ in 0..total {
+            let mut flat = self.audit_cursor % total;
+            self.audit_cursor = self.audit_cursor.wrapping_add(1);
+            let mut shard = 0;
+            while flat >= self.shards[shard].core_count() {
+                flat -= self.shards[shard].core_count();
+                shard += 1;
+            }
+            if self.health[shard] == ShardHealth::Down {
+                continue;
+            }
+            self.fault_stats.audit_checks += 1;
+            let verdict = self.shards[shard]
+                .partition_mut()
+                .audit_cached_core(CoreId(flat));
+            let repaired = verdict == Some(CacheAuditVerdict::Repaired);
+            if repaired {
+                self.fault_stats.audit_violations += 1;
+                self.fault_stats.audit_repairs += 1;
+            }
+            self.metrics.record_audit_check(repaired);
+            return verdict;
+        }
+        None
+    }
+
+    /// Kills a shard: marks it `Down`, drains every task holding a piece
+    /// on it (ascending task id, so recovery is deterministic), and
+    /// re-admits the drained tasks onto the survivors through the normal
+    /// placement order — falling back to the cross-shard planner, whose
+    /// [`PlanTxn`] rewinds the survivors bit-identically when a recovery
+    /// placement fails. Unrecoverable tasks surface as
+    /// [`DecisionKind::EvictedOnFailure`] entries in the service log.
+    fn crash_shard(&mut self, shard: usize) {
+        if shard >= self.shards.len() || self.health[shard] == ShardHealth::Down {
+            return;
+        }
+        self.health[shard] = ShardHealth::Down;
+        let victims: Vec<(TaskId, Vec<usize>)> = self
+            .resident
+            .iter()
+            .filter(|(_, holders)| holders.contains(&shard))
+            .map(|(id, holders)| (*id, holders.clone()))
+            .collect();
+        let mut drained: Vec<Task> = Vec::new();
+        for (id, holders) in victims {
+            // Capture the original parameters before the bookkeeping is
+            // dropped: a whole admission's original lives on its shard, a
+            // split's is pinned in `split_originals`.
+            let original = self
+                .split_originals
+                .remove(&id)
+                .or_else(|| self.shards[holders[0]].lookup_admitted(id));
+            // The crash wipes the dead shard's residency; surviving
+            // holders of cross-shard pieces drop their now-orphaned
+            // pieces. Departing the dead shard too leaves it exactly as a
+            // rebuild from the (now-empty) residency map would.
+            for &holder in &holders {
+                let decision = self.shards[holder].decide(&WorkloadEvent::Depart(id));
+                debug_assert_eq!(decision.kind, DecisionKind::Departed);
+            }
+            self.resident.remove(&id);
+            if let Some(task) = original {
+                drained.push(task);
+            }
+        }
+        self.fault_stats.drained += drained.len() as u64;
+        self.metrics.record_fault_drained(drained.len() as u64);
+        for task in drained {
+            if self.readmit(&task) {
+                self.fault_stats.recoveries += 1;
+                self.metrics.record_fault_recovery();
+            } else {
+                self.fault_stats.evictions += 1;
+                self.metrics.record_fault_eviction();
+                self.push_eviction_decision(task.id());
+            }
+        }
+    }
+
+    /// Re-admits one drained task onto the surviving shards. Unlike
+    /// [`arrive`](Self::arrive) this is not a workload event: it appends
+    /// no service decision and leaves the service-level decision counters
+    /// alone (the shards' own logs still record the placements).
+    fn readmit(&mut self, task: &Task) -> bool {
+        debug_assert!(!self.resident.contains_key(&task.id()));
+        let spare = self.spare_utilizations();
+        let mut order = self.router.placement_order(task.id(), &spare);
+        order.retain(|&idx| self.health[idx].accepts_placements());
+        let event = WorkloadEvent::Arrive(task.clone());
+        for shard_idx in order {
+            if self.shards[shard_idx].decide(&event).is_admission() {
+                self.resident.insert(task.id(), vec![shard_idx]);
+                return true;
+            }
+        }
+        if self.cross_shard {
+            // The planner's stats attribution (cross_shard_admissions,
+            // admitted/migration counters) intentionally still applies:
+            // the recovery genuinely consumed that capacity.
+            let stage = Instant::now();
+            let planned = self.try_cross_shard(task);
+            self.metrics.record_stage(
+                DecisionPath::CrossShardSplit,
+                planned.is_some(),
+                stage.elapsed().as_nanos() as u64,
+            );
+            return planned.is_some();
+        }
+        false
+    }
+
+    /// A crashed shard whose down interval elapsed rebuilds itself from
+    /// the residency map — which holds nothing for it, because the crash
+    /// drained it — and re-enters the rotation as `Rejoining`.
+    fn rejoin_shard(&mut self, shard: usize) {
+        debug_assert!(self
+            .resident
+            .values()
+            .all(|holders| !holders.contains(&shard)));
+        self.health[shard] = ShardHealth::Rejoining;
+        self.fault_stats.rejoins += 1;
+        self.metrics.record_fault_rejoin();
+    }
+
+    /// Flips every `Rejoining` shard to `Healthy` (called when the router
+    /// next routes an arrival, completing the rejoin).
+    fn complete_rejoins(&mut self) {
+        for state in &mut self.health {
+            if *state == ShardHealth::Rejoining {
+                *state = ShardHealth::Healthy;
+            }
+        }
+    }
+
+    /// Appends a service-level [`DecisionKind::EvictedOnFailure`] entry
+    /// for a drained task no survivor could host.
+    fn push_eviction_decision(&mut self, id: TaskId) {
+        let decision = Decision {
+            event_index: self.next_event,
+            task: id,
+            kind: DecisionKind::EvictedOnFailure,
+        };
+        self.next_event += 1;
+        self.decisions.push(decision);
+        self.metrics
+            .finish_decision(u64::from(id.0), &decision.kind, 0, &Default::default());
     }
 }
 
@@ -1106,5 +1494,202 @@ mod tests {
                 .kind,
             DecisionKind::DepartUnknown
         );
+    }
+
+    #[test]
+    fn crash_drains_the_shard_and_readmits_onto_survivors() {
+        let mut svc = service(8, 2);
+        let router = ShardRouter::new(2);
+        // Admit tasks homed on both shards so the crash has real victims.
+        let mut on_dead = 0;
+        for id in 0..8u32 {
+            assert!(svc
+                .handle_event(&WorkloadEvent::Arrive(task(id, 1, 10)))
+                .is_admission());
+            if router.home_shard(TaskId(id)) == 0 {
+                on_dead += 1;
+            }
+        }
+        assert!(on_dead > 0, "some task must be homed on shard 0");
+        let before = svc.admitted_count();
+        svc.apply_fault(&FaultKind::ShardCrash {
+            shard: 0,
+            down_ms: 50,
+        });
+        assert_eq!(svc.shard_health()[0], ShardHealth::Down);
+        let stats = *svc.fault_stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.drained, on_dead as u64);
+        assert_eq!(stats.recoveries + stats.evictions, stats.drained);
+        // Light load on 4 surviving cores: everything recovers, nothing
+        // is evicted, and no residency points at the dead shard.
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(svc.admitted_count(), before);
+        assert_eq!(svc.shards()[0].partition().placement_count(), 0);
+        for id in 0..8u32 {
+            assert_eq!(svc.resident_shards(TaskId(id)), &[1]);
+        }
+        // The rejoin brings the shard back empty and the next arrival
+        // completes it.
+        svc.end_fault(&FaultKind::ShardCrash {
+            shard: 0,
+            down_ms: 50,
+        });
+        assert_eq!(svc.shard_health()[0], ShardHealth::Rejoining);
+        assert_eq!(svc.fault_stats().rejoins, 1);
+        assert!(svc
+            .handle_event(&WorkloadEvent::Arrive(task(100, 1, 10)))
+            .is_admission());
+        assert_eq!(svc.shard_health()[0], ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn unrecoverable_drained_tasks_surface_as_evictions() {
+        // Saturate both shards, then crash one: the survivors have no
+        // room, so the drained tasks surface as EvictedOnFailure entries
+        // in the service log (not silent drops).
+        let mut svc = service(2, 2);
+        let mut admitted = vec![];
+        for id in 0..40u32 {
+            if svc
+                .handle_event(&WorkloadEvent::Arrive(task(id, 9, 10)))
+                .is_admission()
+            {
+                admitted.push(id);
+            }
+        }
+        assert!(admitted.len() >= 2, "near-saturation load must admit");
+        let crashed = svc.resident_shard(TaskId(admitted[0])).unwrap();
+        let log_before = svc.decisions().len();
+        svc.apply_fault(&FaultKind::ShardCrash {
+            shard: crashed,
+            down_ms: 50,
+        });
+        let stats = *svc.fault_stats();
+        assert!(stats.drained > 0);
+        assert!(stats.evictions > 0, "a full survivor cannot host the drain");
+        let evicted: Vec<&Decision> = svc.decisions()[log_before..]
+            .iter()
+            .filter(|d| d.kind == DecisionKind::EvictedOnFailure)
+            .collect();
+        assert_eq!(evicted.len() as u64, stats.evictions);
+        // Eviction entries keep the event index monotone.
+        for (i, d) in svc.decisions().iter().enumerate() {
+            assert_eq!(d.event_index, i);
+        }
+    }
+
+    #[test]
+    fn stalled_shards_leave_the_rotation_and_return() {
+        let mut svc = service(4, 2);
+        let stall = FaultKind::ShardStall { shard: 0, ms: 10 };
+        svc.apply_fault(&stall);
+        assert_eq!(svc.shard_health()[0], ShardHealth::Stalled);
+        // Every arrival lands on shard 1 while the stall holds, even
+        // tasks homed on shard 0.
+        for id in 0..6u32 {
+            assert!(svc
+                .handle_event(&WorkloadEvent::Arrive(task(id, 1, 100)))
+                .is_admission());
+            assert_eq!(svc.resident_shards(TaskId(id)), &[1]);
+        }
+        // Stalled shards keep their residents: no drain happened.
+        assert_eq!(svc.fault_stats().drained, 0);
+        svc.end_fault(&stall);
+        assert_eq!(svc.shard_health()[0], ShardHealth::Healthy);
+        let t = task(50, 1, 100);
+        let home = ShardRouter::new(2).home_shard(t.id());
+        if home == 0 {
+            assert!(svc.handle_event(&WorkloadEvent::Arrive(t)).is_admission());
+            assert_eq!(svc.resident_shards(TaskId(50)), &[0]);
+        }
+    }
+
+    #[test]
+    fn cost_spikes_multiply_the_cross_shard_charge_until_they_end() {
+        let spike = FaultKind::CostSpike { factor: 5, ms: 10 };
+        let mut svc = service(4, 2);
+        svc.apply_fault(&spike);
+        assert_eq!(svc.cost_spike_factor(), 5);
+        svc.end_fault(&spike);
+        assert_eq!(svc.cost_spike_factor(), 1);
+        assert_eq!(svc.fault_stats().cost_spikes, 1);
+    }
+
+    #[test]
+    fn audit_ticks_catch_injected_cache_corruption() {
+        let mut svc = service(4, 2);
+        for id in 0..8u32 {
+            svc.handle_event(&WorkloadEvent::Arrive(task(id, 1, 10)));
+        }
+        // A clean sweep over every core first: all verdicts clean.
+        let cores: usize = svc.shards().iter().map(|s| s.core_count()).sum();
+        for _ in 0..cores {
+            assert_ne!(svc.audit_tick(), Some(CacheAuditVerdict::Repaired));
+        }
+        assert_eq!(svc.fault_stats().audit_violations, 0);
+        svc.apply_fault(&FaultKind::CacheCorruption { shard: 0, core: 0 });
+        assert_eq!(svc.fault_stats().corruptions, 1);
+        // One full audit round must detect and repair exactly the one
+        // corrupted memo...
+        let mut repaired = 0;
+        for _ in 0..cores {
+            if svc.audit_tick() == Some(CacheAuditVerdict::Repaired) {
+                repaired += 1;
+            }
+        }
+        assert_eq!(repaired, 1);
+        assert_eq!(svc.fault_stats().audit_violations, 1);
+        assert_eq!(svc.fault_stats().audit_repairs, 1);
+        // ...and the next round is clean again.
+        for _ in 0..cores {
+            assert_ne!(svc.audit_tick(), Some(CacheAuditVerdict::Repaired));
+        }
+        assert_eq!(svc.fault_stats().audit_violations, 1);
+    }
+
+    #[test]
+    fn a_crash_recovers_cross_shard_splits_from_their_original_parameters() {
+        // A task split across shards 0 and 1 is stored piece-shaped on
+        // both; crashing the tail holder must re-admit the ORIGINAL
+        // parameters, not a piece.
+        let mut config = OnlineConfig::new(4);
+        config.cross_shard_split = true;
+        let mut svc = ShardedAdmission::new(config, 2).unwrap();
+        // Fill both shards until only a cross-shard split fits.
+        let mut split_id = None;
+        for id in 0..40u32 {
+            let d = svc.handle_event(&WorkloadEvent::Arrive(task(id, 11, 20)));
+            if let DecisionKind::Admitted {
+                path: DecisionPath::CrossShardSplit,
+                ..
+            } = d.kind
+            {
+                split_id = Some(id);
+                break;
+            }
+        }
+        let Some(split_id) = split_id else {
+            // The packing never produced a split on this geometry; the
+            // scenario is vacuous rather than failed.
+            return;
+        };
+        assert_eq!(svc.resident_shards(TaskId(split_id)).len(), 2);
+        let tail_holder = svc.resident_shards(TaskId(split_id))[1];
+        svc.apply_fault(&FaultKind::ShardCrash {
+            shard: tail_holder,
+            down_ms: 50,
+        });
+        let holders = svc.resident_shards(TaskId(split_id));
+        if !holders.is_empty() {
+            // Recovered: wherever it lives now, the admitted copy must
+            // carry the original WCET (11 ms), not a piece budget.
+            let kept = svc.shards()[holders[0]]
+                .lookup_admitted(TaskId(split_id))
+                .expect("recovered task is admitted on its holder");
+            assert_eq!(kept.wcet(), Time::from_millis(11));
+        } else {
+            assert!(svc.fault_stats().evictions > 0);
+        }
     }
 }

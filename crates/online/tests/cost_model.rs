@@ -47,6 +47,7 @@ fn legacy_line(d: &spms_online::Decision) -> String {
         DecisionKind::Departed => String::from(r#""Departed""#),
         DecisionKind::DepartUnknown => String::from(r#""DepartUnknown""#),
         DecisionKind::RenewNoted => String::from(r#""RenewNoted""#),
+        DecisionKind::EvictedOnFailure => panic!("fault-free run evicted a task"),
     };
     format!(
         r#"{{"event_index":{},"task":{},"kind":{kind}}}"#,

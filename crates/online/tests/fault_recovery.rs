@@ -1,0 +1,181 @@
+//! Property-based contracts of shard failover and recovery.
+//!
+//! Pinned over random churn configurations, crash times, victims and
+//! downtimes:
+//!
+//! * **conservation** — every task drained off a crashed shard is either
+//!   re-admitted onto a survivor or surfaced as a typed
+//!   [`DecisionKind::EvictedOnFailure`] entry; nothing silently vanishes;
+//! * **stitched schedulability + cache coherence** — after crash,
+//!   recovery and rejoin, the union of every shard's placement replays
+//!   through the discrete-event simulator without a deadline miss, and a
+//!   full self-audit sweep finds every memoized response time consistent
+//!   with a scratch recomputation;
+//! * **replay determinism** — the same trace, seed and fault plan
+//!   reproduce the decision log, fault counters and shard health byte
+//!   for byte.
+//!
+//! The vendored proptest runner is deterministically seeded, so these
+//! cases reproduce identically on every run.
+
+use proptest::prelude::*;
+use spms_core::{stitch_partitions, CacheAuditVerdict, Partition};
+use spms_faults::{FaultEvent, FaultKind, FaultPlan};
+use spms_online::{
+    replay::{replay_epoch, ReplayConfig},
+    ChurnGenerator, DecisionKind, EventLoop, EventLoopConfig, OnlineConfig, ShardHealth,
+    ShardedAdmission, TimedEvent,
+};
+use spms_task::Time;
+
+const CORES: usize = 8;
+
+/// (target utilization, workload seed, event count) — the churn half of
+/// a crash scenario.
+type ChurnKnobs = (f64, u64, usize);
+/// (shard count, victim index, crash point %, downtime %) — the victim
+/// index is reduced modulo the shard count; the percentages are of the
+/// measured trace horizon.
+type CrashKnobs = (usize, usize, u64, u64);
+
+/// Strategy: a churn configuration plus a crash scenario.
+fn crash_config() -> impl Strategy<Value = (ChurnKnobs, CrashKnobs)> {
+    (
+        (0.45f64..0.85, any::<u64>(), 30usize..70),
+        (2usize..=4, 0usize..4, 10u64..90, 5u64..40),
+    )
+}
+
+fn trace(target: f64, seed: u64, events: usize) -> Vec<TimedEvent> {
+    ChurnGenerator::new()
+        .cores(CORES)
+        .target_normalized_utilization(target)
+        .events(events)
+        .seed(seed)
+        .generate_timed()
+        .expect("valid churn configuration")
+}
+
+/// One ShardCrash at `at_pct`% of the trace horizon, down for
+/// `down_pct`% of it.
+fn crash_plan(trace: &[TimedEvent], shard: usize, at_pct: u64, down_pct: u64) -> FaultPlan {
+    let horizon_ms = trace
+        .last()
+        .map(|timed| timed.at.as_nanos() / 1_000_000)
+        .unwrap_or(0)
+        .max(100);
+    let mut plan = FaultPlan::new();
+    plan.push(FaultEvent {
+        at_ms: horizon_ms * at_pct / 100,
+        kind: FaultKind::ShardCrash {
+            shard,
+            down_ms: (horizon_ms * down_pct / 100).max(1),
+        },
+    });
+    plan
+}
+
+/// Runs one timed trace plus fault plan through a fresh N-shard engine.
+fn run_crashed(
+    trace: &[TimedEvent],
+    seed: u64,
+    shards: usize,
+    plan: &FaultPlan,
+) -> (ShardedAdmission, EventLoop) {
+    let mut engine = ShardedAdmission::new(OnlineConfig::new(CORES), shards)
+        .expect("shard count is between 1 and the core count");
+    let mut event_loop = EventLoop::new(
+        EventLoopConfig::new(seed)
+            .with_rebalance_period(Some(Time::from_millis(250)))
+            .with_rebalance_max_moves(4)
+            .with_audit_period(Some(Time::from_millis(100))),
+    );
+    event_loop.load_trace(trace);
+    event_loop.load_faults(plan);
+    event_loop.run(&mut engine);
+    (engine, event_loop)
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("logs serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// (a) Conservation: drained = recovered + evicted, every eviction is
+    /// a typed decision-log entry, and no shard is left in a transient
+    /// state a stall would explain (none was injected).
+    #[test]
+    fn a_mid_soak_crash_recovers_every_drained_task_or_evicts_it(
+        ((target, seed, events), (shards, victim, at_pct, down_pct)) in crash_config()
+    ) {
+        let trace = trace(target, seed, events);
+        let plan = crash_plan(&trace, victim % shards, at_pct, down_pct);
+        let (engine, _) = run_crashed(&trace, seed, shards, &plan);
+        let fault = *engine.fault_stats();
+        prop_assert_eq!(fault.injections, 1);
+        prop_assert_eq!(fault.crashes, 1);
+        prop_assert_eq!(
+            fault.drained,
+            fault.recoveries + fault.evictions,
+            "a drained task neither recovered nor surfaced as an eviction"
+        );
+        prop_assert!(fault.rejoins <= 1);
+        let evicted = engine
+            .decisions()
+            .iter()
+            .filter(|d| matches!(d.kind, DecisionKind::EvictedOnFailure))
+            .count() as u64;
+        prop_assert_eq!(evicted, fault.evictions);
+        for health in engine.shard_health() {
+            prop_assert_ne!(*health, ShardHealth::Stalled, "no stall was injected");
+        }
+    }
+
+    /// (b) Recovery never plants an unschedulable task and never leaves a
+    /// stale memo: the stitched global placement replays miss-free, and a
+    /// full audit sweep across every live core comes back clean.
+    #[test]
+    fn recovery_leaves_a_schedulable_partition_and_coherent_caches(
+        ((target, seed, events), (shards, victim, at_pct, down_pct)) in crash_config()
+    ) {
+        let trace = trace(target, seed, events);
+        let plan = crash_plan(&trace, victim % shards, at_pct, down_pct);
+        let (mut engine, _) = run_crashed(&trace, seed, shards, &plan);
+        let violations_in_run = engine.fault_stats().audit_violations;
+        prop_assert_eq!(violations_in_run, 0, "an in-run audit caught a stale memo");
+        for _ in 0..CORES {
+            if let Some(verdict) = engine.audit_tick() {
+                prop_assert_eq!(verdict, CacheAuditVerdict::Clean);
+            }
+        }
+        let parts: Vec<&Partition> = engine.shards().iter().map(|s| s.partition()).collect();
+        let stitched = stitch_partitions(&parts);
+        let outcome = replay_epoch(&stitched, &ReplayConfig::new(Time::from_millis(50)));
+        prop_assert_eq!(
+            outcome.deadline_misses, 0,
+            "recovery re-admission planted an unschedulable task"
+        );
+    }
+
+    /// (c) Same trace + seed + plan ⇒ byte-identical run: decision log,
+    /// processed event log, fault counters and final shard health.
+    #[test]
+    fn crashed_runs_replay_byte_identically(
+        ((target, seed, events), (shards, victim, at_pct, down_pct)) in crash_config()
+    ) {
+        let trace = trace(target, seed, events);
+        let plan = crash_plan(&trace, victim % shards, at_pct, down_pct);
+        let (engine_a, loop_a) = run_crashed(&trace, seed, shards, &plan);
+        let (engine_b, loop_b) = run_crashed(&trace, seed, shards, &plan);
+        prop_assert_eq!(json(&loop_a.event_log().to_vec()), json(&loop_b.event_log().to_vec()));
+        prop_assert_eq!(
+            json(&engine_a.decisions().to_vec()),
+            json(&engine_b.decisions().to_vec())
+        );
+        prop_assert_eq!(engine_a.fault_stats(), engine_b.fault_stats());
+        prop_assert_eq!(engine_a.shard_health(), engine_b.shard_health());
+        prop_assert_eq!(engine_a.stats(), engine_b.stats());
+    }
+}

@@ -86,6 +86,7 @@ fn pre_cross_shard_line(d: &Decision) -> String {
         DecisionKind::Departed => String::from(r#""Departed""#),
         DecisionKind::DepartUnknown => String::from(r#""DepartUnknown""#),
         DecisionKind::RenewNoted => panic!("lease-free run noted a renewal"),
+        DecisionKind::EvictedOnFailure => panic!("fault-free run evicted a task"),
     };
     format!(
         r#"{{"event_index":{},"task":{},"kind":{kind}}}"#,

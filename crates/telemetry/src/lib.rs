@@ -31,6 +31,7 @@ pub mod registry;
 pub mod scoped;
 pub mod snapshot;
 pub mod trace;
+pub mod warnings;
 
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use registry::{CounterId, GaugeId, HistogramId, MetricClass, Registry, SnapshotFilter};
@@ -39,3 +40,4 @@ pub use snapshot::{
     ExpositionError, HistogramSummary, Snapshot, SnapshotEntry, SnapshotValue, QUANTILES,
 };
 pub use trace::{SpanOutcome, StageSpan, StageTrace, TraceRing};
+pub use warnings::{drain_warnings, pending_warnings, warn_once, Warning};

@@ -1,0 +1,88 @@
+//! Process-global once-per-run warning collection.
+//!
+//! Deep library code (the RTA iteration-cap guard, fault-recovery paths)
+//! sometimes has a diagnostic worth surfacing exactly once per run, but no
+//! path to a [`Registry`](crate::Registry) and no business writing to
+//! stderr behind the CLI's back. [`warn_once`] records the first message
+//! per key into a process-global store; the CLI (or a test) calls
+//! [`drain_warnings`] at the end of the run and decides where the text
+//! goes. Repeat warnings under the same key are counted, not stored, so a
+//! hot loop that trips the same guard a million times costs one entry.
+//!
+//! The store is deliberately *not* part of any registry snapshot: warning
+//! text is human diagnostics, never part of the deterministic metric
+//! sections the CI diffs.
+
+use std::sync::Mutex;
+
+/// One collected warning: the deduplication key, the first message
+/// recorded under it, and how many times [`warn_once`] was called with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Stable deduplication key, e.g. `"rta_iteration_cap"`.
+    pub key: String,
+    /// The message of the *first* call under `key`.
+    pub message: String,
+    /// Total calls under `key` since the last drain.
+    pub count: u64,
+}
+
+/// The process-global warning store. A `Mutex<Vec<_>>` keeps insertion
+/// order (first-warned first-reported); the list stays tiny because keys
+/// deduplicate.
+static WARNINGS: Mutex<Vec<Warning>> = Mutex::new(Vec::new());
+
+/// Records a warning under a stable `key`. Only the first call per key
+/// stores `message`; later calls just bump the count. Returns `true` when
+/// this call was the first for `key` (callers can gate extra work on it).
+pub fn warn_once(key: &str, message: impl Into<String>) -> bool {
+    let mut store = WARNINGS.lock().expect("warning store poisoned");
+    if let Some(existing) = store.iter_mut().find(|w| w.key == key) {
+        existing.count += 1;
+        false
+    } else {
+        store.push(Warning {
+            key: key.to_string(),
+            message: message.into(),
+            count: 1,
+        });
+        true
+    }
+}
+
+/// Takes every collected warning, leaving the store empty. Warnings are
+/// returned in first-warned order.
+pub fn drain_warnings() -> Vec<Warning> {
+    std::mem::take(&mut *WARNINGS.lock().expect("warning store poisoned"))
+}
+
+/// Number of distinct warning keys currently collected (cheap peek for
+/// tests and status lines).
+pub fn pending_warnings() -> usize {
+    WARNINGS.lock().expect("warning store poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The store is process-global, so this test serializes against itself
+    // by using unique keys and draining at the end.
+    #[test]
+    fn first_call_stores_later_calls_count() {
+        let key = "warnings_test_dedup";
+        assert!(warn_once(key, "first message"));
+        assert!(!warn_once(key, "second message ignored"));
+        assert!(!warn_once(key, "third"));
+        let drained: Vec<Warning> = drain_warnings()
+            .into_iter()
+            .filter(|w| w.key == key)
+            .collect();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].message, "first message");
+        assert_eq!(drained[0].count, 3);
+        // Drained means gone: the next warn under the key is first again.
+        assert!(warn_once(key, "fresh after drain"));
+        let _ = drain_warnings();
+    }
+}

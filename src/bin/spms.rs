@@ -16,11 +16,12 @@
 
 use spms::analysis::OverheadModel;
 use spms::experiments::{
-    AcceptanceRatioExperiment, CacheCrossoverExperiment, ChurnExperiment, CoreCountSweepExperiment,
-    GlobalComparisonExperiment, NullProgress, OverheadExperiment, OverheadSensitivityExperiment,
-    PreemptionAnatomy, ProgressSink, ReportFormat, ReportSink, RtaCacheBenchmark,
-    RuntimeCostExperiment, SoakExperiment, StderrProgress,
+    AcceptanceRatioExperiment, CacheCrossoverExperiment, ChaosExperiment, ChurnExperiment,
+    CoreCountSweepExperiment, GlobalComparisonExperiment, NullProgress, OverheadExperiment,
+    OverheadSensitivityExperiment, PreemptionAnatomy, ProgressSink, ReportFormat, ReportSink,
+    RtaCacheBenchmark, RuntimeCostExperiment, SoakExperiment, StderrProgress,
 };
+use spms::faults::{FaultPlan, FaultSpec};
 use spms::online::{
     parse_trace, ChurnFamily, OnlineConfig, ShardedAdmission, TimedEvent, WorkloadEvent,
 };
@@ -193,6 +194,19 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     --replay-every <N>      Replay every Nth admission's shard through the
                             simulator (the stitched global partition on
                             cross-shard reruns); 0 disables [default: 0]
+    --faults <SPEC>         Inject a seeded fault plan drawn against the
+                            measured trace horizon: comma-separated knobs
+                            crash=N,stall=N,corrupt=N,spike=N,seed=S
+                            (faults change the decision stream, so the
+                            cross-shard-count digest invariant may not hold;
+                            a per-point recovery summary goes to stderr)
+    --faults-script <FILE>  Inject this exact JSON-lines fault script (one
+                            FaultEvent per line, as written by
+                            `spms chaos --dump-plan`) instead of a spec
+    --audit-ms <N>          Simulated milliseconds between self-audit ticks,
+                            each re-verifying one core's memoized RTA
+                            against a scratch recomputation (rebuilding on
+                            mismatch); 0 disables [default: 0]
     --dump-trace <FILE>     Write the first trace's processed event log as a
                             JSON-lines file replayable by
                             `spms online --trace`
@@ -206,6 +220,34 @@ const COMMANDS: &[(&str, &str, &str)] = &[
      the `timing` array in the output and the spms_timing_* metric
      section are wall-clock measurement data and are the only parts that
      vary run-to-run)
+",
+    ),
+    (
+        "chaos",
+        "Seeded fault injection: shard failover, recovery replay, self-audit (E16)",
+        "    --cores <N>             Number of processors [default: 8]
+    --shards <a,b,..>       Shard counts to sweep [default: 2]
+    --events <N>            Workload events per churn trace [default: 2000]
+    --utilization <U>       Target normalized utilization [default: 0.6]
+    --faults <SPEC>         Seeded fault mix, comma-separated knobs
+                            crash=N,stall=N,corrupt=N,spike=N,seed=S,
+                            expanded against the measured trace horizon
+                            [default: crash=1,stall=1,corrupt=1,spike=1]
+    --faults-script <FILE>  Inject this exact JSON-lines fault script (one
+                            FaultEvent per line) instead of generating a
+                            plan from --faults
+    --audit-ms <N>          Simulated milliseconds between self-audit ticks
+                            (the harness's corruption detector; must be at
+                            least 1) [default: 100]
+    --rebalance-ms <N>      Simulated milliseconds between rebalance ticks;
+                            0 disables [default: 250]
+    --replay-every <N>      Replay every Nth admission's shard through the
+                            simulator; 0 disables [default: 50]
+    --dump-plan <FILE>      Write the injected plan as a JSON-lines script
+                            replayable via --faults-script
+    (--sets-per-point sets the churn traces generated per shard count;
+     the report — recovery digest included — is identical for every
+     --threads value)
 ",
     ),
     (
@@ -531,6 +573,41 @@ fn write_metrics(path: &str, format: MetricsFormat, registry: &Registry) -> CliR
     };
     std::fs::write(path, text)
         .map_err(|e| UsageError(format!("writing metrics `{path}` failed: {e}")))
+}
+
+/// Where a run's fault plan comes from: nowhere (fault-free), a seeded
+/// `--faults` spec expanded against the measured horizon, or an exact
+/// `--faults-script` JSON-lines scenario.
+enum FaultSource {
+    None,
+    Spec(FaultSpec),
+    Script(FaultPlan),
+}
+
+/// Parses the mutually exclusive `--faults <SPEC>` / `--faults-script
+/// <FILE>` pair shared by `soak` and `chaos`. An all-zero spec is a usage
+/// error: a typoed chaos run must not quietly test nothing.
+fn take_fault_source(flags: &mut Flags) -> CliResult<FaultSource> {
+    let spec_raw = flags.take("--faults");
+    let script_path = flags.take("--faults-script");
+    if spec_raw.is_some() && script_path.is_some() {
+        return usage_error("--faults and --faults-script are mutually exclusive");
+    }
+    if let Some(raw) = spec_raw {
+        let spec = FaultSpec::parse(&raw).map_err(|e| UsageError(format!("--faults: {e}")))?;
+        if spec.event_count() == 0 {
+            return usage_error("--faults schedules no faults (try crash=1)");
+        }
+        return Ok(FaultSource::Spec(spec));
+    }
+    if let Some(path) = script_path {
+        let raw = std::fs::read_to_string(&path)
+            .map_err(|e| UsageError(format!("reading fault script `{path}` failed: {e}")))?;
+        let plan = FaultPlan::from_script(&raw)
+            .map_err(|e| UsageError(format!("fault script `{path}`: {e}")))?;
+        return Ok(FaultSource::Script(plan));
+    }
+    Ok(FaultSource::None)
 }
 
 /// Parses the `--cost-model` flag: `zero` charges nothing (the default);
@@ -1008,13 +1085,51 @@ fn run_soak(mut flags: Flags) -> CliResult<String> {
     if let Some(every) = flags.take_usize("--replay-every")? {
         experiment = experiment.replay_sample_every(every);
     }
+    if let Some(ms) = flags.take_u64("--audit-ms")? {
+        experiment = experiment.audit_period((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    let fault_source = take_fault_source(&mut flags)?;
     let dump_trace = flags.take("--dump-trace");
     if dump_trace.is_some() {
         experiment = experiment.capture_trace(true);
     }
     let metrics = take_metrics(&mut flags)?;
     flags.expect_empty("soak")?;
+    // The spec is expanded only after every knob that shapes the first
+    // trace (cores, events, utilization, churn, seed) has been applied.
+    let fault_plan = match fault_source {
+        FaultSource::None => None,
+        FaultSource::Spec(spec) => Some(experiment.plan_faults(&spec)),
+        FaultSource::Script(plan) => Some(plan),
+    };
+    let faults_armed = fault_plan.is_some();
+    experiment = experiment.faults(fault_plan);
     let run = experiment.run_full_with_progress(common.progress("soak").as_ref());
+    if faults_armed && !common.quiet {
+        // Recovery counters go to stderr: the serialized soak artifact
+        // stays byte-identical to a fault-free build when faults are off,
+        // and `spms chaos` is the command that reports them as data.
+        for (point, fault) in run.results.points().iter().zip(&run.fault_stats) {
+            eprintln!(
+                "fault summary [shards={}]: injected={} crashes={} stalls={} \
+                 corruptions={} cost_spikes={} drained={} recovered={} evicted={} \
+                 rejoins={} audits={} violations={} repaired={}",
+                point.shards,
+                fault.injections,
+                fault.crashes,
+                fault.stalls,
+                fault.corruptions,
+                fault.cost_spikes,
+                fault.drained,
+                fault.recoveries,
+                fault.evictions,
+                fault.rejoins,
+                fault.audit_checks,
+                fault.audit_violations,
+                fault.audit_repairs,
+            );
+        }
+    }
     if let Some(path) = &dump_trace {
         let trace = run
             .captured_trace
@@ -1027,6 +1142,79 @@ fn run_soak(mut flags: Flags) -> CliResult<String> {
     let results = run.results;
     render(
         "soak",
+        &common,
+        &results,
+        || results.render_markdown(),
+        || results.render_csv(),
+    )
+}
+
+fn run_chaos(mut flags: Flags) -> CliResult<String> {
+    let common = CommonFlags::take(&mut flags)?;
+    let mut experiment = ChaosExperiment::new()
+        .seed(common.seed)
+        .threads(common.threads);
+    if let Some(traces) = common.sets_per_point {
+        experiment = experiment.traces_per_point(traces);
+    }
+    if let Some(cores) = flags.take_usize("--cores")? {
+        if cores == 0 {
+            return usage_error("--cores must be at least 1");
+        }
+        experiment = experiment.cores(cores);
+    }
+    if let Some(shards) = flags.take_list::<usize>("--shards")? {
+        if shards.is_empty() || shards.contains(&0) {
+            return usage_error("--shards expects shard counts of at least 1");
+        }
+        experiment = experiment.shard_counts(shards);
+    }
+    if let Some(events) = flags.take_usize("--events")? {
+        if events == 0 {
+            return usage_error("--events must be at least 1");
+        }
+        experiment = experiment.events_per_trace(events);
+    }
+    if let Some(u) = flags.take_f64("--utilization")? {
+        experiment = experiment.target_utilization(u);
+    }
+    if let Some(ms) = flags.take_u64("--audit-ms")? {
+        if ms == 0 {
+            return usage_error(
+                "--audit-ms must be at least 1: the self-audit is the \
+                 chaos harness's corruption detector",
+            );
+        }
+        experiment = experiment.audit_period(Time::from_millis(ms));
+    }
+    if let Some(ms) = flags.take_u64("--rebalance-ms")? {
+        experiment = experiment.rebalance_period((ms > 0).then(|| Time::from_millis(ms)));
+    }
+    if let Some(every) = flags.take_usize("--replay-every")? {
+        experiment = experiment.replay_sample_every(every);
+    }
+    experiment = match take_fault_source(&mut flags)? {
+        // A bare `spms chaos` injects one fault of each kind rather than
+        // an empty plan, so the default run actually exercises failover.
+        FaultSource::None => experiment.spec(FaultSpec {
+            crashes: 1,
+            stalls: 1,
+            corruptions: 1,
+            cost_spikes: 1,
+            ..FaultSpec::default()
+        }),
+        FaultSource::Spec(spec) => experiment.spec(spec),
+        FaultSource::Script(plan) => experiment.script(Some(plan)),
+    };
+    let dump_plan = flags.take("--dump-plan");
+    flags.expect_empty("chaos")?;
+    let results = experiment.run_with_progress(common.progress("chaos").as_ref());
+    if let Some(path) = &dump_plan {
+        std::fs::write(path, results.plan.to_script())
+            .map_err(|e| UsageError(format!("writing fault plan `{path}` failed: {e}")))?;
+    }
+    render(
+        "chaos",
         &common,
         &results,
         || results.render_markdown(),
@@ -1128,6 +1316,7 @@ fn dispatch(command: &str, flags: Flags) -> CliResult<String> {
         "online" => run_online(flags),
         "rtabench" => run_rtabench(flags),
         "soak" => run_soak(flags),
+        "chaos" => run_chaos(flags),
         "overhead" => run_overhead(flags),
         other => usage_error(format!("unknown command `{other}`")),
     }
@@ -1158,7 +1347,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match dispatch(&command, flags) {
+    let code = match dispatch(&command, flags) {
         Ok(output) => {
             println!("{output}");
             ExitCode::SUCCESS
@@ -1167,5 +1356,19 @@ fn main() -> ExitCode {
             eprintln!("error: {message}\nrun `spms --help` for usage");
             ExitCode::from(2)
         }
+    };
+    // Deep library code (the RTA iteration-cap guard, recovery paths)
+    // records once-per-run diagnostics instead of writing to stderr
+    // behind our back; surface them here, after the data output.
+    for warning in spms::telemetry::drain_warnings() {
+        if warning.count > 1 {
+            eprintln!(
+                "warning: {} ({} occurrences)",
+                warning.message, warning.count
+            );
+        } else {
+            eprintln!("warning: {}", warning.message);
+        }
     }
+    code
 }

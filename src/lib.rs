@@ -17,6 +17,8 @@
 //! * [`sim`] — the discrete-event multi-core scheduler simulator,
 //! * [`online`] — online admission control and incremental repartitioning
 //!   under task churn,
+//! * [`faults`] — seeded deterministic fault-injection plans for the online
+//!   admission engine,
 //! * [`overhead`] — the overhead measurement harness (Table 1),
 //! * [`experiments`] — acceptance-ratio and sensitivity experiment drivers.
 //!
@@ -49,6 +51,7 @@ pub use spms_analysis as analysis;
 pub use spms_cache as cache;
 pub use spms_core as core;
 pub use spms_experiments as experiments;
+pub use spms_faults as faults;
 pub use spms_global as global;
 pub use spms_online as online;
 pub use spms_overhead as overhead;
